@@ -1,0 +1,105 @@
+// Reproduces Fig. 12: average time cost for summarizing one trajectory,
+// (a) as a function of the trajectory size |T| (number of landmarks) and
+// (b) as a function of the partition size k.
+//
+// Paper's shape claims: most trajectories summarize within tens of
+// milliseconds; the cost grows only mildly with |T| and with k.
+//
+// Built on google-benchmark; the default run prints both sweeps.
+//
+// Run:  ./build/bench/fig12_time_cost
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "bench_world.h"
+
+using namespace stmaker;
+using namespace stmaker::bench;
+
+namespace {
+
+// One world + a pool of trips bucketed by symbolic size, shared by all
+// benchmark registrations.
+struct Fixture {
+  BenchWorld world;
+  // Trips whose |T| (landmark count) falls in [bucket, bucket + 10).
+  std::map<int, std::vector<RawTrajectory>> by_size;
+
+  Fixture() : world(BuildBenchWorld()) {
+    Random rng(1212);
+    int attempts = 0;
+    // Fill the size buckets the sweep uses: 10, 20, 30, 40.
+    auto bucket_full = [&](int b) {
+      auto it = by_size.find(b);
+      return it != by_size.end() && it->second.size() >= 20;
+    };
+    while (attempts++ < 40000 &&
+           !(bucket_full(10) && bucket_full(20) && bucket_full(30) &&
+             bucket_full(40))) {
+      double start = world.generator->SampleStartTimeOfDay(&rng);
+      Result<GeneratedTrip> trip = world.generator->GenerateTrip(start, &rng);
+      if (!trip.ok()) continue;
+      Result<CalibratedTrajectory> cal = world.maker->Calibrate(trip->raw);
+      if (!cal.ok()) continue;
+      int size = static_cast<int>(cal->symbolic.size());
+      int bucket = size / 10 * 10;
+      auto& bin = by_size[bucket];
+      if (bin.size() < 20) bin.push_back(trip->raw);
+    }
+  }
+};
+
+Fixture& GetFixture() {
+  static Fixture& fixture = *new Fixture();
+  return fixture;
+}
+
+// Fig. 12(a): vary |T| at the default partition.
+void BM_SummarizeBySize(benchmark::State& state) {
+  Fixture& fixture = GetFixture();
+  int bucket = static_cast<int>(state.range(0));
+  const auto& trips = fixture.by_size[bucket];
+  if (trips.empty()) {
+    state.SkipWithError("no trips in this |T| bucket");
+    return;
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    Result<Summary> summary =
+        fixture.world.maker->Summarize(trips[i % trips.size()]);
+    benchmark::DoNotOptimize(summary);
+    ++i;
+  }
+  state.SetLabel("|T| in [" + std::to_string(bucket) + "," +
+                 std::to_string(bucket + 10) + ")");
+}
+
+// Fig. 12(b): vary k on mid-sized trajectories.
+void BM_SummarizeByK(benchmark::State& state) {
+  Fixture& fixture = GetFixture();
+  const auto& trips = fixture.by_size[20];
+  if (trips.empty()) {
+    state.SkipWithError("no trips in the |T|=20 bucket");
+    return;
+  }
+  SummaryOptions options;
+  options.k = static_cast<int>(state.range(0));
+  size_t i = 0;
+  for (auto _ : state) {
+    Result<Summary> summary =
+        fixture.world.maker->Summarize(trips[i % trips.size()], options);
+    benchmark::DoNotOptimize(summary);
+    ++i;
+  }
+}
+
+BENCHMARK(BM_SummarizeBySize)->Arg(10)->Arg(20)->Arg(30)->Arg(40)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SummarizeByK)->DenseRange(1, 7)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

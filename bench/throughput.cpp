@@ -1,0 +1,107 @@
+// Operational throughput of the pipeline stages (not a paper figure, but
+// the numbers a deployment needs): calibration, feature extraction, popular
+// route queries, and end-to-end training cost per trajectory.
+//
+// Run:  ./build/bench/throughput
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench_world.h"
+#include "core/feature_extractor.h"
+#include "traj/calibration.h"
+
+using namespace stmaker;
+using namespace stmaker::bench;
+
+namespace {
+
+struct Fixture {
+  BenchWorld world;
+  std::vector<RawTrajectory> trips;
+  std::vector<CalibratedTrajectory> calibrated;
+  FeatureRegistry registry = FeatureRegistry::BuiltIn();
+  std::unique_ptr<Calibrator> calibrator;
+  std::unique_ptr<FeatureExtractor> extractor;
+
+  Fixture() : world(BuildBenchWorld()) {
+    calibrator = std::make_unique<Calibrator>(world.landmarks.get());
+    extractor = std::make_unique<FeatureExtractor>(
+        &world.city.network, world.landmarks.get(), &registry);
+    Random rng(31);
+    while (trips.size() < 50) {
+      double start = world.generator->SampleStartTimeOfDay(&rng);
+      auto trip = world.generator->GenerateTrip(start, &rng);
+      if (!trip.ok()) continue;
+      auto cal = calibrator->Calibrate(trip->raw);
+      if (!cal.ok()) continue;
+      trips.push_back(trip->raw);
+      calibrated.push_back(std::move(cal).value());
+    }
+  }
+};
+
+Fixture& GetFixture() {
+  static Fixture& fixture = *new Fixture();
+  return fixture;
+}
+
+void BM_Calibrate(benchmark::State& state) {
+  Fixture& fixture = GetFixture();
+  size_t i = 0;
+  for (auto _ : state) {
+    auto result = fixture.calibrator->Calibrate(
+        fixture.trips[i % fixture.trips.size()]);
+    benchmark::DoNotOptimize(result);
+    ++i;
+  }
+}
+
+void BM_ExtractFeatures(benchmark::State& state) {
+  Fixture& fixture = GetFixture();
+  size_t i = 0;
+  for (auto _ : state) {
+    auto result = fixture.extractor->Extract(
+        fixture.calibrated[i % fixture.calibrated.size()]);
+    benchmark::DoNotOptimize(result);
+    ++i;
+  }
+}
+
+void BM_PopularRouteQuery(benchmark::State& state) {
+  Fixture& fixture = GetFixture();
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& symbolic =
+        fixture.calibrated[i % fixture.calibrated.size()].symbolic;
+    auto route = fixture.world.maker->popular_routes().PopularRoute(
+        symbolic.samples.front().landmark, symbolic.samples.back().landmark);
+    benchmark::DoNotOptimize(route);
+    ++i;
+  }
+}
+
+void BM_TrainPerTrajectory(benchmark::State& state) {
+  // Amortized training cost: train a fresh maker on 50 trips per
+  // iteration batch and report time per trajectory.
+  Fixture& fixture = GetFixture();
+  for (auto _ : state) {
+    LandmarkIndex& landmarks = *fixture.world.landmarks;
+    STMaker maker(&fixture.world.city.network, &landmarks,
+                  FeatureRegistry::BuiltIn());
+    Status st = maker.Train(fixture.trips);
+    benchmark::DoNotOptimize(st);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fixture.trips.size()));
+}
+
+BENCHMARK(BM_Calibrate)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ExtractFeatures)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PopularRouteQuery)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TrainPerTrajectory)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

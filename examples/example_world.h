@@ -1,0 +1,70 @@
+#ifndef STMAKER_EXAMPLES_EXAMPLE_WORLD_H_
+#define STMAKER_EXAMPLES_EXAMPLE_WORLD_H_
+
+// Shared setup for the example programs: build a synthetic city, scatter
+// POIs, simulate a historical taxi corpus, and train an STMaker over it.
+// Examples focus on *using* the trained system; this header is the
+// boilerplate they share.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/stmaker.h"
+#include "landmark/poi_generator.h"
+#include "roadnet/map_generator.h"
+#include "traj/generator.h"
+
+namespace stmaker::examples {
+
+struct ExampleWorld {
+  GeneratedMap city;
+  std::unique_ptr<LandmarkIndex> landmarks;
+  std::unique_ptr<TrajectoryGenerator> generator;
+  std::vector<GeneratedTrip> history;
+  std::unique_ptr<STMaker> maker;
+};
+
+/// Builds the world and trains the summarizer. `registry` lets examples
+/// pre-register custom features. Exits the process on failure (examples
+/// only).
+inline ExampleWorld BuildExampleWorld(
+    FeatureRegistry registry = FeatureRegistry::BuiltIn(),
+    size_t history_size = 500, uint64_t seed = 42) {
+  ExampleWorld world;
+  MapGeneratorOptions map_options;
+  map_options.blocks_x = 16;
+  map_options.blocks_y = 16;
+  map_options.seed = seed;
+  world.city = MapGenerator(map_options).Generate();
+
+  PoiGeneratorOptions poi_options;
+  poi_options.num_sites = 300;
+  poi_options.seed = seed + 1;
+  std::vector<RawPoi> pois =
+      PoiGenerator(poi_options).Generate(world.city.network);
+  world.landmarks = std::make_unique<LandmarkIndex>(
+      LandmarkIndex::Build(world.city.network, pois));
+
+  world.generator = std::make_unique<TrajectoryGenerator>(
+      &world.city.network, world.landmarks.get());
+  world.history = world.generator->GenerateCorpus(
+      history_size, /*num_travelers=*/60, /*num_days=*/14, seed + 2);
+
+  world.maker = std::make_unique<STMaker>(
+      &world.city.network, world.landmarks.get(), std::move(registry));
+  std::vector<RawTrajectory> raws;
+  raws.reserve(world.history.size());
+  for (const GeneratedTrip& t : world.history) raws.push_back(t.raw);
+  Status trained = world.maker->Train(raws);
+  if (!trained.ok()) {
+    std::fprintf(stderr, "example world training failed: %s\n",
+                 trained.ToString().c_str());
+    std::exit(1);
+  }
+  return world;
+}
+
+}  // namespace stmaker::examples
+
+#endif  // STMAKER_EXAMPLES_EXAMPLE_WORLD_H_

@@ -1,0 +1,83 @@
+// Quickstart: build a synthetic city, train STMaker on a historical corpus,
+// and summarize one trip at three granularities (the paper's Fig. 6 case
+// study, end to end).
+//
+// Run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/stmaker.h"
+#include "landmark/poi_generator.h"
+#include "roadnet/map_generator.h"
+#include "traj/generator.h"
+
+using namespace stmaker;
+
+int main() {
+  // 1. The substrate: a synthetic city map and its landmark dataset.
+  MapGeneratorOptions map_options;
+  map_options.blocks_x = 16;
+  map_options.blocks_y = 16;
+  map_options.seed = 42;
+  GeneratedMap city = MapGenerator(map_options).Generate();
+  std::printf("city: %zu nodes, %zu edges\n", city.network.NumNodes(),
+              city.network.NumEdges());
+
+  PoiGeneratorOptions poi_options;
+  poi_options.num_sites = 300;
+  std::vector<RawPoi> pois = PoiGenerator(poi_options).Generate(city.network);
+  LandmarkIndex landmarks = LandmarkIndex::Build(city.network, pois);
+  std::printf("landmarks: %zu (POI clusters + turning points)\n",
+              landmarks.size());
+
+  // 2. A historical corpus from the trajectory simulator.
+  TrajectoryGenerator generator(&city.network, &landmarks);
+  std::vector<GeneratedTrip> history =
+      generator.GenerateCorpus(/*count=*/400, /*num_travelers=*/50,
+                               /*num_days=*/7, /*seed=*/2024);
+  std::printf("history: %zu trips\n", history.size());
+
+  // 3. Train the summarizer.
+  STMaker maker(&city.network, &landmarks, FeatureRegistry::BuiltIn());
+  std::vector<RawTrajectory> raw_history;
+  raw_history.reserve(history.size());
+  for (const GeneratedTrip& trip : history) raw_history.push_back(trip.raw);
+  Status trained = maker.Train(raw_history);
+  if (!trained.ok()) {
+    std::fprintf(stderr, "training failed: %s\n",
+                 trained.ToString().c_str());
+    return 1;
+  }
+  std::printf("trained on %zu trajectories, %zu popular-route transitions\n\n",
+              maker.num_trained(), maker.popular_routes().NumTransitions());
+
+  // 4. Summarize a fresh trip at k = 1, 2, 3 (and the optimum).
+  Random rng(7);
+  Result<GeneratedTrip> trip = generator.GenerateTrip(8.5 * 3600.0, &rng);
+  if (!trip.ok()) {
+    std::fprintf(stderr, "trip generation failed: %s\n",
+                 trip.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("trip: %zu GPS fixes, %.1f minutes\n\n",
+              trip->raw.samples.size(), trip->raw.Duration() / 60.0);
+
+  for (int k : {1, 2, 3, 0}) {
+    SummaryOptions options;
+    options.k = k;
+    Result<Summary> summary = maker.Summarize(trip->raw, options);
+    if (!summary.ok()) {
+      std::fprintf(stderr, "summarize failed: %s\n",
+                   summary.status().ToString().c_str());
+      return 1;
+    }
+    if (k == 0) {
+      std::printf("[optimal partition, %zu part(s)]\n",
+                  summary->partitions.size());
+    } else {
+      std::printf("[k = %d]\n", k);
+    }
+    std::printf("%s\n\n", summary->text.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Semantic queries over summaries + trajectory-group summarization — the
+// two open problems the paper names in its conclusion (Sec. IX), built on
+// the library's SummaryIndex and GroupSummarizer.
+//
+// The program summarizes a morning of trips, then answers questions like
+// "which trips conducted a U-turn on the ring highway?" with boolean
+// queries over the summary index, and finally produces one aggregate
+// paragraph for the whole fleet.
+//
+// Run:  ./build/examples/semantic_search
+
+#include <cstdio>
+
+#include "core/group_summarizer.h"
+#include "core/summary_clustering.h"
+#include "core/summary_index.h"
+#include "example_world.h"
+
+using namespace stmaker;
+using stmaker::examples::BuildExampleWorld;
+
+int main() {
+  stmaker::examples::ExampleWorld world = BuildExampleWorld();
+
+  // Summarize a morning of trips into the index.
+  SummaryIndex index;
+  std::vector<RawTrajectory> fleet;
+  Random rng(808);
+  while (index.size() < 80) {
+    double start = rng.Uniform(7.0, 11.0) * 3600.0;
+    Result<GeneratedTrip> trip = world.generator->GenerateTrip(start, &rng);
+    if (!trip.ok()) continue;
+    Result<Summary> summary = world.maker->Summarize(trip->raw);
+    if (!summary.ok()) continue;
+    fleet.push_back(trip->raw);
+    index.Add(std::move(summary).value());
+  }
+  std::printf("indexed %zu summaries\n\n", index.size());
+
+  // --- Query 1: trips that conducted a U-turn. -------------------------------
+  std::vector<SummaryIndex::DocId> uturns =
+      index.WithFeature(kUTurnsFeature);
+  std::printf("Q1: trips with a U-turn — %zu hit(s)\n", uturns.size());
+  for (size_t i = 0; i < uturns.size() && i < 2; ++i) {
+    std::printf("    [%zu] %.120s...\n", uturns[i],
+                index.summary(uturns[i]).text.c_str());
+  }
+
+  // --- Query 2: slow trips that also reported stay points. -------------------
+  std::vector<SummaryIndex::DocId> slow_and_stuck = SummaryIndex::And(
+      index.WithFeature(kSpeedFeature), index.WithFeature(kStayPointsFeature));
+  std::printf("\nQ2: slow trips with stay points — %zu hit(s)\n",
+              slow_and_stuck.size());
+
+  // --- Query 3: anything that mentions the ring highway by name. -------------
+  std::vector<SummaryIndex::DocId> on_ring =
+      index.ContainingText("Ring Highway");
+  std::printf("Q3: summaries mentioning the ring highway — %zu hit(s)\n",
+              on_ring.size());
+  std::vector<SummaryIndex::DocId> ring_uturns =
+      SummaryIndex::And(on_ring, uturns);
+  std::printf("Q3b: ... of which with a U-turn — %zu hit(s)\n",
+              ring_uturns.size());
+
+  // --- Text clustering (Sec. VI-C): group similar trip stories. ---------------
+  std::vector<Summary> corpus;
+  for (SummaryIndex::DocId id = 0; id < index.size(); ++id) {
+    corpus.push_back(index.summary(id));
+  }
+  std::vector<SummaryCluster> clusters = ClusterSummaries(corpus);
+  std::printf("\n--- %zu summaries fall into %zu text clusters ---\n",
+              corpus.size(), clusters.size());
+  size_t shown_clusters = 0;
+  for (const SummaryCluster& cluster : clusters) {
+    if (cluster.members.size() < 3 || shown_clusters >= 2) continue;
+    ++shown_clusters;
+    std::printf("cluster of %zu trips, representative:\n  %.140s...\n",
+                cluster.members.size(),
+                corpus[cluster.representative].text.c_str());
+  }
+
+  // --- The fleet as one paragraph. --------------------------------------------
+  GroupSummarizer group_summarizer(world.maker.get());
+  Result<GroupSummary> group = group_summarizer.Summarize(fleet);
+  if (group.ok()) {
+    std::printf("\n--- fleet summary (%zu trips) ---\n%s\n",
+                group->num_trajectories, group->text.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,29 @@
+#ifndef STMAKER_COMMON_CHECK_H_
+#define STMAKER_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace stmaker::internal_check {
+
+[[noreturn]] inline void CheckFail(const char* file, int line,
+                                   const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace stmaker::internal_check
+
+/// \brief Aborts on programmer error (violated internal invariants).
+/// Recoverable conditions — bad user input, missing data — must use Status
+/// instead; CHECK is for bugs.
+#define STMAKER_CHECK(expr)                                              \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::stmaker::internal_check::CheckFail(__FILE__, __LINE__, #expr);   \
+    }                                                                    \
+  } while (0)
+
+#define STMAKER_DCHECK(expr) STMAKER_CHECK(expr)
+
+#endif  // STMAKER_COMMON_CHECK_H_

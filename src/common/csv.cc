@@ -1,0 +1,135 @@
+#include "common/csv.h"
+
+#include <cstdio>
+
+namespace stmaker {
+
+namespace {
+
+bool NeedsQuoting(const std::string& field) {
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+std::string QuoteField(const std::string& field) {
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Result<CsvWriter> CsvWriter::Open(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  return CsvWriter(f);
+}
+
+CsvWriter::~CsvWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("CSV writer is closed");
+  }
+  std::string line;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) line += ',';
+    line += NeedsQuoting(fields[i]) ? QuoteField(fields[i]) : fields[i];
+  }
+  line += '\n';
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) {
+    return Status::IoError("short write");
+  }
+  return Status::OK();
+}
+
+Status CsvWriter::Close() {
+  if (file_ == nullptr) return Status::OK();
+  int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) return Status::IoError("close failed");
+  return Status::OK();
+}
+
+Result<std::vector<std::vector<std::string>>> ParseCsv(
+    const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        field_started = true;
+        break;
+      case ',':
+        row.push_back(std::move(field));
+        field.clear();
+        field_started = true;
+        break;
+      case '\r':
+        break;  // Tolerate CRLF.
+      case '\n':
+        row.push_back(std::move(field));
+        field.clear();
+        rows.push_back(std::move(row));
+        row.clear();
+        field_started = false;
+        break;
+      default:
+        field += c;
+        field_started = true;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted CSV field");
+  }
+  if (field_started || !field.empty() || !row.empty()) {
+    row.push_back(std::move(field));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Result<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return Status::IoError("cannot open for reading: " + path);
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, n);
+  }
+  std::fclose(f);
+  return ParseCsv(text);
+}
+
+}  // namespace stmaker

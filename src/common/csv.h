@@ -1,0 +1,58 @@
+#ifndef STMAKER_COMMON_CSV_H_
+#define STMAKER_COMMON_CSV_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace stmaker {
+
+/// \brief Minimal CSV writer used to persist generated datasets (trajectory
+/// corpora, landmark tables) and benchmark series. Fields containing commas,
+/// quotes, or newlines are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing, truncating any existing file.
+  static Result<CsvWriter> Open(const std::string& path);
+
+  CsvWriter(CsvWriter&& other) noexcept : file_(other.file_) {
+    other.file_ = nullptr;
+  }
+  CsvWriter& operator=(CsvWriter&& other) noexcept {
+    if (this != &other) {
+      if (file_ != nullptr) std::fclose(file_);
+      file_ = other.file_;
+      other.file_ = nullptr;
+    }
+    return *this;
+  }
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+  ~CsvWriter();
+
+  /// Writes one row; flushes on Close/destruction.
+  Status WriteRow(const std::vector<std::string>& fields);
+
+  /// Flushes and closes the file; further writes fail.
+  Status Close();
+
+ private:
+  explicit CsvWriter(std::FILE* file) : file_(file) {}
+
+  std::FILE* file_;
+};
+
+/// Parses CSV text into rows of fields, honoring RFC 4180 quoting.
+/// The final newline is optional; empty input yields no rows.
+Result<std::vector<std::vector<std::string>>> ParseCsv(
+    const std::string& text);
+
+/// Reads and parses an entire CSV file.
+Result<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path);
+
+}  // namespace stmaker
+
+#endif  // STMAKER_COMMON_CSV_H_

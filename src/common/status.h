@@ -1,0 +1,117 @@
+#ifndef STMAKER_COMMON_STATUS_H_
+#define STMAKER_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace stmaker {
+
+/// Error categories used across the library. The set is deliberately small;
+/// the human-readable message carries the detail.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kIoError,
+};
+
+/// \brief RocksDB-style status object. Library entry points never throw;
+/// recoverable failures are reported through Status / Result<T>.
+///
+/// A default-constructed Status is OK. Statuses are cheap to copy (a code
+/// plus a message string that is empty in the OK case).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Factory helpers, one per category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<category>: <message>" for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief Either a value of type T or an error Status. The value accessors
+/// must only be called after checking ok().
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or an error keeps call sites terse:
+  /// `return value;` or `return Status::InvalidArgument(...)`.
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : data_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  /// Error status; OK() when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(data_);
+  }
+
+  const T& value() const& { return std::get<T>(data_); }
+  T& value() & { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define STMAKER_RETURN_IF_ERROR(expr)                \
+  do {                                               \
+    ::stmaker::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                       \
+  } while (0)
+
+/// Evaluates a Result<T> expression into `lhs`, or propagates its error.
+#define STMAKER_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto STMAKER_CONCAT_(_res, __LINE__) = (expr);     \
+  if (!STMAKER_CONCAT_(_res, __LINE__).ok())         \
+    return STMAKER_CONCAT_(_res, __LINE__).status(); \
+  lhs = std::move(STMAKER_CONCAT_(_res, __LINE__)).value()
+
+#define STMAKER_CONCAT_INNER_(a, b) a##b
+#define STMAKER_CONCAT_(a, b) STMAKER_CONCAT_INNER_(a, b)
+
+}  // namespace stmaker
+
+#endif  // STMAKER_COMMON_STATUS_H_

@@ -1,0 +1,35 @@
+#include "core/corpus_stats.h"
+
+namespace stmaker {
+
+std::vector<double> ComputeFeatureFrequencies(
+    const std::vector<Summary>& summaries, size_t num_features) {
+  std::vector<double> ff(num_features, 0.0);
+  if (summaries.empty()) return ff;
+  for (const Summary& summary : summaries) {
+    for (size_t f = 0; f < num_features; ++f) {
+      if (summary.ContainsFeature(f)) ff[f] += 1.0;
+    }
+  }
+  for (double& v : ff) v /= static_cast<double>(summaries.size());
+  return ff;
+}
+
+std::vector<double> ComputePartitionDescriptionRates(
+    const std::vector<Summary>& summaries, size_t num_features) {
+  std::vector<double> rates(num_features, 0.0);
+  size_t partitions = 0;
+  for (const Summary& summary : summaries) {
+    for (const PartitionSummary& p : summary.partitions) {
+      ++partitions;
+      for (size_t f = 0; f < num_features; ++f) {
+        if (p.ContainsFeature(f)) rates[f] += 1.0;
+      }
+    }
+  }
+  if (partitions == 0) return rates;
+  for (double& v : rates) v /= static_cast<double>(partitions);
+  return rates;
+}
+
+}  // namespace stmaker

@@ -1,0 +1,24 @@
+#ifndef STMAKER_CORE_CORPUS_STATS_H_
+#define STMAKER_CORE_CORPUS_STATS_H_
+
+#include <vector>
+
+#include "core/summary.h"
+
+namespace stmaker {
+
+/// Feature frequency over a summary corpus (Sec. VII-C2):
+/// FF_f = (# summaries containing f) / (# summaries). Returns one value per
+/// feature index in [0, num_features). An empty corpus yields all zeros.
+std::vector<double> ComputeFeatureFrequencies(
+    const std::vector<Summary>& summaries, size_t num_features);
+
+/// Per-partition description rate: the share of partition descriptions
+/// that mention each feature (the statistic behind Fig. 10(b); see
+/// EXPERIMENTS.md). An empty corpus yields all zeros.
+std::vector<double> ComputePartitionDescriptionRates(
+    const std::vector<Summary>& summaries, size_t num_features);
+
+}  // namespace stmaker
+
+#endif  // STMAKER_CORE_CORPUS_STATS_H_

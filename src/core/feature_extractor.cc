@@ -1,0 +1,145 @@
+#include "core/feature_extractor.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.h"
+
+namespace stmaker {
+
+FeatureExtractor::FeatureExtractor(const RoadNetwork* network,
+                                   const LandmarkIndex* landmarks,
+                                   const FeatureRegistry* registry,
+                                   const FeatureExtractorOptions& options)
+    : network_(network),
+      landmarks_(landmarks),
+      registry_(registry),
+      options_(options),
+      matcher_(network, options.matcher) {
+  STMAKER_CHECK(network != nullptr);
+  STMAKER_CHECK(landmarks != nullptr);
+  STMAKER_CHECK(registry != nullptr);
+}
+
+Result<std::vector<SegmentFeatures>> FeatureExtractor::Extract(
+    const CalibratedTrajectory& trajectory) const {
+  const size_t num_segments = trajectory.NumSegments();
+  if (num_segments == 0) {
+    return Status::InvalidArgument(
+        "trajectory has no segments to extract features from");
+  }
+
+  // Whole-trajectory passes, sliced per segment afterwards.
+  std::vector<Vec2> positions;
+  positions.reserve(trajectory.raw.samples.size());
+  for (const RawSample& s : trajectory.raw.samples) {
+    positions.push_back(s.pos);
+  }
+  std::vector<EdgeId> matched = matcher_.Match(positions);
+  std::vector<StayPoint> stays =
+      DetectStayPoints(trajectory.raw, options_.stay);
+  std::vector<UTurn> uturns = DetectUTurns(trajectory.raw, options_.uturn);
+
+  std::vector<SegmentFeatures> out(num_segments);
+  for (size_t seg = 0; seg < num_segments; ++seg) {
+    SegmentFeatures& sf = out[seg];
+    auto [first, last] = trajectory.SegmentSampleRange(seg);
+    auto [t0, t1] = trajectory.SegmentTimeSpan(seg);
+    sf.length_m = trajectory.SegmentLength(seg);
+    sf.duration_s = t1 - t0;
+
+    // --- Routing attributes from the matched edges. -------------------------
+    std::map<RoadGrade, int> grade_votes;
+    std::map<TrafficDirection, int> direction_votes;
+    std::map<std::string, int> name_votes;
+    double width_sum = 0;
+    int width_count = 0;
+    std::vector<EdgeId> segment_edges;
+    for (size_t i = first; i < last && i < matched.size(); ++i) {
+      EdgeId e = matched[i];
+      if (e < 0) continue;
+      const RoadEdge& edge = network_->edge(e);
+      grade_votes[edge.grade]++;
+      direction_votes[edge.direction]++;
+      name_votes[edge.name]++;
+      width_sum += edge.width_m;
+      width_count++;
+      segment_edges.push_back(e);
+    }
+    if (width_count > 0) {
+      auto best = [](const auto& votes) {
+        return std::max_element(votes.begin(), votes.end(),
+                                [](const auto& a, const auto& b) {
+                                  return a.second < b.second;
+                                })
+            ->first;
+      };
+      sf.dominant_grade = best(grade_votes);
+      sf.dominant_direction = best(direction_votes);
+      sf.dominant_road_name = best(name_votes);
+      sf.mean_width_m = width_sum / width_count;
+    }
+
+    // --- Moving attributes. --------------------------------------------------
+    sf.speed_kmh =
+        sf.duration_s > 0 ? sf.length_m / sf.duration_s * 3.6 : 0.0;
+    for (const StayPoint& s : StayPointsInWindow(stays, t0, t1)) {
+      sf.num_stays++;
+      sf.total_stay_s += s.Duration();
+    }
+    for (const UTurn& u : UTurnsInWindow(uturns, t0, t1)) {
+      sf.num_uturns++;
+      LandmarkId near = landmarks_->Nearest(u.pos, 400.0);
+      if (near >= 0) {
+        sf.uturn_places.push_back(landmarks_->landmark(near).name);
+      }
+    }
+
+    // --- Assemble the feature vector in registry order. ---------------------
+    RawTrajectory segment_raw = trajectory.SegmentRaw(seg);
+    std::vector<EdgeId> matched_slice(
+        matched.begin() + std::min(first, matched.size()),
+        matched.begin() + std::min(last, matched.size()));
+    SegmentContext context;
+    context.segment_raw = &segment_raw;
+    context.matched_edges = &matched_slice;
+    context.network = network_;
+    context.segment_length_m = sf.length_m;
+    context.duration_s = sf.duration_s;
+
+    sf.values.resize(registry_->size(), 0.0);
+    for (size_t f = 0; f < registry_->size(); ++f) {
+      const FeatureDef& def = registry_->def(f);
+      if (def.extractor) {
+        sf.values[f] = def.extractor(context);
+        continue;
+      }
+      switch (f) {
+        case kGradeOfRoadFeature:
+          sf.values[f] = static_cast<double>(sf.dominant_grade);
+          break;
+        case kRoadWidthFeature:
+          sf.values[f] = sf.mean_width_m;
+          break;
+        case kTrafficDirectionFeature:
+          sf.values[f] = static_cast<double>(sf.dominant_direction);
+          break;
+        case kSpeedFeature:
+          sf.values[f] = sf.speed_kmh;
+          break;
+        case kStayPointsFeature:
+          sf.values[f] = static_cast<double>(sf.num_stays);
+          break;
+        case kUTurnsFeature:
+          sf.values[f] = static_cast<double>(sf.num_uturns);
+          break;
+        default:
+          return Status::Internal(
+              "built-in feature without native implementation: " + def.id);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace stmaker

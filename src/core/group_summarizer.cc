@@ -1,0 +1,134 @@
+#include "core/group_summarizer.h"
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace stmaker {
+
+GroupSummarizer::GroupSummarizer(const STMaker* maker) : maker_(maker) {
+  STMAKER_CHECK(maker != nullptr);
+}
+
+Result<GroupSummary> GroupSummarizer::Summarize(
+    const std::vector<RawTrajectory>& group,
+    const SummaryOptions& options) const {
+  if (!maker_->trained()) {
+    return Status::FailedPrecondition("STMaker::Train must run first");
+  }
+  if (group.empty()) {
+    return Status::InvalidArgument("trajectory group is empty");
+  }
+
+  GroupSummary out;
+  const size_t num_features = maker_->registry().size();
+  std::vector<Summary> summaries;
+  double speed_weighted = 0;
+  double duration_total = 0;
+  int slower = 0;
+  std::vector<int> routing_counts(num_features, 0);
+
+  for (const RawTrajectory& raw : group) {
+    Result<Summary> summary = maker_->Summarize(raw, options);
+    if (!summary.ok()) {
+      ++out.num_failed;
+      continue;
+    }
+    // Trip speed from the raw geometry (duration-weighted into the group
+    // mean).
+    double dist = 0;
+    for (size_t i = 1; i < raw.samples.size(); ++i) {
+      dist += Distance(raw.samples[i].pos, raw.samples[i - 1].pos);
+    }
+    double dur = raw.Duration();
+    if (dur > 0) {
+      speed_weighted += dist / dur * 3.6 * dur;
+      duration_total += dur;
+    }
+
+    bool trip_slower = false;
+    for (const PartitionSummary& p : summary->partitions) {
+      for (const SelectedFeature& sel : p.selected) {
+        if (sel.feature == kSpeedFeature && sel.value < sel.regular) {
+          trip_slower = true;
+        }
+        if (sel.feature == kStayPointsFeature) {
+          out.total_stay_points += static_cast<int>(sel.value);
+        }
+        if (sel.feature == kUTurnsFeature) {
+          out.total_uturns += static_cast<int>(sel.value);
+        }
+        if (maker_->registry().def(sel.feature).kind ==
+            FeatureKind::kRouting) {
+          routing_counts[sel.feature]++;
+        }
+      }
+    }
+    if (trip_slower) ++slower;
+    summaries.push_back(std::move(summary).value());
+  }
+
+  out.num_trajectories = summaries.size();
+  if (out.num_trajectories == 0) {
+    return Status::NotFound("no trajectory of the group could be summarized");
+  }
+
+  out.feature_frequency.assign(num_features, 0.0);
+  for (const Summary& s : summaries) {
+    for (size_t f = 0; f < num_features; ++f) {
+      if (s.ContainsFeature(f)) out.feature_frequency[f] += 1.0;
+    }
+  }
+  for (double& v : out.feature_frequency) {
+    v /= static_cast<double>(out.num_trajectories);
+  }
+  out.mean_speed_kmh =
+      duration_total > 0 ? speed_weighted / duration_total : 0;
+  out.slower_than_usual_share =
+      static_cast<double>(slower) / static_cast<double>(out.num_trajectories);
+
+  // --- The paragraph. ---------------------------------------------------------
+  std::string text = StrFormat(
+      "Among %zu trips observed, %d moved slower than usual (group average "
+      "%s km/h).",
+      out.num_trajectories, slower,
+      FormatNumber(out.mean_speed_kmh, 1).c_str());
+  if (out.total_stay_points > 0) {
+    text += StrFormat(" Summaries reported %d staying point%s",
+                      out.total_stay_points,
+                      out.total_stay_points == 1 ? "" : "s");
+    if (out.total_uturns > 0) {
+      text += StrFormat(" and %d U-turn%s.", out.total_uturns,
+                        out.total_uturns == 1 ? "" : "s");
+    } else {
+      text += ".";
+    }
+  } else if (out.total_uturns > 0) {
+    text += StrFormat(" Summaries reported %d U-turn%s.", out.total_uturns,
+                      out.total_uturns == 1 ? "" : "s");
+  }
+  // The most frequently unusual route property, if any.
+  size_t best_routing = num_features;
+  for (size_t f = 0; f < num_features; ++f) {
+    if (maker_->registry().def(f).kind != FeatureKind::kRouting) continue;
+    if (routing_counts[f] == 0) continue;
+    if (best_routing == num_features ||
+        routing_counts[f] > routing_counts[best_routing]) {
+      best_routing = f;
+    }
+  }
+  if (best_routing < num_features) {
+    text += StrFormat(
+        " The most frequently unusual route property was %s (%d mentions).",
+        maker_->registry().def(best_routing).display_name.c_str(),
+        routing_counts[best_routing]);
+  }
+  if (out.slower_than_usual_share > 0.5) {
+    text += " Traffic in this window was heavy.";
+  } else if (out.slower_than_usual_share < 0.15) {
+    text += " Traffic in this window was flowing freely.";
+  }
+  out.text = std::move(text);
+  return out;
+}
+
+}  // namespace stmaker

@@ -1,0 +1,55 @@
+#ifndef STMAKER_CORE_GROUP_SUMMARIZER_H_
+#define STMAKER_CORE_GROUP_SUMMARIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/stmaker.h"
+
+namespace stmaker {
+
+/// \brief Aggregate summary of a trajectory group — the first of the
+/// paper's named open problems ("summarization of trajectory group",
+/// Sec. IX).
+///
+/// Captures what a fleet of trips in a region/time window did, both as
+/// structured statistics and as a short generated paragraph.
+struct GroupSummary {
+  size_t num_trajectories = 0;   ///< Trips that summarized successfully.
+  size_t num_failed = 0;         ///< Trips skipped (calibration failures).
+  std::vector<double> feature_frequency;  ///< FF per registry feature.
+  double mean_speed_kmh = 0;     ///< Trip-duration-weighted mean speed.
+  double slower_than_usual_share = 0;  ///< Trips whose summary flags speed
+                                       ///< below the regular value.
+  int total_stay_points = 0;
+  int total_uturns = 0;
+  std::string text;              ///< The generated paragraph.
+};
+
+/// \brief Summarizes sets of trajectories through a trained STMaker.
+///
+/// Each trip is summarized individually; the group text then reports the
+/// dominant collective behaviours the way a traffic bulletin would:
+///
+///   "Among 40 trips, 27 moved slower than usual (average 31 km/h);
+///    12 reported stay points and 3 conducted U-turns. Road grade was the
+///    most frequently unusual route property."
+class GroupSummarizer {
+ public:
+  /// `maker` must be trained and must outlive the group summarizer.
+  explicit GroupSummarizer(const STMaker* maker);
+
+  /// Summarizes the group. Fails when no trip of the group can be
+  /// summarized.
+  Result<GroupSummary> Summarize(const std::vector<RawTrajectory>& group,
+                                 const SummaryOptions& options =
+                                     SummaryOptions()) const;
+
+ private:
+  const STMaker* maker_;
+};
+
+}  // namespace stmaker
+
+#endif  // STMAKER_CORE_GROUP_SUMMARIZER_H_

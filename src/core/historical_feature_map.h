@@ -1,0 +1,94 @@
+#ifndef STMAKER_CORE_HISTORICAL_FEATURE_MAP_H_
+#define STMAKER_CORE_HISTORICAL_FEATURE_MAP_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "landmark/landmark.h"
+
+namespace stmaker {
+
+/// \brief The historical feature map of Sec. V-B: a directed graph over
+/// landmarks whose edge (l_i → l_j) is annotated with the average value of
+/// every feature among historical trajectories travelling from l_i directly
+/// to l_j.
+///
+/// Against these "regular" values the summarizer measures how unusual a
+/// given partition's moving behaviour is. Categorical features are stored as
+/// running averages too; RegularValues() reports them as-is and callers
+/// round to the nearest category when a categorical reading is needed.
+class HistoricalFeatureMap {
+ public:
+  /// `num_features` fixes the annotation dimensionality (|F|).
+  explicit HistoricalFeatureMap(size_t num_features);
+
+  /// Accumulates one historical segment's feature vector on edge
+  /// (from → to). The vector length must equal num_features().
+  void AddSegment(LandmarkId from, LandmarkId to,
+                  const std::vector<double>& feature_values);
+
+  /// Average feature vector of edge (from → to), or nullptr when the
+  /// history has no such transition.
+  const std::vector<double>* RegularValues(LandmarkId from,
+                                           LandmarkId to);
+
+  /// Same, without mutating cache state (const lookup).
+  Result<std::vector<double>> RegularValuesCopy(LandmarkId from,
+                                                LandmarkId to) const;
+
+  /// Global average of feature `f` across every annotated edge — the
+  /// fallback regular value for transitions absent from the history.
+  double GlobalAverage(size_t feature) const;
+
+  size_t num_features() const { return num_features_; }
+  size_t NumEdges() const { return edges_.size(); }
+
+  /// One annotated edge in raw accumulator form, for model persistence.
+  struct EdgeRecord {
+    LandmarkId from;
+    LandmarkId to;
+    std::vector<double> sums;  ///< Per-feature value sums.
+    double count;              ///< Number of accumulated segments.
+  };
+
+  /// All edges in unspecified order (serialization hook).
+  std::vector<EdgeRecord> Edges() const;
+
+  /// Merges a pre-aggregated edge record (deserialization hook). The sums
+  /// length must equal num_features() and count must be positive.
+  void AddAccumulated(LandmarkId from, LandmarkId to,
+                      const std::vector<double>& sums, double count);
+
+ private:
+  struct Key {
+    LandmarkId from;
+    LandmarkId to;
+    bool operator==(const Key& o) const {
+      return from == o.from && to == o.to;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      uint64_t h = static_cast<uint64_t>(k.from) * 0x9e3779b97f4a7c15ULL;
+      h ^= static_cast<uint64_t>(k.to) + (h << 6) + (h >> 2);
+      return static_cast<size_t>(h);
+    }
+  };
+  struct Accumulator {
+    std::vector<double> sum;
+    double count = 0;
+    std::vector<double> average;  // refreshed lazily
+    bool dirty = true;
+  };
+
+  size_t num_features_;
+  std::unordered_map<Key, Accumulator, KeyHash> edges_;
+  std::vector<double> global_sum_;
+  double global_count_ = 0;
+};
+
+}  // namespace stmaker
+
+#endif  // STMAKER_CORE_HISTORICAL_FEATURE_MAP_H_

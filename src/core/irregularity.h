@@ -1,0 +1,81 @@
+#ifndef STMAKER_CORE_IRREGULARITY_H_
+#define STMAKER_CORE_IRREGULARITY_H_
+
+#include <vector>
+
+#include "core/feature.h"
+#include "core/feature_extractor.h"
+#include "core/historical_feature_map.h"
+#include "core/popular_route.h"
+#include "traj/trajectory.h"
+
+namespace stmaker {
+
+/// \brief Edit distance between two feature value sequences (Sec. V-A).
+///
+/// Insertions and deletions cost 1. Substitution costs |a - b| for numeric
+/// features over values normalized by the largest magnitude across *both*
+/// sequences (a shared constant keeps equal raw values equal after
+/// normalization), and 0/1 equality on raw values for categorical features.
+double FeatureSequenceEditDistance(const std::vector<double>& a,
+                                   const std::vector<double>& b,
+                                   FeatureValueType type);
+
+/// \brief Computes per-feature irregular rates Γ_f(TP) for trajectory
+/// partitions (Sec. V).
+///
+/// Routing features compare the partition's per-segment feature sequence
+/// against the popular route's (mined by PopularRouteMiner, annotated by the
+/// historical feature map) via the edit distance above. Moving features
+/// average the per-segment deviation from the historical feature map's
+/// regular values. A partition whose endpoints have no popular route is
+/// maximally irregular in routing (Γ_f = w_f), matching the edit distance
+/// against an empty sequence.
+class IrregularityAnalyzer {
+ public:
+  /// All pointees must outlive the analyzer. `feature_map` is const; regular
+  /// values are fetched through the const lookup.
+  IrregularityAnalyzer(const FeatureRegistry* registry,
+                       const PopularRouteMiner* miner,
+                       const HistoricalFeatureMap* feature_map);
+
+  /// Irregular rates for the partition covering segments
+  /// [seg_begin, seg_end) of `symbolic` (whose per-segment features are
+  /// `segments`, covering the whole trajectory). Returns one rate per
+  /// registry feature.
+  std::vector<double> IrregularRates(
+      const SymbolicTrajectory& symbolic,
+      const std::vector<SegmentFeatures>& segments, size_t seg_begin,
+      size_t seg_end) const;
+
+  /// Mean feature vector along the popular route between the partition's
+  /// endpoints — the "most drivers" baseline used by routing-feature phrases
+  /// ("while most drivers choose ..."). NotFound when no popular route
+  /// exists.
+  Result<std::vector<double>> PopularRouteFeatureMeans(
+      const SymbolicTrajectory& symbolic, size_t seg_begin,
+      size_t seg_end) const;
+
+  /// Per-edge regular feature vectors along the popular route between the
+  /// partition's endpoints ([edge][feature]); lets callers compute modal
+  /// categorical values where a mean would be meaningless.
+  Result<std::vector<std::vector<double>>> PopularRouteFeatureValues(
+      const SymbolicTrajectory& symbolic, size_t seg_begin,
+      size_t seg_end) const;
+
+  /// The regular (historical) value of feature `f` for segment `seg`
+  /// (between symbolic landmarks seg and seg+1), falling back to the global
+  /// average when the transition is absent from the history. Used by phrase
+  /// construction ("... than usual").
+  double RegularValueForSegment(const SymbolicTrajectory& symbolic,
+                                size_t seg, size_t feature) const;
+
+ private:
+  const FeatureRegistry* registry_;
+  const PopularRouteMiner* miner_;
+  const HistoricalFeatureMap* feature_map_;
+};
+
+}  // namespace stmaker
+
+#endif  // STMAKER_CORE_IRREGULARITY_H_

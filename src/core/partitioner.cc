@@ -1,0 +1,104 @@
+#include "core/partitioner.h"
+
+#include <cstdint>
+#include <limits>
+
+namespace stmaker {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+PartitionResult BuildFromCuts(const std::vector<bool>& cut, double score) {
+  PartitionResult out;
+  out.score = score;
+  const size_t n = cut.size() + 1;  // number of segments
+  size_t begin = 0;
+  for (size_t b = 0; b < cut.size(); ++b) {
+    if (cut[b]) {
+      out.partitions.emplace_back(begin, b + 1);
+      begin = b + 1;
+    }
+  }
+  out.partitions.emplace_back(begin, n);
+  return out;
+}
+
+}  // namespace
+
+Result<PartitionResult> Partitioner::Partition(
+    const std::vector<double>& similarities,
+    const std::vector<double>& interior_significance,
+    const PartitionOptions& options) const {
+  if (similarities.size() != interior_significance.size()) {
+    return Status::InvalidArgument(
+        "similarities and significances must have equal length");
+  }
+  if (options.ca <= 0) {
+    return Status::InvalidArgument("C_a must be positive");
+  }
+  const size_t num_boundaries = similarities.size();
+  const size_t n = num_boundaries + 1;  // number of segments
+  if (options.k < 0 || static_cast<size_t>(options.k) > n) {
+    return Status::InvalidArgument(
+        "k must be between 0 (unconstrained) and the number of segments");
+  }
+
+  // --- Unconstrained optimum (Eq. 4): each boundary decides locally. -------
+  if (options.k == 0) {
+    std::vector<bool> cut(num_boundaries, false);
+    double score = 0;
+    for (size_t b = 0; b < num_boundaries; ++b) {
+      double cut_cost = -options.ca * interior_significance[b];
+      double merge_cost = -similarities[b];
+      if (cut_cost < merge_cost) {
+        cut[b] = true;
+        score += cut_cost;
+      } else {
+        score += merge_cost;
+      }
+    }
+    return BuildFromCuts(cut, score);
+  }
+
+  // --- k-partition (Eq. 5 / Algorithm 1) with traceback. --------------------
+  const size_t cuts_needed = static_cast<size_t>(options.k) - 1;
+  // dp[b][j]: best cost over boundaries [0, b) using exactly j cuts.
+  std::vector<std::vector<double>> dp(
+      num_boundaries + 1, std::vector<double>(cuts_needed + 1, kInf));
+  std::vector<std::vector<uint8_t>> choice(
+      num_boundaries + 1, std::vector<uint8_t>(cuts_needed + 1, 0));
+  dp[0][0] = 0;
+  for (size_t b = 1; b <= num_boundaries; ++b) {
+    for (size_t j = 0; j <= cuts_needed; ++j) {
+      double merge = dp[b - 1][j] == kInf
+                         ? kInf
+                         : dp[b - 1][j] - similarities[b - 1];
+      double cut = (j > 0 && dp[b - 1][j - 1] != kInf)
+                       ? dp[b - 1][j - 1] -
+                             options.ca * interior_significance[b - 1]
+                       : kInf;
+      if (cut < merge) {
+        dp[b][j] = cut;
+        choice[b][j] = 1;
+      } else {
+        dp[b][j] = merge;
+        choice[b][j] = 0;
+      }
+    }
+  }
+  if (dp[num_boundaries][cuts_needed] == kInf) {
+    return Status::Internal("k-partition DP has no feasible solution");
+  }
+  std::vector<bool> cut(num_boundaries, false);
+  size_t j = cuts_needed;
+  for (size_t b = num_boundaries; b > 0; --b) {
+    if (choice[b][j] == 1) {
+      cut[b - 1] = true;
+      --j;
+    }
+  }
+  return BuildFromCuts(cut, dp[num_boundaries][cuts_needed]);
+}
+
+}  // namespace stmaker

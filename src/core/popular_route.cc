@@ -1,0 +1,135 @@
+#include "core/popular_route.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace stmaker {
+
+void PopularRouteMiner::AddTrajectory(const SymbolicTrajectory& trajectory) {
+  for (size_t i = 0; i + 1 < trajectory.samples.size(); ++i) {
+    LandmarkId a = trajectory.samples[i].landmark;
+    LandmarkId b = trajectory.samples[i + 1].landmark;
+    if (a == b) continue;
+    AddTransitionCount(a, b, 1.0);
+  }
+}
+
+void PopularRouteMiner::AddTransitionCount(LandmarkId a, LandmarkId b,
+                                           double count) {
+  if (a == b || count <= 0) return;
+  std::vector<OutEdge>& out = graph_[a];
+  for (OutEdge& e : out) {
+    if (e.to == b) {
+      e.count += count;
+      max_count_ = std::max(max_count_, e.count);
+      return;
+    }
+  }
+  out.push_back({b, count});
+  max_count_ = std::max(max_count_, count);
+}
+
+std::vector<PopularRouteMiner::Transition> PopularRouteMiner::Transitions()
+    const {
+  std::vector<Transition> out;
+  out.reserve(NumTransitions());
+  for (const auto& [from, edges] : graph_) {
+    for (const OutEdge& e : edges) {
+      out.push_back({from, e.to, e.count});
+    }
+  }
+  return out;
+}
+
+double PopularRouteMiner::TransitionCount(LandmarkId a, LandmarkId b) const {
+  auto it = graph_.find(a);
+  if (it == graph_.end()) return 0;
+  for (const OutEdge& e : it->second) {
+    if (e.to == b) return e.count;
+  }
+  return 0;
+}
+
+size_t PopularRouteMiner::NumTransitions() const {
+  size_t n = 0;
+  for (const auto& [from, out] : graph_) n += out.size();
+  return n;
+}
+
+Result<std::vector<LandmarkId>> PopularRouteMiner::PopularRoute(
+    LandmarkId from, LandmarkId to) const {
+  // First try the pruned graph (rare transitions dropped); rare "skip"
+  // transitions — artifacts of one trip's anchor set skipping landmarks that
+  // every other trip keeps — otherwise beat whole chains of genuine hops by
+  // virtue of being a single edge. Fall back to the full graph when pruning
+  // disconnects the endpoints.
+  Result<std::vector<LandmarkId>> pruned =
+      PopularRouteImpl(from, to, /*min_count_ratio=*/0.1);
+  if (pruned.ok()) return pruned;
+  return PopularRouteImpl(from, to, /*min_count_ratio=*/0.0);
+}
+
+Result<std::vector<LandmarkId>> PopularRouteMiner::PopularRouteImpl(
+    LandmarkId from, LandmarkId to, double min_count_ratio) const {
+  if (from == to) return std::vector<LandmarkId>{from};
+  if (graph_.find(from) == graph_.end()) {
+    return Status::NotFound("no historical transitions leave the source");
+  }
+  // Dijkstra under cost(a→b) = -log(P(b | a)) with smoothed transfer
+  // probabilities (after Chen et al. [7]):
+  //   P = count(a→b) / (Σ_c count(a→c) + κ),  κ = mean out-degree mass.
+  // Pure counts favour globally busy corridors even where they are locally
+  // improbable; pure conditional probabilities make deserted one-option
+  // chains free. The κ smoothing charges rarely-travelled hops for their
+  // rarity while still preferring the likely continuation at busy landmarks.
+  std::unordered_map<LandmarkId, double> out_total;
+  double total_mass = 0;
+  for (const auto& [from_lm, out] : graph_) {
+    double total = 0;
+    for (const OutEdge& e : out) total += e.count;
+    out_total[from_lm] = total;
+    total_mass += total;
+  }
+  const double kappa =
+      graph_.empty() ? 1.0 : total_mass / static_cast<double>(graph_.size());
+  std::unordered_map<LandmarkId, double> dist;
+  std::unordered_map<LandmarkId, LandmarkId> prev;
+  using QItem = std::pair<double, LandmarkId>;
+  std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
+  dist[from] = 0;
+  pq.push({0.0, from});
+  while (!pq.empty()) {
+    auto [d, u] = pq.top();
+    pq.pop();
+    auto du = dist.find(u);
+    if (du != dist.end() && d > du->second) continue;
+    if (u == to) break;
+    auto it = graph_.find(u);
+    if (it == graph_.end()) continue;
+    double out_max = 0;
+    for (const OutEdge& e : it->second) out_max = std::max(out_max, e.count);
+    for (const OutEdge& e : it->second) {
+      if (e.count < min_count_ratio * out_max) continue;
+      double w = -std::log(e.count / (out_total[u] + kappa));
+      double nd = d + w;
+      auto dv = dist.find(e.to);
+      if (dv == dist.end() || nd < dv->second) {
+        dist[e.to] = nd;
+        prev[e.to] = u;
+        pq.push({nd, e.to});
+      }
+    }
+  }
+  if (dist.find(to) == dist.end()) {
+    return Status::NotFound("destination unreachable in the history graph");
+  }
+  std::vector<LandmarkId> route;
+  for (LandmarkId at = to; at != from; at = prev[at]) route.push_back(at);
+  route.push_back(from);
+  std::reverse(route.begin(), route.end());
+  return route;
+}
+
+}  // namespace stmaker

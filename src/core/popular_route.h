@@ -1,0 +1,68 @@
+#ifndef STMAKER_CORE_POPULAR_ROUTE_H_
+#define STMAKER_CORE_POPULAR_ROUTE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "landmark/landmark.h"
+#include "traj/trajectory.h"
+
+namespace stmaker {
+
+/// \brief Mines the most popular route PR between landmark pairs from
+/// historical symbolic trajectories (Sec. V-A; Chen et al. ICDE'11 [7]).
+///
+/// Historical trajectories contribute landmark-to-landmark transition
+/// counts; the popular route between l_a and l_b is the path through the
+/// transition graph maximizing the product of relative transition
+/// frequencies, computed as a shortest path under -log frequency costs.
+/// Because more-travelled transitions cost less, the result is the route
+/// "most drivers choose".
+class PopularRouteMiner {
+ public:
+  /// Accumulates the transitions of one historical trajectory.
+  void AddTrajectory(const SymbolicTrajectory& trajectory);
+
+  /// Count of direct transitions from `a` to `b` in the history.
+  double TransitionCount(LandmarkId a, LandmarkId b) const;
+
+  /// The popular route from `from` to `to` as a landmark sequence
+  /// (inclusive of both endpoints). NotFound when the history contains no
+  /// connecting transitions.
+  Result<std::vector<LandmarkId>> PopularRoute(LandmarkId from,
+                                               LandmarkId to) const;
+
+  size_t NumTransitions() const;
+
+  /// One mined transition, for model persistence.
+  struct Transition {
+    LandmarkId from;
+    LandmarkId to;
+    double count;
+  };
+
+  /// All transitions in unspecified order (serialization hook).
+  std::vector<Transition> Transitions() const;
+
+  /// Adds `count` pre-aggregated transitions from `a` to `b`
+  /// (deserialization hook; also usable to merge mined models).
+  void AddTransitionCount(LandmarkId a, LandmarkId b, double count);
+
+ private:
+  struct OutEdge {
+    LandmarkId to;
+    double count;
+  };
+
+  /// Dijkstra over the transition graph, considering only out-edges whose
+  /// count is at least `min_count_ratio` of the landmark's busiest out-edge.
+  Result<std::vector<LandmarkId>> PopularRouteImpl(
+      LandmarkId from, LandmarkId to, double min_count_ratio) const;
+  std::unordered_map<LandmarkId, std::vector<OutEdge>> graph_;
+  double max_count_ = 0;
+};
+
+}  // namespace stmaker
+
+#endif  // STMAKER_CORE_POPULAR_ROUTE_H_

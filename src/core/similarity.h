@@ -1,0 +1,27 @@
+#ifndef STMAKER_CORE_SIMILARITY_H_
+#define STMAKER_CORE_SIMILARITY_H_
+
+#include <vector>
+
+#include "core/feature_extractor.h"
+
+namespace stmaker {
+
+/// Normalizes each feature dimension to [0, 1] across the segments of one
+/// trajectory (Sec. IV-B): the normalizing constant of feature f is the
+/// largest |value| of f among all segments of T; an all-zero dimension stays
+/// zero. Returns one normalized vector per segment.
+std::vector<std::vector<double>> NormalizeSegmentFeatures(
+    const std::vector<SegmentFeatures>& segments);
+
+/// Weighted cosine similarity mapped to [0, 1] (Eq. 3):
+/// S = ½(cos_w(u, v) + 1). Conventions for degenerate inputs: two zero
+/// vectors are identical (S = 1); exactly one zero vector gives cos = 0
+/// (S = ½). Weights must be non-negative and |u| = |v| = |w|.
+double SegmentSimilarity(const std::vector<double>& u,
+                         const std::vector<double>& v,
+                         const std::vector<double>& weights);
+
+}  // namespace stmaker
+
+#endif  // STMAKER_CORE_SIMILARITY_H_

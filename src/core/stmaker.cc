@@ -1,0 +1,367 @@
+#include "core/stmaker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/strings.h"
+#include "core/similarity.h"
+#include "landmark/significance.h"
+#include "text/phrases.h"
+#include "text/template_engine.h"
+
+namespace stmaker {
+
+STMaker::STMaker(const RoadNetwork* network, LandmarkIndex* landmarks,
+                 FeatureRegistry registry, const STMakerOptions& options)
+    : network_(network),
+      landmarks_(landmarks),
+      registry_(std::move(registry)),
+      options_(options),
+      calibrator_(landmarks, options.calibration) {
+  STMAKER_CHECK(network != nullptr);
+  STMAKER_CHECK(landmarks != nullptr);
+  extractor_ = std::make_unique<FeatureExtractor>(
+      network_, landmarks_, &registry_, options_.extraction);
+}
+
+Result<CalibratedTrajectory> STMaker::Calibrate(
+    const RawTrajectory& raw) const {
+  return calibrator_.Calibrate(raw);
+}
+
+size_t STMaker::IngestCorpus(const std::vector<RawTrajectory>& history) {
+  size_t ingested = 0;
+  for (const RawTrajectory& raw : history) {
+    Result<CalibratedTrajectory> calibrated = calibrator_.Calibrate(raw);
+    if (!calibrated.ok()) continue;
+    Result<std::vector<SegmentFeatures>> features =
+        extractor_->Extract(*calibrated);
+    if (!features.ok()) continue;
+
+    const SymbolicTrajectory& symbolic = calibrated->symbolic;
+    miner_.AddTrajectory(symbolic);
+    for (size_t s = 0; s + 1 < symbolic.samples.size(); ++s) {
+      feature_map_->AddSegment(symbolic.samples[s].landmark,
+                               symbolic.samples[s + 1].landmark,
+                               (*features)[s].values);
+    }
+
+    // Record visits for HITS significance. Anonymous trajectories get a
+    // fresh traveller id so they still contribute hub mass without
+    // conflating distinct vehicles.
+    int64_t key = raw.traveler >= 0 ? raw.traveler
+                                    : -(++anonymous_counter_);
+    auto [it, inserted] = traveler_ids_.emplace(
+        key, static_cast<int64_t>(traveler_ids_.size()));
+    (void)inserted;
+    for (const SymbolicSample& s : symbolic.samples) {
+      significance_model_->AddVisit(it->second, s.landmark);
+    }
+    ++ingested;
+    ++num_trained_;
+  }
+  return ingested;
+}
+
+Status STMaker::Train(const std::vector<RawTrajectory>& history) {
+  feature_map_ = std::make_unique<HistoricalFeatureMap>(registry_.size());
+  miner_ = PopularRouteMiner();
+  significance_model_ =
+      std::make_unique<SignificanceModel>(0, landmarks_->size());
+  traveler_ids_.clear();
+  anonymous_counter_ = 0;
+  num_trained_ = 0;
+  analyzer_.reset();
+
+  IngestCorpus(history);
+
+  if (num_trained_ < 2) {
+    feature_map_.reset();
+    significance_model_.reset();
+    return Status::FailedPrecondition(
+        "training corpus yielded fewer than two calibrated trajectories");
+  }
+  significance_model_->Apply(landmarks_, options_.significance_iterations);
+  analyzer_ = std::make_unique<IrregularityAnalyzer>(&registry_, &miner_,
+                                                     feature_map_.get());
+  return Status::OK();
+}
+
+Status STMaker::TrainIncremental(
+    const std::vector<RawTrajectory>& history) {
+  if (analyzer_ == nullptr || significance_model_ == nullptr) {
+    return Status::FailedPrecondition(
+        "TrainIncremental requires a prior Train() (a model restored with "
+        "LoadModel cannot accumulate: it has no visit corpus)");
+  }
+  IngestCorpus(history);
+  significance_model_->Apply(landmarks_, options_.significance_iterations);
+  return Status::OK();
+}
+
+namespace {
+
+/// Length-weighted modal value over a partition's segments.
+template <typename T, typename Getter>
+T LengthWeightedMode(const std::vector<SegmentFeatures>& segments,
+                     size_t begin, size_t end, Getter getter) {
+  std::map<T, double> mass;
+  for (size_t s = begin; s < end; ++s) {
+    mass[getter(segments[s])] += segments[s].length_m;
+  }
+  T best{};
+  double best_mass = -1;
+  for (const auto& [value, m] : mass) {
+    if (m > best_mass) {
+      best_mass = m;
+      best = value;
+    }
+  }
+  return best;
+}
+
+RoadGrade GradeFromAverage(double avg) {
+  int g = static_cast<int>(std::lround(avg));
+  g = std::clamp(g, 1, 7);
+  return static_cast<RoadGrade>(g);
+}
+
+TrafficDirection DirectionFromAverage(double avg) {
+  return avg >= 1.5 ? TrafficDirection::kOneWay : TrafficDirection::kTwoWay;
+}
+
+}  // namespace
+
+Result<Summary> STMaker::Summarize(const RawTrajectory& raw,
+                                   const SummaryOptions& options) const {
+  if (analyzer_ == nullptr) {
+    return Status::FailedPrecondition("STMaker::Train must run first");
+  }
+  if (options.eta < 0) {
+    return Status::InvalidArgument("eta must be non-negative");
+  }
+
+  // Step 1: rewrite into a symbolic trajectory.
+  STMAKER_ASSIGN_OR_RETURN(CalibratedTrajectory calibrated,
+                           calibrator_.Calibrate(raw));
+  const SymbolicTrajectory& symbolic = calibrated.symbolic;
+  const size_t num_segments = symbolic.NumSegments();
+  STMAKER_CHECK(num_segments >= 1);
+
+  // Step 2: features per segment, normalized over this trajectory.
+  STMAKER_ASSIGN_OR_RETURN(std::vector<SegmentFeatures> features,
+                           extractor_->Extract(calibrated));
+  std::vector<std::vector<double>> normalized =
+      NormalizeSegmentFeatures(features);
+  std::vector<double> weights = registry_.Weights();
+
+  // Step 3: partition (CRF MAP via DP).
+  std::vector<double> similarities;
+  std::vector<double> significance;
+  for (size_t i = 0; i + 1 < num_segments; ++i) {
+    similarities.push_back(
+        SegmentSimilarity(normalized[i], normalized[i + 1], weights));
+    significance.push_back(
+        landmarks_->landmark(symbolic.samples[i + 1].landmark).significance);
+  }
+  PartitionOptions popt;
+  popt.ca = options.ca;
+  popt.k = std::min<int>(options.k, static_cast<int>(num_segments));
+  STMAKER_ASSIGN_OR_RETURN(
+      PartitionResult partition,
+      partitioner_.Partition(similarities, significance, popt));
+
+  // Steps 4+5: per-partition feature selection and phrase construction.
+  Summary summary;
+  summary.symbolic = symbolic;
+  std::vector<std::string> sentences;
+  for (size_t p = 0; p < partition.partitions.size(); ++p) {
+    auto [begin, end] = partition.partitions[p];
+    PartitionSummary ps;
+    ps.seg_begin = begin;
+    ps.seg_end = end;
+    ps.source = symbolic.samples[begin].landmark;
+    ps.destination = symbolic.samples[end].landmark;
+    ps.source_name = landmarks_->landmark(ps.source).name;
+    ps.destination_name = landmarks_->landmark(ps.destination).name;
+    ps.irregular_rates =
+        analyzer_->IrregularRates(symbolic, features, begin, end);
+
+    // Partition-level aggregates used by the phrases.
+    double total_len = 0;
+    double total_dur = 0;
+    double width_sum = 0;
+    int stay_count = 0;
+    double stay_total_s = 0;
+    int uturn_count = 0;
+    std::vector<std::string> uturn_places;
+    for (size_t s = begin; s < end; ++s) {
+      const SegmentFeatures& sf = features[s];
+      total_len += sf.length_m;
+      total_dur += sf.duration_s;
+      width_sum += sf.mean_width_m * sf.length_m;
+      stay_count += sf.num_stays;
+      stay_total_s += sf.total_stay_s;
+      uturn_count += sf.num_uturns;
+      for (const std::string& place : sf.uturn_places) {
+        if (std::find(uturn_places.begin(), uturn_places.end(), place) ==
+            uturn_places.end()) {
+          uturn_places.push_back(place);
+        }
+      }
+    }
+    RoadGrade modal_grade = LengthWeightedMode<RoadGrade>(
+        features, begin, end,
+        [](const SegmentFeatures& sf) { return sf.dominant_grade; });
+    TrafficDirection modal_direction = LengthWeightedMode<TrafficDirection>(
+        features, begin, end,
+        [](const SegmentFeatures& sf) { return sf.dominant_direction; });
+    std::string modal_road = LengthWeightedMode<std::string>(
+        features, begin, end,
+        [](const SegmentFeatures& sf) { return sf.dominant_road_name; });
+    double mean_width = total_len > 0 ? width_sum / total_len : 0;
+    double speed_kmh = total_dur > 0 ? total_len / total_dur * 3.6 : 0;
+
+    auto regular_mean = [&](size_t f) {
+      double sum = 0;
+      for (size_t s = begin; s < end; ++s) {
+        sum += analyzer_->RegularValueForSegment(symbolic, s, f);
+      }
+      return sum / static_cast<double>(end - begin);
+    };
+    // Routing-feature phrases compare against what "most drivers" do — the
+    // popular route's attributes — not this trip's own edges (whose history
+    // would trivially match the trip). Categorical features take the modal
+    // value along the popular route; numeric ones the mean. Falls back to
+    // the per-segment regulars when the endpoints have no popular route.
+    Result<std::vector<std::vector<double>>> pr_values =
+        analyzer_->PopularRouteFeatureValues(symbolic, begin, end);
+    auto routing_regular = [&](size_t f) {
+      if (!pr_values.ok()) return regular_mean(f);
+      if (registry_.def(f).value_type == FeatureValueType::kCategorical) {
+        std::map<long, int> votes;
+        for (const std::vector<double>& v : pr_values.value()) {
+          votes[std::lround(v[f])]++;
+        }
+        long best = 0;
+        int best_votes = -1;
+        for (const auto& [value, n] : votes) {
+          if (n > best_votes) {
+            best_votes = n;
+            best = value;
+          }
+        }
+        return static_cast<double>(best);
+      }
+      double sum = 0;
+      for (const std::vector<double>& v : pr_values.value()) sum += v[f];
+      return sum / static_cast<double>(pr_values.value().size());
+    };
+
+    // Select features whose irregular rate exceeds η, in registry order.
+    for (size_t f = 0; f < registry_.size(); ++f) {
+      if (ps.irregular_rates[f] <= options.eta) continue;
+      const FeatureDef& def = registry_.def(f);
+      SelectedFeature sel;
+      sel.feature = f;
+      sel.irregular_rate = ps.irregular_rates[f];
+      switch (f) {
+        case kGradeOfRoadFeature: {
+          RoadGrade regular = GradeFromAverage(
+              routing_regular(kGradeOfRoadFeature));
+          // The sequence-level irregularity can exceed η while the modal
+          // grades coincide; a "highway while most choose highway" phrase
+          // would be vacuous, so only speak when the categories differ.
+          if (regular == modal_grade) continue;
+          sel.value = static_cast<double>(modal_grade);
+          sel.regular = static_cast<double>(regular);
+          sel.phrase = GradeOfRoadPhrase(RoadGradeName(modal_grade),
+                                         modal_road, RoadGradeName(regular));
+          break;
+        }
+        case kRoadWidthFeature: {
+          double regular = routing_regular(kRoadWidthFeature);
+          // A "wider/narrower than most" claim needs a perceptible gap.
+          if (regular <= 0 ||
+              std::fabs(mean_width - regular) / regular < 0.1) {
+            continue;
+          }
+          sel.value = mean_width;
+          sel.regular = regular;
+          sel.phrase = RoadWidthPhrase(mean_width, regular);
+          break;
+        }
+        case kTrafficDirectionFeature: {
+          TrafficDirection regular = DirectionFromAverage(
+              routing_regular(kTrafficDirectionFeature));
+          if (regular == modal_direction) continue;  // vacuous phrase
+          sel.value = static_cast<double>(modal_direction);
+          sel.regular = static_cast<double>(regular);
+          sel.phrase = TrafficDirectionPhrase(
+              TrafficDirectionName(modal_direction),
+              TrafficDirectionName(regular));
+          break;
+        }
+        case kSpeedFeature:
+          sel.value = speed_kmh;
+          sel.regular = regular_mean(kSpeedFeature);
+          sel.phrase = SpeedPhrase(speed_kmh, sel.regular);
+          break;
+        case kStayPointsFeature:
+          if (stay_count == 0) continue;  // nothing concrete to report
+          sel.value = stay_count;
+          sel.regular = regular_mean(kStayPointsFeature);
+          sel.phrase = StayPointsPhrase(stay_count, stay_total_s);
+          break;
+        case kUTurnsFeature:
+          if (uturn_count == 0) continue;
+          sel.value = uturn_count;
+          sel.regular = regular_mean(kUTurnsFeature);
+          sel.phrase = UTurnsPhrase(uturn_count, uturn_places);
+          break;
+        default: {
+          // User-registered feature: mean value vs. regular mean through its
+          // phrase template (or a generic one).
+          double value = 0;
+          for (size_t s = begin; s < end; ++s) value += features[s].values[f];
+          value /= static_cast<double>(end - begin);
+          sel.value = value;
+          sel.regular = regular_mean(f);
+          TemplateValues tv{{"value", FormatNumber(value, 1)},
+                            {"regular", FormatNumber(sel.regular, 1)}};
+          const std::string tmpl =
+              def.phrase_template.empty()
+                  ? "with " + def.display_name +
+                        " of {value} while {regular} is usual"
+                  : def.phrase_template;
+          Result<std::string> rendered = RenderTemplate(tmpl, tv);
+          if (!rendered.ok()) return rendered.status();
+          sel.phrase = std::move(rendered).value();
+        }
+      }
+      ps.selected.push_back(std::move(sel));
+    }
+
+    // Table VI sentence. The road type is mentioned unless the grade phrase
+    // already covers it.
+    std::vector<std::string> phrases;
+    for (const SelectedFeature& sel : ps.selected) {
+      phrases.push_back(sel.phrase);
+    }
+    std::string road_type = ps.ContainsFeature(kGradeOfRoadFeature)
+                                ? ""
+                                : RoadGradeName(modal_grade);
+    ps.sentence = PartitionSentence(p == 0, ps.source_name,
+                                    ps.destination_name, road_type, phrases);
+    sentences.push_back(ps.sentence);
+    summary.partitions.push_back(std::move(ps));
+  }
+
+  summary.text = Join(sentences, " ");
+  return summary;
+}
+
+}  // namespace stmaker

@@ -1,0 +1,140 @@
+#ifndef STMAKER_CORE_STMAKER_H_
+#define STMAKER_CORE_STMAKER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/feature.h"
+#include "core/feature_extractor.h"
+#include "core/historical_feature_map.h"
+#include "core/irregularity.h"
+#include "core/partitioner.h"
+#include "core/popular_route.h"
+#include "core/summary.h"
+#include "landmark/landmark_index.h"
+#include "landmark/significance.h"
+#include "roadnet/road_network.h"
+#include "traj/calibration.h"
+
+namespace stmaker {
+
+/// Per-summary knobs (Sec. VII-B: feature weights 1, irregular threshold
+/// η = 0.2).
+struct SummaryOptions {
+  /// Number of partitions; 0 requests the unconstrained global optimum
+  /// (Sec. IV-C). Values larger than the number of segments are clamped.
+  int k = 0;
+  /// Landmark-significance weight C_a in the potential (Eq. 2). Note: with
+  /// Eq. 3 similarities bounded in [0.5, 1] for non-negative feature
+  /// vectors, a boundary cuts only when C_a · l.s exceeds the similarity, so
+  /// the paper's stated C_a = 0.5 can never produce a cut (l.s <= 1). We
+  /// default to 1.6 so the unconstrained optimum splits at genuinely
+  /// significant landmarks; see EXPERIMENTS.md.
+  double ca = 1.6;
+  double eta = 0.2;  ///< Irregular-rate selection threshold η.
+};
+
+/// System-level configuration fixed at construction.
+struct STMakerOptions {
+  CalibrationOptions calibration;
+  FeatureExtractorOptions extraction;
+  int significance_iterations = 40;  ///< HITS iterations during Train().
+};
+
+/// \brief The STMaker system: end-to-end trajectory summarization
+/// (Fig. 3's four steps behind one facade).
+///
+/// Usage:
+///   1. Construct over a road network, a landmark index, and a feature
+///      registry. Register custom features and adjust weights through
+///      registry() *before* Train().
+///   2. Train() on a historical trajectory corpus. This mines popular
+///      routes, builds the historical feature map, and computes landmark
+///      significance (HITS over the corpus's landmark visits), writing the
+///      scores into the landmark index.
+///   3. Summarize() any raw trajectory.
+///
+/// Feature *weights* may be changed between Summarize() calls; the feature
+/// *set* is fixed once Train() has run.
+class STMaker {
+ public:
+  /// `network` and `landmarks` must outlive the STMaker; `landmarks` is
+  /// mutated by Train() (significance installation).
+  STMaker(const RoadNetwork* network, LandmarkIndex* landmarks,
+          FeatureRegistry registry,
+          const STMakerOptions& options = STMakerOptions());
+
+  /// Mutable registry for weight tuning (any time) and custom feature
+  /// registration (before Train only).
+  FeatureRegistry& registry() { return registry_; }
+  const FeatureRegistry& registry() const { return registry_; }
+
+  /// Builds the historical knowledge from a corpus of raw trajectories.
+  /// Trajectories that fail calibration are skipped; Train fails only when
+  /// fewer than two trajectories survive. Replaces any previous training.
+  Status Train(const std::vector<RawTrajectory>& history);
+
+  /// Folds additional trajectories into an already-trained model: popular
+  /// routes and the historical feature map accumulate, and landmark
+  /// significance is recomputed over the combined visit corpus. Requires a
+  /// prior successful Train(); note it does not compose with LoadModel()
+  /// (the persisted model does not carry the raw visit corpus).
+  Status TrainIncremental(const std::vector<RawTrajectory>& history);
+
+  bool trained() const { return analyzer_ != nullptr; }
+  size_t num_trained() const { return num_trained_; }
+
+  /// Summarizes one raw trajectory (requires Train() first).
+  Result<Summary> Summarize(const RawTrajectory& raw,
+                            const SummaryOptions& options =
+                                SummaryOptions()) const;
+
+  /// Persists the trained knowledge — popular-route transitions, the
+  /// historical feature map, and landmark significances — as CSV files
+  /// under `prefix` (train once, serve many). Requires Train() first.
+  Status SaveModel(const std::string& prefix) const;
+
+  /// Restores a model written by SaveModel against the same landmark index
+  /// and a registry with the same feature set, leaving the STMaker ready to
+  /// Summarize without re-training. Fails (and leaves the maker untrained)
+  /// on feature-set mismatch or malformed files.
+  Status LoadModel(const std::string& prefix);
+
+  /// Calibration entry point, exposed for tests and tooling.
+  Result<CalibratedTrajectory> Calibrate(const RawTrajectory& raw) const;
+
+  const PopularRouteMiner& popular_routes() const { return miner_; }
+  const HistoricalFeatureMap* feature_map() const {
+    return feature_map_.get();
+  }
+  const LandmarkIndex& landmarks() const { return *landmarks_; }
+
+ private:
+  /// Calibrates and mines every trajectory of `history` into the current
+  /// accumulators (miner, feature map, visit corpus). Returns the number of
+  /// trajectories that survived calibration.
+  size_t IngestCorpus(const std::vector<RawTrajectory>& history);
+
+  const RoadNetwork* network_;
+  LandmarkIndex* landmarks_;
+  FeatureRegistry registry_;
+  STMakerOptions options_;
+  Calibrator calibrator_;
+  std::unique_ptr<FeatureExtractor> extractor_;
+  Partitioner partitioner_;
+  PopularRouteMiner miner_;
+  std::unique_ptr<HistoricalFeatureMap> feature_map_;
+  std::unique_ptr<IrregularityAnalyzer> analyzer_;
+  std::unique_ptr<SignificanceModel> significance_model_;
+  std::unordered_map<int64_t, int64_t> traveler_ids_;
+  int64_t anonymous_counter_ = 0;
+  size_t num_trained_ = 0;
+};
+
+}  // namespace stmaker
+
+#endif  // STMAKER_CORE_STMAKER_H_

@@ -1,0 +1,227 @@
+// Model persistence for STMaker (SaveModel/LoadModel): the mined
+// popular-route transitions, the historical feature map in accumulator
+// form, the landmark significances, and a small metadata file that pins the
+// feature set. See stmaker.h for the contract.
+
+#include <cstdlib>
+
+#include "common/csv.h"
+#include "common/strings.h"
+#include "core/stmaker.h"
+
+namespace stmaker {
+
+namespace {
+
+Result<double> ParseDouble(const std::string& field) {
+  char* end = nullptr;
+  double v = std::strtod(field.c_str(), &end);
+  if (end == field.c_str() || *end != '\0') {
+    return Status::InvalidArgument("not a number: '" + field + "'");
+  }
+  return v;
+}
+
+Result<int64_t> ParseInt(const std::string& field) {
+  char* end = nullptr;
+  long long v = std::strtoll(field.c_str(), &end, 10);
+  if (end == field.c_str() || *end != '\0') {
+    return Status::InvalidArgument("not an integer: '" + field + "'");
+  }
+  return static_cast<int64_t>(v);
+}
+
+}  // namespace
+
+Status STMaker::SaveModel(const std::string& prefix) const {
+  if (analyzer_ == nullptr) {
+    return Status::FailedPrecondition("SaveModel requires a trained model");
+  }
+  // --- Metadata: the feature set this model was mined with. -----------------
+  {
+    STMAKER_ASSIGN_OR_RETURN(CsvWriter writer,
+                             CsvWriter::Open(prefix + "_meta.csv"));
+    STMAKER_RETURN_IF_ERROR(writer.WriteRow({"key", "value"}));
+    STMAKER_RETURN_IF_ERROR(
+        writer.WriteRow({"num_trained", std::to_string(num_trained_)}));
+    std::vector<std::string> feature_ids;
+    for (const FeatureDef& def : registry_.defs()) {
+      feature_ids.push_back(def.id);
+    }
+    STMAKER_RETURN_IF_ERROR(
+        writer.WriteRow({"features", Join(feature_ids, ";")}));
+    STMAKER_RETURN_IF_ERROR(writer.Close());
+  }
+  // --- Popular-route transitions. --------------------------------------------
+  {
+    STMAKER_ASSIGN_OR_RETURN(CsvWriter writer,
+                             CsvWriter::Open(prefix + "_transitions.csv"));
+    STMAKER_RETURN_IF_ERROR(writer.WriteRow({"from", "to", "count"}));
+    for (const PopularRouteMiner::Transition& t : miner_.Transitions()) {
+      STMAKER_RETURN_IF_ERROR(writer.WriteRow(
+          {std::to_string(t.from), std::to_string(t.to),
+           StrFormat("%.6f", t.count)}));
+    }
+    STMAKER_RETURN_IF_ERROR(writer.Close());
+  }
+  // --- Historical feature map (accumulator form). -----------------------------
+  {
+    STMAKER_ASSIGN_OR_RETURN(CsvWriter writer,
+                             CsvWriter::Open(prefix + "_feature_map.csv"));
+    std::vector<std::string> header = {"from", "to", "count"};
+    for (const FeatureDef& def : registry_.defs()) {
+      header.push_back("sum_" + def.id);
+    }
+    STMAKER_RETURN_IF_ERROR(writer.WriteRow(header));
+    for (const HistoricalFeatureMap::EdgeRecord& e : feature_map_->Edges()) {
+      std::vector<std::string> row = {std::to_string(e.from),
+                                      std::to_string(e.to),
+                                      StrFormat("%.6f", e.count)};
+      for (double s : e.sums) row.push_back(StrFormat("%.9g", s));
+      STMAKER_RETURN_IF_ERROR(writer.WriteRow(row));
+    }
+    STMAKER_RETURN_IF_ERROR(writer.Close());
+  }
+  // --- Landmark significances. -------------------------------------------------
+  {
+    STMAKER_ASSIGN_OR_RETURN(CsvWriter writer,
+                             CsvWriter::Open(prefix + "_significance.csv"));
+    STMAKER_RETURN_IF_ERROR(writer.WriteRow({"landmark", "significance"}));
+    for (const Landmark& lm : landmarks_->landmarks()) {
+      if (lm.significance == 0) continue;  // sparse
+      STMAKER_RETURN_IF_ERROR(writer.WriteRow(
+          {std::to_string(lm.id), StrFormat("%.9g", lm.significance)}));
+    }
+    STMAKER_RETURN_IF_ERROR(writer.Close());
+  }
+  return Status::OK();
+}
+
+Status STMaker::LoadModel(const std::string& prefix) {
+  // Reset trained state; on any failure the maker stays untrained. A
+  // restored model has no visit corpus, so the significance model is
+  // dropped (TrainIncremental documents that it needs a live Train()).
+  analyzer_.reset();
+  feature_map_.reset();
+  miner_ = PopularRouteMiner();
+  significance_model_.reset();
+  traveler_ids_.clear();
+  anonymous_counter_ = 0;
+  num_trained_ = 0;
+
+  // --- Metadata: feature-set compatibility. -----------------------------------
+  {
+    STMAKER_ASSIGN_OR_RETURN(auto rows, ReadCsvFile(prefix + "_meta.csv"));
+    if (rows.empty() || rows[0] != std::vector<std::string>{"key", "value"}) {
+      return Status::InvalidArgument("bad model meta header");
+    }
+    size_t num_trained = 0;
+    std::string features;
+    for (size_t r = 1; r < rows.size(); ++r) {
+      if (rows[r].size() != 2) {
+        return Status::InvalidArgument("bad model meta row");
+      }
+      if (rows[r][0] == "num_trained") {
+        STMAKER_ASSIGN_OR_RETURN(int64_t n, ParseInt(rows[r][1]));
+        num_trained = static_cast<size_t>(n);
+      } else if (rows[r][0] == "features") {
+        features = rows[r][1];
+      }
+    }
+    std::vector<std::string> feature_ids;
+    for (const FeatureDef& def : registry_.defs()) {
+      feature_ids.push_back(def.id);
+    }
+    if (features != Join(feature_ids, ";")) {
+      return Status::FailedPrecondition(
+          "model was mined with a different feature set: " + features);
+    }
+    num_trained_ = num_trained;
+  }
+
+  // --- Transitions. -------------------------------------------------------------
+  {
+    STMAKER_ASSIGN_OR_RETURN(auto rows,
+                             ReadCsvFile(prefix + "_transitions.csv"));
+    if (rows.empty() ||
+        rows[0] != std::vector<std::string>{"from", "to", "count"}) {
+      num_trained_ = 0;
+      return Status::InvalidArgument("bad transitions header");
+    }
+    for (size_t r = 1; r < rows.size(); ++r) {
+      if (rows[r].size() != 3) {
+        num_trained_ = 0;
+        return Status::InvalidArgument("bad transitions row");
+      }
+      STMAKER_ASSIGN_OR_RETURN(int64_t from, ParseInt(rows[r][0]));
+      STMAKER_ASSIGN_OR_RETURN(int64_t to, ParseInt(rows[r][1]));
+      STMAKER_ASSIGN_OR_RETURN(double count, ParseDouble(rows[r][2]));
+      miner_.AddTransitionCount(from, to, count);
+    }
+  }
+
+  // --- Feature map. ---------------------------------------------------------------
+  {
+    STMAKER_ASSIGN_OR_RETURN(auto rows,
+                             ReadCsvFile(prefix + "_feature_map.csv"));
+    const size_t want_fields = 3 + registry_.size();
+    if (rows.empty() || rows[0].size() != want_fields) {
+      num_trained_ = 0;
+      return Status::InvalidArgument("bad feature map header");
+    }
+    auto map = std::make_unique<HistoricalFeatureMap>(registry_.size());
+    for (size_t r = 1; r < rows.size(); ++r) {
+      if (rows[r].size() != want_fields) {
+        num_trained_ = 0;
+        return Status::InvalidArgument("bad feature map row");
+      }
+      STMAKER_ASSIGN_OR_RETURN(int64_t from, ParseInt(rows[r][0]));
+      STMAKER_ASSIGN_OR_RETURN(int64_t to, ParseInt(rows[r][1]));
+      STMAKER_ASSIGN_OR_RETURN(double count, ParseDouble(rows[r][2]));
+      std::vector<double> sums(registry_.size(), 0.0);
+      for (size_t f = 0; f < registry_.size(); ++f) {
+        STMAKER_ASSIGN_OR_RETURN(sums[f], ParseDouble(rows[r][3 + f]));
+      }
+      if (count <= 0) {
+        num_trained_ = 0;
+        return Status::InvalidArgument("non-positive feature map count");
+      }
+      map->AddAccumulated(from, to, sums, count);
+    }
+    feature_map_ = std::move(map);
+  }
+
+  // --- Significances. --------------------------------------------------------------
+  {
+    STMAKER_ASSIGN_OR_RETURN(auto rows,
+                             ReadCsvFile(prefix + "_significance.csv"));
+    if (rows.empty() ||
+        rows[0] != std::vector<std::string>{"landmark", "significance"}) {
+      num_trained_ = 0;
+      feature_map_.reset();
+      return Status::InvalidArgument("bad significance header");
+    }
+    for (size_t r = 1; r < rows.size(); ++r) {
+      if (rows[r].size() != 2) {
+        num_trained_ = 0;
+        feature_map_.reset();
+        return Status::InvalidArgument("bad significance row");
+      }
+      STMAKER_ASSIGN_OR_RETURN(int64_t landmark, ParseInt(rows[r][0]));
+      STMAKER_ASSIGN_OR_RETURN(double significance, ParseDouble(rows[r][1]));
+      if (landmark < 0 ||
+          static_cast<size_t>(landmark) >= landmarks_->size()) {
+        num_trained_ = 0;
+        feature_map_.reset();
+        return Status::InvalidArgument("significance landmark out of range");
+      }
+      landmarks_->SetSignificance(landmark, significance);
+    }
+  }
+
+  analyzer_ = std::make_unique<IrregularityAnalyzer>(&registry_, &miner_,
+                                                     feature_map_.get());
+  return Status::OK();
+}
+
+}  // namespace stmaker

@@ -1,0 +1,64 @@
+#ifndef STMAKER_CORE_SUMMARY_H_
+#define STMAKER_CORE_SUMMARY_H_
+
+#include <string>
+#include <vector>
+
+#include "landmark/landmark.h"
+#include "traj/trajectory.h"
+
+namespace stmaker {
+
+/// One feature chosen for description in a partition (its irregular rate
+/// exceeded the threshold η), with the rendered phrase and the numeric
+/// context it was rendered from.
+struct SelectedFeature {
+  size_t feature = 0;          ///< Registry index.
+  double irregular_rate = 0;   ///< Γ_f(TP).
+  double value = 0;            ///< The partition's value (categorical
+                               ///< features: the integer code).
+  double regular = 0;          ///< The "usual" value it was compared to.
+  std::string phrase;          ///< Table V phrase.
+};
+
+/// Summary of one trajectory partition (Sec. VI-A).
+struct PartitionSummary {
+  size_t seg_begin = 0;  ///< First segment index (inclusive).
+  size_t seg_end = 0;    ///< Last segment index (exclusive).
+  LandmarkId source = -1;
+  LandmarkId destination = -1;
+  std::string source_name;
+  std::string destination_name;
+  std::vector<double> irregular_rates;  ///< Γ_f for every feature.
+  std::vector<SelectedFeature> selected;
+  std::string sentence;  ///< Table VI sentence.
+
+  bool ContainsFeature(size_t feature) const {
+    for (const SelectedFeature& s : selected) {
+      if (s.feature == feature) return true;
+    }
+    return false;
+  }
+};
+
+/// \brief The full summary of one trajectory: the symbolic rewriting, the
+/// partition structure with selected features, and the generated text.
+struct Summary {
+  SymbolicTrajectory symbolic;
+  std::vector<PartitionSummary> partitions;
+  std::string text;
+
+  /// True when any partition's summary describes the feature — the
+  /// "summary contains f" predicate behind the paper's feature frequency
+  /// metric FF_f (Sec. VII-C2).
+  bool ContainsFeature(size_t feature) const {
+    for (const PartitionSummary& p : partitions) {
+      if (p.ContainsFeature(feature)) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace stmaker
+
+#endif  // STMAKER_CORE_SUMMARY_H_

@@ -1,0 +1,93 @@
+#include "core/summary_clustering.h"
+
+#include <cctype>
+#include <set>
+
+#include "common/check.h"
+
+namespace stmaker {
+
+namespace {
+
+std::set<std::string> WordSet(const std::string& text) {
+  std::set<std::string> words;
+  std::string current;
+  for (char raw : text) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    if (std::isalpha(c)) {
+      current += static_cast<char>(std::tolower(c));
+    } else if (!current.empty()) {
+      words.insert(current);
+      current.clear();
+    }
+  }
+  if (!current.empty()) words.insert(current);
+  return words;
+}
+
+double JaccardDistance(const std::set<std::string>& a,
+                       const std::set<std::string>& b) {
+  if (a.empty() && b.empty()) return 0.0;
+  size_t intersection = 0;
+  for (const std::string& w : a) {
+    if (b.count(w)) ++intersection;
+  }
+  size_t unions = a.size() + b.size() - intersection;
+  return 1.0 - static_cast<double>(intersection) /
+                   static_cast<double>(unions);
+}
+
+}  // namespace
+
+double SummaryTextDistance(const Summary& a, const Summary& b) {
+  return JaccardDistance(WordSet(a.text), WordSet(b.text));
+}
+
+std::vector<SummaryCluster> ClusterSummaries(
+    const std::vector<Summary>& summaries,
+    const SummaryClusteringOptions& options) {
+  STMAKER_CHECK(options.distance_threshold >= 0);
+  std::vector<std::set<std::string>> words;
+  words.reserve(summaries.size());
+  for (const Summary& s : summaries) words.push_back(WordSet(s.text));
+
+  // Leader pass.
+  std::vector<SummaryCluster> clusters;
+  for (size_t i = 0; i < summaries.size(); ++i) {
+    bool placed = false;
+    for (SummaryCluster& cluster : clusters) {
+      if (JaccardDistance(words[i], words[cluster.representative]) <=
+          options.distance_threshold) {
+        cluster.members.push_back(i);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      SummaryCluster cluster;
+      cluster.members.push_back(i);
+      cluster.representative = i;
+      clusters.push_back(std::move(cluster));
+    }
+  }
+
+  // Medoid refinement.
+  for (SummaryCluster& cluster : clusters) {
+    double best_total = -1;
+    size_t best = cluster.representative;
+    for (size_t candidate : cluster.members) {
+      double total = 0;
+      for (size_t other : cluster.members) {
+        total += JaccardDistance(words[candidate], words[other]);
+      }
+      if (best_total < 0 || total < best_total) {
+        best_total = total;
+        best = candidate;
+      }
+    }
+    cluster.representative = best;
+  }
+  return clusters;
+}
+
+}  // namespace stmaker

@@ -1,0 +1,49 @@
+#ifndef STMAKER_CORE_SUMMARY_CLUSTERING_H_
+#define STMAKER_CORE_SUMMARY_CLUSTERING_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/summary.h"
+
+namespace stmaker {
+
+/// One cluster of summaries: member indices into the input corpus plus the
+/// medoid member (the most central summary — a natural "representative
+/// trajectory description" for the cluster).
+struct SummaryCluster {
+  std::vector<size_t> members;
+  size_t representative = 0;
+};
+
+/// Clustering knobs. `distance_threshold` is the maximum text distance
+/// (1 − Jaccard over word sets, in [0, 1]) for a summary to join an
+/// existing cluster; smaller values give more, tighter clusters.
+struct SummaryClusteringOptions {
+  double distance_threshold = 0.5;
+};
+
+/// Text distance between two summaries: 1 − Jaccard similarity of their
+/// lower-cased alphabetic word sets (numbers are ignored so that "14 km/h
+/// slower" and "20 km/h slower" read as the same behaviour). Two empty
+/// texts have distance 0.
+double SummaryTextDistance(const Summary& a, const Summary& b);
+
+/// \brief Clusters a summary corpus by text similarity — the Sec. VI-C
+/// observation made concrete: "applying the text clustering method on
+/// summaries of all the trajectories in a certain region at a specific time
+/// period, we can have a quick overview about the traffic condition."
+///
+/// Deterministic single-pass leader clustering followed by a medoid
+/// refinement: each summary joins the first cluster whose representative is
+/// within the threshold, otherwise founds a new one; representatives are
+/// then recomputed as the member minimizing total intra-cluster distance.
+/// Every input index appears in exactly one cluster.
+std::vector<SummaryCluster> ClusterSummaries(
+    const std::vector<Summary>& summaries,
+    const SummaryClusteringOptions& options = SummaryClusteringOptions());
+
+}  // namespace stmaker
+
+#endif  // STMAKER_CORE_SUMMARY_CLUSTERING_H_

@@ -1,0 +1,35 @@
+#ifndef STMAKER_GEO_BOUNDING_BOX_H_
+#define STMAKER_GEO_BOUNDING_BOX_H_
+
+#include <algorithm>
+
+#include "geo/vec2.h"
+
+namespace stmaker {
+
+/// Axis-aligned bounding box in the projected plane. A default-constructed
+/// box is empty; Extend() grows it to cover points.
+struct BoundingBox {
+  Vec2 min{1e300, 1e300};
+  Vec2 max{-1e300, -1e300};
+
+  bool IsEmpty() const { return min.x > max.x || min.y > max.y; }
+
+  void Extend(const Vec2& p) {
+    min.x = std::min(min.x, p.x);
+    min.y = std::min(min.y, p.y);
+    max.x = std::max(max.x, p.x);
+    max.y = std::max(max.y, p.y);
+  }
+
+  bool Contains(const Vec2& p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+  }
+
+  double Width() const { return IsEmpty() ? 0 : max.x - min.x; }
+  double Height() const { return IsEmpty() ? 0 : max.y - min.y; }
+};
+
+}  // namespace stmaker
+
+#endif  // STMAKER_GEO_BOUNDING_BOX_H_

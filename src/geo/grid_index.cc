@@ -1,0 +1,90 @@
+#include "geo/grid_index.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace stmaker {
+
+GridIndex::GridIndex(double cell_size) : cell_size_(cell_size) {
+  STMAKER_CHECK(cell_size > 0);
+}
+
+GridIndex::CellKey GridIndex::CellOf(const Vec2& p) const {
+  return {static_cast<int64_t>(std::floor(p.x / cell_size_)),
+          static_cast<int64_t>(std::floor(p.y / cell_size_))};
+}
+
+void GridIndex::Insert(int64_t id, const Vec2& pos) {
+  size_t idx = items_.size();
+  items_.push_back({id, pos});
+  cells_[CellOf(pos)].push_back(idx);
+}
+
+std::vector<int64_t> GridIndex::WithinRadius(const Vec2& center,
+                                             double radius) const {
+  std::vector<int64_t> out;
+  if (radius < 0 || items_.empty()) return out;
+  int64_t span = static_cast<int64_t>(std::ceil(radius / cell_size_));
+  CellKey c = CellOf(center);
+  for (int64_t dx = -span; dx <= span; ++dx) {
+    for (int64_t dy = -span; dy <= span; ++dy) {
+      auto it = cells_.find({c.cx + dx, c.cy + dy});
+      if (it == cells_.end()) continue;
+      for (size_t idx : it->second) {
+        if (Distance(items_[idx].pos, center) <= radius) {
+          out.push_back(items_[idx].id);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+int64_t GridIndex::Nearest(const Vec2& p, double max_radius) const {
+  if (items_.empty()) return -1;
+  // Expanding ring search: examine cells at increasing Chebyshev distance
+  // until a hit is found, then one more ring to guarantee the true nearest.
+  CellKey c = CellOf(p);
+  int64_t best_id = -1;
+  double best_d = std::numeric_limits<double>::infinity();
+  // Upper bound on rings: enough to cover the requested radius, or the whole
+  // index when unbounded (a linear fallback below handles sparse overflow).
+  int64_t max_ring = 2 + static_cast<int64_t>(
+      max_radius >= 0 ? std::ceil(max_radius / cell_size_) : 1 << 16);
+  for (int64_t ring = 0; ring <= max_ring; ++ring) {
+    // Any cell at Chebyshev ring k is at least (k-1)*cell_size_ away from p,
+    // so once that bound exceeds the best distance the search is complete.
+    if (best_id >= 0 && (ring - 1) * cell_size_ > best_d) break;
+    for (int64_t dx = -ring; dx <= ring; ++dx) {
+      for (int64_t dy = -ring; dy <= ring; ++dy) {
+        if (std::max(std::llabs(dx), std::llabs(dy)) != ring) continue;
+        auto it = cells_.find({c.cx + dx, c.cy + dy});
+        if (it == cells_.end()) continue;
+        for (size_t idx : it->second) {
+          double d = Distance(items_[idx].pos, p);
+          if (d < best_d) {
+            best_d = d;
+            best_id = items_[idx].id;
+          }
+        }
+      }
+    }
+  }
+  if (best_id < 0 && max_radius < 0) {
+    // Ring budget exhausted without a hit (extremely sparse index far from
+    // the query); fall back to an exact linear scan.
+    for (const Item& item : items_) {
+      double d = Distance(item.pos, p);
+      if (d < best_d) {
+        best_d = d;
+        best_id = item.id;
+      }
+    }
+  }
+  if (max_radius >= 0 && best_d > max_radius) return -1;
+  return best_id;
+}
+
+}  // namespace stmaker

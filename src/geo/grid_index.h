@@ -1,0 +1,72 @@
+#ifndef STMAKER_GEO_GRID_INDEX_H_
+#define STMAKER_GEO_GRID_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/vec2.h"
+
+namespace stmaker {
+
+/// \brief Uniform spatial hash grid over (id, position) pairs.
+///
+/// The workhorse index for nearest-landmark and radius queries during
+/// calibration, POI clustering, and map matching. Cell size should be on the
+/// order of the typical query radius; queries inspect the 3×3 (or larger)
+/// neighborhood of cells, so correctness does not depend on the choice, only
+/// performance.
+class GridIndex {
+ public:
+  /// `cell_size` is the grid pitch in meters (> 0).
+  explicit GridIndex(double cell_size);
+
+  /// Inserts an item. Ids need not be unique or dense.
+  void Insert(int64_t id, const Vec2& pos);
+
+  size_t size() const { return items_.size(); }
+
+  /// Ids of all items within `radius` meters of `center` (inclusive),
+  /// in unspecified order.
+  std::vector<int64_t> WithinRadius(const Vec2& center, double radius) const;
+
+  /// Id of the item nearest to `p`, or -1 when the index is empty.
+  /// If `max_radius` >= 0, items farther than it are ignored.
+  int64_t Nearest(const Vec2& p, double max_radius = -1) const;
+
+  /// Position stored for item index `i` in insertion order.
+  const Vec2& position(size_t i) const { return items_[i].pos; }
+
+ private:
+  struct Item {
+    int64_t id;
+    Vec2 pos;
+  };
+
+  struct CellKey {
+    int64_t cx;
+    int64_t cy;
+    bool operator==(const CellKey& o) const {
+      return cx == o.cx && cy == o.cy;
+    }
+  };
+
+  struct CellKeyHash {
+    size_t operator()(const CellKey& k) const {
+      uint64_t h = static_cast<uint64_t>(k.cx) * 0x9e3779b97f4a7c15ULL;
+      h ^= static_cast<uint64_t>(k.cy) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+           (h >> 2);
+      return static_cast<size_t>(h);
+    }
+  };
+
+  CellKey CellOf(const Vec2& p) const;
+
+  double cell_size_;
+  std::vector<Item> items_;
+  std::unordered_map<CellKey, std::vector<size_t>, CellKeyHash> cells_;
+};
+
+}  // namespace stmaker
+
+#endif  // STMAKER_GEO_GRID_INDEX_H_

@@ -1,0 +1,19 @@
+#include "geo/latlon.h"
+
+#include <cmath>
+
+namespace stmaker {
+
+double HaversineMeters(const LatLon& a, const LatLon& b) {
+  const double kDegToRad = M_PI / 180.0;
+  double lat1 = a.lat * kDegToRad;
+  double lat2 = b.lat * kDegToRad;
+  double dlat = (b.lat - a.lat) * kDegToRad;
+  double dlon = (b.lon - a.lon) * kDegToRad;
+  double h = std::sin(dlat / 2) * std::sin(dlat / 2) +
+             std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) *
+                 std::sin(dlon / 2);
+  return 2.0 * kEarthRadiusMeters * std::asin(std::sqrt(h));
+}
+
+}  // namespace stmaker

@@ -1,0 +1,24 @@
+#ifndef STMAKER_GEO_LATLON_H_
+#define STMAKER_GEO_LATLON_H_
+
+namespace stmaker {
+
+/// WGS-84 coordinate in decimal degrees.
+struct LatLon {
+  double lat = 0;
+  double lon = 0;
+};
+
+inline bool operator==(const LatLon& a, const LatLon& b) {
+  return a.lat == b.lat && a.lon == b.lon;
+}
+
+/// Great-circle distance between two coordinates, in meters.
+double HaversineMeters(const LatLon& a, const LatLon& b);
+
+/// Mean Earth radius used by HaversineMeters, in meters.
+inline constexpr double kEarthRadiusMeters = 6371008.8;
+
+}  // namespace stmaker
+
+#endif  // STMAKER_GEO_LATLON_H_

@@ -1,0 +1,24 @@
+#include "geo/projection.h"
+
+#include <cmath>
+
+namespace stmaker {
+
+LocalProjection::LocalProjection(const LatLon& origin) : origin_(origin) {
+  const double kDegToRad = M_PI / 180.0;
+  meters_per_deg_lat_ = kEarthRadiusMeters * kDegToRad;
+  meters_per_deg_lon_ =
+      kEarthRadiusMeters * kDegToRad * std::cos(origin.lat * kDegToRad);
+}
+
+Vec2 LocalProjection::ToXY(const LatLon& p) const {
+  return {(p.lon - origin_.lon) * meters_per_deg_lon_,
+          (p.lat - origin_.lat) * meters_per_deg_lat_};
+}
+
+LatLon LocalProjection::ToLatLon(const Vec2& p) const {
+  return {origin_.lat + p.y / meters_per_deg_lat_,
+          origin_.lon + p.x / meters_per_deg_lon_};
+}
+
+}  // namespace stmaker

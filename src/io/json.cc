@@ -1,0 +1,131 @@
+#include "io/json.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace stmaker {
+
+std::string JsonWriter::Escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (unsigned char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::MaybeComma() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!need_comma_stack_.empty()) {
+    if (need_comma_stack_.back() == '1') {
+      out_ += ',';
+    } else {
+      need_comma_stack_.back() = '1';
+    }
+  }
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  MaybeComma();
+  out_ += '{';
+  need_comma_stack_ += '0';
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  out_ += '}';
+  if (!need_comma_stack_.empty()) need_comma_stack_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  MaybeComma();
+  out_ += '[';
+  need_comma_stack_ += '0';
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  out_ += ']';
+  if (!need_comma_stack_.empty()) need_comma_stack_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(const std::string& name) {
+  MaybeComma();
+  out_ += '"';
+  out_ += Escape(name);
+  out_ += "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(const std::string& value) {
+  MaybeComma();
+  out_ += '"';
+  out_ += Escape(value);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Number(double value) {
+  MaybeComma();
+  if (std::isfinite(value)) {
+    out_ += FormatNumber(value, 6);
+  } else {
+    out_ += "null";  // JSON has no NaN/Inf
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(long long value) {
+  MaybeComma();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  MaybeComma();
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  MaybeComma();
+  out_ += "null";
+  return *this;
+}
+
+}  // namespace stmaker

@@ -1,0 +1,50 @@
+#ifndef STMAKER_IO_JSON_H_
+#define STMAKER_IO_JSON_H_
+
+#include <string>
+
+namespace stmaker {
+
+/// \brief Minimal streaming JSON emitter.
+///
+/// Produces compact, valid JSON; the caller drives structure with
+/// BeginObject/BeginArray and Key/value calls, and the emitter handles
+/// commas and string escaping. No validation of call order is attempted
+/// beyond what the comma logic needs — this is an output-only utility for
+/// serializing summaries and bench results.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Emits an object key; must be followed by exactly one value.
+  JsonWriter& Key(const std::string& name);
+
+  JsonWriter& String(const std::string& value);
+  JsonWriter& Number(double value);
+  JsonWriter& Int(long long value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  /// The document so far.
+  const std::string& str() const { return out_; }
+
+  /// Escapes a string for inclusion in a JSON document (without the
+  /// surrounding quotes).
+  static std::string Escape(const std::string& raw);
+
+ private:
+  void MaybeComma();
+
+  std::string out_;
+  /// Whether a comma is needed before the next value at the current
+  /// nesting level; one bit per level, topmost = current.
+  std::string need_comma_stack_;
+  bool after_key_ = false;
+};
+
+}  // namespace stmaker
+
+#endif  // STMAKER_IO_JSON_H_

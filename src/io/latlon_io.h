@@ -1,0 +1,42 @@
+#ifndef STMAKER_IO_LATLON_IO_H_
+#define STMAKER_IO_LATLON_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "geo/projection.h"
+#include "traj/trajectory.h"
+
+namespace stmaker {
+
+/// \brief Ingestion of trajectories in the paper's Table I database format:
+/// rows of ⟨latitude, longitude, "YYYYMMDD HH:MM:SS"⟩.
+///
+/// The reader projects coordinates into the local plane with the supplied
+/// projection, so the result feeds straight into calibration; the writer is
+/// the inverse.
+
+/// Parses "YYYYMMDD HH:MM:SS" into absolute seconds (days since 1970-01-01
+/// via a proleptic Gregorian day count × 86400, plus the time of day). No
+/// time zones — trajectory analysis only needs consistent local time.
+Result<double> ParsePaperTimestamp(const std::string& text);
+
+/// Inverse of ParsePaperTimestamp.
+std::string FormatPaperTimestamp(double absolute_seconds);
+
+/// One trajectory per contiguous run of trajectory_id, as in
+/// WriteTrajectoriesCsv, but with columns
+/// `trajectory_id,latitude,longitude,timestamp`.
+Status WriteLatLonTrajectoriesCsv(
+    const std::string& path, const std::vector<RawTrajectory>& trajectories,
+    const LocalProjection& projection);
+
+/// Reads trajectories written by WriteLatLonTrajectoriesCsv (or exported
+/// from a GPS log in the same schema), projecting into the local plane.
+Result<std::vector<RawTrajectory>> ReadLatLonTrajectoriesCsv(
+    const std::string& path, const LocalProjection& projection);
+
+}  // namespace stmaker
+
+#endif  // STMAKER_IO_LATLON_IO_H_

@@ -1,0 +1,48 @@
+#include "io/poi_io.h"
+
+#include <cstdlib>
+
+#include "common/csv.h"
+#include "common/strings.h"
+
+namespace stmaker {
+
+Status WritePoisCsv(const std::string& path,
+                    const std::vector<RawPoi>& pois) {
+  STMAKER_ASSIGN_OR_RETURN(CsvWriter writer, CsvWriter::Open(path));
+  STMAKER_RETURN_IF_ERROR(writer.WriteRow({"x", "y", "name"}));
+  for (const RawPoi& poi : pois) {
+    STMAKER_RETURN_IF_ERROR(writer.WriteRow({StrFormat("%.3f", poi.pos.x),
+                                             StrFormat("%.3f", poi.pos.y),
+                                             poi.name}));
+  }
+  return writer.Close();
+}
+
+Result<std::vector<RawPoi>> ReadPoisCsv(const std::string& path) {
+  STMAKER_ASSIGN_OR_RETURN(auto rows, ReadCsvFile(path));
+  if (rows.empty() || rows[0] != std::vector<std::string>{"x", "y", "name"}) {
+    return Status::InvalidArgument("bad POI CSV header");
+  }
+  std::vector<RawPoi> out;
+  for (size_t r = 1; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    if (row.size() != 3) {
+      return Status::InvalidArgument(
+          StrFormat("POI row %zu has %zu fields, want 3", r, row.size()));
+    }
+    char* end = nullptr;
+    double x = std::strtod(row[0].c_str(), &end);
+    if (end == row[0].c_str() || *end != '\0') {
+      return Status::InvalidArgument("bad x: " + row[0]);
+    }
+    double y = std::strtod(row[1].c_str(), &end);
+    if (end == row[1].c_str() || *end != '\0') {
+      return Status::InvalidArgument("bad y: " + row[1]);
+    }
+    out.push_back({{x, y}, row[2]});
+  }
+  return out;
+}
+
+}  // namespace stmaker

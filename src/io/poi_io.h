@@ -1,0 +1,21 @@
+#ifndef STMAKER_IO_POI_IO_H_
+#define STMAKER_IO_POI_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "landmark/poi_generator.h"
+
+namespace stmaker {
+
+/// CSV persistence for raw POI datasets: `x,y,name` with a header row. The
+/// landmark index is cheap to rebuild, so only the raw POIs are stored.
+Status WritePoisCsv(const std::string& path, const std::vector<RawPoi>& pois);
+
+/// Reads a POI dataset written by WritePoisCsv.
+Result<std::vector<RawPoi>> ReadPoisCsv(const std::string& path);
+
+}  // namespace stmaker
+
+#endif  // STMAKER_IO_POI_IO_H_

@@ -1,0 +1,29 @@
+#ifndef STMAKER_IO_ROAD_NETWORK_IO_H_
+#define STMAKER_IO_ROAD_NETWORK_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "roadnet/road_network.h"
+
+namespace stmaker {
+
+/// \brief CSV persistence for road networks (the digital-map interchange
+/// format). A network is stored as two files:
+///
+///   <prefix>_nodes.csv : node_id,x,y
+///   <prefix>_edges.csv : edge_id,from,to,grade,width,direction,name,bias
+///
+/// Node and edge ids are re-assigned densely on load in file order, so a
+/// round trip preserves ids. Turning points are re-derived from topology
+/// and the spatial index is rebuilt, so the loaded network is immediately
+/// usable.
+Status WriteRoadNetworkCsv(const std::string& prefix,
+                           const RoadNetwork& network);
+
+/// Loads a network written by WriteRoadNetworkCsv.
+Result<RoadNetwork> ReadRoadNetworkCsv(const std::string& prefix);
+
+}  // namespace stmaker
+
+#endif  // STMAKER_IO_ROAD_NETWORK_IO_H_

@@ -1,0 +1,58 @@
+#include "io/summary_json.h"
+
+#include "io/json.h"
+
+namespace stmaker {
+
+std::string SummaryToJson(const Summary& summary,
+                          const FeatureRegistry& registry) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("text").String(summary.text);
+
+  json.Key("symbolic").BeginArray();
+  for (const SymbolicSample& s : summary.symbolic.samples) {
+    json.BeginObject();
+    json.Key("landmark").Int(s.landmark);
+    json.Key("time").Number(s.time);
+    json.EndObject();
+  }
+  json.EndArray();
+
+  json.Key("partitions").BeginArray();
+  for (const PartitionSummary& p : summary.partitions) {
+    json.BeginObject();
+    json.Key("source").Int(p.source);
+    json.Key("source_name").String(p.source_name);
+    json.Key("destination").Int(p.destination);
+    json.Key("destination_name").String(p.destination_name);
+    json.Key("seg_begin").Int(static_cast<long long>(p.seg_begin));
+    json.Key("seg_end").Int(static_cast<long long>(p.seg_end));
+    json.Key("sentence").String(p.sentence);
+
+    json.Key("irregular_rates").BeginObject();
+    for (size_t f = 0; f < p.irregular_rates.size() && f < registry.size();
+         ++f) {
+      json.Key(registry.def(f).id).Number(p.irregular_rates[f]);
+    }
+    json.EndObject();
+
+    json.Key("selected").BeginArray();
+    for (const SelectedFeature& sel : p.selected) {
+      json.BeginObject();
+      json.Key("feature").String(sel.feature < registry.size()
+                                     ? registry.def(sel.feature).id
+                                     : std::to_string(sel.feature));
+      json.Key("rate").Number(sel.irregular_rate);
+      json.Key("phrase").String(sel.phrase);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.str();
+}
+
+}  // namespace stmaker

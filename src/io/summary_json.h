@@ -1,0 +1,33 @@
+#ifndef STMAKER_IO_SUMMARY_JSON_H_
+#define STMAKER_IO_SUMMARY_JSON_H_
+
+#include <string>
+
+#include "core/feature.h"
+#include "core/summary.h"
+
+namespace stmaker {
+
+/// \brief Serializes a Summary as a compact JSON document:
+///
+/// {
+///   "text": "...",
+///   "symbolic": [{"landmark": 12, "time": 33840.0}, ...],
+///   "partitions": [{
+///     "source": 12, "source_name": "...",
+///     "destination": 40, "destination_name": "...",
+///     "seg_begin": 0, "seg_end": 5,
+///     "sentence": "...",
+///     "irregular_rates": {"grade_of_road": 0.12, ...},
+///     "selected": [{"feature": "speed", "rate": 0.41, "phrase": "..."}]
+///   }, ...]
+/// }
+///
+/// `registry` provides feature names for the rate/selection maps; it must
+/// be the registry the summary was produced with.
+std::string SummaryToJson(const Summary& summary,
+                          const FeatureRegistry& registry);
+
+}  // namespace stmaker
+
+#endif  // STMAKER_IO_SUMMARY_JSON_H_

@@ -1,0 +1,95 @@
+#include "io/trajectory_io.h"
+
+#include <cstdlib>
+
+#include "common/csv.h"
+#include "common/strings.h"
+
+namespace stmaker {
+
+namespace {
+
+Result<double> ParseDouble(const std::string& field) {
+  char* end = nullptr;
+  double v = std::strtod(field.c_str(), &end);
+  if (end == field.c_str() || *end != '\0') {
+    return Status::InvalidArgument("not a number: '" + field + "'");
+  }
+  return v;
+}
+
+Result<int64_t> ParseInt(const std::string& field) {
+  char* end = nullptr;
+  long long v = std::strtoll(field.c_str(), &end, 10);
+  if (end == field.c_str() || *end != '\0') {
+    return Status::InvalidArgument("not an integer: '" + field + "'");
+  }
+  return static_cast<int64_t>(v);
+}
+
+}  // namespace
+
+Status WriteTrajectoriesCsv(const std::string& path,
+                            const std::vector<RawTrajectory>& trajectories) {
+  STMAKER_ASSIGN_OR_RETURN(CsvWriter writer, CsvWriter::Open(path));
+  STMAKER_RETURN_IF_ERROR(
+      writer.WriteRow({"trajectory_id", "traveler", "x", "y", "time"}));
+  for (size_t t = 0; t < trajectories.size(); ++t) {
+    const RawTrajectory& trajectory = trajectories[t];
+    for (const RawSample& s : trajectory.samples) {
+      STMAKER_RETURN_IF_ERROR(writer.WriteRow(
+          {std::to_string(t), std::to_string(trajectory.traveler),
+           StrFormat("%.3f", s.pos.x), StrFormat("%.3f", s.pos.y),
+           StrFormat("%.3f", s.time)}));
+    }
+  }
+  return writer.Close();
+}
+
+Result<std::vector<RawTrajectory>> ReadTrajectoriesCsv(
+    const std::string& path) {
+  STMAKER_ASSIGN_OR_RETURN(auto rows, ReadCsvFile(path));
+  if (rows.empty()) {
+    return Status::InvalidArgument("trajectory CSV is empty: " + path);
+  }
+  const std::vector<std::string> expected = {"trajectory_id", "traveler",
+                                             "x", "y", "time"};
+  if (rows[0] != expected) {
+    return Status::InvalidArgument("unexpected trajectory CSV header");
+  }
+
+  std::vector<RawTrajectory> out;
+  int64_t current_id = -1;
+  bool have_current = false;
+  std::vector<int64_t> seen_ids;
+  for (size_t r = 1; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    if (row.size() != 5) {
+      return Status::InvalidArgument(
+          StrFormat("row %zu has %zu fields, want 5", r, row.size()));
+    }
+    STMAKER_ASSIGN_OR_RETURN(int64_t id, ParseInt(row[0]));
+    STMAKER_ASSIGN_OR_RETURN(int64_t traveler, ParseInt(row[1]));
+    STMAKER_ASSIGN_OR_RETURN(double x, ParseDouble(row[2]));
+    STMAKER_ASSIGN_OR_RETURN(double y, ParseDouble(row[3]));
+    STMAKER_ASSIGN_OR_RETURN(double time, ParseDouble(row[4]));
+    if (!have_current || id != current_id) {
+      for (int64_t prev : seen_ids) {
+        if (prev == id) {
+          return Status::InvalidArgument(
+              StrFormat("trajectory id %lld is interleaved",
+                        static_cast<long long>(id)));
+        }
+      }
+      seen_ids.push_back(id);
+      out.emplace_back();
+      current_id = id;
+      have_current = true;
+    }
+    out.back().traveler = traveler;
+    out.back().samples.push_back({{x, y}, time});
+  }
+  return out;
+}
+
+}  // namespace stmaker

@@ -1,0 +1,41 @@
+#ifndef STMAKER_LANDMARK_DBSCAN_H_
+#define STMAKER_LANDMARK_DBSCAN_H_
+
+#include <vector>
+
+#include "geo/vec2.h"
+
+namespace stmaker {
+
+/// DBSCAN parameters (Ester et al., KDD'96 [12]).
+struct DbscanOptions {
+  double eps_m = 100.0;  ///< Neighborhood radius.
+  int min_pts = 3;       ///< Minimum neighborhood size (incl. the point) for
+                         ///< a core point.
+};
+
+/// Result of clustering: labels[i] is the cluster of points[i], or
+/// kDbscanNoise for noise points. Cluster ids are dense, starting at 0.
+struct DbscanResult {
+  std::vector<int> labels;
+  int num_clusters = 0;
+};
+
+inline constexpr int kDbscanNoise = -1;
+
+/// \brief Density-based clustering of planar points.
+///
+/// Used to collapse the raw POI dataset into landmark-level clusters, the
+/// way the paper reduces 510k raw POIs to ~17k DBSCAN cluster centroids.
+/// Runs in O(n · neighborhood) using a grid index for region queries.
+DbscanResult Dbscan(const std::vector<Vec2>& points,
+                    const DbscanOptions& options);
+
+/// Geometric centroids of each cluster (noise excluded), indexed by cluster
+/// id.
+std::vector<Vec2> ClusterCentroids(const std::vector<Vec2>& points,
+                                   const DbscanResult& result);
+
+}  // namespace stmaker
+
+#endif  // STMAKER_LANDMARK_DBSCAN_H_

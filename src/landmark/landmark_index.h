@@ -1,0 +1,73 @@
+#ifndef STMAKER_LANDMARK_LANDMARK_INDEX_H_
+#define STMAKER_LANDMARK_LANDMARK_INDEX_H_
+
+#include <memory>
+#include <vector>
+
+#include "geo/grid_index.h"
+#include "landmark/dbscan.h"
+#include "landmark/landmark.h"
+#include "landmark/poi_generator.h"
+#include "roadnet/road_network.h"
+
+namespace stmaker {
+
+/// Options for assembling the landmark dataset.
+struct LandmarkIndexOptions {
+  DbscanOptions dbscan;          ///< POI clustering parameters.
+  double index_cell_m = 250.0;   ///< Spatial index pitch.
+};
+
+/// \brief The landmark dataset (Sec. VII-A): POI cluster centroids plus road
+/// network turning points, spatially indexed.
+///
+/// Mirrors the paper's construction: raw POIs are collapsed with DBSCAN and
+/// each cluster centroid becomes one named POI landmark; every turning point
+/// of the road network becomes a junction landmark named after the roads
+/// that cross there.
+class LandmarkIndex {
+ public:
+  /// Builds the dataset from a network and a raw POI set.
+  static LandmarkIndex Build(const RoadNetwork& network,
+                             const std::vector<RawPoi>& pois,
+                             const LandmarkIndexOptions& options =
+                                 LandmarkIndexOptions());
+
+  LandmarkIndex(LandmarkIndex&&) = default;
+  LandmarkIndex& operator=(LandmarkIndex&&) = default;
+  LandmarkIndex(const LandmarkIndex&) = delete;
+  LandmarkIndex& operator=(const LandmarkIndex&) = delete;
+
+  size_t size() const { return landmarks_.size(); }
+  const std::vector<Landmark>& landmarks() const { return landmarks_; }
+  const Landmark& landmark(LandmarkId id) const;
+
+  /// Landmarks within `radius` meters of `p`.
+  std::vector<LandmarkId> WithinRadius(const Vec2& p, double radius) const;
+
+  /// Nearest landmark id, or -1 (respecting `max_radius` if >= 0).
+  LandmarkId Nearest(const Vec2& p, double max_radius = -1) const;
+
+  /// Installs the significance score (l.s) computed by SignificanceModel.
+  void SetSignificance(LandmarkId id, double significance);
+
+  /// For a turning-point landmark, the road-network node it sits on; -1 for
+  /// POI landmarks. Used by the trajectory generator to tie routes to
+  /// landmarks.
+  NodeId network_node(LandmarkId id) const;
+
+  /// The turning-point landmark on network node `node`, or -1.
+  LandmarkId LandmarkOfNode(NodeId node) const;
+
+ private:
+  LandmarkIndex() = default;
+
+  std::vector<Landmark> landmarks_;
+  std::vector<NodeId> network_node_;   // parallel to landmarks_.
+  std::vector<LandmarkId> node_to_landmark_;  // indexed by NodeId.
+  std::unique_ptr<GridIndex> index_;
+};
+
+}  // namespace stmaker
+
+#endif  // STMAKER_LANDMARK_LANDMARK_INDEX_H_

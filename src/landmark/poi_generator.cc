@@ -1,0 +1,68 @@
+#include "landmark/poi_generator.h"
+
+#include "common/check.h"
+#include "common/random.h"
+#include "common/strings.h"
+#include "roadnet/map_generator.h"
+
+namespace stmaker {
+
+namespace {
+
+const char* const kVenueTypes[] = {
+    "Community", "Hospital",  "Park",     "Station", "Hotel",
+    "School",    "Mall",      "Museum",   "Temple",  "Market",
+    "Tower",     "Library",   "Stadium",  "Theater", "Plaza",
+    "University", "Restaurant", "Garden", "Center",  "Bridge",
+};
+
+}  // namespace
+
+PoiGenerator::PoiGenerator(const PoiGeneratorOptions& options)
+    : options_(options) {
+  STMAKER_CHECK(options.num_sites > 0);
+  STMAKER_CHECK(options.min_pois_per_site >= 1);
+  STMAKER_CHECK(options.max_pois_per_site >= options.min_pois_per_site);
+}
+
+std::vector<RawPoi> PoiGenerator::Generate(const RoadNetwork& network) const {
+  Random rng(options_.seed);
+  STMAKER_CHECK(network.NumNodes() > 0);
+
+  // Site anchoring weight per node: capacity of the best adjoining road.
+  std::vector<double> weights(network.NumNodes(), 0.0);
+  for (NodeId id = 0; static_cast<size_t>(id) < network.NumNodes(); ++id) {
+    double best = 0;
+    for (const Adjacency& adj : network.OutEdges(id)) {
+      // Grade 1 → 8 units of attraction, grade 7 → 2 units.
+      double cap = 9.0 - static_cast<double>(network.edge(adj.edge).grade);
+      best = std::max(best, cap);
+    }
+    weights[id] = best * best;  // Quadratic emphasis on big intersections.
+  }
+
+  const std::vector<std::string>& lexicon = MapGenerator::NameLexicon();
+  const size_t num_types = std::size(kVenueTypes);
+
+  std::vector<RawPoi> pois;
+  for (int site = 0; site < options_.num_sites; ++site) {
+    NodeId anchor = static_cast<NodeId>(rng.WeightedIndex(weights));
+    // Offset the site away from the intersection center.
+    Vec2 center = network.node(anchor).pos +
+                  Vec2{rng.Normal(0, 120.0), rng.Normal(0, 120.0)};
+    std::string name =
+        lexicon[rng.UniformInt(lexicon.size())] + " " +
+        kVenueTypes[rng.UniformInt(num_types)];
+    int count = static_cast<int>(rng.UniformInt(
+        static_cast<int64_t>(options_.min_pois_per_site),
+        static_cast<int64_t>(options_.max_pois_per_site)));
+    for (int k = 0; k < count; ++k) {
+      Vec2 pos = center + Vec2{rng.Normal(0, options_.site_scatter_m),
+                               rng.Normal(0, options_.site_scatter_m)};
+      pois.push_back({pos, name});
+    }
+  }
+  return pois;
+}
+
+}  // namespace stmaker

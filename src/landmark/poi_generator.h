@@ -1,0 +1,50 @@
+#ifndef STMAKER_LANDMARK_POI_GENERATOR_H_
+#define STMAKER_LANDMARK_POI_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/vec2.h"
+#include "roadnet/road_network.h"
+
+namespace stmaker {
+
+/// A raw point of interest before clustering (the stand-in for the paper's
+/// 510k-entry third-party POI dataset).
+struct RawPoi {
+  Vec2 pos;
+  std::string name;
+};
+
+/// Parameters of the synthetic POI dataset.
+struct PoiGeneratorOptions {
+  int num_sites = 800;           ///< POI sites (clusters) to scatter.
+  int min_pois_per_site = 3;     ///< Raw POIs per site, lower bound.
+  int max_pois_per_site = 12;    ///< Raw POIs per site, upper bound.
+  double site_scatter_m = 45.0;  ///< Gaussian scatter within a site.
+  uint64_t seed = 7;
+};
+
+/// \brief Scatters named POI sites over a road network.
+///
+/// Sites are anchored near intersections with probability proportional to
+/// the transportation capacity of the adjoining roads (big roads attract
+/// amenities), then each site emits several raw POIs with local scatter —
+/// giving DBSCAN realistic density-clustered input. Site names combine a
+/// locality (reusing the road-name lexicon) with a venue type ("Daoxiang
+/// Community", "Haidian Hospital").
+class PoiGenerator {
+ public:
+  explicit PoiGenerator(const PoiGeneratorOptions& options);
+
+  /// Deterministically generates the raw POI set for `network`.
+  std::vector<RawPoi> Generate(const RoadNetwork& network) const;
+
+ private:
+  PoiGeneratorOptions options_;
+};
+
+}  // namespace stmaker
+
+#endif  // STMAKER_LANDMARK_POI_GENERATOR_H_

@@ -1,0 +1,82 @@
+#include "landmark/significance.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace stmaker {
+
+SignificanceModel::SignificanceModel(size_t num_travelers,
+                                     size_t num_landmarks)
+    : num_landmarks_(num_landmarks),
+      visits_by_traveler_(num_travelers) {}
+
+void SignificanceModel::AddVisit(int64_t traveler, LandmarkId landmark) {
+  STMAKER_CHECK(traveler >= 0);
+  if (static_cast<size_t>(traveler) >= visits_by_traveler_.size()) {
+    visits_by_traveler_.resize(static_cast<size_t>(traveler) + 1);
+  }
+  STMAKER_CHECK(landmark >= 0 &&
+                static_cast<size_t>(landmark) < num_landmarks_);
+  auto& visits = visits_by_traveler_[traveler];
+  for (auto& [lm, count] : visits) {
+    if (lm == landmark) {
+      count += 1.0;
+      return;
+    }
+  }
+  visits.emplace_back(landmark, 1.0);
+}
+
+std::vector<double> SignificanceModel::Compute(int iterations) const {
+  const size_t num_travelers = visits_by_traveler_.size();
+  std::vector<double> hub(num_landmarks_, 1.0);    // landmarks
+  std::vector<double> auth(num_travelers, 1.0);    // travellers
+  for (int it = 0; it < iterations; ++it) {
+    // auth(u) = sum over visited landmarks of hub(l).
+    for (size_t u = 0; u < num_travelers; ++u) {
+      double a = 0;
+      for (const auto& [lm, count] : visits_by_traveler_[u]) {
+        a += count * hub[lm];
+      }
+      auth[u] = a;
+    }
+    // hub(l) = sum over visiting travellers of auth(u).
+    std::vector<double> new_hub(num_landmarks_, 0.0);
+    for (size_t u = 0; u < num_travelers; ++u) {
+      for (const auto& [lm, count] : visits_by_traveler_[u]) {
+        new_hub[lm] += count * auth[u];
+      }
+    }
+    hub.swap(new_hub);
+    // L2-normalize both to keep the iteration bounded.
+    auto normalize = [](std::vector<double>* v) {
+      double norm = 0;
+      for (double x : *v) norm += x * x;
+      norm = std::sqrt(norm);
+      if (norm > 0) {
+        for (double& x : *v) x /= norm;
+      }
+    };
+    normalize(&hub);
+    normalize(&auth);
+  }
+  // Max-normalize to [0, 1] for use as l.s.
+  double max_hub = 0;
+  for (double h : hub) max_hub = std::max(max_hub, h);
+  if (max_hub > 0) {
+    for (double& h : hub) h /= max_hub;
+  }
+  return hub;
+}
+
+void SignificanceModel::Apply(LandmarkIndex* index, int iterations) const {
+  STMAKER_CHECK(index != nullptr);
+  STMAKER_CHECK(index->size() == num_landmarks_);
+  std::vector<double> scores = Compute(iterations);
+  for (size_t i = 0; i < scores.size(); ++i) {
+    index->SetSignificance(static_cast<LandmarkId>(i), scores[i]);
+  }
+}
+
+}  // namespace stmaker

@@ -1,0 +1,48 @@
+#ifndef STMAKER_LANDMARK_SIGNIFICANCE_H_
+#define STMAKER_LANDMARK_SIGNIFICANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "landmark/landmark_index.h"
+
+namespace stmaker {
+
+/// \brief HITS-like landmark significance (Sec. IV-B; Zheng et al. WWW'09
+/// [41]).
+///
+/// Travellers are modelled as authorities, landmarks as hubs, and
+/// check-ins/visits as hyperlinks between them. Power iteration with L2
+/// normalization converges to the principal singular vectors of the visit
+/// matrix; the landmark hub score, normalized to [0, 1] by its maximum, is
+/// the significance l.s used by the partition potential.
+class SignificanceModel {
+ public:
+  /// `num_landmarks` fixes the landmark score vector size; `num_travelers`
+  /// is an initial capacity — AddVisit grows the traveller set on demand.
+  SignificanceModel(size_t num_travelers, size_t num_landmarks);
+
+  /// Records one visit (check-in) of `traveler` at `landmark`. Repeat visits
+  /// accumulate weight; traveller ids beyond the current count grow the set.
+  void AddVisit(int64_t traveler, LandmarkId landmark);
+
+  /// Runs `iterations` of HITS power iteration and returns the landmark
+  /// significance vector (max-normalized to [0, 1]). Landmarks with no
+  /// visits get 0.
+  std::vector<double> Compute(int iterations = 40) const;
+
+  /// Convenience: Compute() and install the scores into `index`.
+  void Apply(LandmarkIndex* index, int iterations = 40) const;
+
+  size_t num_travelers() const { return visits_by_traveler_.size(); }
+  size_t num_landmarks() const { return num_landmarks_; }
+
+ private:
+  size_t num_landmarks_;
+  /// Sparse visit multigraph: (traveler, landmark, count).
+  std::vector<std::vector<std::pair<int64_t, double>>> visits_by_traveler_;
+};
+
+}  // namespace stmaker
+
+#endif  // STMAKER_LANDMARK_SIGNIFICANCE_H_

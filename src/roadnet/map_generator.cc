@@ -1,0 +1,261 @@
+#include "roadnet/map_generator.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "common/strings.h"
+
+namespace stmaker {
+
+namespace {
+
+// Pinyin-flavoured locality names echoing the paper's running examples.
+const char* const kLexicon[] = {
+    "Suzhou",    "Zhichun",   "Daoxiang",  "Haidian",   "Yuyuantan",
+    "Zhongguancun", "Xizhimen", "Chaoyang", "Dongzhimen", "Wangjing",
+    "Shangdi",   "Qinghe",    "Anzhen",    "Deshengmen", "Guomao",
+    "Sanlitun",  "Jianguo",   "Fuxing",    "Changan",   "Pinganli",
+    "Xuanwu",    "Chongwen",  "Liangma",   "Tuanjiehu", "Hepingli",
+    "Andingmen", "Beitucheng", "Huixin",   "Datun",     "Olympic",
+    "Lize",      "Caoqiao",   "Muxiyuan",  "Dahongmen", "Jiugong",
+    "Yizhuang",  "Shijingshan", "Babaoshan", "Wukesong", "Gongzhufen",
+    "Ganjiakou", "Baishiqiao", "Weigongcun", "Renmin",  "Minzu",
+    "Xinjiekou", "Jishuitan", "Guloudajie", "Yonghegong", "Dongsi",
+};
+
+struct LineSpec {
+  RoadGrade grade;
+  std::string name;
+};
+
+}  // namespace
+
+MapGenerator::MapGenerator(const MapGeneratorOptions& options)
+    : options_(options) {
+  STMAKER_CHECK(options.blocks_x >= 4 && options.blocks_y >= 4);
+  STMAKER_CHECK(options.block_size_m > 0);
+  STMAKER_CHECK(options.arterial_every >= 2);
+}
+
+const std::vector<std::string>& MapGenerator::NameLexicon() {
+  static const std::vector<std::string>& lexicon =
+      *new std::vector<std::string>(std::begin(kLexicon), std::end(kLexicon));
+  return lexicon;
+}
+
+GeneratedMap MapGenerator::Generate() const {
+  const int nx = options_.blocks_x;  // number of blocks; nx+1 grid lines.
+  const int ny = options_.blocks_y;
+  Random rng(options_.seed);
+
+  // --- Assign a grade and a name to each grid line. ------------------------
+  // Vertical line v (x = const) and horizontal line h (y = const).
+  // Minor lines cycle country → village → feeder via a per-axis counter so
+  // that every grade is represented regardless of how the arterial pattern
+  // interleaves (a plain idx % 3 can systematically miss one grade).
+  auto line_grade = [&](int idx, int n, int* minor_counter) -> RoadGrade {
+    if (idx == 0 || idx == n) return RoadGrade::kHighway;  // outer ring
+    if (idx == n / 4 || idx == n - n / 4) return RoadGrade::kExpressRoad;
+    if (idx % options_.arterial_every == 0) return RoadGrade::kNationalRoad;
+    if (idx % options_.arterial_every == options_.arterial_every / 2) {
+      return RoadGrade::kProvincialRoad;
+    }
+    switch ((*minor_counter)++ % 3) {
+      case 0:
+        return RoadGrade::kCountryRoad;
+      case 1:
+        return RoadGrade::kVillageRoad;
+      default:
+        return RoadGrade::kFeederRoad;
+    }
+  };
+
+  const std::vector<std::string>& lexicon = NameLexicon();
+  size_t name_cursor = rng.UniformInt(lexicon.size());
+  auto next_name = [&]() -> std::string {
+    const std::string& base = lexicon[name_cursor % lexicon.size()];
+    size_t round = name_cursor / lexicon.size();
+    ++name_cursor;
+    if (round == 0) return base;
+    return base + " " + std::to_string(round + 1);
+  };
+
+  auto line_name = [&](int idx, int n, bool vertical,
+                       RoadGrade grade) -> std::string {
+    if (grade == RoadGrade::kHighway) {
+      return vertical ? (idx == 0 ? "West Ring Highway" : "East Ring Highway")
+                      : (idx == 0 ? "South Ring Highway"
+                                  : "North Ring Highway");
+    }
+    if (grade == RoadGrade::kExpressRoad) {
+      const char* side = vertical ? (idx < n / 2 ? "West" : "East")
+                                  : (idx < n / 2 ? "South" : "North");
+      return StrFormat("%s 2nd Ring Express Road", side);
+    }
+    const char* suffix = vertical ? "Road" : "Street";
+    if (grade == RoadGrade::kNationalRoad) suffix = "Avenue";
+    return next_name() + " " + suffix;
+  };
+
+  std::vector<LineSpec> v_lines(nx + 1);
+  std::vector<LineSpec> h_lines(ny + 1);
+  int v_minor = 0;
+  int h_minor = 1;  // offset so the two axes interleave their minor grades
+  for (int i = 0; i <= nx; ++i) {
+    v_lines[i].grade = line_grade(i, nx, &v_minor);
+    v_lines[i].name = line_name(i, nx, /*vertical=*/true, v_lines[i].grade);
+  }
+  for (int j = 0; j <= ny; ++j) {
+    h_lines[j].grade = line_grade(j, ny, &h_minor);
+    h_lines[j].name = line_name(j, ny, /*vertical=*/false, h_lines[j].grade);
+  }
+
+  // --- Nodes. ---------------------------------------------------------------
+  GeneratedMap out;
+  RoadNetwork& net = out.network;
+  const double b = options_.block_size_m;
+  const double ox = -nx * b / 2.0;  // center the city on the origin.
+  const double oy = -ny * b / 2.0;
+  std::vector<NodeId> grid(static_cast<size_t>((nx + 1) * (ny + 1)));
+  auto grid_at = [&](int i, int j) -> NodeId& {
+    return grid[static_cast<size_t>(j) * (nx + 1) + i];
+  };
+  for (int j = 0; j <= ny; ++j) {
+    for (int i = 0; i <= nx; ++i) {
+      double jx = rng.Normal(0, options_.position_jitter_m);
+      double jy = rng.Normal(0, options_.position_jitter_m);
+      // Keep ring roads geometrically clean.
+      if (i == 0 || i == nx) jx = 0;
+      if (j == 0 || j == ny) jy = 0;
+      Vec2 pos{ox + i * b + jx, oy + j * b + jy};
+      grid_at(i, j) = net.AddNode(pos);
+      out.extent.Extend(pos);
+    }
+  }
+
+  // --- Edges. ---------------------------------------------------------------
+  // Direction decisions are per line so that a one-way street is one-way
+  // along its whole run, alternating orientation like real urban grids.
+  auto direction_for = [&](RoadGrade grade) -> TrafficDirection {
+    bool minor = grade == RoadGrade::kVillageRoad ||
+                 grade == RoadGrade::kFeederRoad;
+    if (minor && rng.Bernoulli(options_.one_way_fraction)) {
+      return TrafficDirection::kOneWay;
+    }
+    // Occasional one-way corridors among mid-grade roads (real cities run
+    // one-way systems on arterials too); these are long enough for a route
+    // to be modally one-way, which is what makes the traffic-direction
+    // feature ever describable.
+    bool mid = grade == RoadGrade::kProvincialRoad ||
+               grade == RoadGrade::kCountryRoad;
+    if (mid && rng.Bernoulli(options_.one_way_fraction * 0.6)) {
+      return TrafficDirection::kOneWay;
+    }
+    return TrafficDirection::kTwoWay;
+  };
+
+  struct PendingEdge {
+    NodeId a;
+    NodeId b;
+    RoadGrade grade;
+    TrafficDirection dir;
+    std::string name;
+    bool minor;
+  };
+  std::vector<PendingEdge> pending;
+
+  for (int i = 0; i <= nx; ++i) {
+    TrafficDirection dir = direction_for(v_lines[i].grade);
+    bool flip = rng.Bernoulli(0.5);
+    for (int j = 0; j < ny; ++j) {
+      NodeId a = grid_at(i, j);
+      NodeId bnode = grid_at(i, j + 1);
+      if (dir == TrafficDirection::kOneWay && flip) std::swap(a, bnode);
+      bool minor = static_cast<int>(v_lines[i].grade) >= 5;
+      pending.push_back({a, bnode, v_lines[i].grade, dir, v_lines[i].name,
+                         minor});
+    }
+  }
+  for (int j = 0; j <= ny; ++j) {
+    TrafficDirection dir = direction_for(h_lines[j].grade);
+    bool flip = rng.Bernoulli(0.5);
+    for (int i = 0; i < nx; ++i) {
+      NodeId a = grid_at(i, j);
+      NodeId bnode = grid_at(i + 1, j);
+      if (dir == TrafficDirection::kOneWay && flip) std::swap(a, bnode);
+      bool minor = static_cast<int>(h_lines[j].grade) >= 5;
+      pending.push_back({a, bnode, h_lines[j].grade, dir, h_lines[j].name,
+                         minor});
+    }
+  }
+
+  // Remove a fraction of minor segments for realism, but never disconnect
+  // the graph: a removal is applied only if its endpoints remain connected
+  // through other pending/undirected edges.
+  std::vector<size_t> minor_indices;
+  for (size_t k = 0; k < pending.size(); ++k) {
+    if (pending[k].minor) minor_indices.push_back(k);
+  }
+  // Fisher–Yates shuffle with our deterministic RNG.
+  for (size_t k = minor_indices.size(); k > 1; --k) {
+    size_t r = rng.UniformInt(k);
+    std::swap(minor_indices[k - 1], minor_indices[r]);
+  }
+  size_t target_removals = static_cast<size_t>(
+      options_.removal_fraction * static_cast<double>(pending.size()));
+
+  std::vector<bool> removed(pending.size(), false);
+  // Undirected adjacency over pending edges for the connectivity check.
+  auto connected_without = [&](size_t skip) -> bool {
+    NodeId src = pending[skip].a;
+    NodeId dst = pending[skip].b;
+    std::unordered_map<NodeId, std::vector<NodeId>> adj;
+    for (size_t k = 0; k < pending.size(); ++k) {
+      if (removed[k] || k == skip) continue;
+      adj[pending[k].a].push_back(pending[k].b);
+      adj[pending[k].b].push_back(pending[k].a);
+    }
+    std::queue<NodeId> q;
+    std::unordered_set<NodeId> seen;
+    q.push(src);
+    seen.insert(src);
+    while (!q.empty()) {
+      NodeId u = q.front();
+      q.pop();
+      if (u == dst) return true;
+      for (NodeId v : adj[u]) {
+        if (seen.insert(v).second) q.push(v);
+      }
+    }
+    return false;
+  };
+
+  size_t removals = 0;
+  for (size_t k : minor_indices) {
+    if (removals >= target_removals) break;
+    if (connected_without(k)) {
+      removed[k] = true;
+      ++removals;
+    }
+  }
+
+  for (size_t k = 0; k < pending.size(); ++k) {
+    if (removed[k]) continue;
+    const PendingEdge& pe = pending[k];
+    double width = TypicalWidthMeters(pe.grade) * rng.Uniform(0.85, 1.15);
+    Result<EdgeId> added =
+        net.AddEdge(pe.a, pe.b, pe.grade, width, pe.dir, pe.name);
+    STMAKER_CHECK(added.ok());
+    net.mutable_edge(*added).cost_bias = rng.Uniform(0.88, 1.12);
+  }
+
+  net.AnnotateTurningPoints();
+  net.BuildSpatialIndex();
+  return out;
+}
+
+}  // namespace stmaker

@@ -1,0 +1,63 @@
+#ifndef STMAKER_ROADNET_MAP_GENERATOR_H_
+#define STMAKER_ROADNET_MAP_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/bounding_box.h"
+#include "roadnet/road_network.h"
+
+namespace stmaker {
+
+/// Parameters of the synthetic city. Defaults produce a ~12 km × 12 km core
+/// with highway/express rings, arterial grid, and minor streets — a stand-in
+/// for the paper's commercial map of Beijing (see DESIGN.md §2).
+struct MapGeneratorOptions {
+  int blocks_x = 24;            ///< Number of city blocks east-west.
+  int blocks_y = 24;            ///< Number of city blocks north-south.
+  double block_size_m = 500.0;  ///< Block pitch in meters.
+  int arterial_every = 4;       ///< Every Nth grid line is a national road.
+  double position_jitter_m = 20.0;  ///< Gaussian jitter of intersections.
+  double one_way_fraction = 0.3;    ///< Of village/feeder streets.
+  double removal_fraction = 0.08;   ///< Minor street segments removed for
+                                    ///< realism (keeps the graph connected).
+  uint64_t seed = 42;               ///< Master seed; generation is
+                                    ///< deterministic given the options.
+};
+
+/// A generated city: the road graph plus its extent.
+struct GeneratedMap {
+  RoadNetwork network;
+  BoundingBox extent;
+};
+
+/// \brief Deterministic synthetic-city builder.
+///
+/// Layout: a blocks_x × blocks_y grid. The outer boundary forms a highway
+/// ring (grade 1); the lines one quarter in from each side form an express
+/// ring (grade 2); every `arterial_every`-th line is a national road
+/// (grade 3), with provincial roads (grade 4) between arterials; remaining
+/// lines cycle through country/village/feeder grades. A fraction of minor
+/// segments is removed (connectivity-preserving) and some minor streets are
+/// one-way. Every line carries a name drawn from a fixed lexicon, so
+/// summaries read like the paper's examples ("Suzhou Road", "Zhichun Road").
+class MapGenerator {
+ public:
+  explicit MapGenerator(const MapGeneratorOptions& options);
+
+  /// Builds the city. Also annotates turning points and builds the spatial
+  /// index, so the result is immediately usable.
+  GeneratedMap Generate() const;
+
+  /// The name lexicon used for roads (exposed so that POI naming can reuse
+  /// locality names).
+  static const std::vector<std::string>& NameLexicon();
+
+ private:
+  MapGeneratorOptions options_;
+};
+
+}  // namespace stmaker
+
+#endif  // STMAKER_ROADNET_MAP_GENERATOR_H_

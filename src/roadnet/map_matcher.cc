@@ -1,0 +1,107 @@
+#include "roadnet/map_matcher.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace stmaker {
+
+MapMatcher::MapMatcher(const RoadNetwork* network,
+                       const MapMatchOptions& options)
+    : network_(network), options_(options) {
+  STMAKER_CHECK(network != nullptr);
+}
+
+namespace {
+
+bool EdgesConnected(const RoadNetwork& net, EdgeId a, EdgeId b) {
+  const RoadEdge& ea = net.edge(a);
+  const RoadEdge& eb = net.edge(b);
+  return ea.from == eb.from || ea.from == eb.to || ea.to == eb.from ||
+         ea.to == eb.to;
+}
+
+}  // namespace
+
+std::vector<EdgeId> MapMatcher::Match(const std::vector<Vec2>& points) const {
+  const RoadNetwork& net = *network_;
+  const size_t n = points.size();
+  std::vector<EdgeId> result(n, -1);
+  if (n == 0) return result;
+
+  // Candidate edges and their emission costs, per point.
+  std::vector<std::vector<EdgeId>> cand(n);
+  std::vector<std::vector<double>> emit(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<EdgeId> near =
+        net.EdgesNear(points[i], options_.candidate_radius_m);
+    // Keep the closest max_candidates edges.
+    std::vector<std::pair<double, EdgeId>> scored;
+    scored.reserve(near.size());
+    for (EdgeId e : near) {
+      scored.emplace_back(net.DistanceToEdge(points[i], e), e);
+    }
+    std::sort(scored.begin(), scored.end());
+    size_t keep = std::min<size_t>(scored.size(),
+                                   static_cast<size_t>(options_.max_candidates));
+    for (size_t k = 0; k < keep; ++k) {
+      double d = scored[k].first / options_.gps_sigma_m;
+      cand[i].push_back(scored[k].second);
+      emit[i].push_back(d * d);
+    }
+  }
+
+  // Viterbi over contiguous runs of points that have candidates.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  size_t i = 0;
+  while (i < n) {
+    if (cand[i].empty()) {
+      ++i;
+      continue;
+    }
+    size_t run_end = i;
+    while (run_end < n && !cand[run_end].empty()) ++run_end;
+
+    std::vector<std::vector<double>> score(run_end - i);
+    std::vector<std::vector<int>> back(run_end - i);
+    score[0] = emit[i];
+    back[0].assign(cand[i].size(), -1);
+    for (size_t t = i + 1; t < run_end; ++t) {
+      size_t r = t - i;
+      score[r].assign(cand[t].size(), kInf);
+      back[r].assign(cand[t].size(), -1);
+      for (size_t j = 0; j < cand[t].size(); ++j) {
+        for (size_t p = 0; p < cand[t - 1].size(); ++p) {
+          double trans;
+          if (cand[t][j] == cand[t - 1][p]) {
+            trans = 0;
+          } else if (EdgesConnected(net, cand[t][j], cand[t - 1][p])) {
+            trans = options_.adjacency_cost;
+          } else {
+            trans = options_.jump_cost;
+          }
+          double s = score[r - 1][p] + trans + emit[t][j];
+          if (s < score[r][j]) {
+            score[r][j] = s;
+            back[r][j] = static_cast<int>(p);
+          }
+        }
+      }
+    }
+    // Backtrack.
+    size_t last = run_end - i - 1;
+    int best = 0;
+    for (size_t j = 1; j < score[last].size(); ++j) {
+      if (score[last][j] < score[last][best]) best = static_cast<int>(j);
+    }
+    for (size_t r = run_end - i; r-- > 0;) {
+      result[i + r] = cand[i + r][best];
+      if (r > 0) best = back[r][best];
+    }
+    i = run_end;
+  }
+  return result;
+}
+
+}  // namespace stmaker

@@ -1,0 +1,149 @@
+#include "roadnet/road_network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "geo/polyline.h"
+
+namespace stmaker {
+
+NodeId RoadNetwork::AddNode(const Vec2& pos) {
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back({id, pos, false});
+  adjacency_.emplace_back();
+  undirected_degree_.push_back(0);
+  return id;
+}
+
+Result<EdgeId> RoadNetwork::AddEdge(NodeId from, NodeId to, RoadGrade grade,
+                                    double width_m,
+                                    TrafficDirection direction,
+                                    std::string name) {
+  if (from < 0 || static_cast<size_t>(from) >= nodes_.size() || to < 0 ||
+      static_cast<size_t>(to) >= nodes_.size()) {
+    return Status::InvalidArgument("AddEdge: node id out of range");
+  }
+  if (from == to) {
+    return Status::InvalidArgument("AddEdge: self-loop not allowed");
+  }
+  if (width_m <= 0) {
+    return Status::InvalidArgument("AddEdge: non-positive width");
+  }
+  EdgeId id = static_cast<EdgeId>(edges_.size());
+  RoadEdge e;
+  e.id = id;
+  e.from = from;
+  e.to = to;
+  e.grade = grade;
+  e.width_m = width_m;
+  e.direction = direction;
+  e.name = std::move(name);
+  e.length_m = Distance(nodes_[from].pos, nodes_[to].pos);
+  edges_.push_back(std::move(e));
+
+  adjacency_[from].push_back({id, to, /*forward=*/true});
+  if (direction == TrafficDirection::kTwoWay) {
+    adjacency_[to].push_back({id, from, /*forward=*/false});
+  }
+  undirected_degree_[from]++;
+  undirected_degree_[to]++;
+  return id;
+}
+
+const RoadNode& RoadNetwork::node(NodeId id) const {
+  STMAKER_CHECK(id >= 0 && static_cast<size_t>(id) < nodes_.size());
+  return nodes_[id];
+}
+
+RoadNode& RoadNetwork::mutable_node(NodeId id) {
+  STMAKER_CHECK(id >= 0 && static_cast<size_t>(id) < nodes_.size());
+  return nodes_[id];
+}
+
+const RoadEdge& RoadNetwork::edge(EdgeId id) const {
+  STMAKER_CHECK(id >= 0 && static_cast<size_t>(id) < edges_.size());
+  return edges_[id];
+}
+
+RoadEdge& RoadNetwork::mutable_edge(EdgeId id) {
+  STMAKER_CHECK(id >= 0 && static_cast<size_t>(id) < edges_.size());
+  return edges_[id];
+}
+
+const std::vector<Adjacency>& RoadNetwork::OutEdges(NodeId id) const {
+  STMAKER_CHECK(id >= 0 && static_cast<size_t>(id) < adjacency_.size());
+  return adjacency_[id];
+}
+
+size_t RoadNetwork::Degree(NodeId id) const {
+  STMAKER_CHECK(id >= 0 && static_cast<size_t>(id) < nodes_.size());
+  return undirected_degree_[id];
+}
+
+EdgeId RoadNetwork::FindEdgeBetween(NodeId a, NodeId b) const {
+  for (const Adjacency& adj : OutEdges(a)) {
+    if (adj.neighbor == b) return adj.edge;
+  }
+  return -1;
+}
+
+void RoadNetwork::AnnotateTurningPoints() {
+  for (RoadNode& n : nodes_) {
+    n.is_turning_point = undirected_degree_[n.id] != 2;
+  }
+}
+
+void RoadNetwork::BuildSpatialIndex(double sample_step_m) {
+  STMAKER_CHECK(sample_step_m > 0);
+  edge_index_ = std::make_unique<GridIndex>(sample_step_m * 2.0);
+  for (const RoadEdge& e : edges_) {
+    const Vec2& a = nodes_[e.from].pos;
+    const Vec2& b = nodes_[e.to].pos;
+    int steps = std::max(1, static_cast<int>(e.length_m / sample_step_m));
+    for (int s = 0; s <= steps; ++s) {
+      double t = static_cast<double>(s) / steps;
+      edge_index_->Insert(e.id, a + (b - a) * t);
+    }
+  }
+}
+
+double RoadNetwork::DistanceToEdge(const Vec2& p, EdgeId e) const {
+  const RoadEdge& edge = this->edge(e);
+  return PointSegmentDistance(p, nodes_[edge.from].pos, nodes_[edge.to].pos);
+}
+
+EdgeId RoadNetwork::NearestEdge(const Vec2& p, double max_radius) const {
+  if (edge_index_ == nullptr) return -1;
+  std::vector<int64_t> candidates = edge_index_->WithinRadius(p, max_radius);
+  EdgeId best = -1;
+  double best_d = max_radius;
+  std::unordered_set<int64_t> seen;
+  for (int64_t id : candidates) {
+    if (!seen.insert(id).second) continue;
+    double d = DistanceToEdge(p, id);
+    if (d <= best_d) {
+      best_d = d;
+      best = id;
+    }
+  }
+  return best;
+}
+
+std::vector<EdgeId> RoadNetwork::EdgesNear(const Vec2& p,
+                                           double radius) const {
+  std::vector<EdgeId> out;
+  if (edge_index_ == nullptr) return out;
+  std::unordered_set<int64_t> seen;
+  // Sample points are at most (sample step) away from the true geometry, so
+  // widen the index query a little and verify with exact distances.
+  for (int64_t id : edge_index_->WithinRadius(p, radius * 1.5 + 60.0)) {
+    if (!seen.insert(id).second) continue;
+    if (DistanceToEdge(p, id) <= radius) out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace stmaker

@@ -1,0 +1,128 @@
+#ifndef STMAKER_ROADNET_ROAD_NETWORK_H_
+#define STMAKER_ROADNET_ROAD_NETWORK_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "geo/grid_index.h"
+#include "geo/vec2.h"
+#include "roadnet/road_types.h"
+
+namespace stmaker {
+
+using NodeId = int64_t;
+using EdgeId = int64_t;
+
+/// An intersection or shape point of the road graph.
+struct RoadNode {
+  NodeId id = -1;
+  Vec2 pos;
+  /// True when the node is a genuine turning point of the network (degree
+  /// != 2 or a sharp bend); turning points become landmark candidates.
+  bool is_turning_point = false;
+};
+
+/// A road segment between two nodes, carrying the routing attributes the
+/// paper's Table III consumes: grade, width, and traffic direction.
+struct RoadEdge {
+  EdgeId id = -1;
+  NodeId from = -1;
+  NodeId to = -1;
+  RoadGrade grade = RoadGrade::kCountryRoad;
+  double width_m = 10.0;
+  TrafficDirection direction = TrafficDirection::kTwoWay;
+  std::string name;
+  double length_m = 0;
+  /// Persistent route-choice bias (~1.0): captures road quality differences
+  /// (pavement, signal timing, congestion reputation) that make all drivers
+  /// break ties between geometrically equivalent paths the same way. Grid
+  /// networks are massively path-degenerate; without a shared tie-breaker no
+  /// "popular route" can emerge.
+  double cost_bias = 1.0;
+};
+
+/// One traversal option out of a node.
+struct Adjacency {
+  EdgeId edge = -1;
+  NodeId neighbor = -1;
+  /// True when traversal goes from edge.from to edge.to.
+  bool forward = true;
+};
+
+/// \brief In-memory road graph (the "commercial digital map" substrate).
+///
+/// Nodes and edges are stored in dense arrays indexed by their ids, which
+/// are assigned contiguously by AddNode/AddEdge. One-way edges are traversable
+/// only from `from` to `to`; two-way edges both ways. After construction,
+/// BuildSpatialIndex() enables nearest-edge queries for map matching.
+class RoadNetwork {
+ public:
+  RoadNetwork() = default;
+  RoadNetwork(RoadNetwork&&) = default;
+  RoadNetwork& operator=(RoadNetwork&&) = default;
+  RoadNetwork(const RoadNetwork&) = delete;
+  RoadNetwork& operator=(const RoadNetwork&) = delete;
+
+  /// Adds a node at `pos`; returns its id.
+  NodeId AddNode(const Vec2& pos);
+
+  /// Adds an edge between existing nodes. The length is computed from the
+  /// endpoint positions. Returns the edge id, or an error for bad node ids
+  /// or a self-loop.
+  Result<EdgeId> AddEdge(NodeId from, NodeId to, RoadGrade grade,
+                         double width_m, TrafficDirection direction,
+                         std::string name);
+
+  size_t NumNodes() const { return nodes_.size(); }
+  size_t NumEdges() const { return edges_.size(); }
+
+  const RoadNode& node(NodeId id) const;
+  RoadNode& mutable_node(NodeId id);
+  const RoadEdge& edge(EdgeId id) const;
+  RoadEdge& mutable_edge(EdgeId id);
+
+  const std::vector<RoadNode>& nodes() const { return nodes_; }
+  const std::vector<RoadEdge>& edges() const { return edges_; }
+
+  /// Traversal options leaving `id` (respects one-way restrictions).
+  const std::vector<Adjacency>& OutEdges(NodeId id) const;
+
+  /// Out-degree plus in-degree as seen by the undirected topology.
+  size_t Degree(NodeId id) const;
+
+  /// The edge joining `a` and `b` traversable from `a`, or -1.
+  EdgeId FindEdgeBetween(NodeId a, NodeId b) const;
+
+  /// Marks nodes whose undirected degree != 2 as turning points. Called by
+  /// the map generator after construction; idempotent.
+  void AnnotateTurningPoints();
+
+  /// Prepares the spatial index used by NearestEdge(). Must be re-called if
+  /// edges are added afterwards. `sample_step_m` controls the density of the
+  /// edge sampling in the index.
+  void BuildSpatialIndex(double sample_step_m = 50.0);
+
+  /// Nearest edge to `p` by true point-to-segment distance, searching items
+  /// within `max_radius` meters. Returns -1 if none (or index not built).
+  EdgeId NearestEdge(const Vec2& p, double max_radius) const;
+
+  /// Edges whose geometry passes within `radius` of `p`.
+  std::vector<EdgeId> EdgesNear(const Vec2& p, double radius) const;
+
+  /// Distance from `p` to the segment geometry of `e`.
+  double DistanceToEdge(const Vec2& p, EdgeId e) const;
+
+ private:
+  std::vector<RoadNode> nodes_;
+  std::vector<RoadEdge> edges_;
+  std::vector<std::vector<Adjacency>> adjacency_;
+  std::vector<size_t> undirected_degree_;
+  std::unique_ptr<GridIndex> edge_index_;
+};
+
+}  // namespace stmaker
+
+#endif  // STMAKER_ROADNET_ROAD_NETWORK_H_

@@ -1,0 +1,72 @@
+#include "roadnet/road_types.h"
+
+namespace stmaker {
+
+std::string RoadGradeName(RoadGrade grade) {
+  switch (grade) {
+    case RoadGrade::kHighway:
+      return "highway";
+    case RoadGrade::kExpressRoad:
+      return "express road";
+    case RoadGrade::kNationalRoad:
+      return "national road";
+    case RoadGrade::kProvincialRoad:
+      return "provincial road";
+    case RoadGrade::kCountryRoad:
+      return "country road";
+    case RoadGrade::kVillageRoad:
+      return "village road";
+    case RoadGrade::kFeederRoad:
+      return "feeder road";
+  }
+  return "road";
+}
+
+std::string TrafficDirectionName(TrafficDirection direction) {
+  return direction == TrafficDirection::kOneWay ? "a one-way road"
+                                                : "a two-way road";
+}
+
+double FreeFlowSpeedKmh(RoadGrade grade) {
+  switch (grade) {
+    case RoadGrade::kHighway:
+      return 100.0;
+    case RoadGrade::kExpressRoad:
+      return 80.0;
+    case RoadGrade::kNationalRoad:
+      return 70.0;
+    case RoadGrade::kProvincialRoad:
+      return 60.0;
+    case RoadGrade::kCountryRoad:
+      return 50.0;
+    case RoadGrade::kVillageRoad:
+      return 40.0;
+    case RoadGrade::kFeederRoad:
+      return 30.0;
+  }
+  return 50.0;
+}
+
+double TypicalWidthMeters(RoadGrade grade) {
+  switch (grade) {
+    case RoadGrade::kHighway:
+      return 30.0;
+    case RoadGrade::kExpressRoad:
+      return 25.0;
+    case RoadGrade::kNationalRoad:
+      return 20.0;
+    case RoadGrade::kProvincialRoad:
+      return 15.0;
+    case RoadGrade::kCountryRoad:
+      return 10.0;
+    case RoadGrade::kVillageRoad:
+      return 7.0;
+    case RoadGrade::kFeederRoad:
+      return 5.0;
+  }
+  return 10.0;
+}
+
+bool IsValidRoadGrade(int v) { return v >= 1 && v <= 7; }
+
+}  // namespace stmaker

@@ -1,0 +1,45 @@
+#ifndef STMAKER_ROADNET_ROAD_TYPES_H_
+#define STMAKER_ROADNET_ROAD_TYPES_H_
+
+#include <string>
+
+namespace stmaker {
+
+/// Grade of road, after the paper's seven-level scheme (Sec. III-A).
+/// Smaller numeric value means higher transportation capacity.
+enum class RoadGrade : int {
+  kHighway = 1,
+  kExpressRoad = 2,
+  kNationalRoad = 3,
+  kProvincialRoad = 4,
+  kCountryRoad = 5,
+  kVillageRoad = 6,
+  kFeederRoad = 7,
+};
+
+/// Traffic direction of a road (Sec. III-A): 1 = two-way, 2 = one-way.
+enum class TrafficDirection : int {
+  kTwoWay = 1,
+  kOneWay = 2,
+};
+
+/// Human-readable name used in summaries ("highway", "express road", ...).
+std::string RoadGradeName(RoadGrade grade);
+
+/// Human-readable direction ("a two-way road" / "a one-way road").
+std::string TrafficDirectionName(TrafficDirection direction);
+
+/// Free-flow design speed for a grade, km/h. Drives both the synthetic
+/// trajectory simulator and the speed irregularity baseline.
+double FreeFlowSpeedKmh(RoadGrade grade);
+
+/// Typical carriageway width for a grade, meters (jittered per-edge by the
+/// map generator).
+double TypicalWidthMeters(RoadGrade grade);
+
+/// True if `v` is a valid RoadGrade integer (1..7).
+bool IsValidRoadGrade(int v);
+
+}  // namespace stmaker
+
+#endif  // STMAKER_ROADNET_ROAD_TYPES_H_

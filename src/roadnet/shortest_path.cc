@@ -1,0 +1,162 @@
+#include "roadnet/shortest_path.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "common/check.h"
+
+namespace stmaker {
+
+EdgeCostFn LengthCost() {
+  return [](const RoadEdge& e, bool /*forward*/) { return e.length_m; };
+}
+
+EdgeCostFn TravelTimeCost() {
+  return [](const RoadEdge& e, bool /*forward*/) {
+    double speed_mps = FreeFlowSpeedKmh(e.grade) / 3.6;
+    return e.length_m / speed_mps;
+  };
+}
+
+ShortestPathRouter::ShortestPathRouter(const RoadNetwork* network)
+    : network_(network) {
+  STMAKER_CHECK(network != nullptr);
+}
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+Result<Path> Reconstruct(const RoadNetwork& net, NodeId src, NodeId dst,
+                         const std::vector<double>& dist,
+                         const std::vector<NodeId>& prev_node,
+                         const std::vector<EdgeId>& prev_edge) {
+  if (dist[dst] == kInf) {
+    return Status::NotFound("no route between the given nodes");
+  }
+  Path path;
+  path.cost = dist[dst];
+  for (NodeId at = dst; at != src; at = prev_node[at]) {
+    path.nodes.push_back(at);
+    path.edges.push_back(prev_edge[at]);
+  }
+  path.nodes.push_back(src);
+  std::reverse(path.nodes.begin(), path.nodes.end());
+  std::reverse(path.edges.begin(), path.edges.end());
+  (void)net;
+  return path;
+}
+
+}  // namespace
+
+Result<Path> ShortestPathRouter::Route(NodeId src, NodeId dst,
+                                       const EdgeCostFn& cost) const {
+  const RoadNetwork& net = *network_;
+  if (src < 0 || static_cast<size_t>(src) >= net.NumNodes() || dst < 0 ||
+      static_cast<size_t>(dst) >= net.NumNodes()) {
+    return Status::InvalidArgument("Route: node id out of range");
+  }
+  EdgeCostFn c = cost ? cost : LengthCost();
+  std::vector<double> dist(net.NumNodes(), kInf);
+  std::vector<NodeId> prev_node(net.NumNodes(), -1);
+  std::vector<EdgeId> prev_edge(net.NumNodes(), -1);
+  using QItem = std::pair<double, NodeId>;
+  std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
+  dist[src] = 0;
+  pq.push({0.0, src});
+  while (!pq.empty()) {
+    auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;
+    if (u == dst) break;
+    for (const Adjacency& adj : net.OutEdges(u)) {
+      double w = c(net.edge(adj.edge), adj.forward);
+      STMAKER_DCHECK(w >= 0);
+      double nd = d + w;
+      if (nd < dist[adj.neighbor]) {
+        dist[adj.neighbor] = nd;
+        prev_node[adj.neighbor] = u;
+        prev_edge[adj.neighbor] = adj.edge;
+        pq.push({nd, adj.neighbor});
+      }
+    }
+  }
+  return Reconstruct(net, src, dst, dist, prev_node, prev_edge);
+}
+
+Result<Path> ShortestPathRouter::RouteAStar(NodeId src, NodeId dst,
+                                            const EdgeCostFn& cost,
+                                            double heuristic_scale) const {
+  const RoadNetwork& net = *network_;
+  if (src < 0 || static_cast<size_t>(src) >= net.NumNodes() || dst < 0 ||
+      static_cast<size_t>(dst) >= net.NumNodes()) {
+    return Status::InvalidArgument("RouteAStar: node id out of range");
+  }
+  if (heuristic_scale < 0) {
+    return Status::InvalidArgument("RouteAStar: negative heuristic scale");
+  }
+  EdgeCostFn c = cost ? cost : LengthCost();
+  const Vec2 goal = net.node(dst).pos;
+  auto h = [&](NodeId n) {
+    return heuristic_scale * Distance(net.node(n).pos, goal);
+  };
+  std::vector<double> dist(net.NumNodes(), kInf);
+  std::vector<NodeId> prev_node(net.NumNodes(), -1);
+  std::vector<EdgeId> prev_edge(net.NumNodes(), -1);
+  using QItem = std::pair<double, NodeId>;  // (g + h, node)
+  std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
+  dist[src] = 0;
+  pq.push({h(src), src});
+  while (!pq.empty()) {
+    auto [f, u] = pq.top();
+    pq.pop();
+    if (f > dist[u] + h(u) + 1e-9) continue;  // stale entry
+    if (u == dst) break;
+    for (const Adjacency& adj : net.OutEdges(u)) {
+      double w = c(net.edge(adj.edge), adj.forward);
+      STMAKER_DCHECK(w >= 0);
+      double nd = dist[u] + w;
+      if (nd < dist[adj.neighbor]) {
+        dist[adj.neighbor] = nd;
+        prev_node[adj.neighbor] = u;
+        prev_edge[adj.neighbor] = adj.edge;
+        pq.push({nd + h(adj.neighbor), adj.neighbor});
+      }
+    }
+  }
+  return Reconstruct(net, src, dst, dist, prev_node, prev_edge);
+}
+
+Result<Path> ShortestPathRouter::RouteBellmanFord(
+    NodeId src, NodeId dst, const EdgeCostFn& cost) const {
+  const RoadNetwork& net = *network_;
+  if (src < 0 || static_cast<size_t>(src) >= net.NumNodes() || dst < 0 ||
+      static_cast<size_t>(dst) >= net.NumNodes()) {
+    return Status::InvalidArgument("RouteBellmanFord: node id out of range");
+  }
+  EdgeCostFn c = cost ? cost : LengthCost();
+  std::vector<double> dist(net.NumNodes(), kInf);
+  std::vector<NodeId> prev_node(net.NumNodes(), -1);
+  std::vector<EdgeId> prev_edge(net.NumNodes(), -1);
+  dist[src] = 0;
+  bool changed = true;
+  for (size_t round = 0; round < net.NumNodes() && changed; ++round) {
+    changed = false;
+    for (NodeId u = 0; static_cast<size_t>(u) < net.NumNodes(); ++u) {
+      if (dist[u] == kInf) continue;
+      for (const Adjacency& adj : net.OutEdges(u)) {
+        double nd = dist[u] + c(net.edge(adj.edge), adj.forward);
+        if (nd < dist[adj.neighbor]) {
+          dist[adj.neighbor] = nd;
+          prev_node[adj.neighbor] = u;
+          prev_edge[adj.neighbor] = adj.edge;
+          changed = true;
+        }
+      }
+    }
+  }
+  return Reconstruct(net, src, dst, dist, prev_node, prev_edge);
+}
+
+}  // namespace stmaker

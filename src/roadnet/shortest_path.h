@@ -1,0 +1,65 @@
+#ifndef STMAKER_ROADNET_SHORTEST_PATH_H_
+#define STMAKER_ROADNET_SHORTEST_PATH_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "roadnet/road_network.h"
+
+namespace stmaker {
+
+/// A routed path: n nodes and n-1 edges, plus the total cost under the cost
+/// function used to compute it.
+struct Path {
+  std::vector<NodeId> nodes;
+  std::vector<EdgeId> edges;
+  double cost = 0;
+
+  bool empty() const { return nodes.empty(); }
+};
+
+/// Cost of traversing `edge` in the given direction. Must be non-negative
+/// for Dijkstra. The default (null) cost function is geometric length.
+using EdgeCostFn = std::function<double(const RoadEdge& edge, bool forward)>;
+
+/// Cost = edge length in meters.
+EdgeCostFn LengthCost();
+
+/// Cost = free-flow travel time in seconds (length / grade speed), which
+/// biases routes onto high-grade roads like real navigation does.
+EdgeCostFn TravelTimeCost();
+
+/// \brief Single-source shortest path routing over a RoadNetwork.
+///
+/// The pointee network must outlive the router. Dijkstra is the production
+/// algorithm; BellmanFord exists as an independent oracle for tests.
+class ShortestPathRouter {
+ public:
+  explicit ShortestPathRouter(const RoadNetwork* network);
+
+  /// Dijkstra from `src` to `dst`. Returns NotFound when unreachable.
+  Result<Path> Route(NodeId src, NodeId dst,
+                     const EdgeCostFn& cost = nullptr) const;
+
+  /// A* with a straight-line admissible heuristic. `heuristic_scale` maps
+  /// meters of bird distance to cost units and must keep the heuristic
+  /// admissible for the cost function in use: for LengthCost use 1.0; for
+  /// TravelTimeCost use 3.6 / max-speed-kmh (seconds per meter at the
+  /// fastest grade). A scale of 0 degenerates to Dijkstra. Same result as
+  /// Route() whenever the heuristic is admissible, explored-node count
+  /// permitting.
+  Result<Path> RouteAStar(NodeId src, NodeId dst, const EdgeCostFn& cost,
+                          double heuristic_scale) const;
+
+  /// Bellman–Ford reference implementation (O(V·E)); test oracle only.
+  Result<Path> RouteBellmanFord(NodeId src, NodeId dst,
+                                const EdgeCostFn& cost = nullptr) const;
+
+ private:
+  const RoadNetwork* network_;
+};
+
+}  // namespace stmaker
+
+#endif  // STMAKER_ROADNET_SHORTEST_PATH_H_

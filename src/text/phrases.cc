@@ -1,0 +1,120 @@
+#include "text/phrases.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/strings.h"
+#include "text/template_engine.h"
+
+namespace stmaker {
+
+namespace {
+
+// Table V feature phrase templates.
+constexpr char kGradeTemplate[] =
+    "through {given_type} ({road_name}) while most drivers choose "
+    "{regular_type}";
+constexpr char kGradeTemplateNoName[] =
+    "through {given_type} while most drivers choose {regular_type}";
+constexpr char kWidthTemplate[] =
+    "through {width} metres wide roads while most drivers prefer "
+    "{comparative} roads";
+constexpr char kDirectionTemplate[] =
+    "through {given_direction} while most drivers prefer {regular_direction}";
+constexpr char kSpeedTemplate[] =
+    "with the speed of {speed} km/h which was {delta} km/h {comparative} "
+    "than usual";
+constexpr char kStayTemplate[] =
+    "with {count} staying point{plural} (in total for about {duration})";
+constexpr char kUTurnTemplate[] =
+    "with conducting {count} U-turn{plural}{places}";
+
+// Table VI sentence templates.
+constexpr char kFirstSentence[] =
+    "The car started from {source} to {destination} {body}.";
+constexpr char kNextSentence[] =
+    "Then it moved from {source} to {destination} {body}.";
+
+std::string MustRender(const std::string& tmpl, const TemplateValues& values) {
+  Result<std::string> rendered = RenderTemplate(tmpl, values);
+  STMAKER_CHECK(rendered.ok());
+  return std::move(rendered).value();
+}
+
+}  // namespace
+
+std::string GradeOfRoadPhrase(const std::string& given_type,
+                              const std::string& road_name,
+                              const std::string& regular_type) {
+  TemplateValues v{{"given_type", given_type},
+                   {"road_name", road_name},
+                   {"regular_type", regular_type}};
+  return MustRender(road_name.empty() ? kGradeTemplateNoName : kGradeTemplate,
+                    v);
+}
+
+std::string RoadWidthPhrase(double given_width_m, double regular_width_m) {
+  TemplateValues v{
+      {"width", FormatNumber(given_width_m, 0)},
+      {"comparative", given_width_m < regular_width_m ? "wider" : "narrower"},
+  };
+  return MustRender(kWidthTemplate, v);
+}
+
+std::string TrafficDirectionPhrase(const std::string& given_direction,
+                                   const std::string& regular_direction) {
+  TemplateValues v{{"given_direction", given_direction},
+                   {"regular_direction", regular_direction}};
+  return MustRender(kDirectionTemplate, v);
+}
+
+std::string SpeedPhrase(double given_kmh, double regular_kmh) {
+  double delta = given_kmh - regular_kmh;
+  TemplateValues v{
+      {"speed", FormatNumber(given_kmh, 1)},
+      {"delta", FormatNumber(std::fabs(delta), 0)},
+      {"comparative", delta >= 0 ? "faster" : "slower"},
+  };
+  return MustRender(kSpeedTemplate, v);
+}
+
+std::string StayPointsPhrase(int count, double total_duration_s) {
+  TemplateValues v{
+      {"count", std::to_string(count)},
+      {"plural", count == 1 ? "" : "s"},
+      {"duration", FormatDuration(total_duration_s)},
+  };
+  return MustRender(kStayTemplate, v);
+}
+
+std::string UTurnsPhrase(int count, const std::vector<std::string>& places) {
+  std::string at;
+  if (!places.empty()) {
+    at = " at " + Join(places, ", ");
+  }
+  TemplateValues v{
+      {"count", count == 1 ? std::string("one") : std::to_string(count)},
+      {"plural", count == 1 ? "" : "s"},
+      {"places", at},
+  };
+  return MustRender(kUTurnTemplate, v);
+}
+
+std::string PartitionSentence(bool is_first, const std::string& source,
+                              const std::string& destination,
+                              const std::string& road_type,
+                              const std::vector<std::string>& phrases) {
+  std::string body;
+  if (phrases.empty()) {
+    body = "smoothly";
+  } else {
+    if (!road_type.empty()) body = "through " + road_type + ", ";
+    body += Join(phrases, ", and ");
+  }
+  TemplateValues v{{"source", source},
+                   {"destination", destination},
+                   {"body", body}};
+  return MustRender(is_first ? kFirstSentence : kNextSentence, v);
+}
+
+}  // namespace stmaker

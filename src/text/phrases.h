@@ -1,0 +1,48 @@
+#ifndef STMAKER_TEXT_PHRASES_H_
+#define STMAKER_TEXT_PHRASES_H_
+
+#include <string>
+#include <vector>
+
+namespace stmaker {
+
+/// \file
+/// Phrase templates for the built-in features (Table V) and sentence
+/// templates for partitions (Table VI). Each builder fills the corresponding
+/// template via RenderTemplate; templates and builders live together so a
+/// new feature can follow the same pattern (Sec. VI-B).
+
+/// "through <given type> (<name>) while most drivers choose <regular type>".
+std::string GradeOfRoadPhrase(const std::string& given_type,
+                              const std::string& road_name,
+                              const std::string& regular_type);
+
+/// "through <w> metres wide roads while most drivers prefer wider/narrower
+/// roads".
+std::string RoadWidthPhrase(double given_width_m, double regular_width_m);
+
+/// "through <given direction> while most drivers prefer <regular
+/// direction>".
+std::string TrafficDirectionPhrase(const std::string& given_direction,
+                                   const std::string& regular_direction);
+
+/// "with the speed of <v> km/h which was <d> km/h faster/slower than usual".
+std::string SpeedPhrase(double given_kmh, double regular_kmh);
+
+/// "with <n> stay points (in total for about <duration>)".
+std::string StayPointsPhrase(int count, double total_duration_s);
+
+/// "with conducting <n> U-turns at <places>". Places may be empty.
+std::string UTurnsPhrase(int count, const std::vector<std::string>& places);
+
+/// Table VI sentence: "The car started/Then it moved from <src> to <dst>
+/// through <road type>, with <phrases>." — or "... smoothly." when no
+/// feature was selected for the partition.
+std::string PartitionSentence(bool is_first, const std::string& source,
+                              const std::string& destination,
+                              const std::string& road_type,
+                              const std::vector<std::string>& phrases);
+
+}  // namespace stmaker
+
+#endif  // STMAKER_TEXT_PHRASES_H_

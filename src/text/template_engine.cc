@@ -1,0 +1,47 @@
+#include "text/template_engine.h"
+
+namespace stmaker {
+
+Result<std::string> RenderTemplate(const std::string& tmpl,
+                                   const TemplateValues& values) {
+  std::string out;
+  out.reserve(tmpl.size());
+  for (size_t i = 0; i < tmpl.size(); ++i) {
+    char c = tmpl[i];
+    if (c == '{') {
+      if (i + 1 < tmpl.size() && tmpl[i + 1] == '{') {
+        out += '{';
+        ++i;
+        continue;
+      }
+      size_t close = tmpl.find('}', i + 1);
+      if (close == std::string::npos) {
+        return Status::InvalidArgument("unterminated placeholder in: " +
+                                       tmpl);
+      }
+      std::string name = tmpl.substr(i + 1, close - i - 1);
+      if (name.empty()) {
+        return Status::InvalidArgument("empty placeholder in: " + tmpl);
+      }
+      auto it = values.find(name);
+      if (it == values.end()) {
+        return Status::InvalidArgument("unbound placeholder '" + name +
+                                       "' in: " + tmpl);
+      }
+      out += it->second;
+      i = close;
+    } else if (c == '}') {
+      if (i + 1 < tmpl.size() && tmpl[i + 1] == '}') {
+        out += '}';
+        ++i;
+        continue;
+      }
+      return Status::InvalidArgument("stray '}' in: " + tmpl);
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace stmaker

@@ -1,0 +1,25 @@
+#ifndef STMAKER_TEXT_TEMPLATE_ENGINE_H_
+#define STMAKER_TEXT_TEMPLATE_ENGINE_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+
+namespace stmaker {
+
+/// Placeholder values for one rendering, keyed by placeholder name.
+using TemplateValues = std::map<std::string, std::string>;
+
+/// \brief Renders `{name}`-style templates (Sec. VI-A).
+///
+/// Grammar: `{identifier}` substitutes the value bound to `identifier`;
+/// `{{` and `}}` escape literal braces. Rendering fails with
+/// InvalidArgument on an unbound placeholder, an empty placeholder, or an
+/// unterminated brace — summaries must never silently ship holes.
+Result<std::string> RenderTemplate(const std::string& tmpl,
+                                   const TemplateValues& values);
+
+}  // namespace stmaker
+
+#endif  // STMAKER_TEXT_TEMPLATE_ENGINE_H_

@@ -1,0 +1,190 @@
+#include "traj/calibration.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace stmaker {
+
+namespace {
+
+/// Interpolates the fix time at arc-length position `s` from the per-vertex
+/// cumulative lengths of the raw polyline.
+double TimeAtArc(const Polyline& geometry, const RawTrajectory& raw,
+                 double s) {
+  const size_t n = raw.samples.size();
+  STMAKER_CHECK(n >= 1);
+  if (s <= 0) return raw.samples.front().time;
+  if (s >= geometry.Length()) return raw.samples.back().time;
+  // Find the first vertex at arc >= s.
+  size_t lo = 0;
+  size_t hi = n - 1;
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (geometry.CumulativeLength(mid) < s) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo == 0) return raw.samples.front().time;
+  double a0 = geometry.CumulativeLength(lo - 1);
+  double a1 = geometry.CumulativeLength(lo);
+  double t0 = raw.samples[lo - 1].time;
+  double t1 = raw.samples[lo].time;
+  if (a1 <= a0) return t0;
+  double t = (s - a0) / (a1 - a0);
+  return t0 + t * (t1 - t0);
+}
+
+}  // namespace
+
+std::pair<size_t, size_t> CalibratedTrajectory::SegmentSampleRange(
+    size_t i) const {
+  STMAKER_CHECK(i < NumSegments());
+  double a0 = arc_positions[i];
+  double a1 = arc_positions[i + 1];
+  const size_t n = raw.samples.size();
+  // First sample strictly inside the segment.
+  size_t first = 0;
+  while (first + 1 < n && geometry.CumulativeLength(first + 1) <= a0) {
+    ++first;
+  }
+  size_t last = first;
+  while (last + 1 < n && geometry.CumulativeLength(last) < a1) {
+    ++last;
+  }
+  return {first, last + 1};
+}
+
+RawTrajectory CalibratedTrajectory::SegmentRaw(size_t i) const {
+  auto [first, last] = SegmentSampleRange(i);
+  RawTrajectory out;
+  out.traveler = raw.traveler;
+  out.samples.assign(raw.samples.begin() + first, raw.samples.begin() + last);
+  return out;
+}
+
+std::pair<double, double> CalibratedTrajectory::SegmentTimeSpan(
+    size_t i) const {
+  STMAKER_CHECK(i < NumSegments());
+  return {symbolic.samples[i].time, symbolic.samples[i + 1].time};
+}
+
+double CalibratedTrajectory::SegmentLength(size_t i) const {
+  STMAKER_CHECK(i < NumSegments());
+  return arc_positions[i + 1] - arc_positions[i];
+}
+
+Calibrator::Calibrator(const LandmarkIndex* landmarks,
+                       const CalibrationOptions& options)
+    : landmarks_(landmarks), options_(options) {
+  STMAKER_CHECK(landmarks != nullptr);
+  STMAKER_CHECK(options.anchor_radius_m > 0);
+  STMAKER_CHECK(options.scan_step_m > 0);
+}
+
+Result<CalibratedTrajectory> Calibrator::Calibrate(
+    const RawTrajectory& raw) const {
+  if (raw.samples.size() < 2) {
+    return Status::InvalidArgument(
+        "calibration requires at least two samples");
+  }
+  for (size_t i = 1; i < raw.samples.size(); ++i) {
+    if (raw.samples[i].time < raw.samples[i - 1].time) {
+      return Status::InvalidArgument("timestamps must be non-decreasing");
+    }
+  }
+
+  CalibratedTrajectory out;
+  out.raw = raw;
+  std::vector<Vec2> pts;
+  pts.reserve(raw.samples.size());
+  for (const RawSample& s : raw.samples) pts.push_back(s.pos);
+  out.geometry = Polyline(std::move(pts));
+
+  if (out.geometry.Length() <= 0) {
+    return Status::NotFound("trajectory has no spatial extent");
+  }
+
+  // --- Collect candidate anchors by walking the polyline. -------------------
+  std::unordered_set<LandmarkId> candidates;
+  const double length = out.geometry.Length();
+  for (double s = 0;; s += options_.scan_step_m) {
+    bool last = s >= length;
+    Vec2 p = out.geometry.Interpolate(std::min(s, length));
+    for (LandmarkId id :
+         landmarks_->WithinRadius(p, options_.anchor_radius_m)) {
+      candidates.insert(id);
+    }
+    if (last) break;
+  }
+
+  struct Anchor {
+    LandmarkId id;
+    double arc;
+    double dist;
+    double significance;
+  };
+  std::vector<Anchor> anchors;
+  for (LandmarkId id : candidates) {
+    const Landmark& lm = landmarks_->landmark(id);
+    PolylineProjection proj = out.geometry.Project(lm.pos);
+    if (proj.distance <= options_.anchor_radius_m) {
+      anchors.push_back({id, proj.arc_length, proj.distance,
+                         lm.significance});
+    }
+  }
+  std::sort(anchors.begin(), anchors.end(),
+            [](const Anchor& a, const Anchor& b) {
+              if (a.arc != b.arc) return a.arc < b.arc;
+              if (a.dist != b.dist) return a.dist < b.dist;
+              return a.id < b.id;
+            });
+
+  // --- Thin crowded anchors (min spacing). -----------------------------------
+  // The first and last anchors are pinned: a trajectory always keeps its
+  // origin and destination, however aggressive the spacing. Interior anchors
+  // within the spacing window of the previously kept one compete on distance
+  // to the route (ties by significance).
+  std::vector<Anchor> kept;
+  if (!anchors.empty()) kept.push_back(anchors.front());
+  for (size_t i = 1; i + 1 < anchors.size(); ++i) {
+    const Anchor& a = anchors[i];
+    if (a.arc - kept.back().arc < options_.min_spacing_m) {
+      if (kept.size() > 1) {  // never displace the pinned origin
+        const Anchor& prev = kept.back();
+        bool replace = a.dist < prev.dist ||
+                       (a.dist == prev.dist &&
+                        a.significance > prev.significance);
+        if (replace &&
+            anchors.back().arc - a.arc >= options_.min_spacing_m) {
+          kept.back() = a;
+        }
+      }
+      continue;
+    }
+    if (anchors.back().arc - a.arc < options_.min_spacing_m) {
+      continue;  // would crowd the pinned destination
+    }
+    kept.push_back(a);
+  }
+  if (anchors.size() >= 2) kept.push_back(anchors.back());
+
+  if (kept.size() < 2) {
+    return Status::NotFound("fewer than two landmark anchors along route");
+  }
+
+  // --- Emit symbolic samples with interpolated times. ------------------------
+  for (const Anchor& a : kept) {
+    SymbolicSample s;
+    s.landmark = a.id;
+    s.time = TimeAtArc(out.geometry, raw, a.arc);
+    out.symbolic.samples.push_back(s);
+    out.arc_positions.push_back(a.arc);
+  }
+  return out;
+}
+
+}  // namespace stmaker

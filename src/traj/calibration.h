@@ -1,0 +1,86 @@
+#ifndef STMAKER_TRAJ_CALIBRATION_H_
+#define STMAKER_TRAJ_CALIBRATION_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "geo/polyline.h"
+#include "landmark/landmark_index.h"
+#include "traj/trajectory.h"
+
+namespace stmaker {
+
+/// Calibration parameters (anchor-based rewriting, Su et al. SIGMOD'13 [31]).
+struct CalibrationOptions {
+  /// A landmark is an anchor of the trajectory when its distance to the
+  /// trajectory polyline is at most this.
+  double anchor_radius_m = 120.0;
+  /// Minimum arc-length spacing between consecutive anchors; when two
+  /// anchors crowd each other the geometrically closer one wins (ties by
+  /// significance).
+  double min_spacing_m = 80.0;
+  /// Step of the polyline walk used to collect candidate landmarks; must be
+  /// positive and is independent of the trajectory's sampling rate, which is
+  /// what makes calibration sampling-invariant.
+  double scan_step_m = 50.0;
+};
+
+/// \brief A calibrated trajectory: the symbolic rewriting plus the geometry
+/// needed by downstream feature extraction.
+///
+/// `arc_positions[i]` is the arc-length position of symbolic.samples[i]
+/// along the raw polyline; SegmentSampleRange(i) selects the raw fixes that
+/// belong to segment i (between landmarks i and i+1).
+struct CalibratedTrajectory {
+  SymbolicTrajectory symbolic;
+  std::vector<double> arc_positions;
+  RawTrajectory raw;
+  Polyline geometry;
+
+  size_t NumSegments() const { return symbolic.NumSegments(); }
+
+  /// Half-open index range [first, last) of raw samples whose arc position
+  /// lies within segment i, widened to include the bracketing fixes so that
+  /// speeds at the boundaries are well-defined.
+  std::pair<size_t, size_t> SegmentSampleRange(size_t i) const;
+
+  /// Raw sub-trajectory of segment i (copy).
+  RawTrajectory SegmentRaw(size_t i) const;
+
+  /// Interval [t_i, t_{i+1}] of segment i.
+  std::pair<double, double> SegmentTimeSpan(size_t i) const;
+
+  /// Geometric length of segment i along the raw polyline, meters.
+  double SegmentLength(size_t i) const;
+};
+
+/// \brief Anchor-based trajectory calibrator (Def. 2/3 pipeline).
+///
+/// Rewrites a raw trajectory into a landmark sequence by walking the raw
+/// polyline, collecting landmarks within the anchor radius, ordering them by
+/// arc length, thinning crowded anchors, and interpolating visit timestamps
+/// from the raw fix times. Different samplings of the same route produce the
+/// same symbolic trajectory (the paper's motivating requirement, Fig. 2).
+class Calibrator {
+ public:
+  /// `landmarks` must outlive the calibrator.
+  explicit Calibrator(const LandmarkIndex* landmarks,
+                      const CalibrationOptions& options =
+                          CalibrationOptions());
+
+  /// Calibrates one trajectory. Fails with InvalidArgument for trajectories
+  /// with fewer than 2 samples or non-monotonic timestamps, and with
+  /// NotFound when fewer than two anchors are within reach (nothing to
+  /// describe).
+  Result<CalibratedTrajectory> Calibrate(const RawTrajectory& raw) const;
+
+ private:
+  const LandmarkIndex* landmarks_;
+  CalibrationOptions options_;
+};
+
+}  // namespace stmaker
+
+#endif  // STMAKER_TRAJ_CALIBRATION_H_

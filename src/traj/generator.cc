@@ -1,0 +1,302 @@
+#include "traj/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "traj/congestion.h"
+
+namespace stmaker {
+
+namespace {
+
+// Cheap deterministic per-(seed, edge) uniform in [0, 1) for route-choice
+// noise; avoids materializing a noise vector per trip.
+double EdgeNoiseUniform(uint64_t seed, EdgeId edge) {
+  uint64_t z = seed ^ (static_cast<uint64_t>(edge) * 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+// The simulated "truth track": piecewise-linear (position, time) vertices.
+struct TrackVertex {
+  Vec2 pos;
+  double time;
+};
+
+}  // namespace
+
+TrajectoryGenerator::TrajectoryGenerator(
+    const RoadNetwork* network, const LandmarkIndex* landmarks,
+    const TrajectoryGeneratorOptions& options)
+    : network_(network),
+      landmarks_(landmarks),
+      options_(options),
+      router_(network) {
+  STMAKER_CHECK(network != nullptr);
+  STMAKER_CHECK(landmarks != nullptr);
+  for (const Landmark& lm : landmarks->landmarks()) {
+    if (lm.kind == LandmarkKind::kTurningPoint &&
+        landmarks->network_node(lm.id) >= 0) {
+      junction_landmarks_.push_back(lm.id);
+    }
+  }
+}
+
+double TrajectoryGenerator::SampleStartTimeOfDay(Random* rng) {
+  // Hourly taxi-trip volume weights (relative).
+  static constexpr double kHourWeights[24] = {
+      0.30, 0.22, 0.18, 0.18, 0.25, 0.45,  // 0–5
+      0.95, 1.25, 1.35, 1.10, 1.00, 1.05,  // 6–11
+      1.05, 1.00, 1.00, 1.05, 1.20, 1.35,  // 12–17
+      1.30, 1.10, 0.90, 0.75, 0.60, 0.45,  // 18–23
+  };
+  std::vector<double> weights(std::begin(kHourWeights),
+                              std::end(kHourWeights));
+  size_t hour = rng->WeightedIndex(weights);
+  return (static_cast<double>(hour) + rng->Uniform()) * 3600.0;
+}
+
+Result<GeneratedTrip> TrajectoryGenerator::GenerateTrip(double start_time,
+                                                        Random* rng) const {
+  STMAKER_CHECK(rng != nullptr);
+  if (junction_landmarks_.size() < 2) {
+    return Status::FailedPrecondition("not enough junction landmarks");
+  }
+
+  // --- Pick an OD pair. -------------------------------------------------------
+  LandmarkId origin = -1;
+  LandmarkId destination = -1;
+  NodeId src = -1;
+  NodeId dst = -1;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    LandmarkId a =
+        junction_landmarks_[rng->UniformInt(junction_landmarks_.size())];
+    LandmarkId b =
+        junction_landmarks_[rng->UniformInt(junction_landmarks_.size())];
+    if (a == b) continue;
+    const Landmark& la = landmarks_->landmark(a);
+    const Landmark& lb = landmarks_->landmark(b);
+    if (Distance(la.pos, lb.pos) < options_.min_od_distance_m) continue;
+    origin = a;
+    destination = b;
+    src = landmarks_->network_node(a);
+    dst = landmarks_->network_node(b);
+    break;
+  }
+  if (origin < 0) {
+    return Status::NotFound("no OD pair satisfying the distance constraint");
+  }
+
+  // --- Route with perturbed costs (route-choice diversity). -------------------
+  // Congestion couples into route choice: at rush hour drivers spread over
+  // alternates, detour around jams, and botch more manoeuvres, so the
+  // detour/U-turn propensities and the cost noise all scale with intensity.
+  // This is what gives routing features their day/night FF contrast (Fig. 8).
+  const double intensity = CongestionIntensity(start_time);
+  const uint64_t noise_seed = rng->Next();
+  const double sigma = options_.route_cost_noise * (0.6 + 1.3 * intensity);
+  // Minor roads carry an access penalty beyond their free-flow speed
+  // (signals, parking, pedestrians — standard in route-choice models).
+  // Without it the grid offers a cheap parallel minor street everywhere and
+  // local paths between nearby landmarks stop being unique, which is
+  // unrealistic and washes out the popular-route comparisons.
+  auto access_penalty = [](RoadGrade g) {
+    switch (g) {
+      case RoadGrade::kCountryRoad:
+        return 1.3;
+      case RoadGrade::kVillageRoad:
+        return 1.8;
+      case RoadGrade::kFeederRoad:
+        return 2.4;
+      default:
+        return 1.0;
+    }
+  };
+  EdgeCostFn cost = [noise_seed, sigma, access_penalty](const RoadEdge& e,
+                                                        bool) {
+    double speed_mps = FreeFlowSpeedKmh(e.grade) / 3.6;
+    double u = EdgeNoiseUniform(noise_seed, e.id);
+    // exp of a centered uniform approximates lognormal cost noise. The
+    // persistent edge bias dominates the per-trip noise off-peak, so the
+    // crowd converges on one route per OD pair; at rush hour the noise grows
+    // past the bias and routes spread.
+    double mult = std::exp(sigma * (u - 0.5) * 3.46);
+    return e.length_m / speed_mps * e.cost_bias * access_penalty(e.grade) *
+           mult;
+  };
+
+  GeneratedTrip trip;
+  trip.origin_landmark = origin;
+  trip.destination_landmark = destination;
+  trip.start_time = start_time;
+
+  bool detour = rng->Bernoulli(
+      std::min(0.9, options_.detour_probability * (0.4 + 2.0 * intensity)));
+  Path route;
+  if (detour) {
+    // Route via a random midpoint to force a non-popular path.
+    NodeId mid = static_cast<NodeId>(rng->UniformInt(network_->NumNodes()));
+    Result<Path> first = router_.Route(src, mid, cost);
+    Result<Path> second = router_.Route(mid, dst, cost);
+    if (first.ok() && second.ok() && !first->nodes.empty() &&
+        !second->nodes.empty()) {
+      route = std::move(first).value();
+      const Path& tail = second.value();
+      route.nodes.insert(route.nodes.end(), tail.nodes.begin() + 1,
+                         tail.nodes.end());
+      route.edges.insert(route.edges.end(), tail.edges.begin(),
+                         tail.edges.end());
+      route.cost += tail.cost;
+      trip.events.detour = true;
+    }
+  }
+  if (route.nodes.empty()) {
+    Result<Path> direct = router_.Route(src, dst, cost);
+    if (!direct.ok()) return direct.status();
+    route = std::move(direct).value();
+  }
+
+  // --- Optionally inject a U-turn manoeuvre. ----------------------------------
+  if (route.nodes.size() >= 4 &&
+      rng->Bernoulli(std::min(
+          0.9, options_.uturn_probability * (0.4 + 1.8 * intensity)))) {
+    size_t k = 1 + rng->UniformInt(route.nodes.size() - 2);
+    NodeId at = route.nodes[k];
+    NodeId prev = route.nodes[k - 1];
+    NodeId next = route.nodes[k + 1];
+    // Find a two-way side street to overshoot into and come back from.
+    for (const Adjacency& adj : network_->OutEdges(at)) {
+      if (adj.neighbor == prev || adj.neighbor == next) continue;
+      const RoadEdge& e = network_->edge(adj.edge);
+      if (e.direction != TrafficDirection::kTwoWay) continue;
+      route.nodes.insert(route.nodes.begin() + k + 1, {adj.neighbor, at});
+      route.edges.insert(route.edges.begin() + k, {adj.edge, adj.edge});
+      trip.events.num_uturns = 1;
+      break;
+    }
+  }
+
+  trip.route_nodes = route.nodes;
+  trip.route_edges = route.edges;
+
+  // --- Simulate motion along the route. ---------------------------------------
+  const double driver = std::exp(rng->Normal(0, options_.driver_speed_sigma));
+  // Per-trip stop propensity: some trips thread green waves, others hit
+  // every red. The heavy-tailed spread is what makes stay-point counts
+  // deviate from the historical average often enough to get described.
+  const double stop_propensity = std::exp(rng->Normal(0, 0.9));
+  std::vector<TrackVertex> track;
+  track.push_back({network_->node(route.nodes[0]).pos, start_time});
+  double now = start_time;
+  bool long_stop_pending = rng->Bernoulli(options_.long_stop_probability);
+  size_t long_stop_at =
+      route.nodes.size() > 3 ? 1 + rng->UniformInt(route.nodes.size() - 2)
+                             : 0;
+
+  for (size_t i = 0; i + 1 < route.nodes.size(); ++i) {
+    const RoadEdge& e = network_->edge(route.edges[i]);
+    const Vec2 a = network_->node(route.nodes[i]).pos;
+    const Vec2 b = network_->node(route.nodes[i + 1]).pos;
+    double speed_kmh = FreeFlowSpeedKmh(e.grade) *
+                       CongestionSpeedFactor(now) * driver *
+                       rng->Uniform(0.95, 1.04);
+    double speed_mps = std::max(1.0, speed_kmh / 3.6);
+    double travel_s = Distance(a, b) / speed_mps;
+    now += travel_s;
+    track.push_back({b, now});
+
+    // Holds at the downstream intersection (not at the destination).
+    if (i + 2 < route.nodes.size()) {
+      double hold = 0;
+      if (long_stop_pending && i + 1 == long_stop_at) {
+        hold = 60.0 + rng->Exponential(options_.long_stop_mean_s);
+        long_stop_pending = false;
+      } else if (rng->Bernoulli(std::min(
+                     0.9, stop_propensity * IntersectionStopProbability(now)))) {
+        hold = 5.0 + rng->Exponential(IntersectionStopMeanSeconds(now));
+        hold = std::min(hold, 300.0);
+      }
+      if (hold > 0) {
+        now += hold;
+        track.push_back({b, now});
+        trip.events.total_hold_s += hold;
+        if (hold >= options_.stay_count_threshold_s) {
+          trip.events.num_stays += 1;
+          trip.events.total_stay_s += hold;
+        }
+      }
+    }
+  }
+
+  // --- Sample the truth track into a raw trajectory. --------------------------
+  trip.sampling = rng->Bernoulli(options_.distance_sampling_fraction)
+                      ? SamplingStrategy::kUniformDistance
+                      : SamplingStrategy::kUniformTime;
+  auto emit = [&](const Vec2& pos, double time) {
+    Vec2 noisy = pos + Vec2{rng->Normal(0, options_.gps_noise_m),
+                            rng->Normal(0, options_.gps_noise_m)};
+    trip.raw.samples.push_back({noisy, time});
+  };
+
+  if (trip.sampling == SamplingStrategy::kUniformTime) {
+    double t = track.front().time;
+    size_t seg = 0;
+    while (t < track.back().time) {
+      while (seg + 1 < track.size() && track[seg + 1].time <= t) ++seg;
+      const TrackVertex& v0 = track[seg];
+      const TrackVertex& v1 = track[std::min(seg + 1, track.size() - 1)];
+      double dt = v1.time - v0.time;
+      double f = dt > 0 ? (t - v0.time) / dt : 0.0;
+      emit(v0.pos + (v1.pos - v0.pos) * f, t);
+      t += options_.time_sample_interval_s;
+    }
+    emit(track.back().pos, track.back().time);
+  } else {
+    double next_at = 0;  // distance threshold for the next fix
+    double travelled = 0;
+    emit(track.front().pos, track.front().time);
+    next_at = options_.distance_sample_interval_m;
+    for (size_t i = 1; i < track.size(); ++i) {
+      double leg = Distance(track[i - 1].pos, track[i].pos);
+      if (leg <= 0) continue;  // stationary hold: no distance accrues
+      double leg_start = travelled;
+      while (next_at <= leg_start + leg) {
+        double f = (next_at - leg_start) / leg;
+        double t = track[i - 1].time + f * (track[i].time - track[i - 1].time);
+        emit(track[i - 1].pos + (track[i].pos - track[i - 1].pos) * f, t);
+        next_at += options_.distance_sample_interval_m;
+      }
+      travelled += leg;
+    }
+    emit(track.back().pos, track.back().time);
+  }
+
+  return trip;
+}
+
+std::vector<GeneratedTrip> TrajectoryGenerator::GenerateCorpus(
+    size_t count, int num_travelers, int num_days, uint64_t seed) const {
+  STMAKER_CHECK(num_travelers > 0);
+  STMAKER_CHECK(num_days > 0);
+  Random rng(seed);
+  std::vector<GeneratedTrip> corpus;
+  corpus.reserve(count);
+  size_t attempts = 0;
+  const size_t max_attempts = count * 10 + 100;
+  while (corpus.size() < count && attempts++ < max_attempts) {
+    double day = static_cast<double>(rng.UniformInt(
+        static_cast<uint64_t>(num_days)));
+    double start = day * kSecondsPerDay + SampleStartTimeOfDay(&rng);
+    Result<GeneratedTrip> trip = GenerateTrip(start, &rng);
+    if (!trip.ok()) continue;
+    trip->raw.traveler = static_cast<int64_t>(rng.UniformInt(
+        static_cast<uint64_t>(num_travelers)));
+    corpus.push_back(std::move(trip).value());
+  }
+  return corpus;
+}
+
+}  // namespace stmaker

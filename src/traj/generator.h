@@ -1,0 +1,109 @@
+#ifndef STMAKER_TRAJ_GENERATOR_H_
+#define STMAKER_TRAJ_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "landmark/landmark_index.h"
+#include "roadnet/road_network.h"
+#include "roadnet/shortest_path.h"
+#include "traj/trajectory.h"
+
+namespace stmaker {
+
+/// How a trip's GPS track is sampled into a raw trajectory. The paper's
+/// Fig. 2 motivates supporting both: the same route must calibrate to the
+/// same symbolic trajectory regardless of the strategy.
+enum class SamplingStrategy {
+  kUniformTime,      ///< A fix every `time_sample_interval_s` seconds.
+  kUniformDistance,  ///< A fix every `distance_sample_interval_m` meters.
+};
+
+/// Simulator knobs. All randomness flows from explicit seeds/streams.
+struct TrajectoryGeneratorOptions {
+  double min_od_distance_m = 3000.0;   ///< Minimum origin–destination bird
+                                       ///< distance.
+  double route_cost_noise = 0.06;      ///< Per-edge route-choice diversity.
+  double detour_probability = 0.18;    ///< Trip routes via a random midpoint.
+  double uturn_probability = 0.08;     ///< Trip contains a U-turn manoeuvre.
+  double long_stop_probability = 0.06; ///< Trip contains a long stopover.
+  double long_stop_mean_s = 240.0;
+  double gps_noise_m = 6.0;
+  double time_sample_interval_s = 10.0;
+  double distance_sample_interval_m = 80.0;
+  double distance_sampling_fraction = 0.3;  ///< Trips using distance sampling.
+  double driver_speed_sigma = 0.08;    ///< Driver-to-driver speed spread.
+  double stay_count_threshold_s = 90.0;  ///< A hold this long counts as a
+                                         ///< ground-truth stay event.
+};
+
+/// Ground-truth event counts of a generated trip, for tests and the Fig. 11
+/// reader model.
+struct TripEvents {
+  int num_stays = 0;        ///< Holds of at least stay_count_threshold_s.
+  double total_stay_s = 0;  ///< Summed duration of those holds.
+  double total_hold_s = 0;  ///< Summed duration of ALL holds, however short
+                            ///< (red lights, queueing). Lets evaluators tell
+                            ///< genuine stays apart from crawl artifacts.
+  int num_uturns = 0;
+  bool detour = false;
+};
+
+/// A generated trip: the raw trajectory plus the ground truth it was
+/// simulated from.
+struct GeneratedTrip {
+  RawTrajectory raw;
+  std::vector<NodeId> route_nodes;
+  std::vector<EdgeId> route_edges;
+  LandmarkId origin_landmark = -1;
+  LandmarkId destination_landmark = -1;
+  double start_time = 0;
+  SamplingStrategy sampling = SamplingStrategy::kUniformTime;
+  TripEvents events;
+};
+
+/// \brief Synthetic taxi-trip simulator (the stand-in for the paper's
+/// Beijing corpus; DESIGN.md §2).
+///
+/// A trip picks an origin/destination pair of junction landmarks, routes
+/// over the network with perturbed travel-time costs (plus occasional
+/// detours and U-turn manoeuvres), then simulates motion with per-grade
+/// free-flow speeds scaled by the time-of-day congestion model, holds at
+/// signalized intersections, and GPS sampling noise.
+class TrajectoryGenerator {
+ public:
+  /// `network` and `landmarks` must outlive the generator.
+  TrajectoryGenerator(const RoadNetwork* network,
+                      const LandmarkIndex* landmarks,
+                      const TrajectoryGeneratorOptions& options =
+                          TrajectoryGeneratorOptions());
+
+  /// Generates one trip starting at absolute time `start_time`, drawing all
+  /// randomness from `rng`. Fails if no suitable OD pair or route exists.
+  Result<GeneratedTrip> GenerateTrip(double start_time, Random* rng) const;
+
+  /// Generates a corpus of `count` trips from `num_travelers` vehicles,
+  /// spread over `num_days` days with a realistic time-of-day volume
+  /// profile. Trips that fail to route are skipped (the corpus may be
+  /// slightly smaller than `count` on pathological maps).
+  std::vector<GeneratedTrip> GenerateCorpus(size_t count, int num_travelers,
+                                            int num_days,
+                                            uint64_t seed) const;
+
+  /// Draws a start time-of-day (seconds) from the taxi volume profile:
+  /// busy daytime and rush hours, quiet small hours.
+  static double SampleStartTimeOfDay(Random* rng);
+
+ private:
+  const RoadNetwork* network_;
+  const LandmarkIndex* landmarks_;
+  TrajectoryGeneratorOptions options_;
+  ShortestPathRouter router_;
+  std::vector<LandmarkId> junction_landmarks_;  // OD candidates.
+};
+
+}  // namespace stmaker
+
+#endif  // STMAKER_TRAJ_GENERATOR_H_

@@ -1,0 +1,80 @@
+#include "traj/simplify.h"
+
+#include <vector>
+
+#include "common/check.h"
+#include "geo/polyline.h"
+
+namespace stmaker {
+
+namespace {
+
+// Iterative Douglas–Peucker over index ranges (recursion replaced with an
+// explicit stack so pathological inputs cannot overflow the call stack).
+void MarkKept(const std::vector<RawSample>& samples, double tolerance_m,
+              std::vector<bool>* keep) {
+  std::vector<std::pair<size_t, size_t>> stack;
+  stack.emplace_back(0, samples.size() - 1);
+  while (!stack.empty()) {
+    auto [first, last] = stack.back();
+    stack.pop_back();
+    if (last <= first + 1) continue;
+    double max_d = -1;
+    size_t split = first;
+    for (size_t i = first + 1; i < last; ++i) {
+      double d = PointSegmentDistance(samples[i].pos, samples[first].pos,
+                                      samples[last].pos);
+      if (d > max_d) {
+        max_d = d;
+        split = i;
+      }
+    }
+    if (max_d > tolerance_m) {
+      (*keep)[split] = true;
+      stack.emplace_back(first, split);
+      stack.emplace_back(split, last);
+    }
+  }
+}
+
+}  // namespace
+
+RawTrajectory SimplifyTrajectory(const RawTrajectory& trajectory,
+                                 double tolerance_m) {
+  STMAKER_CHECK(tolerance_m >= 0);
+  RawTrajectory out;
+  out.traveler = trajectory.traveler;
+  const auto& samples = trajectory.samples;
+  if (samples.size() <= 2) {
+    out.samples = samples;
+    return out;
+  }
+  std::vector<bool> keep(samples.size(), false);
+  keep.front() = true;
+  keep.back() = true;
+  MarkKept(samples, tolerance_m, &keep);
+  for (size_t i = 0; i < samples.size(); ++i) {
+    if (keep[i]) out.samples.push_back(samples[i]);
+  }
+  return out;
+}
+
+TrajectoryStats ComputeTrajectoryStats(const RawTrajectory& trajectory) {
+  TrajectoryStats stats;
+  stats.num_fixes = trajectory.size();
+  const auto& samples = trajectory.samples;
+  for (size_t i = 0; i < samples.size(); ++i) {
+    stats.extent.Extend(samples[i].pos);
+    if (i > 0) {
+      stats.length_m += Distance(samples[i - 1].pos, samples[i].pos);
+      stats.max_gap_s = std::max(stats.max_gap_s,
+                                 samples[i].time - samples[i - 1].time);
+    }
+  }
+  stats.duration_s = trajectory.Duration();
+  stats.mean_speed_kmh =
+      stats.duration_s > 0 ? stats.length_m / stats.duration_s * 3.6 : 0;
+  return stats;
+}
+
+}  // namespace stmaker

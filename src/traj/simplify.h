@@ -1,0 +1,35 @@
+#ifndef STMAKER_TRAJ_SIMPLIFY_H_
+#define STMAKER_TRAJ_SIMPLIFY_H_
+
+#include "geo/bounding_box.h"
+#include "traj/trajectory.h"
+
+namespace stmaker {
+
+/// \brief Douglas–Peucker simplification of a raw trajectory.
+///
+/// Removes fixes whose removal perturbs the geometry by at most
+/// `tolerance_m` (perpendicular distance to the retained chord). Endpoints
+/// are always preserved, order and timestamps are untouched, and the result
+/// is deterministic. Because calibration is sampling-invariant, a simplified
+/// trajectory summarizes like the original — the storage-reduction claim of
+/// Sec. I made operational.
+RawTrajectory SimplifyTrajectory(const RawTrajectory& trajectory,
+                                 double tolerance_m);
+
+/// Descriptive statistics of a raw trajectory.
+struct TrajectoryStats {
+  double length_m = 0;        ///< Summed fix-to-fix distance.
+  double duration_s = 0;      ///< Last minus first timestamp.
+  double mean_speed_kmh = 0;  ///< length / duration (0 when duration is 0).
+  double max_gap_s = 0;       ///< Largest inter-fix time gap.
+  BoundingBox extent;         ///< Spatial bounding box.
+  size_t num_fixes = 0;
+};
+
+/// Computes TrajectoryStats in one pass.
+TrajectoryStats ComputeTrajectoryStats(const RawTrajectory& trajectory);
+
+}  // namespace stmaker
+
+#endif  // STMAKER_TRAJ_SIMPLIFY_H_

@@ -1,0 +1,49 @@
+#include "traj/stay_point.h"
+
+#include "common/check.h"
+
+namespace stmaker {
+
+std::vector<StayPoint> DetectStayPoints(const RawTrajectory& trajectory,
+                                        const StayPointOptions& options) {
+  STMAKER_CHECK(options.distance_threshold_m > 0);
+  STMAKER_CHECK(options.time_threshold_s > 0);
+  const auto& samples = trajectory.samples;
+  std::vector<StayPoint> stays;
+  size_t i = 0;
+  while (i < samples.size()) {
+    // Expand j while every fix stays within the disc around fix i.
+    size_t j = i + 1;
+    while (j < samples.size() &&
+           Distance(samples[j].pos, samples[i].pos) <=
+               options.distance_threshold_m) {
+      ++j;
+    }
+    // Fixes i..j-1 are inside the disc.
+    double duration = samples[j - 1].time - samples[i].time;
+    if (j - i >= 2 && duration >= options.time_threshold_s) {
+      StayPoint sp;
+      Vec2 sum{0, 0};
+      for (size_t k = i; k < j; ++k) sum = sum + samples[k].pos;
+      sp.pos = sum * (1.0 / static_cast<double>(j - i));
+      sp.arrive = samples[i].time;
+      sp.leave = samples[j - 1].time;
+      stays.push_back(sp);
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  return stays;
+}
+
+std::vector<StayPoint> StayPointsInWindow(const std::vector<StayPoint>& stays,
+                                          double t0, double t1) {
+  std::vector<StayPoint> out;
+  for (const StayPoint& s : stays) {
+    if (s.arrive >= t0 && s.arrive < t1) out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace stmaker

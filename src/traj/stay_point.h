@@ -1,0 +1,43 @@
+#ifndef STMAKER_TRAJ_STAY_POINT_H_
+#define STMAKER_TRAJ_STAY_POINT_H_
+
+#include <vector>
+
+#include "traj/trajectory.h"
+
+namespace stmaker {
+
+/// A detected stay: the object lingered within a small disc for a while
+/// (traffic light, jam, temporary parking — Sec. III-B).
+struct StayPoint {
+  Vec2 pos;           ///< Centroid of the participating fixes.
+  double arrive = 0;  ///< Timestamp of the first fix of the stay.
+  double leave = 0;   ///< Timestamp of the last fix of the stay.
+
+  double Duration() const { return leave - arrive; }
+};
+
+/// Detection thresholds. A stay is a maximal run of fixes all within
+/// `distance_threshold_m` of the run's first fix, spanning at least
+/// `time_threshold_s`.
+struct StayPointOptions {
+  double distance_threshold_m = 80.0;
+  double time_threshold_s = 90.0;
+};
+
+/// \brief Classic stay-point detection (Li/Zheng et al. style) over a raw
+/// trajectory.
+///
+/// Works for both time- and distance-based sampling: with sparse distance
+/// sampling a stay appears as a large time gap between nearby fixes, which
+/// the duration test still catches.
+std::vector<StayPoint> DetectStayPoints(const RawTrajectory& trajectory,
+                                        const StayPointOptions& options);
+
+/// Stay points whose arrival falls in the half-open time window [t0, t1).
+std::vector<StayPoint> StayPointsInWindow(const std::vector<StayPoint>& stays,
+                                          double t0, double t1);
+
+}  // namespace stmaker
+
+#endif  // STMAKER_TRAJ_STAY_POINT_H_

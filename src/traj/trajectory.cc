@@ -1,0 +1,13 @@
+#include "traj/trajectory.h"
+
+#include <cmath>
+
+namespace stmaker {
+
+double TimeOfDaySeconds(double absolute_time) {
+  double tod = std::fmod(absolute_time, kSecondsPerDay);
+  if (tod < 0) tod += kSecondsPerDay;
+  return tod;
+}
+
+}  // namespace stmaker

@@ -1,0 +1,59 @@
+#ifndef STMAKER_TRAJ_TRAJECTORY_H_
+#define STMAKER_TRAJ_TRAJECTORY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/vec2.h"
+#include "landmark/landmark.h"
+
+namespace stmaker {
+
+/// Seconds in a day; timestamps are absolute seconds, and the time of day is
+/// recovered with TimeOfDaySeconds().
+inline constexpr double kSecondsPerDay = 86400.0;
+
+/// Time-of-day in [0, 86400) for an absolute timestamp in seconds.
+double TimeOfDaySeconds(double absolute_time);
+
+/// One GPS fix: projected position plus absolute timestamp in seconds.
+struct RawSample {
+  Vec2 pos;
+  double time = 0;
+};
+
+/// \brief A raw trajectory (Def. 1): a finite sequence of timestamped
+/// locations sampled from a moving object, ordered by time.
+struct RawTrajectory {
+  std::vector<RawSample> samples;
+  int64_t traveler = -1;  ///< Moving-object id; -1 when unknown.
+
+  bool empty() const { return samples.empty(); }
+  size_t size() const { return samples.size(); }
+  double StartTime() const { return samples.empty() ? 0 : samples.front().time; }
+  double EndTime() const { return samples.empty() ? 0 : samples.back().time; }
+  double Duration() const { return EndTime() - StartTime(); }
+};
+
+/// One landmark visit of a symbolic trajectory.
+struct SymbolicSample {
+  LandmarkId landmark = -1;
+  double time = 0;
+};
+
+/// \brief A symbolic trajectory (Def. 3): landmarks with timestamps, the
+/// result of anchor-based calibration. |T| is size(); a symbolic trajectory
+/// with m landmarks has m-1 segments (Def. 4).
+struct SymbolicTrajectory {
+  std::vector<SymbolicSample> samples;
+
+  bool empty() const { return samples.empty(); }
+  size_t size() const { return samples.size(); }
+  size_t NumSegments() const {
+    return samples.size() < 2 ? 0 : samples.size() - 1;
+  }
+};
+
+}  // namespace stmaker
+
+#endif  // STMAKER_TRAJ_TRAJECTORY_H_

@@ -1,0 +1,53 @@
+#include "traj/uturn.h"
+
+#include "common/check.h"
+
+namespace stmaker {
+
+std::vector<UTurn> DetectUTurns(const RawTrajectory& trajectory,
+                                const UTurnOptions& options) {
+  STMAKER_CHECK(options.min_leg_m > 0);
+  const auto& samples = trajectory.samples;
+  std::vector<UTurn> out;
+  if (samples.size() < 3) return out;
+
+  // Decimate to motion legs of at least min_leg_m.
+  struct Leg {
+    size_t end_index;  // sample index at the end of the leg
+    double heading;
+  };
+  std::vector<Leg> legs;
+  size_t anchor = 0;
+  for (size_t i = 1; i < samples.size(); ++i) {
+    Vec2 d = samples[i].pos - samples[anchor].pos;
+    if (Norm(d) >= options.min_leg_m) {
+      legs.push_back({i, HeadingDegrees(d)});
+      anchor = i;
+    }
+  }
+
+  double last_event_time = -1e18;
+  for (size_t k = 1; k < legs.size(); ++k) {
+    double diff = HeadingDifference(legs[k - 1].heading, legs[k].heading);
+    if (diff >= options.heading_threshold_deg) {
+      // The reversal happens at the joint between the two legs.
+      const RawSample& joint = samples[legs[k - 1].end_index];
+      if (joint.time - last_event_time >= options.merge_window_s) {
+        out.push_back({joint.pos, joint.time});
+        last_event_time = joint.time;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<UTurn> UTurnsInWindow(const std::vector<UTurn>& uturns, double t0,
+                                  double t1) {
+  std::vector<UTurn> out;
+  for (const UTurn& u : uturns) {
+    if (u.time >= t0 && u.time < t1) out.push_back(u);
+  }
+  return out;
+}
+
+}  // namespace stmaker

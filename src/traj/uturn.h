@@ -1,0 +1,38 @@
+#ifndef STMAKER_TRAJ_UTURN_H_
+#define STMAKER_TRAJ_UTURN_H_
+
+#include <vector>
+
+#include "traj/trajectory.h"
+
+namespace stmaker {
+
+/// A detected U-turn: a sharp (~180°) reversal of travel direction
+/// (Sec. III-B).
+struct UTurn {
+  Vec2 pos;         ///< Location of the reversal.
+  double time = 0;  ///< Timestamp of the reversal.
+};
+
+/// Detection thresholds. Headings are measured over motion legs of at least
+/// `min_leg_m` so that GPS noise at low speed does not fabricate reversals;
+/// two consecutive legs whose headings differ by more than
+/// `heading_threshold_deg` constitute a U-turn. Reversals closer than
+/// `merge_window_s` in time are merged into one event.
+struct UTurnOptions {
+  double min_leg_m = 60.0;
+  double heading_threshold_deg = 150.0;
+  double merge_window_s = 60.0;
+};
+
+/// Detects U-turns in a raw trajectory.
+std::vector<UTurn> DetectUTurns(const RawTrajectory& trajectory,
+                                const UTurnOptions& options);
+
+/// U-turns whose timestamp falls in the half-open window [t0, t1).
+std::vector<UTurn> UTurnsInWindow(const std::vector<UTurn>& uturns, double t0,
+                                  double t1);
+
+}  // namespace stmaker
+
+#endif  // STMAKER_TRAJ_UTURN_H_

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for stmaker_cli: generate a dataset, train and
+# persist a model, summarize with and without the model, and run the
+# corpus-level commands. Registered with ctest; $1 is the path to the
+# stmaker_cli binary.
+set -euo pipefail
+
+CLI="$1"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+
+echo "== gen =="
+"$CLI" gen --dir "$DIR" --seed 5 --blocks 10 --trips 150 --pois 120
+
+for f in network_nodes.csv network_edges.csv pois.csv trajectories.csv; do
+  [[ -s "$DIR/$f" ]] || { echo "missing $f"; exit 1; }
+done
+
+echo "== train =="
+"$CLI" train --dir "$DIR" --model "$DIR/model"
+for f in model_meta.csv model_transitions.csv model_feature_map.csv \
+         model_significance.csv; do
+  [[ -s "$DIR/$f" ]] || { echo "missing $f"; exit 1; }
+done
+
+echo "== summarize (trained inline) =="
+OUT1="$("$CLI" summarize --dir "$DIR" --trip 3)"
+echo "$OUT1"
+[[ "$OUT1" == "The car started from"* ]] || { echo "bad summary"; exit 1; }
+
+echo "== summarize (from model) =="
+OUT2="$("$CLI" summarize --dir "$DIR" --trip 3 --model "$DIR/model" --k 2)"
+echo "$OUT2"
+[[ "$OUT2" == "The car started from"* ]] || { echo "bad summary"; exit 1; }
+
+echo "== summarize --json =="
+JSON="$("$CLI" summarize --dir "$DIR" --trip 3 --model "$DIR/model" --json)"
+[[ "$JSON" == "{"* && "$JSON" == *"\"partitions\""* ]] || {
+  echo "bad json"; exit 1; }
+
+echo "== stats =="
+"$CLI" stats --dir "$DIR" --trips 40 | grep -q "grade_of_road"
+
+echo "== group =="
+"$CLI" group --dir "$DIR" --from-hour 6 --to-hour 20 | grep -q "Among"
+
+echo "== bad usage exits nonzero =="
+if "$CLI" bogus 2>/dev/null; then echo "bogus command succeeded"; exit 1; fi
+if "$CLI" summarize --dir "$DIR" --trip 99999 2>/dev/null; then
+  echo "out-of-range trip succeeded"; exit 1
+fi
+
+echo "cli_test OK"

@@ -1,0 +1,327 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/csv.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace stmaker {
+namespace {
+
+// --------------------------------------------------------------------------
+// Status / Result
+// --------------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("gone");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.status().message(), "gone");
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  ASSERT_TRUE(r.ok());
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> QuarterViaMacro(int x) {
+  STMAKER_ASSIGN_OR_RETURN(int h, Half(x));
+  STMAKER_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  Result<int> ok = QuarterViaMacro(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 2);
+
+  Result<int> fail = QuarterViaMacro(6);  // 6/2 = 3 is odd
+  ASSERT_FALSE(fail.ok());
+  EXPECT_EQ(fail.status().code(), StatusCode::kInvalidArgument);
+}
+
+// --------------------------------------------------------------------------
+// Random
+// --------------------------------------------------------------------------
+
+TEST(RandomTest, DeterministicForSameSeed) {
+  Random a(7);
+  Random b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Random a(1);
+  Random b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RandomTest, UniformInRange) {
+  Random rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    double v = rng.Uniform(5.0, 9.0);
+    EXPECT_GE(v, 5.0);
+    EXPECT_LT(v, 9.0);
+  }
+}
+
+TEST(RandomTest, UniformIntBounds) {
+  Random rng(4);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 300; ++i) {
+    uint64_t v = rng.UniformInt(5);
+    EXPECT_LT(v, 5u);
+    seen.insert(v);
+    int64_t w = rng.UniformInt(-2, 2);
+    EXPECT_GE(w, -2);
+    EXPECT_LE(w, 2);
+  }
+  EXPECT_EQ(seen.size(), 5u) << "all values in [0,5) should appear";
+}
+
+TEST(RandomTest, NormalMoments) {
+  Random rng(5);
+  double sum = 0;
+  double sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.Normal();
+    sum += x;
+    sq += x * x;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.07);
+}
+
+TEST(RandomTest, BernoulliFrequency) {
+  Random rng(6);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RandomTest, ExponentialMean) {
+  Random rng(8);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(40.0);
+  EXPECT_NEAR(sum / n, 40.0, 2.0);
+}
+
+TEST(RandomTest, ZipfIsSkewedTowardLowRanks) {
+  Random rng(9);
+  int low = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Zipf(100, 1.0) < 10) ++low;
+  }
+  // Under Zipf(s=1) the first 10 of 100 ranks carry ~56% of the mass.
+  EXPECT_GT(low, n / 3);
+}
+
+TEST(RandomTest, WeightedIndexRespectsWeights) {
+  Random rng(10);
+  std::vector<double> weights = {0.0, 1.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) counts[rng.WeightedIndex(weights)]++;
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[1], 3.0, 0.3);
+}
+
+TEST(RandomTest, ForkProducesIndependentStream) {
+  Random a(11);
+  Random child = a.Fork();
+  // The child stream should not simply mirror the parent.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == child.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+// --------------------------------------------------------------------------
+// Strings
+// --------------------------------------------------------------------------
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StringsTest, JoinRoundTripsSplit) {
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(Join(parts, ","), "x,y,z");
+  EXPECT_EQ(Split(Join(parts, ","), ','), parts);
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(Trim("  hi  "), "hi");
+  EXPECT_EQ(Trim("hi"), "hi");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("\t a b \n"), "a b");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("foobar", "bar"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("foobar", "foo"));
+  EXPECT_TRUE(StartsWith("x", ""));
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 3, "abc"), "3-abc");
+  EXPECT_EQ(StrFormat("%.2f", 1.005), "1.00");
+  EXPECT_EQ(StrFormat("plain"), "plain");
+}
+
+TEST(StringsTest, FormatNumberTrimsZeros) {
+  EXPECT_EQ(FormatNumber(14.0), "14");
+  EXPECT_EQ(FormatNumber(13.5), "13.5");
+  EXPECT_EQ(FormatNumber(13.50, 2), "13.5");
+  EXPECT_EQ(FormatNumber(0.0), "0");
+  EXPECT_EQ(FormatNumber(-2.50), "-2.5");
+  EXPECT_EQ(FormatNumber(-0.0), "0");
+}
+
+TEST(StringsTest, FormatDuration) {
+  EXPECT_EQ(FormatDuration(1), "1 second");
+  EXPECT_EQ(FormatDuration(45), "45 seconds");
+  EXPECT_EQ(FormatDuration(167), "2 minutes");
+  EXPECT_EQ(FormatDuration(3600), "1 hour");
+  EXPECT_EQ(FormatDuration(3600 + 12 * 60), "1 hour 12 minutes");
+  EXPECT_EQ(FormatDuration(2 * 3600), "2 hours");
+  EXPECT_EQ(FormatDuration(-5), "0 seconds");
+}
+
+// --------------------------------------------------------------------------
+// CSV
+// --------------------------------------------------------------------------
+
+TEST(CsvTest, ParseSimple) {
+  auto rows = ParseCsv("a,b\nc,d\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(CsvTest, ParseQuotedFields) {
+  auto rows = ParseCsv("\"a,b\",\"say \"\"hi\"\"\"\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"a,b", "say \"hi\""}));
+}
+
+TEST(CsvTest, ParseHandlesCrlfAndMissingFinalNewline) {
+  auto rows = ParseCsv("a,b\r\nc,d");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(CsvTest, ParseEmptyInput) {
+  auto rows = ParseCsv("");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+}
+
+TEST(CsvTest, ParseUnterminatedQuoteFails) {
+  auto rows = ParseCsv("\"oops");
+  EXPECT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, WriteReadRoundTrip) {
+  std::string path = ::testing::TempDir() + "/stmaker_csv_test.csv";
+  {
+    auto writer = CsvWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->WriteRow({"plain", "with,comma", "with\"quote"}).ok());
+    ASSERT_TRUE(writer->WriteRow({"second", "line", "multi\nline"}).ok());
+    ASSERT_TRUE(writer->Close().ok());
+  }
+  auto rows = ReadCsvFile(path);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0],
+            (std::vector<std::string>{"plain", "with,comma", "with\"quote"}));
+  EXPECT_EQ((*rows)[1],
+            (std::vector<std::string>{"second", "line", "multi\nline"}));
+}
+
+TEST(CsvTest, WriteAfterCloseFails) {
+  std::string path = ::testing::TempDir() + "/stmaker_csv_closed.csv";
+  auto writer = CsvWriter::Open(path);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->Close().ok());
+  EXPECT_EQ(writer->WriteRow({"x"}).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CsvTest, OpenBadPathFails) {
+  auto writer = CsvWriter::Open("/nonexistent_dir_zz/file.csv");
+  EXPECT_FALSE(writer.ok());
+  EXPECT_EQ(writer.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace stmaker

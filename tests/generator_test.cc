@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_world.h"
+#include "traj/congestion.h"
+#include "traj/generator.h"
+#include "traj/stay_point.h"
+#include "traj/uturn.h"
+
+namespace stmaker {
+namespace {
+
+using ::stmaker::testing::GetTestWorld;
+using ::stmaker::testing::TestWorld;
+
+TEST(GeneratorTest, CorpusIsDeterministic) {
+  const TestWorld& world = GetTestWorld();
+  std::vector<GeneratedTrip> a =
+      world.generator->GenerateCorpus(20, 5, 3, 1234);
+  std::vector<GeneratedTrip> b =
+      world.generator->GenerateCorpus(20, 5, 3, 1234);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].raw.samples.size(), b[i].raw.samples.size());
+    for (size_t j = 0; j < a[i].raw.samples.size(); ++j) {
+      EXPECT_EQ(a[i].raw.samples[j].pos, b[i].raw.samples[j].pos);
+      EXPECT_EQ(a[i].raw.samples[j].time, b[i].raw.samples[j].time);
+    }
+  }
+}
+
+TEST(GeneratorTest, TripsHaveValidStructure) {
+  const TestWorld& world = GetTestWorld();
+  for (const GeneratedTrip& trip : world.history) {
+    ASSERT_GE(trip.raw.samples.size(), 2u);
+    // Timestamps non-decreasing, starting at the trip start time.
+    EXPECT_NEAR(trip.raw.samples.front().time, trip.start_time, 1.0);
+    for (size_t i = 1; i < trip.raw.samples.size(); ++i) {
+      EXPECT_GE(trip.raw.samples[i].time, trip.raw.samples[i - 1].time);
+    }
+    // Route endpoints match the OD landmarks.
+    ASSERT_FALSE(trip.route_nodes.empty());
+    EXPECT_EQ(trip.route_nodes.size(), trip.route_edges.size() + 1);
+    NodeId src = world.landmarks->network_node(trip.origin_landmark);
+    NodeId dst = world.landmarks->network_node(trip.destination_landmark);
+    EXPECT_EQ(trip.route_nodes.front(), src);
+    EXPECT_EQ(trip.route_nodes.back(), dst);
+    // First fix near the origin node (GPS noise only).
+    EXPECT_LT(Distance(trip.raw.samples.front().pos,
+                       world.city.network.node(src).pos),
+              50.0);
+  }
+}
+
+TEST(GeneratorTest, RouteEdgesConnectRouteNodes) {
+  const TestWorld& world = GetTestWorld();
+  const RoadNetwork& net = world.city.network;
+  for (size_t t = 0; t < 30; ++t) {
+    const GeneratedTrip& trip = world.history[t];
+    for (size_t i = 0; i < trip.route_edges.size(); ++i) {
+      const RoadEdge& e = net.edge(trip.route_edges[i]);
+      NodeId u = trip.route_nodes[i];
+      NodeId v = trip.route_nodes[i + 1];
+      EXPECT_TRUE((e.from == u && e.to == v) || (e.from == v && e.to == u))
+          << "trip " << t << " hop " << i;
+    }
+  }
+}
+
+TEST(GeneratorTest, SpeedsAreWithinPhysicalBounds) {
+  const TestWorld& world = GetTestWorld();
+  for (size_t t = 0; t < 50; ++t) {
+    const GeneratedTrip& trip = world.history[t];
+    for (size_t i = 1; i < trip.raw.samples.size(); ++i) {
+      double dt = trip.raw.samples[i].time - trip.raw.samples[i - 1].time;
+      if (dt < 1.0) continue;
+      double d = Distance(trip.raw.samples[i].pos,
+                          trip.raw.samples[i - 1].pos);
+      // 130 km/h ≈ 36 m/s leaves headroom over the highway free-flow speed
+      // plus driver factor and GPS noise.
+      EXPECT_LT(d / dt, 36.0) << "trip " << t << " fix " << i;
+    }
+  }
+}
+
+TEST(GeneratorTest, BothSamplingStrategiesAppear) {
+  const TestWorld& world = GetTestWorld();
+  int time_sampled = 0;
+  int distance_sampled = 0;
+  for (const GeneratedTrip& trip : world.history) {
+    if (trip.sampling == SamplingStrategy::kUniformTime) ++time_sampled;
+    else ++distance_sampled;
+  }
+  EXPECT_GT(time_sampled, 0);
+  EXPECT_GT(distance_sampled, 0);
+}
+
+TEST(GeneratorTest, GroundTruthUTurnsAreDetectable) {
+  const TestWorld& world = GetTestWorld();
+  int with_uturn = 0;
+  int detected = 0;
+  for (const GeneratedTrip& trip : world.history) {
+    if (trip.events.num_uturns == 0) continue;
+    ++with_uturn;
+    if (!DetectUTurns(trip.raw, {}).empty()) ++detected;
+  }
+  ASSERT_GT(with_uturn, 0) << "corpus should contain U-turn trips";
+  // The detector should catch the large majority of injected U-turns.
+  EXPECT_GT(detected * 10, with_uturn * 7);
+}
+
+TEST(GeneratorTest, GroundTruthStaysAreDetectable) {
+  const TestWorld& world = GetTestWorld();
+  int with_stay = 0;
+  int detected = 0;
+  for (const GeneratedTrip& trip : world.history) {
+    if (trip.events.num_stays == 0) continue;
+    ++with_stay;
+    if (!DetectStayPoints(trip.raw, {}).empty()) ++detected;
+  }
+  ASSERT_GT(with_stay, 0) << "corpus should contain stay trips";
+  EXPECT_GT(detected * 10, with_stay * 7);
+}
+
+TEST(GeneratorTest, SomeTripsTakeDetours) {
+  const TestWorld& world = GetTestWorld();
+  int detours = 0;
+  for (const GeneratedTrip& trip : world.history) {
+    if (trip.events.detour) ++detours;
+  }
+  // detour_probability = 0.18 over 400 trips.
+  EXPECT_GT(detours, 20);
+  EXPECT_LT(detours, 180);
+}
+
+TEST(GeneratorTest, StartTimesFollowVolumeProfile) {
+  Random rng(5);
+  int day = 0;    // 08:00–20:00
+  int night = 0;  // 00:00–04:00
+  for (int i = 0; i < 4000; ++i) {
+    double tod = TrajectoryGenerator::SampleStartTimeOfDay(&rng);
+    ASSERT_GE(tod, 0.0);
+    ASSERT_LT(tod, kSecondsPerDay);
+    double h = tod / 3600.0;
+    if (h >= 8 && h < 20) ++day;
+    if (h < 4) ++night;
+  }
+  EXPECT_GT(day, 1800);   // daytime dominates
+  EXPECT_LT(night, 600);  // small hours are quiet
+}
+
+TEST(GeneratorTest, RushHourTripsAreSlower) {
+  const TestWorld& world = GetTestWorld();
+  Random rng(77);
+  auto mean_speed = [&](double start_tod) {
+    double total = 0;
+    int n = 0;
+    for (int i = 0; i < 30; ++i) {
+      auto trip = world.generator->GenerateTrip(start_tod, &rng);
+      if (!trip.ok()) continue;
+      double dist = 0;
+      for (size_t j = 1; j < trip->raw.samples.size(); ++j) {
+        dist += Distance(trip->raw.samples[j].pos,
+                         trip->raw.samples[j - 1].pos);
+      }
+      double dur = trip->raw.Duration();
+      if (dur > 0) {
+        total += dist / dur;
+        ++n;
+      }
+    }
+    return total / n;
+  };
+  double rush = mean_speed(8.0 * 3600);
+  double night = mean_speed(2.0 * 3600);
+  EXPECT_LT(rush, night * 0.8);
+}
+
+TEST(GeneratorTest, TravelerIdsAssignedWithinRange) {
+  const TestWorld& world = GetTestWorld();
+  std::set<int64_t> travelers;
+  for (const GeneratedTrip& trip : world.history) {
+    ASSERT_GE(trip.raw.traveler, 0);
+    ASSERT_LT(trip.raw.traveler, 40);
+    travelers.insert(trip.raw.traveler);
+  }
+  EXPECT_GT(travelers.size(), 20u);  // most of the 40 vehicles appear
+}
+
+TEST(GeneratorTest, MinOdDistanceRespected) {
+  const TestWorld& world = GetTestWorld();
+  for (const GeneratedTrip& trip : world.history) {
+    double od = Distance(
+        world.landmarks->landmark(trip.origin_landmark).pos,
+        world.landmarks->landmark(trip.destination_landmark).pos);
+    EXPECT_GE(od, 3000.0);
+  }
+}
+
+}  // namespace
+}  // namespace stmaker

@@ -1,0 +1,295 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/random.h"
+#include "geo/bounding_box.h"
+#include "geo/grid_index.h"
+#include "geo/latlon.h"
+#include "geo/polyline.h"
+#include "geo/projection.h"
+#include "geo/vec2.h"
+
+namespace stmaker {
+namespace {
+
+// --------------------------------------------------------------------------
+// LatLon / Haversine
+// --------------------------------------------------------------------------
+
+TEST(HaversineTest, ZeroDistanceForSamePoint) {
+  LatLon p{39.9, 116.4};
+  EXPECT_DOUBLE_EQ(HaversineMeters(p, p), 0.0);
+}
+
+TEST(HaversineTest, OneDegreeLatitudeIsAbout111Km) {
+  LatLon a{39.0, 116.0};
+  LatLon b{40.0, 116.0};
+  EXPECT_NEAR(HaversineMeters(a, b), 111195.0, 200.0);
+}
+
+TEST(HaversineTest, Symmetric) {
+  LatLon a{39.9383, 116.339};
+  LatLon b{39.9253, 116.310};
+  EXPECT_DOUBLE_EQ(HaversineMeters(a, b), HaversineMeters(b, a));
+}
+
+TEST(HaversineTest, PaperTableIDistance) {
+  // The first and last fixes of the paper's Table I trajectory are ~2.9 km
+  // apart in Beijing.
+  LatLon a{39.9383, 116.339};
+  LatLon b{39.9253, 116.310};
+  double d = HaversineMeters(a, b);
+  EXPECT_GT(d, 2500.0);
+  EXPECT_LT(d, 3300.0);
+}
+
+// --------------------------------------------------------------------------
+// Projection
+// --------------------------------------------------------------------------
+
+TEST(ProjectionTest, OriginMapsToZero) {
+  LocalProjection proj(LatLon{39.9, 116.4});
+  Vec2 xy = proj.ToXY(LatLon{39.9, 116.4});
+  EXPECT_NEAR(xy.x, 0.0, 1e-9);
+  EXPECT_NEAR(xy.y, 0.0, 1e-9);
+}
+
+TEST(ProjectionTest, RoundTrip) {
+  LocalProjection proj(LatLon{39.9, 116.4});
+  LatLon p{39.95, 116.32};
+  LatLon back = proj.ToLatLon(proj.ToXY(p));
+  EXPECT_NEAR(back.lat, p.lat, 1e-9);
+  EXPECT_NEAR(back.lon, p.lon, 1e-9);
+}
+
+TEST(ProjectionTest, DistancesMatchHaversineAtCityScale) {
+  LocalProjection proj(LatLon{39.9, 116.4});
+  LatLon a{39.93, 116.35};
+  LatLon b{39.88, 116.45};
+  double planar = Distance(proj.ToXY(a), proj.ToXY(b));
+  double sphere = HaversineMeters(a, b);
+  EXPECT_NEAR(planar / sphere, 1.0, 0.002);
+}
+
+// --------------------------------------------------------------------------
+// Vec2
+// --------------------------------------------------------------------------
+
+TEST(Vec2Test, Arithmetic) {
+  Vec2 a{1, 2};
+  Vec2 b{3, -1};
+  EXPECT_EQ((a + b), (Vec2{4, 1}));
+  EXPECT_EQ((a - b), (Vec2{-2, 3}));
+  EXPECT_EQ((a * 2.0), (Vec2{2, 4}));
+  EXPECT_DOUBLE_EQ(Dot(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(Cross(a, b), -7.0);
+  EXPECT_DOUBLE_EQ(Norm(Vec2{3, 4}), 5.0);
+}
+
+TEST(Vec2Test, HeadingCompassConvention) {
+  EXPECT_NEAR(HeadingDegrees({0, 1}), 0.0, 1e-9);    // north
+  EXPECT_NEAR(HeadingDegrees({1, 0}), 90.0, 1e-9);   // east
+  EXPECT_NEAR(HeadingDegrees({0, -1}), 180.0, 1e-9); // south
+  EXPECT_NEAR(HeadingDegrees({-1, 0}), 270.0, 1e-9); // west
+}
+
+TEST(Vec2Test, HeadingDifferenceWraps) {
+  EXPECT_NEAR(HeadingDifference(350, 10), 20.0, 1e-9);
+  EXPECT_NEAR(HeadingDifference(0, 180), 180.0, 1e-9);
+  EXPECT_NEAR(HeadingDifference(90, 90), 0.0, 1e-9);
+  EXPECT_NEAR(HeadingDifference(10, 350), 20.0, 1e-9);
+}
+
+// --------------------------------------------------------------------------
+// Polyline
+// --------------------------------------------------------------------------
+
+TEST(PolylineTest, LengthOfSquarePath) {
+  Polyline line({{0, 0}, {10, 0}, {10, 10}, {0, 10}});
+  EXPECT_DOUBLE_EQ(line.Length(), 30.0);
+  EXPECT_DOUBLE_EQ(line.CumulativeLength(0), 0.0);
+  EXPECT_DOUBLE_EQ(line.CumulativeLength(2), 20.0);
+}
+
+TEST(PolylineTest, DegenerateCases) {
+  EXPECT_DOUBLE_EQ(Polyline().Length(), 0.0);
+  Polyline single({{5, 5}});
+  EXPECT_DOUBLE_EQ(single.Length(), 0.0);
+  PolylineProjection p = single.Project({8, 9});
+  EXPECT_DOUBLE_EQ(p.distance, 5.0);
+  EXPECT_DOUBLE_EQ(p.arc_length, 0.0);
+}
+
+TEST(PolylineTest, ProjectOntoSegmentInterior) {
+  Polyline line({{0, 0}, {10, 0}});
+  PolylineProjection p = line.Project({4, 3});
+  EXPECT_DOUBLE_EQ(p.distance, 3.0);
+  EXPECT_DOUBLE_EQ(p.arc_length, 4.0);
+  EXPECT_EQ(p.segment, 0u);
+  EXPECT_NEAR(p.point.x, 4.0, 1e-9);
+  EXPECT_NEAR(p.point.y, 0.0, 1e-9);
+}
+
+TEST(PolylineTest, ProjectClampsToEndpoints) {
+  Polyline line({{0, 0}, {10, 0}});
+  EXPECT_DOUBLE_EQ(line.Project({-3, 4}).distance, 5.0);
+  EXPECT_DOUBLE_EQ(line.Project({-3, 4}).arc_length, 0.0);
+  EXPECT_DOUBLE_EQ(line.Project({13, 4}).arc_length, 10.0);
+}
+
+TEST(PolylineTest, ProjectPicksNearestOfManySegments) {
+  Polyline line({{0, 0}, {10, 0}, {10, 10}});
+  PolylineProjection p = line.Project({9, 8});
+  EXPECT_EQ(p.segment, 1u);
+  EXPECT_DOUBLE_EQ(p.distance, 1.0);
+  EXPECT_DOUBLE_EQ(p.arc_length, 18.0);
+}
+
+TEST(PolylineTest, InterpolateAtArcPositions) {
+  Polyline line({{0, 0}, {10, 0}, {10, 10}});
+  EXPECT_EQ(line.Interpolate(-5), (Vec2{0, 0}));
+  EXPECT_EQ(line.Interpolate(0), (Vec2{0, 0}));
+  Vec2 mid = line.Interpolate(5);
+  EXPECT_NEAR(mid.x, 5.0, 1e-9);
+  Vec2 corner = line.Interpolate(10);
+  EXPECT_NEAR(corner.x, 10.0, 1e-9);
+  EXPECT_NEAR(corner.y, 0.0, 1e-9);
+  Vec2 up = line.Interpolate(15);
+  EXPECT_NEAR(up.y, 5.0, 1e-9);
+  EXPECT_EQ(line.Interpolate(999), (Vec2{10, 10}));
+}
+
+TEST(PolylineTest, InterpolateProjectConsistency) {
+  // Project(Interpolate(s)) should return arc ≈ s for points on the line.
+  Polyline line({{0, 0}, {50, 0}, {50, 80}, {-20, 80}});
+  for (double s = 0; s <= line.Length(); s += 7.3) {
+    PolylineProjection p = line.Project(line.Interpolate(s));
+    EXPECT_NEAR(p.distance, 0.0, 1e-9);
+    EXPECT_NEAR(p.arc_length, s, 1e-6);
+  }
+}
+
+TEST(PolylineTest, HeadingAt) {
+  Polyline line({{0, 0}, {10, 0}, {10, 10}});
+  EXPECT_NEAR(line.HeadingAt(5), 90.0, 1e-9);   // east leg
+  EXPECT_NEAR(line.HeadingAt(15), 0.0, 1e-9);   // north leg
+}
+
+TEST(PointSegmentDistanceTest, DegenerateSegment) {
+  double t = -1;
+  double d = PointSegmentDistance({3, 4}, {0, 0}, {0, 0}, &t);
+  EXPECT_DOUBLE_EQ(d, 5.0);
+  EXPECT_DOUBLE_EQ(t, 0.0);
+}
+
+// --------------------------------------------------------------------------
+// BoundingBox
+// --------------------------------------------------------------------------
+
+TEST(BoundingBoxTest, EmptyThenExtend) {
+  BoundingBox box;
+  EXPECT_TRUE(box.IsEmpty());
+  EXPECT_DOUBLE_EQ(box.Width(), 0.0);
+  box.Extend({1, 2});
+  EXPECT_FALSE(box.IsEmpty());
+  EXPECT_TRUE(box.Contains({1, 2}));
+  box.Extend({-1, 5});
+  EXPECT_TRUE(box.Contains({0, 3}));
+  EXPECT_FALSE(box.Contains({2, 3}));
+  EXPECT_DOUBLE_EQ(box.Width(), 2.0);
+  EXPECT_DOUBLE_EQ(box.Height(), 3.0);
+}
+
+// --------------------------------------------------------------------------
+// GridIndex — property-checked against brute force.
+// --------------------------------------------------------------------------
+
+struct GridIndexParam {
+  double cell_size;
+  int num_points;
+  uint64_t seed;
+};
+
+class GridIndexPropertyTest
+    : public ::testing::TestWithParam<GridIndexParam> {};
+
+TEST_P(GridIndexPropertyTest, RadiusQueriesMatchBruteForce) {
+  const GridIndexParam param = GetParam();
+  Random rng(param.seed);
+  GridIndex index(param.cell_size);
+  std::vector<Vec2> points;
+  for (int i = 0; i < param.num_points; ++i) {
+    Vec2 p{rng.Uniform(-1000, 1000), rng.Uniform(-1000, 1000)};
+    points.push_back(p);
+    index.Insert(i, p);
+  }
+  for (int q = 0; q < 40; ++q) {
+    Vec2 center{rng.Uniform(-1200, 1200), rng.Uniform(-1200, 1200)};
+    double radius = rng.Uniform(0, 400);
+    std::set<int64_t> expected;
+    for (int i = 0; i < param.num_points; ++i) {
+      if (Distance(points[i], center) <= radius) expected.insert(i);
+    }
+    std::vector<int64_t> got = index.WithinRadius(center, radius);
+    std::set<int64_t> got_set(got.begin(), got.end());
+    EXPECT_EQ(got_set, expected);
+    EXPECT_EQ(got.size(), got_set.size()) << "no duplicate ids";
+  }
+}
+
+TEST_P(GridIndexPropertyTest, NearestMatchesBruteForce) {
+  const GridIndexParam param = GetParam();
+  Random rng(param.seed + 1);
+  GridIndex index(param.cell_size);
+  std::vector<Vec2> points;
+  for (int i = 0; i < param.num_points; ++i) {
+    Vec2 p{rng.Uniform(-1000, 1000), rng.Uniform(-1000, 1000)};
+    points.push_back(p);
+    index.Insert(i, p);
+  }
+  for (int q = 0; q < 40; ++q) {
+    Vec2 center{rng.Uniform(-3000, 3000), rng.Uniform(-3000, 3000)};
+    int64_t got = index.Nearest(center);
+    ASSERT_GE(got, 0);
+    double best = 1e300;
+    for (int i = 0; i < param.num_points; ++i) {
+      best = std::min(best, Distance(points[i], center));
+    }
+    EXPECT_NEAR(Distance(points[got], center), best, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GridIndexPropertyTest,
+    ::testing::Values(GridIndexParam{50.0, 200, 1},
+                      GridIndexParam{250.0, 200, 2},
+                      GridIndexParam{10.0, 50, 3},
+                      GridIndexParam{1000.0, 500, 4},
+                      GridIndexParam{100.0, 1, 5}));
+
+TEST(GridIndexTest, EmptyIndexBehaviour) {
+  GridIndex index(100);
+  EXPECT_EQ(index.Nearest({0, 0}), -1);
+  EXPECT_TRUE(index.WithinRadius({0, 0}, 1000).empty());
+}
+
+TEST(GridIndexTest, MaxRadiusFiltersNearest) {
+  GridIndex index(100);
+  index.Insert(7, {500, 0});
+  EXPECT_EQ(index.Nearest({0, 0}, 100.0), -1);
+  EXPECT_EQ(index.Nearest({0, 0}, 600.0), 7);
+  EXPECT_EQ(index.Nearest({0, 0}), 7);
+}
+
+TEST(GridIndexTest, DuplicatePositionsAllReturned) {
+  GridIndex index(100);
+  index.Insert(1, {10, 10});
+  index.Insert(2, {10, 10});
+  std::vector<int64_t> got = index.WithinRadius({10, 10}, 1.0);
+  EXPECT_EQ(got.size(), 2u);
+}
+
+}  // namespace
+}  // namespace stmaker

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "core/stmaker.h"
+#include "test_world.h"
+
+namespace stmaker {
+namespace {
+
+using ::stmaker::testing::GetTestWorld;
+using ::stmaker::testing::TestWorld;
+
+std::string TempPrefix(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+class ModelIoTest : public ::testing::Test {
+ protected:
+  ModelIoTest() : world_(GetTestWorld()) {}
+
+  const TestWorld& world_;
+};
+
+TEST_F(ModelIoTest, SaveRequiresTraining) {
+  LandmarkIndex& landmarks = const_cast<LandmarkIndex&>(*world_.landmarks);
+  STMaker fresh(&world_.city.network, &landmarks,
+                FeatureRegistry::BuiltIn());
+  EXPECT_EQ(fresh.SaveModel(TempPrefix("untrained")).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ModelIoTest, RoundTripReproducesSummariesExactly) {
+  std::string prefix = TempPrefix("model_roundtrip");
+  ASSERT_TRUE(world_.maker->SaveModel(prefix).ok());
+
+  LandmarkIndex& landmarks = const_cast<LandmarkIndex&>(*world_.landmarks);
+  STMaker restored(&world_.city.network, &landmarks,
+                   FeatureRegistry::BuiltIn());
+  ASSERT_FALSE(restored.trained());
+  Status loaded = restored.LoadModel(prefix);
+  ASSERT_TRUE(loaded.ok()) << loaded.ToString();
+  EXPECT_TRUE(restored.trained());
+  EXPECT_EQ(restored.num_trained(), world_.maker->num_trained());
+  EXPECT_EQ(restored.popular_routes().NumTransitions(),
+            world_.maker->popular_routes().NumTransitions());
+  EXPECT_EQ(restored.feature_map()->NumEdges(),
+            world_.maker->feature_map()->NumEdges());
+
+  // Fresh trips summarize to byte-identical text through both makers.
+  Random rng(99);
+  int compared = 0;
+  while (compared < 10) {
+    double start = world_.generator->SampleStartTimeOfDay(&rng);
+    auto trip = world_.generator->GenerateTrip(start, &rng);
+    if (!trip.ok()) continue;
+    auto original = world_.maker->Summarize(trip->raw);
+    auto reloaded = restored.Summarize(trip->raw);
+    ASSERT_EQ(original.ok(), reloaded.ok());
+    if (!original.ok()) continue;
+    EXPECT_EQ(original->text, reloaded->text);
+    ASSERT_EQ(original->partitions.size(), reloaded->partitions.size());
+    for (size_t p = 0; p < original->partitions.size(); ++p) {
+      const auto& a = original->partitions[p];
+      const auto& b = reloaded->partitions[p];
+      ASSERT_EQ(a.irregular_rates.size(), b.irregular_rates.size());
+      for (size_t f = 0; f < a.irregular_rates.size(); ++f) {
+        EXPECT_NEAR(a.irregular_rates[f], b.irregular_rates[f], 1e-6);
+      }
+    }
+    ++compared;
+  }
+}
+
+TEST_F(ModelIoTest, LoadRejectsDifferentFeatureSet) {
+  std::string prefix = TempPrefix("model_featmismatch");
+  ASSERT_TRUE(world_.maker->SaveModel(prefix).ok());
+
+  FeatureRegistry registry = FeatureRegistry::BuiltIn();
+  FeatureDef extra;
+  extra.id = "extra_feature";
+  extra.display_name = "extra";
+  extra.extractor = [](const SegmentContext&) { return 0.0; };
+  ASSERT_TRUE(registry.Register(std::move(extra)).ok());
+
+  LandmarkIndex& landmarks = const_cast<LandmarkIndex&>(*world_.landmarks);
+  STMaker mismatched(&world_.city.network, &landmarks, std::move(registry));
+  Status loaded = mismatched.LoadModel(prefix);
+  EXPECT_EQ(loaded.code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(mismatched.trained());
+}
+
+TEST_F(ModelIoTest, LoadFromMissingFilesFails) {
+  LandmarkIndex& landmarks = const_cast<LandmarkIndex&>(*world_.landmarks);
+  STMaker fresh(&world_.city.network, &landmarks,
+                FeatureRegistry::BuiltIn());
+  Status loaded = fresh.LoadModel("/nonexistent_zz/model");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_FALSE(fresh.trained());
+}
+
+TEST_F(ModelIoTest, MinerSerializationHooks) {
+  PopularRouteMiner miner;
+  SymbolicTrajectory t;
+  t.samples = {{1, 0.0}, {2, 60.0}, {3, 120.0}};
+  miner.AddTrajectory(t);
+  miner.AddTrajectory(t);
+  std::vector<PopularRouteMiner::Transition> transitions =
+      miner.Transitions();
+  ASSERT_EQ(transitions.size(), 2u);
+
+  PopularRouteMiner rebuilt;
+  for (const auto& tr : transitions) {
+    rebuilt.AddTransitionCount(tr.from, tr.to, tr.count);
+  }
+  EXPECT_DOUBLE_EQ(rebuilt.TransitionCount(1, 2), 2.0);
+  EXPECT_DOUBLE_EQ(rebuilt.TransitionCount(2, 3), 2.0);
+  auto route = rebuilt.PopularRoute(1, 3);
+  ASSERT_TRUE(route.ok());
+  EXPECT_EQ(*route, (std::vector<LandmarkId>{1, 2, 3}));
+}
+
+TEST_F(ModelIoTest, FeatureMapSerializationHooks) {
+  HistoricalFeatureMap map(2);
+  map.AddSegment(1, 2, {10, 1});
+  map.AddSegment(1, 2, {20, 3});
+  map.AddSegment(4, 5, {6, 0});
+  std::vector<HistoricalFeatureMap::EdgeRecord> edges = map.Edges();
+  ASSERT_EQ(edges.size(), 2u);
+
+  HistoricalFeatureMap rebuilt(2);
+  for (const auto& e : edges) {
+    rebuilt.AddAccumulated(e.from, e.to, e.sums, e.count);
+  }
+  auto avg = rebuilt.RegularValuesCopy(1, 2);
+  ASSERT_TRUE(avg.ok());
+  EXPECT_DOUBLE_EQ((*avg)[0], 15.0);
+  EXPECT_DOUBLE_EQ((*avg)[1], 2.0);
+  EXPECT_DOUBLE_EQ(rebuilt.GlobalAverage(0), map.GlobalAverage(0));
+}
+
+}  // namespace
+}  // namespace stmaker

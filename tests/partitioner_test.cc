@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/random.h"
+#include "core/partitioner.h"
+
+namespace stmaker {
+namespace {
+
+// Exhaustive oracle: tries every subset of cut boundaries.
+struct BruteForceResult {
+  double best_score = std::numeric_limits<double>::infinity();
+  std::vector<bool> best_cuts;
+};
+
+BruteForceResult BruteForce(const std::vector<double>& sims,
+                            const std::vector<double>& sigs, double ca,
+                            int k /* 0 = unconstrained */) {
+  const size_t b = sims.size();
+  BruteForceResult out;
+  for (uint64_t mask = 0; mask < (1ULL << b); ++mask) {
+    int cuts = __builtin_popcountll(mask);
+    if (k > 0 && cuts != k - 1) continue;
+    double score = 0;
+    for (size_t i = 0; i < b; ++i) {
+      if (mask & (1ULL << i)) {
+        score += -ca * sigs[i];
+      } else {
+        score += -sims[i];
+      }
+    }
+    if (score < out.best_score) {
+      out.best_score = score;
+      out.best_cuts.assign(b, false);
+      for (size_t i = 0; i < b; ++i) out.best_cuts[i] = mask & (1ULL << i);
+    }
+  }
+  return out;
+}
+
+void ExpectValidPartition(const PartitionResult& result, size_t n) {
+  ASSERT_FALSE(result.partitions.empty());
+  EXPECT_EQ(result.partitions.front().first, 0u);
+  EXPECT_EQ(result.partitions.back().second, n);
+  for (size_t p = 0; p < result.partitions.size(); ++p) {
+    EXPECT_LT(result.partitions[p].first, result.partitions[p].second);
+    if (p > 0) {
+      EXPECT_EQ(result.partitions[p].first,
+                result.partitions[p - 1].second);
+    }
+  }
+}
+
+TEST(PartitionerTest, SingleSegmentTrivial) {
+  Partitioner partitioner;
+  auto r = partitioner.Partition({}, {}, {.ca = 0.5, .k = 0});
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->partitions.size(), 1u);
+  EXPECT_EQ(r->partitions[0], (std::pair<size_t, size_t>{0, 1}));
+  EXPECT_DOUBLE_EQ(r->score, 0.0);
+}
+
+TEST(PartitionerTest, CutsAtSignificantLandmarkWithDissimilarNeighbors) {
+  // Boundary 0: high similarity, low significance → merge.
+  // Boundary 1: low similarity, high significance → cut.
+  Partitioner partitioner;
+  auto r = partitioner.Partition({0.95, 0.30}, {0.1, 0.9},
+                                 {.ca = 1.0, .k = 0});
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->partitions.size(), 2u);
+  EXPECT_EQ(r->partitions[0], (std::pair<size_t, size_t>{0, 2}));
+  EXPECT_EQ(r->partitions[1], (std::pair<size_t, size_t>{2, 3}));
+}
+
+TEST(PartitionerTest, CaScalesCutPropensity) {
+  Partitioner partitioner;
+  std::vector<double> sims = {0.6, 0.6, 0.6};
+  std::vector<double> sigs = {0.5, 0.5, 0.5};
+  auto low_ca = partitioner.Partition(sims, sigs, {.ca = 0.5, .k = 0});
+  auto high_ca = partitioner.Partition(sims, sigs, {.ca = 2.0, .k = 0});
+  ASSERT_TRUE(low_ca.ok());
+  ASSERT_TRUE(high_ca.ok());
+  EXPECT_EQ(low_ca->partitions.size(), 1u);   // 0.5*0.5 < 0.6 → merge all
+  EXPECT_EQ(high_ca->partitions.size(), 4u);  // 2.0*0.5 > 0.6 → cut all
+}
+
+TEST(PartitionerTest, KOneNeverCuts) {
+  Partitioner partitioner;
+  auto r = partitioner.Partition({0.0, 0.0}, {1.0, 1.0}, {.ca = 5.0, .k = 1});
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->partitions.size(), 1u);
+  EXPECT_EQ(r->partitions[0], (std::pair<size_t, size_t>{0, 3}));
+}
+
+TEST(PartitionerTest, KEqualsSegmentsCutsEverywhere) {
+  Partitioner partitioner;
+  auto r = partitioner.Partition({0.9, 0.9}, {0.01, 0.01},
+                                 {.ca = 0.5, .k = 3});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->partitions.size(), 3u);
+}
+
+TEST(PartitionerTest, KPartitionPicksBestBoundaries) {
+  // k = 2 must choose the single best cut: boundary 1 (significance 0.9)
+  // over boundary 0 (0.2) and boundary 2 (0.3), with equal similarities.
+  Partitioner partitioner;
+  auto r = partitioner.Partition({0.5, 0.5, 0.5}, {0.2, 0.9, 0.3},
+                                 {.ca = 1.0, .k = 2});
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->partitions.size(), 2u);
+  EXPECT_EQ(r->partitions[0], (std::pair<size_t, size_t>{0, 2}));
+}
+
+TEST(PartitionerTest, InputValidation) {
+  Partitioner partitioner;
+  EXPECT_EQ(partitioner.Partition({0.5}, {0.5, 0.5}, {.ca = 0.5, .k = 0})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(partitioner.Partition({0.5}, {0.5}, {.ca = 0.0, .k = 0})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(partitioner.Partition({0.5}, {0.5}, {.ca = 0.5, .k = 5})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(partitioner.Partition({0.5}, {0.5}, {.ca = 0.5, .k = -1})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+// Property: the DP matches the exhaustive oracle for random inputs, for the
+// unconstrained case and for every feasible k.
+struct OptimalityParam {
+  size_t num_segments;
+  double ca;
+  uint64_t seed;
+};
+
+class PartitionerOptimalityTest
+    : public ::testing::TestWithParam<OptimalityParam> {};
+
+TEST_P(PartitionerOptimalityTest, MatchesBruteForce) {
+  const OptimalityParam param = GetParam();
+  Random rng(param.seed);
+  const size_t b = param.num_segments - 1;
+  std::vector<double> sims(b);
+  std::vector<double> sigs(b);
+  for (size_t i = 0; i < b; ++i) {
+    sims[i] = rng.Uniform(0.5, 1.0);  // Eq. 3 similarities live in [0.5, 1]
+    sigs[i] = rng.Uniform();
+  }
+  Partitioner partitioner;
+
+  // Unconstrained.
+  auto r = partitioner.Partition(sims, sigs, {.ca = param.ca, .k = 0});
+  ASSERT_TRUE(r.ok());
+  ExpectValidPartition(*r, param.num_segments);
+  BruteForceResult oracle = BruteForce(sims, sigs, param.ca, 0);
+  EXPECT_NEAR(r->score, oracle.best_score, 1e-12);
+
+  // Every k.
+  for (int k = 1; k <= static_cast<int>(param.num_segments); ++k) {
+    auto rk = partitioner.Partition(sims, sigs, {.ca = param.ca, .k = k});
+    ASSERT_TRUE(rk.ok()) << "k=" << k;
+    ExpectValidPartition(*rk, param.num_segments);
+    EXPECT_EQ(rk->partitions.size(), static_cast<size_t>(k));
+    BruteForceResult oracle_k = BruteForce(sims, sigs, param.ca, k);
+    EXPECT_NEAR(rk->score, oracle_k.best_score, 1e-12) << "k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PartitionerOptimalityTest,
+    ::testing::Values(OptimalityParam{2, 0.5, 1}, OptimalityParam{3, 0.5, 2},
+                      OptimalityParam{5, 1.0, 3}, OptimalityParam{8, 0.3, 4},
+                      OptimalityParam{10, 0.7, 5},
+                      OptimalityParam{13, 0.5, 6},
+                      OptimalityParam{13, 2.0, 7}));
+
+// The unconstrained optimum over all k equals the best k-partition score.
+TEST(PartitionerTest, UnconstrainedEqualsBestOverK) {
+  Random rng(42);
+  const size_t n = 9;
+  std::vector<double> sims(n - 1);
+  std::vector<double> sigs(n - 1);
+  for (size_t i = 0; i + 1 < n; ++i) {
+    sims[i] = rng.Uniform(0.5, 1.0);
+    sigs[i] = rng.Uniform();
+  }
+  Partitioner partitioner;
+  auto unconstrained = partitioner.Partition(sims, sigs, {.ca = 0.8, .k = 0});
+  ASSERT_TRUE(unconstrained.ok());
+  double best_k = std::numeric_limits<double>::infinity();
+  for (int k = 1; k <= static_cast<int>(n); ++k) {
+    auto rk = partitioner.Partition(sims, sigs, {.ca = 0.8, .k = k});
+    ASSERT_TRUE(rk.ok());
+    best_k = std::min(best_k, rk->score);
+  }
+  EXPECT_NEAR(unconstrained->score, best_k, 1e-12);
+}
+
+}  // namespace
+}  // namespace stmaker

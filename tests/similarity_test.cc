@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/similarity.h"
+
+namespace stmaker {
+namespace {
+
+SegmentFeatures WithValues(std::vector<double> values) {
+  SegmentFeatures sf;
+  sf.values = std::move(values);
+  return sf;
+}
+
+// --------------------------------------------------------------------------
+// NormalizeSegmentFeatures
+// --------------------------------------------------------------------------
+
+TEST(NormalizeTest, DividesByPerFeatureMax) {
+  std::vector<SegmentFeatures> segs = {WithValues({2, 10}),
+                                       WithValues({4, 5})};
+  auto norm = NormalizeSegmentFeatures(segs);
+  ASSERT_EQ(norm.size(), 2u);
+  EXPECT_DOUBLE_EQ(norm[0][0], 0.5);
+  EXPECT_DOUBLE_EQ(norm[1][0], 1.0);
+  EXPECT_DOUBLE_EQ(norm[0][1], 1.0);
+  EXPECT_DOUBLE_EQ(norm[1][1], 0.5);
+}
+
+TEST(NormalizeTest, AllZeroDimensionStaysZero) {
+  std::vector<SegmentFeatures> segs = {WithValues({0, 3}),
+                                       WithValues({0, 6})};
+  auto norm = NormalizeSegmentFeatures(segs);
+  EXPECT_DOUBLE_EQ(norm[0][0], 0.0);
+  EXPECT_DOUBLE_EQ(norm[1][0], 0.0);
+}
+
+TEST(NormalizeTest, ValuesBoundedByOne) {
+  Random rng(1);
+  std::vector<SegmentFeatures> segs;
+  for (int i = 0; i < 10; ++i) {
+    segs.push_back(WithValues({rng.Uniform(0, 100), rng.Uniform(0, 5),
+                               rng.Uniform(0, 1e6)}));
+  }
+  for (const auto& v : NormalizeSegmentFeatures(segs)) {
+    for (double x : v) {
+      EXPECT_GE(x, 0.0);
+      EXPECT_LE(x, 1.0);
+    }
+  }
+}
+
+TEST(NormalizeTest, EmptyInput) {
+  EXPECT_TRUE(NormalizeSegmentFeatures({}).empty());
+}
+
+// --------------------------------------------------------------------------
+// SegmentSimilarity (Eq. 3)
+// --------------------------------------------------------------------------
+
+TEST(SimilarityTest, IdenticalVectorsAreMaximallySimilar) {
+  std::vector<double> v = {0.5, 0.2, 0.9};
+  std::vector<double> w = {1, 1, 1};
+  EXPECT_NEAR(SegmentSimilarity(v, v, w), 1.0, 1e-12);
+}
+
+TEST(SimilarityTest, ParallelVectorsAreMaximallySimilar) {
+  std::vector<double> u = {0.2, 0.4};
+  std::vector<double> v = {0.4, 0.8};
+  EXPECT_NEAR(SegmentSimilarity(u, v, {1, 1}), 1.0, 1e-12);
+}
+
+TEST(SimilarityTest, OrthogonalVectorsGiveHalf) {
+  EXPECT_NEAR(SegmentSimilarity({1, 0}, {0, 1}, {1, 1}), 0.5, 1e-12);
+}
+
+TEST(SimilarityTest, ZeroVectorConventions) {
+  EXPECT_DOUBLE_EQ(SegmentSimilarity({0, 0}, {0, 0}, {1, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(SegmentSimilarity({0, 0}, {1, 0}, {1, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(SegmentSimilarity({1, 0}, {0, 0}, {1, 1}), 0.5);
+}
+
+TEST(SimilarityTest, Symmetric) {
+  Random rng(2);
+  for (int i = 0; i < 50; ++i) {
+    std::vector<double> u = {rng.Uniform(), rng.Uniform(), rng.Uniform()};
+    std::vector<double> v = {rng.Uniform(), rng.Uniform(), rng.Uniform()};
+    std::vector<double> w = {rng.Uniform(0.1, 2), rng.Uniform(0.1, 2),
+                             rng.Uniform(0.1, 2)};
+    EXPECT_DOUBLE_EQ(SegmentSimilarity(u, v, w), SegmentSimilarity(v, u, w));
+  }
+}
+
+TEST(SimilarityTest, RangeForNonNegativeVectors) {
+  // Normalized feature vectors are non-negative, so cos >= 0 and S ∈ [½, 1].
+  Random rng(3);
+  for (int i = 0; i < 100; ++i) {
+    std::vector<double> u = {rng.Uniform(), rng.Uniform(), rng.Uniform(),
+                             rng.Uniform()};
+    std::vector<double> v = {rng.Uniform(), rng.Uniform(), rng.Uniform(),
+                             rng.Uniform()};
+    std::vector<double> w = {1, 1, 1, 1};
+    double s = SegmentSimilarity(u, v, w);
+    EXPECT_GE(s, 0.5);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(SimilarityTest, ZeroWeightIgnoresDimension) {
+  // u and v differ only in dimension 0; zero weight there → identical.
+  std::vector<double> u = {0.1, 0.6};
+  std::vector<double> v = {0.9, 0.6};
+  EXPECT_NEAR(SegmentSimilarity(u, v, {0, 1}), 1.0, 1e-12);
+  EXPECT_LT(SegmentSimilarity(u, v, {1, 1}), 1.0);
+}
+
+TEST(SimilarityTest, HigherWeightAmplifiesDisagreement) {
+  // The vectors disagree in dimension 0 and agree in dimension 1. Raising
+  // w_0 must reduce similarity.
+  std::vector<double> u = {1.0, 0.5};
+  std::vector<double> v = {0.0, 0.5};
+  double w1 = SegmentSimilarity(u, v, {1, 1});
+  double w4 = SegmentSimilarity(u, v, {4, 1});
+  EXPECT_LT(w4, w1);
+}
+
+TEST(SimilarityTest, MatchesHandComputedExample) {
+  // u = (1, 0), v = (1, 1), weights (1, 1):
+  // cos = 1 / (1 · √2) = 0.7071…, S = ½(cos + 1) = 0.8536…
+  EXPECT_NEAR(SegmentSimilarity({1, 0}, {1, 1}, {1, 1}), 0.85355339, 1e-6);
+}
+
+}  // namespace
+}  // namespace stmaker

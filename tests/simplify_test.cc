@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "geo/polyline.h"
+#include "test_world.h"
+#include "core/irregularity.h"
+#include "traj/simplify.h"
+
+namespace stmaker {
+namespace {
+
+using ::stmaker::testing::GetTestWorld;
+
+RawTrajectory Line(int n, double step) {
+  RawTrajectory t;
+  for (int i = 0; i < n; ++i) {
+    t.samples.push_back({{i * step, 0}, i * 10.0});
+  }
+  return t;
+}
+
+// --------------------------------------------------------------------------
+// SimplifyTrajectory
+// --------------------------------------------------------------------------
+
+TEST(SimplifyTest, CollinearPointsCollapseToEndpoints) {
+  RawTrajectory t = Line(50, 20);
+  RawTrajectory s = SimplifyTrajectory(t, 1.0);
+  ASSERT_EQ(s.samples.size(), 2u);
+  EXPECT_EQ(s.samples.front().pos, t.samples.front().pos);
+  EXPECT_EQ(s.samples.back().pos, t.samples.back().pos);
+  EXPECT_DOUBLE_EQ(s.samples.back().time, t.samples.back().time);
+}
+
+TEST(SimplifyTest, CornerIsPreserved) {
+  RawTrajectory t;
+  for (int x = 0; x <= 500; x += 50) {
+    t.samples.push_back({{static_cast<double>(x), 0}, x / 10.0});
+  }
+  for (int y = 50; y <= 500; y += 50) {
+    t.samples.push_back({{500, static_cast<double>(y)}, 50 + y / 10.0});
+  }
+  RawTrajectory s = SimplifyTrajectory(t, 5.0);
+  ASSERT_EQ(s.samples.size(), 3u);
+  EXPECT_EQ(s.samples[1].pos, (Vec2{500, 0}));
+}
+
+TEST(SimplifyTest, ZeroToleranceKeepsGeometryDefiningPoints) {
+  RawTrajectory t;
+  t.samples = {{{0, 0}, 0}, {{10, 3}, 1}, {{20, 0}, 2}};
+  RawTrajectory s = SimplifyTrajectory(t, 0.0);
+  EXPECT_EQ(s.samples.size(), 3u);
+}
+
+TEST(SimplifyTest, TinyInputsPassThrough) {
+  EXPECT_TRUE(SimplifyTrajectory(RawTrajectory{}, 5).samples.empty());
+  RawTrajectory one;
+  one.samples.push_back({{1, 2}, 3});
+  EXPECT_EQ(SimplifyTrajectory(one, 5).samples.size(), 1u);
+  RawTrajectory two = Line(2, 100);
+  EXPECT_EQ(SimplifyTrajectory(two, 5).samples.size(), 2u);
+}
+
+TEST(SimplifyTest, ErrorBoundHolds) {
+  // Every removed fix must lie within tolerance of the simplified polyline.
+  Random rng(4);
+  RawTrajectory t;
+  Vec2 pos{0, 0};
+  for (int i = 0; i < 300; ++i) {
+    pos = pos + Vec2{rng.Uniform(10, 60), rng.Uniform(-30, 30)};
+    t.samples.push_back({pos, i * 10.0});
+  }
+  const double tolerance = 25.0;
+  RawTrajectory s = SimplifyTrajectory(t, tolerance);
+  ASSERT_GE(s.samples.size(), 2u);
+  EXPECT_LT(s.samples.size(), t.samples.size());
+  std::vector<Vec2> kept;
+  for (const RawSample& sample : s.samples) kept.push_back(sample.pos);
+  Polyline simplified(kept);
+  for (const RawSample& sample : t.samples) {
+    EXPECT_LE(simplified.Project(sample.pos).distance, tolerance + 1e-9);
+  }
+}
+
+TEST(SimplifyTest, MonotoneInTolerance) {
+  Random rng(5);
+  RawTrajectory t;
+  Vec2 pos{0, 0};
+  for (int i = 0; i < 200; ++i) {
+    pos = pos + Vec2{rng.Uniform(10, 50), rng.Uniform(-20, 20)};
+    t.samples.push_back({pos, i * 10.0});
+  }
+  size_t prev = t.samples.size() + 1;
+  for (double tolerance : {1.0, 5.0, 20.0, 80.0}) {
+    size_t n = SimplifyTrajectory(t, tolerance).samples.size();
+    EXPECT_LE(n, prev) << "tolerance " << tolerance;
+    prev = n;
+  }
+}
+
+TEST(SimplifyTest, SimplifiedTripSummarizesLikeTheOriginal) {
+  // The Sec. I storage argument: simplify aggressively, summarize, and the
+  // symbolic trajectory stays essentially the same (calibration is
+  // geometry-driven, not sampling-driven). Anchors at the fringe of the
+  // anchor radius can flip when the polyline shifts by the tolerance, so we
+  // compare landmark sequences by normalized edit distance rather than
+  // demanding byte-identical text.
+  const auto& world = GetTestWorld();
+  Random rng(9);
+  int compared = 0;
+  int close = 0;
+  while (compared < 10) {
+    auto trip = world.generator->GenerateTrip(13 * 3600.0, &rng);
+    if (!trip.ok()) continue;
+    RawTrajectory slim = SimplifyTrajectory(trip->raw, 10.0);
+    ASSERT_LT(slim.samples.size(), trip->raw.samples.size());
+    auto a = world.maker->Summarize(trip->raw);
+    auto b = world.maker->Summarize(slim);
+    if (!a.ok() || !b.ok()) continue;
+    ++compared;
+    std::vector<double> la;
+    std::vector<double> lb;
+    for (const SymbolicSample& sample : a->symbolic.samples) {
+      la.push_back(static_cast<double>(sample.landmark));
+    }
+    for (const SymbolicSample& sample : b->symbolic.samples) {
+      lb.push_back(static_cast<double>(sample.landmark));
+    }
+    double d = FeatureSequenceEditDistance(la, lb,
+                                           FeatureValueType::kCategorical);
+    if (d / std::max(la.size(), lb.size()) <= 0.2) ++close;
+  }
+  EXPECT_GE(close, 8) << close << "/10";
+}
+
+// --------------------------------------------------------------------------
+// ComputeTrajectoryStats
+// --------------------------------------------------------------------------
+
+TEST(TrajectoryStatsTest, SimpleLine) {
+  RawTrajectory t = Line(11, 100);  // 1 km over 100 s
+  TrajectoryStats stats = ComputeTrajectoryStats(t);
+  EXPECT_DOUBLE_EQ(stats.length_m, 1000.0);
+  EXPECT_DOUBLE_EQ(stats.duration_s, 100.0);
+  EXPECT_DOUBLE_EQ(stats.mean_speed_kmh, 36.0);
+  EXPECT_DOUBLE_EQ(stats.max_gap_s, 10.0);
+  EXPECT_EQ(stats.num_fixes, 11u);
+  EXPECT_DOUBLE_EQ(stats.extent.Width(), 1000.0);
+}
+
+TEST(TrajectoryStatsTest, EmptyAndSingle) {
+  TrajectoryStats empty = ComputeTrajectoryStats(RawTrajectory{});
+  EXPECT_EQ(empty.num_fixes, 0u);
+  EXPECT_DOUBLE_EQ(empty.length_m, 0.0);
+  EXPECT_DOUBLE_EQ(empty.mean_speed_kmh, 0.0);
+  RawTrajectory one;
+  one.samples.push_back({{5, 5}, 42});
+  TrajectoryStats single = ComputeTrajectoryStats(one);
+  EXPECT_EQ(single.num_fixes, 1u);
+  EXPECT_DOUBLE_EQ(single.duration_s, 0.0);
+}
+
+TEST(TrajectoryStatsTest, GapDetection) {
+  RawTrajectory t;
+  t.samples = {{{0, 0}, 0}, {{100, 0}, 10}, {{200, 0}, 400}, {{300, 0}, 410}};
+  TrajectoryStats stats = ComputeTrajectoryStats(t);
+  EXPECT_DOUBLE_EQ(stats.max_gap_s, 390.0);
+}
+
+}  // namespace
+}  // namespace stmaker

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "text/phrases.h"
+#include "text/template_engine.h"
+
+namespace stmaker {
+namespace {
+
+// --------------------------------------------------------------------------
+// Template engine
+// --------------------------------------------------------------------------
+
+TEST(TemplateEngineTest, SubstitutesPlaceholders) {
+  auto out = RenderTemplate("from {src} to {dst}",
+                            {{"src", "A"}, {"dst", "B"}});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, "from A to B");
+}
+
+TEST(TemplateEngineTest, RepeatedPlaceholder) {
+  auto out = RenderTemplate("{x} and {x}", {{"x", "again"}});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, "again and again");
+}
+
+TEST(TemplateEngineTest, EscapedBraces) {
+  auto out = RenderTemplate("literal {{x}} and {y}", {{"y", "v"}});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, "literal {x} and v");
+}
+
+TEST(TemplateEngineTest, NoPlaceholders) {
+  auto out = RenderTemplate("plain text", {});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, "plain text");
+}
+
+TEST(TemplateEngineTest, UnboundPlaceholderFails) {
+  auto out = RenderTemplate("hello {name}", {});
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TemplateEngineTest, UnterminatedPlaceholderFails) {
+  EXPECT_FALSE(RenderTemplate("broken {name", {{"name", "x"}}).ok());
+}
+
+TEST(TemplateEngineTest, EmptyPlaceholderFails) {
+  EXPECT_FALSE(RenderTemplate("broken {}", {}).ok());
+}
+
+TEST(TemplateEngineTest, StrayCloseBraceFails) {
+  EXPECT_FALSE(RenderTemplate("oops } here", {}).ok());
+}
+
+TEST(TemplateEngineTest, EmptyTemplate) {
+  auto out = RenderTemplate("", {});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, "");
+}
+
+// --------------------------------------------------------------------------
+// Table V phrase builders
+// --------------------------------------------------------------------------
+
+TEST(PhrasesTest, GradeOfRoad) {
+  std::string p = GradeOfRoadPhrase("feeder road", "Suzhou Road", "highway");
+  EXPECT_EQ(p,
+            "through feeder road (Suzhou Road) while most drivers choose "
+            "highway");
+  std::string q = GradeOfRoadPhrase("feeder road", "", "highway");
+  EXPECT_EQ(q, "through feeder road while most drivers choose highway");
+}
+
+TEST(PhrasesTest, RoadWidthComparatives) {
+  EXPECT_EQ(RoadWidthPhrase(8.0, 20.0),
+            "through 8 metres wide roads while most drivers prefer wider "
+            "roads");
+  EXPECT_EQ(RoadWidthPhrase(25.0, 12.0),
+            "through 25 metres wide roads while most drivers prefer "
+            "narrower roads");
+}
+
+TEST(PhrasesTest, TrafficDirection) {
+  EXPECT_EQ(TrafficDirectionPhrase("a one-way road", "a two-way road"),
+            "through a one-way road while most drivers prefer a two-way "
+            "road");
+}
+
+TEST(PhrasesTest, SpeedFasterAndSlower) {
+  EXPECT_EQ(SpeedPhrase(86.2, 72.2),
+            "with the speed of 86.2 km/h which was 14 km/h faster than "
+            "usual");
+  EXPECT_EQ(SpeedPhrase(30.0, 44.0),
+            "with the speed of 30 km/h which was 14 km/h slower than "
+            "usual");
+}
+
+TEST(PhrasesTest, StayPoints) {
+  EXPECT_EQ(StayPointsPhrase(2, 167),
+            "with 2 staying points (in total for about 2 minutes)");
+  EXPECT_EQ(StayPointsPhrase(1, 95),
+            "with 1 staying point (in total for about 95 seconds)");
+}
+
+TEST(PhrasesTest, UTurns) {
+  EXPECT_EQ(UTurnsPhrase(1, {"Zhichun Road"}),
+            "with conducting one U-turn at Zhichun Road");
+  EXPECT_EQ(UTurnsPhrase(2, {"A", "B"}),
+            "with conducting 2 U-turns at A, B");
+  EXPECT_EQ(UTurnsPhrase(3, {}), "with conducting 3 U-turns");
+}
+
+// --------------------------------------------------------------------------
+// Table VI sentences
+// --------------------------------------------------------------------------
+
+TEST(PhrasesTest, FirstSentenceWithFeatures) {
+  std::string s = PartitionSentence(
+      true, "Daoxiang Community", "Haidian Hospital", "",
+      {"with 2 staying points (in total for about 2 minutes)"});
+  EXPECT_EQ(s,
+            "The car started from Daoxiang Community to Haidian Hospital "
+            "with 2 staying points (in total for about 2 minutes).");
+}
+
+TEST(PhrasesTest, ContinuationSentenceSmooth) {
+  std::string s =
+      PartitionSentence(false, "Suzhou Road", "Suzhoujie Station", "", {});
+  EXPECT_EQ(s,
+            "Then it moved from Suzhou Road to Suzhoujie Station smoothly.");
+}
+
+TEST(PhrasesTest, SentenceMentionsRoadTypeBeforeFeatures) {
+  std::string s = PartitionSentence(false, "A", "B", "express road",
+                                    {"with the speed of 30 km/h which was "
+                                     "14 km/h slower than usual"});
+  EXPECT_EQ(s,
+            "Then it moved from A to B through express road, with the speed "
+            "of 30 km/h which was 14 km/h slower than usual.");
+}
+
+TEST(PhrasesTest, MultipleFeaturesJoinedWithAnd) {
+  std::string s = PartitionSentence(true, "A", "B", "", {"f1", "f2", "f3"});
+  EXPECT_EQ(s, "The car started from A to B f1, and f2, and f3.");
+}
+
+}  // namespace
+}  // namespace stmaker

@@ -1,0 +1,292 @@
+// stmaker_cli — command-line front end to the STMaker pipeline.
+//
+// Workflows:
+//
+//   # Generate a synthetic dataset (map + POIs + taxi corpus) into a dir:
+//   stmaker_cli gen --dir /tmp/city --seed 42 --blocks 16 --trips 800
+//
+//   # Summarize one trip of the corpus (trained on the rest):
+//   stmaker_cli summarize --dir /tmp/city --trip 3 [--k 2] [--eta 0.2]
+//                         [--json]
+//
+//   # Train once and persist the mined model:
+//   stmaker_cli train --dir /tmp/city --model /tmp/city/model
+//
+//   # Summarize using a persisted model (no re-training):
+//   stmaker_cli summarize --dir /tmp/city --trip 3 --model /tmp/city/model
+//
+//   # Corpus-level feature-frequency statistics:
+//   stmaker_cli stats --dir /tmp/city [--trips 200]
+//
+//   # Aggregate (group) summary of a time window:
+//   stmaker_cli group --dir /tmp/city --from-hour 7 --to-hour 10
+//
+// The dataset directory holds plain CSV files (see src/io/), so real map
+// and trajectory data can be dropped in using the same schema.
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/corpus_stats.h"
+#include "core/group_summarizer.h"
+#include "core/stmaker.h"
+#include "io/poi_io.h"
+#include "io/road_network_io.h"
+#include "geo/projection.h"
+#include "io/geojson.h"
+#include "io/summary_json.h"
+#include "io/trajectory_io.h"
+#include "landmark/poi_generator.h"
+#include "roadnet/map_generator.h"
+#include "traj/generator.h"
+
+using namespace stmaker;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  bool Has(const std::string& key) const { return options.count(key) > 0; }
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  long GetInt(const std::string& key, long fallback) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : std::atol(it->second.c_str());
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : std::atof(it->second.c_str());
+  }
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) == 0) {
+      std::string key = token.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        args.options[key] = argv[++i];
+      } else {
+        args.options[key] = "true";  // boolean flag
+      }
+    }
+  }
+  return args;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  stmaker_cli gen --dir D [--seed N] [--blocks B] "
+               "[--trips T] [--pois P]\n"
+               "  stmaker_cli train --dir D --model P\n"
+               "  stmaker_cli summarize --dir D --trip I [--k K] "
+               "[--eta E] [--json|--geojson] [--model P]\n"
+               "  stmaker_cli stats --dir D [--trips T]\n"
+               "  stmaker_cli group --dir D [--from-hour H] [--to-hour H]\n");
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int RunGen(const Args& args) {
+  if (!args.Has("dir")) return Usage();
+  const std::string dir = args.Get("dir", ".");
+  uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+
+  MapGeneratorOptions map_options;
+  map_options.blocks_x = static_cast<int>(args.GetInt("blocks", 16));
+  map_options.blocks_y = map_options.blocks_x;
+  map_options.seed = seed;
+  GeneratedMap city = MapGenerator(map_options).Generate();
+
+  PoiGeneratorOptions poi_options;
+  poi_options.num_sites = static_cast<int>(args.GetInt("pois", 300));
+  poi_options.seed = seed + 1;
+  std::vector<RawPoi> pois = PoiGenerator(poi_options).Generate(city.network);
+  LandmarkIndex landmarks = LandmarkIndex::Build(city.network, pois);
+
+  TrajectoryGenerator generator(&city.network, &landmarks);
+  std::vector<GeneratedTrip> trips = generator.GenerateCorpus(
+      static_cast<size_t>(args.GetInt("trips", 800)),
+      /*num_travelers=*/100, /*num_days=*/14, seed + 2);
+  std::vector<RawTrajectory> raws;
+  raws.reserve(trips.size());
+  for (const GeneratedTrip& t : trips) raws.push_back(t.raw);
+
+  Status st = WriteRoadNetworkCsv(dir + "/network", city.network);
+  if (!st.ok()) return Fail(st);
+  st = WritePoisCsv(dir + "/pois.csv", pois);
+  if (!st.ok()) return Fail(st);
+  st = WriteTrajectoriesCsv(dir + "/trajectories.csv", raws);
+  if (!st.ok()) return Fail(st);
+
+  std::printf("wrote %s/{network_nodes.csv,network_edges.csv,pois.csv,"
+              "trajectories.csv}\n", dir.c_str());
+  std::printf("city: %zu nodes, %zu edges; %zu POIs; %zu trips\n",
+              city.network.NumNodes(), city.network.NumEdges(), pois.size(),
+              raws.size());
+  return 0;
+}
+
+struct LoadedWorld {
+  RoadNetwork network;
+  std::unique_ptr<LandmarkIndex> landmarks;
+  std::vector<RawTrajectory> trajectories;
+};
+
+Result<LoadedWorld> LoadWorld(const std::string& dir) {
+  LoadedWorld world;
+  STMAKER_ASSIGN_OR_RETURN(world.network,
+                           ReadRoadNetworkCsv(dir + "/network"));
+  STMAKER_ASSIGN_OR_RETURN(std::vector<RawPoi> pois,
+                           ReadPoisCsv(dir + "/pois.csv"));
+  world.landmarks = std::make_unique<LandmarkIndex>(
+      LandmarkIndex::Build(world.network, pois));
+  STMAKER_ASSIGN_OR_RETURN(world.trajectories,
+                           ReadTrajectoriesCsv(dir + "/trajectories.csv"));
+  return world;
+}
+
+int RunTrain(const Args& args) {
+  if (!args.Has("dir") || !args.Has("model")) return Usage();
+  Result<LoadedWorld> loaded = LoadWorld(args.Get("dir", "."));
+  if (!loaded.ok()) return Fail(loaded.status());
+  LoadedWorld& world = *loaded;
+  STMaker maker(&world.network, world.landmarks.get(),
+                FeatureRegistry::BuiltIn());
+  Status st = maker.Train(world.trajectories);
+  if (!st.ok()) return Fail(st);
+  st = maker.SaveModel(args.Get("model", "model"));
+  if (!st.ok()) return Fail(st);
+  std::printf("trained on %zu trajectories; model saved under %s_*\n",
+              maker.num_trained(), args.Get("model", "model").c_str());
+  return 0;
+}
+
+int RunSummarize(const Args& args) {
+  if (!args.Has("dir") || !args.Has("trip")) return Usage();
+  Result<LoadedWorld> loaded = LoadWorld(args.Get("dir", "."));
+  if (!loaded.ok()) return Fail(loaded.status());
+  LoadedWorld& world = *loaded;
+
+  size_t trip = static_cast<size_t>(args.GetInt("trip", 0));
+  if (trip >= world.trajectories.size()) {
+    std::fprintf(stderr, "error: trip %zu out of range (corpus has %zu)\n",
+                 trip, world.trajectories.size());
+    return 1;
+  }
+
+  STMaker maker(&world.network, world.landmarks.get(),
+                FeatureRegistry::BuiltIn());
+  if (args.Has("model")) {
+    Status st = maker.LoadModel(args.Get("model", "model"));
+    if (!st.ok()) return Fail(st);
+  } else {
+    // Train on everything except the queried trip.
+    std::vector<RawTrajectory> history;
+    history.reserve(world.trajectories.size() - 1);
+    for (size_t i = 0; i < world.trajectories.size(); ++i) {
+      if (i != trip) history.push_back(world.trajectories[i]);
+    }
+    Status st = maker.Train(history);
+    if (!st.ok()) return Fail(st);
+  }
+
+  SummaryOptions options;
+  options.k = static_cast<int>(args.GetInt("k", 0));
+  options.eta = args.GetDouble("eta", 0.2);
+  Result<Summary> summary =
+      maker.Summarize(world.trajectories[trip], options);
+  if (!summary.ok()) return Fail(summary.status());
+
+  if (args.Has("json")) {
+    std::printf("%s\n", SummaryToJson(*summary, maker.registry()).c_str());
+  } else if (args.Has("geojson")) {
+    LocalProjection projection(LatLon{39.9, 116.4});
+    std::printf("%s\n",
+                SummaryToGeoJson(*summary, *world.landmarks, projection)
+                    .c_str());
+  } else {
+    std::printf("%s\n", summary->text.c_str());
+  }
+  return 0;
+}
+
+int RunStats(const Args& args) {
+  if (!args.Has("dir")) return Usage();
+  Result<LoadedWorld> loaded = LoadWorld(args.Get("dir", "."));
+  if (!loaded.ok()) return Fail(loaded.status());
+  LoadedWorld& world = *loaded;
+
+  STMaker maker(&world.network, world.landmarks.get(),
+                FeatureRegistry::BuiltIn());
+  Status st = maker.Train(world.trajectories);
+  if (!st.ok()) return Fail(st);
+
+  size_t limit = static_cast<size_t>(args.GetInt("trips", 200));
+  std::vector<Summary> summaries;
+  for (size_t i = 0; i < world.trajectories.size() && summaries.size() < limit;
+       ++i) {
+    Result<Summary> summary = maker.Summarize(world.trajectories[i]);
+    if (summary.ok()) summaries.push_back(std::move(summary).value());
+  }
+  std::vector<double> ff =
+      ComputeFeatureFrequencies(summaries, maker.registry().size());
+  std::printf("feature frequencies over %zu summaries:\n", summaries.size());
+  for (size_t f = 0; f < ff.size(); ++f) {
+    std::printf("  %-20s %.3f\n", maker.registry().def(f).id.c_str(), ff[f]);
+  }
+  return 0;
+}
+
+int RunGroup(const Args& args) {
+  if (!args.Has("dir")) return Usage();
+  Result<LoadedWorld> loaded = LoadWorld(args.Get("dir", "."));
+  if (!loaded.ok()) return Fail(loaded.status());
+  LoadedWorld& world = *loaded;
+
+  STMaker maker(&world.network, world.landmarks.get(),
+                FeatureRegistry::BuiltIn());
+  Status st = maker.Train(world.trajectories);
+  if (!st.ok()) return Fail(st);
+
+  double from_h = args.GetDouble("from-hour", 0);
+  double to_h = args.GetDouble("to-hour", 24);
+  std::vector<RawTrajectory> group;
+  for (const RawTrajectory& raw : world.trajectories) {
+    double tod_h = TimeOfDaySeconds(raw.StartTime()) / 3600.0;
+    if (tod_h >= from_h && tod_h < to_h) group.push_back(raw);
+  }
+  GroupSummarizer group_summarizer(&maker);
+  Result<GroupSummary> summary = group_summarizer.Summarize(group);
+  if (!summary.ok()) return Fail(summary.status());
+  std::printf("window %02.0f:00-%02.0f:00, %zu trips (%zu unusable)\n",
+              from_h, to_h, summary->num_trajectories, summary->num_failed);
+  std::printf("%s\n", summary->text.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args = ParseArgs(argc, argv);
+  if (args.command == "gen") return RunGen(args);
+  if (args.command == "train") return RunTrain(args);
+  if (args.command == "summarize") return RunSummarize(args);
+  if (args.command == "stats") return RunStats(args);
+  if (args.command == "group") return RunGroup(args);
+  return Usage();
+}
