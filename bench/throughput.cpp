@@ -1,14 +1,26 @@
-// Operational throughput of the pipeline stages (not a paper figure, but
-// the numbers a deployment needs): calibration, feature extraction, popular
-// route queries, and end-to-end training cost per trajectory.
+// Operational throughput of the parallel train/serve pipeline (not a paper
+// figure, but the numbers a deployment needs): a thread sweep of corpus
+// ingestion (Train) and batch summarization (SummarizeBatch), plus
+// per-stage serving latencies (calibration cold/cached, feature
+// extraction, popular-route queries with the LRU warm).
 //
-// Run:  ./build/bench/throughput
+// Every parallel configuration is checked against the serial one — the
+// sweep aborts with a nonzero exit if any thread count changes a single
+// byte of output, so the emitted numbers are certified equal-output.
+//
+// Run:  ./build/bench/throughput [out.json]
+// Emits one JSON record per (benchmark, threads) pair:
+//   {"name", "threads", "items_per_sec", "p50_ms", "p99_ms"}
 
-#include <benchmark/benchmark.h>
-
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "bench_world.h"
+#include "common/parallel.h"
 #include "core/feature_extractor.h"
 #include "traj/calibration.h"
 
@@ -17,91 +29,244 @@ using namespace stmaker::bench;
 
 namespace {
 
-struct Fixture {
-  BenchWorld world;
-  std::vector<RawTrajectory> trips;
-  std::vector<CalibratedTrajectory> calibrated;
-  FeatureRegistry registry = FeatureRegistry::BuiltIn();
-  std::unique_ptr<Calibrator> calibrator;
-  std::unique_ptr<FeatureExtractor> extractor;
+constexpr int kThreadSweep[] = {1, 2, 4, 8};
+constexpr size_t kTrainCorpusSize = 800;
+constexpr int kTrainReps = 3;
+constexpr size_t kServeBatchSize = 300;
+constexpr int kServeReps = 3;
+constexpr size_t kMicroIters = 2000;
 
-  Fixture() : world(BuildBenchWorld()) {
-    calibrator = std::make_unique<Calibrator>(world.landmarks.get());
-    extractor = std::make_unique<FeatureExtractor>(
-        &world.city.network, world.landmarks.get(), &registry);
-    Random rng(31);
-    while (trips.size() < 50) {
-      double start = world.generator->SampleStartTimeOfDay(&rng);
-      auto trip = world.generator->GenerateTrip(start, &rng);
-      if (!trip.ok()) continue;
-      auto cal = calibrator->Calibrate(trip->raw);
-      if (!cal.ok()) continue;
-      trips.push_back(trip->raw);
-      calibrated.push_back(std::move(cal).value());
-    }
-  }
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Nearest-rank percentile over per-item (or per-rep) latencies.
+double Percentile(std::vector<double> samples, double q) {
+  STMAKER_CHECK(!samples.empty());
+  std::sort(samples.begin(), samples.end());
+  double rank = q / 100.0 * static_cast<double>(samples.size() - 1);
+  size_t idx = static_cast<size_t>(rank + 0.5);
+  return samples[std::min(idx, samples.size() - 1)];
+}
+
+struct BenchResult {
+  std::string name;
+  int threads;
+  double items_per_sec;
+  double p50_ms;
+  double p99_ms;
 };
 
-Fixture& GetFixture() {
-  static Fixture& fixture = *new Fixture();
-  return fixture;
+BenchResult Summarize(const std::string& name, int threads,
+                      const std::vector<double>& latencies_ms,
+                      size_t items, double total_ms) {
+  BenchResult r;
+  r.name = name;
+  r.threads = threads;
+  r.items_per_sec = total_ms > 0 ? items / (total_ms / 1000.0) : 0;
+  r.p50_ms = Percentile(latencies_ms, 50);
+  r.p99_ms = Percentile(latencies_ms, 99);
+  std::printf("%-28s threads=%d  %10.1f items/s  p50 %8.3f ms  p99 %8.3f ms\n",
+              name.c_str(), threads, r.items_per_sec, r.p50_ms, r.p99_ms);
+  return r;
 }
 
-void BM_Calibrate(benchmark::State& state) {
-  Fixture& fixture = GetFixture();
-  size_t i = 0;
-  for (auto _ : state) {
-    auto result = fixture.calibrator->Calibrate(
-        fixture.trips[i % fixture.trips.size()]);
-    benchmark::DoNotOptimize(result);
-    ++i;
+int Run(const char* out_path) {
+  BenchWorld world = BuildBenchWorld();
+  std::vector<RawTrajectory> raws;
+  raws.reserve(world.history.size());
+  for (const GeneratedTrip& t : world.history) raws.push_back(t.raw);
+
+  std::vector<RawTrajectory> train_corpus(
+      raws.begin(), raws.begin() + std::min(kTrainCorpusSize, raws.size()));
+  std::vector<RawTrajectory> serve_batch(
+      raws.begin(), raws.begin() + std::min(kServeBatchSize, raws.size()));
+
+  std::vector<BenchResult> results;
+
+  // --- Train thread sweep. The serial run is the reference: every other
+  // thread count must reproduce its transitions and probe summary exactly.
+  std::vector<PopularRouteMiner::Transition> ref_transitions;
+  std::string ref_probe_text;
+  const RawTrajectory& probe = raws[raws.size() - 1];
+  for (int threads : kThreadSweep) {
+    std::vector<double> rep_ms;
+    size_t items = 0;
+    double total_ms = 0;
+    for (int rep = 0; rep < kTrainReps; ++rep) {
+      STMakerOptions options;
+      options.num_threads = threads;
+      STMaker maker(&world.city.network, world.landmarks.get(),
+                    FeatureRegistry::BuiltIn(), options);
+      double t0 = NowMs();
+      Status st = maker.Train(train_corpus);
+      double dt = NowMs() - t0;
+      STMAKER_CHECK(st.ok());
+      rep_ms.push_back(dt);
+      total_ms += dt;
+      items += maker.num_trained();
+      if (rep == 0) {
+        auto summary = maker.Summarize(probe);
+        std::string text = summary.ok() ? summary->text : "<failed>";
+        if (threads == 1) {
+          ref_transitions = maker.popular_routes().Transitions();
+          ref_probe_text = text;
+        } else {
+          auto transitions = maker.popular_routes().Transitions();
+          bool same = transitions.size() == ref_transitions.size() &&
+                      text == ref_probe_text;
+          for (size_t i = 0; same && i < transitions.size(); ++i) {
+            same = transitions[i].from == ref_transitions[i].from &&
+                   transitions[i].to == ref_transitions[i].to &&
+                   transitions[i].count == ref_transitions[i].count;
+          }
+          if (!same) {
+            std::fprintf(stderr,
+                         "FATAL: Train with %d threads diverged from serial\n",
+                         threads);
+            return 1;
+          }
+        }
+      }
+    }
+    results.push_back(Summarize("Train", threads, rep_ms, items, total_ms));
   }
-}
 
-void BM_ExtractFeatures(benchmark::State& state) {
-  Fixture& fixture = GetFixture();
-  size_t i = 0;
-  for (auto _ : state) {
-    auto result = fixture.extractor->Extract(
-        fixture.calibrated[i % fixture.calibrated.size()]);
-    benchmark::DoNotOptimize(result);
-    ++i;
+  // --- SummarizeBatch thread sweep against the shared trained maker.
+  std::vector<std::string> ref_summaries;
+  for (int threads : kThreadSweep) {
+    std::vector<double> rep_ms;
+    size_t items = 0;
+    double total_ms = 0;
+    for (int rep = 0; rep < kServeReps; ++rep) {
+      double t0 = NowMs();
+      std::vector<Result<Summary>> batch =
+          world.maker->SummarizeBatch(serve_batch, SummaryOptions(), threads);
+      double dt = NowMs() - t0;
+      rep_ms.push_back(dt);
+      total_ms += dt;
+      items += batch.size();
+      if (rep == 0) {
+        std::vector<std::string> texts;
+        texts.reserve(batch.size());
+        for (const Result<Summary>& r : batch) {
+          texts.push_back(r.ok() ? r->text : "<" + r.status().ToString() + ">");
+        }
+        if (threads == 1) {
+          ref_summaries = std::move(texts);
+        } else if (texts != ref_summaries) {
+          std::fprintf(
+              stderr,
+              "FATAL: SummarizeBatch with %d threads diverged from serial\n",
+              threads);
+          return 1;
+        }
+      }
+    }
+    results.push_back(
+        Summarize("SummarizeBatch", threads, rep_ms, items, total_ms));
   }
-}
+  std::printf("# parallel outputs byte-identical to serial: yes\n");
 
-void BM_PopularRouteQuery(benchmark::State& state) {
-  Fixture& fixture = GetFixture();
-  size_t i = 0;
-  for (auto _ : state) {
-    const auto& symbolic =
-        fixture.calibrated[i % fixture.calibrated.size()].symbolic;
-    auto route = fixture.world.maker->popular_routes().PopularRoute(
-        symbolic.samples.front().landmark, symbolic.samples.back().landmark);
-    benchmark::DoNotOptimize(route);
-    ++i;
+  // --- Serving-stage micro-benchmarks (single caller). ---------------------
+  std::vector<CalibratedTrajectory> calibrated;
+  for (const RawTrajectory& raw : serve_batch) {
+    auto cal = world.maker->Calibrate(raw);
+    if (cal.ok()) calibrated.push_back(std::move(cal).value());
   }
-}
+  STMAKER_CHECK(!calibrated.empty());
 
-void BM_TrainPerTrajectory(benchmark::State& state) {
-  // Amortized training cost: train a fresh maker on 50 trips per
-  // iteration batch and report time per trajectory.
-  Fixture& fixture = GetFixture();
-  for (auto _ : state) {
-    LandmarkIndex& landmarks = *fixture.world.landmarks;
-    STMaker maker(&fixture.world.city.network, &landmarks,
-                  FeatureRegistry::BuiltIn());
-    Status st = maker.Train(fixture.trips);
-    benchmark::DoNotOptimize(st);
+  {
+    CalibrationOptions no_cache;
+    no_cache.cache_size = 0;
+    Calibrator cold(world.landmarks.get(), no_cache);
+    std::vector<double> lat;
+    double t0 = NowMs();
+    for (size_t i = 0; i < kMicroIters; ++i) {
+      double c0 = NowMs();
+      auto result = cold.Calibrate(serve_batch[i % serve_batch.size()]);
+      lat.push_back(NowMs() - c0);
+      (void)result;
+    }
+    results.push_back(
+        Summarize("Calibrate_nocache", 1, lat, kMicroIters, NowMs() - t0));
   }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<int64_t>(fixture.trips.size()));
-}
+  {
+    // Shared calibrator, 256-entry LRU: the batch fits, so steady state is
+    // all hits — this is the serving fast path after warmup.
+    std::vector<double> lat;
+    double t0 = NowMs();
+    for (size_t i = 0; i < kMicroIters; ++i) {
+      double c0 = NowMs();
+      auto result = world.maker->Calibrate(serve_batch[i % 200]);
+      lat.push_back(NowMs() - c0);
+      (void)result;
+    }
+    results.push_back(
+        Summarize("Calibrate_cached", 1, lat, kMicroIters, NowMs() - t0));
+  }
+  {
+    FeatureRegistry registry = FeatureRegistry::BuiltIn();
+    FeatureExtractor extractor(&world.city.network, world.landmarks.get(),
+                               &registry);
+    std::vector<double> lat;
+    double t0 = NowMs();
+    for (size_t i = 0; i < kMicroIters; ++i) {
+      double c0 = NowMs();
+      auto result = extractor.Extract(calibrated[i % calibrated.size()]);
+      lat.push_back(NowMs() - c0);
+      (void)result;
+    }
+    results.push_back(
+        Summarize("ExtractFeatures", 1, lat, kMicroIters, NowMs() - t0));
+  }
+  {
+    // OD pairs cycle through ~calibrated.size() distinct keys, well inside
+    // the 8192-entry route LRU: steady state measures the cached path.
+    std::vector<double> lat;
+    double t0 = NowMs();
+    for (size_t i = 0; i < kMicroIters; ++i) {
+      const auto& symbolic = calibrated[i % calibrated.size()].symbolic;
+      double c0 = NowMs();
+      auto route = world.maker->popular_routes().PopularRoute(
+          symbolic.samples.front().landmark,
+          symbolic.samples.back().landmark);
+      lat.push_back(NowMs() - c0);
+      (void)route;
+    }
+    results.push_back(
+        Summarize("PopularRouteQuery", 1, lat, kMicroIters, NowMs() - t0));
+    auto [hits, misses] = world.maker->popular_routes().CacheStats();
+    std::printf("# popular-route cache: %zu hits / %zu misses\n", hits,
+                misses);
+  }
 
-BENCHMARK(BM_Calibrate)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_ExtractFeatures)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_PopularRouteQuery)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_TrainPerTrajectory)->Unit(benchmark::kMillisecond);
+  // --- Emit JSON. -----------------------------------------------------------
+  std::FILE* out = std::fopen(out_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(out, "[\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const BenchResult& r = results[i];
+    std::fprintf(out,
+                 "  {\"name\": \"%s\", \"threads\": %d, "
+                 "\"items_per_sec\": %.2f, \"p50_ms\": %.4f, "
+                 "\"p99_ms\": %.4f}%s\n",
+                 r.name.c_str(), r.threads, r.items_per_sec, r.p50_ms,
+                 r.p99_ms, i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "]\n");
+  std::fclose(out);
+  std::printf("# wrote %s\n", out_path);
+  return 0;
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return Run(argc > 1 ? argv[1] : "BENCH_throughput.json");
+}

@@ -1,0 +1,85 @@
+#ifndef STMAKER_COMMON_LRU_CACHE_H_
+#define STMAKER_COMMON_LRU_CACHE_H_
+
+#include <cstddef>
+#include <functional>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.h"
+
+namespace stmaker {
+
+/// \brief A bounded least-recently-used cache.
+///
+/// Capacity is fixed at construction; inserting past capacity evicts the
+/// least recently touched entry. Both Get() and Put() count as a touch.
+/// Keys need operator== and a Hash functor (std::hash by default).
+///
+/// Not internally synchronized: callers that share a cache across threads
+/// must hold their own mutex around every call (see CachingRouter and the
+/// PopularRouteMiner query cache for the locking idiom). Since caches only
+/// memoize deterministic computations, their presence never changes
+/// results — only latency.
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class LruCache {
+ public:
+  explicit LruCache(size_t capacity) : capacity_(capacity) {
+    STMAKER_CHECK(capacity > 0);
+  }
+
+  size_t size() const { return index_.size(); }
+  size_t capacity() const { return capacity_; }
+  size_t hits() const { return hits_; }
+  size_t misses() const { return misses_; }
+
+  /// Pointer to the cached value (valid until the next non-const call), or
+  /// nullptr on miss. A hit refreshes the entry's recency.
+  const Value* Get(const Key& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    order_.splice(order_.begin(), order_, it->second);
+    return &it->second->second;
+  }
+
+  /// Inserts or overwrites; refreshes recency; evicts the LRU entry when
+  /// over capacity.
+  void Put(const Key& key, Value value) {
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    order_.emplace_front(key, std::move(value));
+    index_[key] = order_.begin();
+    if (index_.size() > capacity_) {
+      index_.erase(order_.back().first);
+      order_.pop_back();
+    }
+  }
+
+  /// Drops every entry (hit/miss counters persist).
+  void Clear() {
+    index_.clear();
+    order_.clear();
+  }
+
+ private:
+  size_t capacity_;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+  std::list<std::pair<Key, Value>> order_;  // front = most recent
+  std::unordered_map<Key, typename std::list<std::pair<Key, Value>>::iterator,
+                     Hash>
+      index_;
+};
+
+}  // namespace stmaker
+
+#endif  // STMAKER_COMMON_LRU_CACHE_H_

@@ -1,0 +1,109 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace stmaker {
+
+int ResolveThreadCount(int requested) {
+  if (requested >= 1) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  int n = ResolveThreadCount(num_threads);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  STMAKER_CHECK(task != nullptr);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    STMAKER_CHECK(!stopping_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drained_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_ready_.wait(lock,
+                       [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) drained_.notify_all();
+    }
+  }
+}
+
+namespace {
+
+/// Contiguous block bounds for shard `s` of `n` items over `shards` shards.
+std::pair<size_t, size_t> ShardBounds(size_t n, int shards, int s) {
+  size_t block = (n + static_cast<size_t>(shards) - 1) /
+                 static_cast<size_t>(shards);
+  size_t begin = std::min(n, block * static_cast<size_t>(s));
+  size_t end = std::min(n, begin + block);
+  return {begin, end};
+}
+
+}  // namespace
+
+void ParallelFor(size_t n, int threads,
+                 const std::function<void(size_t, size_t, int)>& fn) {
+  threads = ResolveThreadCount(threads);
+  if (threads <= 1 || n <= 1) {
+    if (n > 0) fn(0, n, 0);
+    return;
+  }
+  ThreadPool pool(threads);
+  ParallelFor(&pool, n, fn);
+}
+
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t, size_t, int)>& fn) {
+  STMAKER_CHECK(pool != nullptr);
+  const int shards = std::min<int>(pool->num_threads(),
+                                   static_cast<int>(std::max<size_t>(n, 1)));
+  if (shards <= 1) {
+    if (n > 0) fn(0, n, 0);
+    return;
+  }
+  for (int s = 0; s < shards; ++s) {
+    auto [begin, end] = ShardBounds(n, shards, s);
+    if (begin >= end) continue;
+    pool->Submit([&fn, begin = begin, end = end, s] { fn(begin, end, s); });
+  }
+  pool->Wait();
+}
+
+}  // namespace stmaker

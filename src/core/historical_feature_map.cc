@@ -14,7 +14,10 @@ void HistoricalFeatureMap::AddSegment(
     const std::vector<double>& feature_values) {
   STMAKER_CHECK(feature_values.size() == num_features_);
   Accumulator& acc = edges_[{from, to}];
-  if (acc.sum.empty()) acc.sum.assign(num_features_, 0.0);
+  if (acc.sum.empty()) {
+    acc.sum.assign(num_features_, 0.0);
+    key_order_.push_back({from, to});
+  }
   for (size_t f = 0; f < num_features_; ++f) {
     acc.sum[f] += feature_values[f];
     global_sum_[f] += feature_values[f];
@@ -57,10 +60,19 @@ std::vector<HistoricalFeatureMap::EdgeRecord> HistoricalFeatureMap::Edges()
     const {
   std::vector<EdgeRecord> out;
   out.reserve(edges_.size());
-  for (const auto& [key, acc] : edges_) {
+  for (const Key& key : key_order_) {
+    const Accumulator& acc = edges_.find(key)->second;
     out.push_back({key.from, key.to, acc.sum, acc.count});
   }
   return out;
+}
+
+void HistoricalFeatureMap::Merge(const HistoricalFeatureMap& other) {
+  STMAKER_CHECK(other.num_features_ == num_features_);
+  for (const Key& key : other.key_order_) {
+    const Accumulator& acc = other.edges_.find(key)->second;
+    AddAccumulated(key.from, key.to, acc.sum, acc.count);
+  }
 }
 
 void HistoricalFeatureMap::AddAccumulated(LandmarkId from, LandmarkId to,
@@ -69,7 +81,10 @@ void HistoricalFeatureMap::AddAccumulated(LandmarkId from, LandmarkId to,
   STMAKER_CHECK(sums.size() == num_features_);
   STMAKER_CHECK(count > 0);
   Accumulator& acc = edges_[{from, to}];
-  if (acc.sum.empty()) acc.sum.assign(num_features_, 0.0);
+  if (acc.sum.empty()) {
+    acc.sum.assign(num_features_, 0.0);
+    key_order_.push_back({from, to});
+  }
   for (size_t f = 0; f < num_features_; ++f) {
     acc.sum[f] += sums[f];
     global_sum_[f] += sums[f];

@@ -19,6 +19,12 @@ namespace stmaker {
 /// given partition's moving behaviour is. Categorical features are stored as
 /// running averages too; RegularValues() reports them as-is and callers
 /// round to the nearest category when a categorical reading is needed.
+///
+/// Thread-safety: concurrent const reads (RegularValuesCopy, GlobalAverage,
+/// Edges) are safe. RegularValues() refreshes a lazy per-edge average and is
+/// NOT safe concurrently; the summarization path uses only the const
+/// lookups. Mutations (AddSegment, AddAccumulated, Merge) must be
+/// serialized against everything else.
 class HistoricalFeatureMap {
  public:
   /// `num_features` fixes the annotation dimensionality (|F|).
@@ -53,13 +59,24 @@ class HistoricalFeatureMap {
     double count;              ///< Number of accumulated segments.
   };
 
-  /// All edges in unspecified order (serialization hook).
+  /// All edges in deterministic first-annotated order (serialization hook).
   std::vector<EdgeRecord> Edges() const;
 
   /// Merges a pre-aggregated edge record (deserialization hook). The sums
   /// length must equal num_features() and count must be positive.
   void AddAccumulated(LandmarkId from, LandmarkId to,
                       const std::vector<double>& sums, double count);
+
+  /// Folds every edge accumulator of `other` (which must have the same
+  /// feature dimensionality) into this map, replaying them in `other`'s
+  /// first-annotated order. Merging the per-shard maps of a corpus split
+  /// into contiguous index blocks, shard 0 first, reproduces the serial
+  /// map's edge set, edge order, and counts exactly; per-feature sums are
+  /// accumulated in index order but regrouped per shard, so they can
+  /// differ from a serial pass in the last floating-point ulp (see
+  /// DESIGN.md "Parallel execution & determinism"). Associative up to that
+  /// regrouping.
+  void Merge(const HistoricalFeatureMap& other);
 
  private:
   struct Key {
@@ -85,6 +102,7 @@ class HistoricalFeatureMap {
 
   size_t num_features_;
   std::unordered_map<Key, Accumulator, KeyHash> edges_;
+  std::vector<Key> key_order_;  ///< first-annotated order of edges_ keys
   std::vector<double> global_sum_;
   double global_count_ = 0;
 };

@@ -7,6 +7,32 @@
 
 namespace stmaker {
 
+namespace {
+/// Bound on memoized (from, to) route queries. A city-scale landmark set
+/// has far more pairs than this, but summarization workloads hit a small
+/// working set of popular OD pairs.
+constexpr size_t kRouteCacheCapacity = 8192;
+}  // namespace
+
+PopularRouteMiner::PopularRouteMiner() : route_cache_(kRouteCacheCapacity) {}
+
+PopularRouteMiner::PopularRouteMiner(PopularRouteMiner&& other) noexcept
+    : graph_(std::move(other.graph_)),
+      from_order_(std::move(other.from_order_)),
+      max_count_(other.max_count_),
+      route_cache_(kRouteCacheCapacity) {}
+
+PopularRouteMiner& PopularRouteMiner::operator=(
+    PopularRouteMiner&& other) noexcept {
+  if (this != &other) {
+    graph_ = std::move(other.graph_);
+    from_order_ = std::move(other.from_order_);
+    max_count_ = other.max_count_;
+    InvalidateCache();
+  }
+  return *this;
+}
+
 void PopularRouteMiner::AddTrajectory(const SymbolicTrajectory& trajectory) {
   for (size_t i = 0; i + 1 < trajectory.samples.size(); ++i) {
     LandmarkId a = trajectory.samples[i].landmark;
@@ -19,7 +45,10 @@ void PopularRouteMiner::AddTrajectory(const SymbolicTrajectory& trajectory) {
 void PopularRouteMiner::AddTransitionCount(LandmarkId a, LandmarkId b,
                                            double count) {
   if (a == b || count <= 0) return;
-  std::vector<OutEdge>& out = graph_[a];
+  InvalidateCache();
+  auto [it, inserted] = graph_.try_emplace(a);
+  if (inserted) from_order_.push_back(a);
+  std::vector<OutEdge>& out = it->second;
   for (OutEdge& e : out) {
     if (e.to == b) {
       e.count += count;
@@ -31,12 +60,21 @@ void PopularRouteMiner::AddTransitionCount(LandmarkId a, LandmarkId b,
   max_count_ = std::max(max_count_, count);
 }
 
+void PopularRouteMiner::Merge(const PopularRouteMiner& other) {
+  for (LandmarkId from : other.from_order_) {
+    auto it = other.graph_.find(from);
+    for (const OutEdge& e : it->second) {
+      AddTransitionCount(from, e.to, e.count);
+    }
+  }
+}
+
 std::vector<PopularRouteMiner::Transition> PopularRouteMiner::Transitions()
     const {
   std::vector<Transition> out;
   out.reserve(NumTransitions());
-  for (const auto& [from, edges] : graph_) {
-    for (const OutEdge& e : edges) {
+  for (LandmarkId from : from_order_) {
+    for (const OutEdge& e : graph_.find(from)->second) {
       out.push_back({from, e.to, e.count});
     }
   }
@@ -58,42 +96,82 @@ size_t PopularRouteMiner::NumTransitions() const {
   return n;
 }
 
+void PopularRouteMiner::InvalidateCache() {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  totals_.reset();
+  route_cache_.Clear();
+}
+
+const PopularRouteMiner::QueryTotals& PopularRouteMiner::EnsureTotals()
+    const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  if (totals_ == nullptr) {
+    // Smoothed transfer probabilities (after Chen et al. [7]):
+    //   P = count(a→b) / (Σ_c count(a→c) + κ),  κ = mean out-degree mass.
+    // Iterating from_order_ (not the hash map) keeps the floating-point
+    // accumulation order — and hence κ to the last bit — independent of
+    // hash-table layout, so serially-built and shard-merged miners agree.
+    auto totals = std::make_unique<QueryTotals>();
+    double total_mass = 0;
+    for (LandmarkId from : from_order_) {
+      double total = 0;
+      for (const OutEdge& e : graph_.find(from)->second) total += e.count;
+      totals->out_total[from] = total;
+      total_mass += total;
+    }
+    totals->kappa = graph_.empty()
+                        ? 1.0
+                        : total_mass / static_cast<double>(graph_.size());
+    totals_ = std::move(totals);
+  }
+  return *totals_;
+}
+
 Result<std::vector<LandmarkId>> PopularRouteMiner::PopularRoute(
     LandmarkId from, LandmarkId to) const {
+  const std::pair<LandmarkId, LandmarkId> key{from, to};
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    if (const Result<std::vector<LandmarkId>>* hit = route_cache_.Get(key)) {
+      return *hit;
+    }
+  }
+  const QueryTotals& totals = EnsureTotals();
   // First try the pruned graph (rare transitions dropped); rare "skip"
   // transitions — artifacts of one trip's anchor set skipping landmarks that
   // every other trip keeps — otherwise beat whole chains of genuine hops by
   // virtue of being a single edge. Fall back to the full graph when pruning
   // disconnects the endpoints.
-  Result<std::vector<LandmarkId>> pruned =
-      PopularRouteImpl(from, to, /*min_count_ratio=*/0.1);
-  if (pruned.ok()) return pruned;
-  return PopularRouteImpl(from, to, /*min_count_ratio=*/0.0);
+  Result<std::vector<LandmarkId>> result =
+      PopularRouteImpl(from, to, /*min_count_ratio=*/0.1, totals);
+  if (!result.ok()) {
+    result = PopularRouteImpl(from, to, /*min_count_ratio=*/0.0, totals);
+  }
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    route_cache_.Put(key, result);
+  }
+  return result;
+}
+
+std::pair<size_t, size_t> PopularRouteMiner::CacheStats() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return {route_cache_.hits(), route_cache_.misses()};
 }
 
 Result<std::vector<LandmarkId>> PopularRouteMiner::PopularRouteImpl(
-    LandmarkId from, LandmarkId to, double min_count_ratio) const {
+    LandmarkId from, LandmarkId to, double min_count_ratio,
+    const QueryTotals& totals) const {
   if (from == to) return std::vector<LandmarkId>{from};
   if (graph_.find(from) == graph_.end()) {
     return Status::NotFound("no historical transitions leave the source");
   }
-  // Dijkstra under cost(a→b) = -log(P(b | a)) with smoothed transfer
-  // probabilities (after Chen et al. [7]):
-  //   P = count(a→b) / (Σ_c count(a→c) + κ),  κ = mean out-degree mass.
-  // Pure counts favour globally busy corridors even where they are locally
-  // improbable; pure conditional probabilities make deserted one-option
-  // chains free. The κ smoothing charges rarely-travelled hops for their
-  // rarity while still preferring the likely continuation at busy landmarks.
-  std::unordered_map<LandmarkId, double> out_total;
-  double total_mass = 0;
-  for (const auto& [from_lm, out] : graph_) {
-    double total = 0;
-    for (const OutEdge& e : out) total += e.count;
-    out_total[from_lm] = total;
-    total_mass += total;
-  }
-  const double kappa =
-      graph_.empty() ? 1.0 : total_mass / static_cast<double>(graph_.size());
+  // Dijkstra under cost(a→b) = -log(P(b | a)). Pure counts favour globally
+  // busy corridors even where they are locally improbable; pure conditional
+  // probabilities make deserted one-option chains free. The κ smoothing
+  // charges rarely-travelled hops for their rarity while still preferring
+  // the likely continuation at busy landmarks.
+  const double kappa = totals.kappa;
   std::unordered_map<LandmarkId, double> dist;
   std::unordered_map<LandmarkId, LandmarkId> prev;
   using QItem = std::pair<double, LandmarkId>;
@@ -110,9 +188,10 @@ Result<std::vector<LandmarkId>> PopularRouteMiner::PopularRouteImpl(
     if (it == graph_.end()) continue;
     double out_max = 0;
     for (const OutEdge& e : it->second) out_max = std::max(out_max, e.count);
+    const double u_total = totals.out_total.at(u);
     for (const OutEdge& e : it->second) {
       if (e.count < min_count_ratio * out_max) continue;
-      double w = -std::log(e.count / (out_total[u] + kappa));
+      double w = -std::log(e.count / (u_total + kappa));
       double nd = d + w;
       auto dv = dist.find(e.to);
       if (dv == dist.end() || nd < dv->second) {

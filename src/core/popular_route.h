@@ -1,9 +1,13 @@
 #ifndef STMAKER_CORE_POPULAR_ROUTE_H_
 #define STMAKER_CORE_POPULAR_ROUTE_H_
 
+#include <cstdint>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/lru_cache.h"
 #include "common/status.h"
 #include "landmark/landmark.h"
 #include "traj/trajectory.h"
@@ -19,8 +23,17 @@ namespace stmaker {
 /// frequencies, computed as a shortest path under -log frequency costs.
 /// Because more-travelled transitions cost less, the result is the route
 /// "most drivers choose".
+///
+/// Thread-safety: concurrent const queries (PopularRoute, TransitionCount,
+/// Transitions, ...) are safe — the internal query cache is mutex-guarded.
+/// Mutations (AddTrajectory, AddTransitionCount, Merge) must not overlap
+/// queries or each other; STMaker serializes them inside Train.
 class PopularRouteMiner {
  public:
+  PopularRouteMiner();
+  PopularRouteMiner(PopularRouteMiner&&) noexcept;
+  PopularRouteMiner& operator=(PopularRouteMiner&&) noexcept;
+
   /// Accumulates the transitions of one historical trajectory.
   void AddTrajectory(const SymbolicTrajectory& trajectory);
 
@@ -29,7 +42,9 @@ class PopularRouteMiner {
 
   /// The popular route from `from` to `to` as a landmark sequence
   /// (inclusive of both endpoints). NotFound when the history contains no
-  /// connecting transitions.
+  /// connecting transitions. Results (including failures) are memoized in
+  /// a bounded LRU cache shared behind a mutex, since summarization
+  /// re-queries the same OD pairs heavily.
   Result<std::vector<LandmarkId>> PopularRoute(LandmarkId from,
                                                LandmarkId to) const;
 
@@ -42,12 +57,25 @@ class PopularRouteMiner {
     double count;
   };
 
-  /// All transitions in unspecified order (serialization hook).
+  /// All transitions in deterministic first-mined order (serialization
+  /// hook).
   std::vector<Transition> Transitions() const;
 
   /// Adds `count` pre-aggregated transitions from `a` to `b`
   /// (deserialization hook; also usable to merge mined models).
   void AddTransitionCount(LandmarkId a, LandmarkId b, double count);
+
+  /// Folds every transition of `other` into this miner, replaying them in
+  /// `other`'s first-mined order so that merging per-shard miners of a
+  /// corpus split into contiguous index blocks — shard 0 first — rebuilds
+  /// exactly the miner a serial pass over the whole corpus would produce
+  /// (transition counts are integral, so the additions are exact).
+  /// Associative and commutative up to transition ordering.
+  void Merge(const PopularRouteMiner& other);
+
+  /// Cache observability for benchmarks: (hits, misses) of the route
+  /// cache since construction.
+  std::pair<size_t, size_t> CacheStats() const;
 
  private:
   struct OutEdge {
@@ -55,12 +83,43 @@ class PopularRouteMiner {
     double count;
   };
 
+  /// Pre-query state derived from the graph: per-landmark out-degree mass
+  /// and the smoothing constant κ, rebuilt lazily after mutations.
+  struct QueryTotals {
+    std::unordered_map<LandmarkId, double> out_total;
+    double kappa = 1.0;
+  };
+
+  struct PairHash {
+    size_t operator()(const std::pair<LandmarkId, LandmarkId>& p) const {
+      uint64_t h = static_cast<uint64_t>(p.first) * 0x9e3779b97f4a7c15ULL;
+      h ^= static_cast<uint64_t>(p.second) + (h << 6) + (h >> 2);
+      return static_cast<size_t>(h);
+    }
+  };
+
+  /// Drops memoized query state; called by every mutation.
+  void InvalidateCache();
+
+  /// Returns the lazily built totals (caller must not hold cache_mu_).
+  const QueryTotals& EnsureTotals() const;
+
   /// Dijkstra over the transition graph, considering only out-edges whose
   /// count is at least `min_count_ratio` of the landmark's busiest out-edge.
   Result<std::vector<LandmarkId>> PopularRouteImpl(
-      LandmarkId from, LandmarkId to, double min_count_ratio) const;
+      LandmarkId from, LandmarkId to, double min_count_ratio,
+      const QueryTotals& totals) const;
+
   std::unordered_map<LandmarkId, std::vector<OutEdge>> graph_;
+  std::vector<LandmarkId> from_order_;  ///< first-seen order of graph_ keys
   double max_count_ = 0;
+
+  /// Query-side memoization (route LRU + totals), guarded by cache_mu_.
+  mutable std::mutex cache_mu_;
+  mutable std::unique_ptr<QueryTotals> totals_;
+  mutable LruCache<std::pair<LandmarkId, LandmarkId>,
+                   Result<std::vector<LandmarkId>>, PairHash>
+      route_cache_;
 };
 
 }  // namespace stmaker

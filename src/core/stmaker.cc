@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
-#include <unordered_map>
+#include <optional>
+#include <utility>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "common/strings.h"
 #include "core/similarity.h"
 #include "landmark/significance.h"
@@ -32,59 +34,98 @@ Result<CalibratedTrajectory> STMaker::Calibrate(
   return calibrator_.Calibrate(raw);
 }
 
-size_t STMaker::IngestCorpus(const std::vector<RawTrajectory>& history) {
+namespace {
+
+/// Private accumulators of one ingestion worker. Shard s sees only the
+/// trajectories of index block s; the blocks are merged left to right.
+struct IngestShard {
+  PopularRouteMiner miner;
+  std::unique_ptr<HistoricalFeatureMap> features;
+  VisitCorpus visits;
   size_t ingested = 0;
-  for (const RawTrajectory& raw : history) {
-    Result<CalibratedTrajectory> calibrated = calibrator_.Calibrate(raw);
-    if (!calibrated.ok()) continue;
-    Result<std::vector<SegmentFeatures>> features =
-        extractor_->Extract(*calibrated);
-    if (!features.ok()) continue;
+};
 
-    const SymbolicTrajectory& symbolic = calibrated->symbolic;
-    miner_.AddTrajectory(symbolic);
-    for (size_t s = 0; s + 1 < symbolic.samples.size(); ++s) {
-      feature_map_->AddSegment(symbolic.samples[s].landmark,
-                               symbolic.samples[s + 1].landmark,
-                               (*features)[s].values);
-    }
+}  // namespace
 
-    // Record visits for HITS significance. Anonymous trajectories get a
-    // fresh traveller id so they still contribute hub mass without
-    // conflating distinct vehicles.
-    int64_t key = raw.traveler >= 0 ? raw.traveler
-                                    : -(++anonymous_counter_);
-    auto [it, inserted] = traveler_ids_.emplace(
-        key, static_cast<int64_t>(traveler_ids_.size()));
-    (void)inserted;
-    for (const SymbolicSample& s : symbolic.samples) {
-      significance_model_->AddVisit(it->second, s.landmark);
-    }
-    ++ingested;
-    ++num_trained_;
+size_t STMaker::IngestCorpus(const std::vector<RawTrajectory>& history,
+                             int num_threads) {
+  const int threads = ResolveThreadCount(num_threads);
+  std::vector<IngestShard> shards(static_cast<size_t>(threads));
+  for (IngestShard& shard : shards) {
+    shard.features = std::make_unique<HistoricalFeatureMap>(registry_.size());
   }
+
+  // The shard body is exactly the serial per-trajectory ingest, writing to
+  // the shard's private accumulators. The calibrator and extractor are
+  // shared but thread-safe (const pipelines; the calibration cache locks).
+  ParallelFor(history.size(), threads,
+              [&](size_t begin, size_t end, int shard_index) {
+                IngestShard& shard = shards[static_cast<size_t>(shard_index)];
+                for (size_t i = begin; i < end; ++i) {
+                  const RawTrajectory& raw = history[i];
+                  Result<CalibratedTrajectory> calibrated =
+                      calibrator_.Calibrate(raw);
+                  if (!calibrated.ok()) continue;
+                  Result<std::vector<SegmentFeatures>> features =
+                      extractor_->Extract(*calibrated);
+                  if (!features.ok()) continue;
+
+                  const SymbolicTrajectory& symbolic = calibrated->symbolic;
+                  shard.miner.AddTrajectory(symbolic);
+                  std::vector<LandmarkId> visited;
+                  visited.reserve(symbolic.samples.size());
+                  for (size_t s = 0; s < symbolic.samples.size(); ++s) {
+                    if (s + 1 < symbolic.samples.size()) {
+                      shard.features->AddSegment(
+                          symbolic.samples[s].landmark,
+                          symbolic.samples[s + 1].landmark,
+                          (*features)[s].values);
+                    }
+                    visited.push_back(symbolic.samples[s].landmark);
+                  }
+                  // Record visits for HITS significance. Anonymous
+                  // trajectories get a fresh traveller record so they still
+                  // contribute hub mass without conflating distinct
+                  // vehicles.
+                  shard.visits.AddTrajectory(raw.traveler, visited);
+                  ++shard.ingested;
+                }
+              });
+
+  // Merge in block order: shard 0 holds the leftmost trajectories, so this
+  // replays the corpus left to right exactly as the serial loop would.
+  size_t ingested = 0;
+  for (const IngestShard& shard : shards) {
+    miner_.Merge(shard.miner);
+    feature_map_->Merge(*shard.features);
+    visit_corpus_.Merge(shard.visits);
+    ingested += shard.ingested;
+  }
+  num_trained_ += ingested;
   return ingested;
+}
+
+void STMaker::RecomputeSignificance() {
+  visit_corpus_.BuildModel(landmarks_->size())
+      .Apply(landmarks_, options_.significance_iterations);
 }
 
 Status STMaker::Train(const std::vector<RawTrajectory>& history) {
   feature_map_ = std::make_unique<HistoricalFeatureMap>(registry_.size());
   miner_ = PopularRouteMiner();
-  significance_model_ =
-      std::make_unique<SignificanceModel>(0, landmarks_->size());
-  traveler_ids_.clear();
-  anonymous_counter_ = 0;
+  visit_corpus_ = VisitCorpus();
   num_trained_ = 0;
   analyzer_.reset();
 
-  IngestCorpus(history);
+  IngestCorpus(history, options_.num_threads);
 
   if (num_trained_ < 2) {
     feature_map_.reset();
-    significance_model_.reset();
+    visit_corpus_ = VisitCorpus();
     return Status::FailedPrecondition(
         "training corpus yielded fewer than two calibrated trajectories");
   }
-  significance_model_->Apply(landmarks_, options_.significance_iterations);
+  RecomputeSignificance();
   analyzer_ = std::make_unique<IrregularityAnalyzer>(&registry_, &miner_,
                                                      feature_map_.get());
   return Status::OK();
@@ -92,13 +133,14 @@ Status STMaker::Train(const std::vector<RawTrajectory>& history) {
 
 Status STMaker::TrainIncremental(
     const std::vector<RawTrajectory>& history) {
-  if (analyzer_ == nullptr || significance_model_ == nullptr) {
+  if (analyzer_ == nullptr || visit_corpus_.empty()) {
     return Status::FailedPrecondition(
-        "TrainIncremental requires a prior Train() (a model restored with "
-        "LoadModel cannot accumulate: it has no visit corpus)");
+        "TrainIncremental requires a prior Train(), or a LoadModel() of a "
+        "model saved with its visit corpus (legacy models without "
+        "_visits.csv cannot accumulate)");
   }
-  IngestCorpus(history);
-  significance_model_->Apply(landmarks_, options_.significance_iterations);
+  IngestCorpus(history, options_.num_threads);
+  RecomputeSignificance();
   return Status::OK();
 }
 
@@ -362,6 +404,33 @@ Result<Summary> STMaker::Summarize(const RawTrajectory& raw,
 
   summary.text = Join(sentences, " ");
   return summary;
+}
+
+std::vector<Result<Summary>> STMaker::SummarizeBatch(
+    std::span<const RawTrajectory> raws, const SummaryOptions& options,
+    int num_threads) const {
+  const int threads =
+      ResolveThreadCount(num_threads > 0 ? num_threads
+                                         : options_.num_threads);
+  // Result<Summary> has no default state, so workers fill optionals by
+  // index and the unwrap below restores the plain vector. Each item is
+  // summarized independently through the const (thread-safe) serving path,
+  // so element i is bit-identical to a lone Summarize(raws[i], options)
+  // call at any thread count.
+  std::vector<std::optional<Result<Summary>>> slots(raws.size());
+  ParallelFor(raws.size(), threads,
+              [&](size_t begin, size_t end, int /*shard*/) {
+                for (size_t i = begin; i < end; ++i) {
+                  slots[i].emplace(Summarize(raws[i], options));
+                }
+              });
+  std::vector<Result<Summary>> out;
+  out.reserve(raws.size());
+  for (std::optional<Result<Summary>>& slot : slots) {
+    STMAKER_CHECK(slot.has_value());
+    out.push_back(std::move(*slot));
+  }
+  return out;
 }
 
 }  // namespace stmaker

@@ -3,8 +3,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -43,6 +43,11 @@ struct STMakerOptions {
   CalibrationOptions calibration;
   FeatureExtractorOptions extraction;
   int significance_iterations = 40;  ///< HITS iterations during Train().
+  /// Worker threads for Train()/TrainIncremental() corpus ingestion and the
+  /// default for SummarizeBatch(). 1 = serial; 0 = hardware concurrency.
+  /// Thread count never changes results (see DESIGN.md, "Parallel execution
+  /// & determinism").
+  int num_threads = 1;
 };
 
 /// \brief The STMaker system: end-to-end trajectory summarization
@@ -76,32 +81,53 @@ class STMaker {
   /// Builds the historical knowledge from a corpus of raw trajectories.
   /// Trajectories that fail calibration are skipped; Train fails only when
   /// fewer than two trajectories survive. Replaces any previous training.
+  /// Ingestion runs on options().num_threads workers; the trained model is
+  /// identical for every thread count (see IngestCorpus).
   Status Train(const std::vector<RawTrajectory>& history);
 
   /// Folds additional trajectories into an already-trained model: popular
   /// routes and the historical feature map accumulate, and landmark
   /// significance is recomputed over the combined visit corpus. Requires a
-  /// prior successful Train(); note it does not compose with LoadModel()
-  /// (the persisted model does not carry the raw visit corpus).
+  /// prior successful Train() or a LoadModel() of a model that carries its
+  /// visit corpus (models saved by this version do; legacy three-file
+  /// models restore with an empty corpus and fail here with
+  /// FailedPrecondition).
   Status TrainIncremental(const std::vector<RawTrajectory>& history);
 
   bool trained() const { return analyzer_ != nullptr; }
   size_t num_trained() const { return num_trained_; }
 
-  /// Summarizes one raw trajectory (requires Train() first).
+  /// Summarizes one raw trajectory (requires Train() first). Thread-safe
+  /// against concurrent Summarize/SummarizeBatch calls — the const serving
+  /// path only reads the trained model, and the internal caches
+  /// (calibration, popular-route queries) are mutex-guarded. Must not
+  /// overlap Train/TrainIncremental/LoadModel.
   Result<Summary> Summarize(const RawTrajectory& raw,
                             const SummaryOptions& options =
                                 SummaryOptions()) const;
 
+  /// Summarizes a batch on `num_threads` workers (0 = options().num_threads
+  /// resolved against hardware concurrency). Element i of the result is
+  /// exactly what Summarize(raws[i], options) returns — same summaries,
+  /// same per-item failures, independent of thread count.
+  std::vector<Result<Summary>> SummarizeBatch(
+      std::span<const RawTrajectory> raws,
+      const SummaryOptions& options = SummaryOptions(),
+      int num_threads = 0) const;
+
   /// Persists the trained knowledge — popular-route transitions, the
-  /// historical feature map, and landmark significances — as CSV files
-  /// under `prefix` (train once, serve many). Requires Train() first.
+  /// historical feature map, landmark significances, and the landmark
+  /// visit corpus — as CSV files under `prefix` (train once, serve many).
+  /// Requires Train() first.
   Status SaveModel(const std::string& prefix) const;
 
   /// Restores a model written by SaveModel against the same landmark index
   /// and a registry with the same feature set, leaving the STMaker ready to
   /// Summarize without re-training. Fails (and leaves the maker untrained)
-  /// on feature-set mismatch or malformed files.
+  /// on feature-set mismatch or malformed files. Restoring the visit
+  /// corpus ("<prefix>_visits.csv") re-arms TrainIncremental; the file is
+  /// optional for backward compatibility with models saved before it
+  /// existed.
   Status LoadModel(const std::string& prefix);
 
   /// Calibration entry point, exposed for tests and tooling.
@@ -115,9 +141,19 @@ class STMaker {
 
  private:
   /// Calibrates and mines every trajectory of `history` into the current
-  /// accumulators (miner, feature map, visit corpus). Returns the number of
-  /// trajectories that survived calibration.
-  size_t IngestCorpus(const std::vector<RawTrajectory>& history);
+  /// accumulators (miner, feature map, visit corpus) using `num_threads`
+  /// workers. Each worker ingests a contiguous block of `history` into
+  /// private shard accumulators; the shards are then merged in block order,
+  /// which reproduces the serial left-to-right ingest exactly (insertion
+  /// orders, traveller numbering, integral counts — see the Merge() docs on
+  /// PopularRouteMiner / HistoricalFeatureMap / VisitCorpus). Returns the
+  /// number of trajectories that survived calibration.
+  size_t IngestCorpus(const std::vector<RawTrajectory>& history,
+                      int num_threads);
+
+  /// Rebuilds HITS significance from the visit corpus and installs the
+  /// scores into the landmark index.
+  void RecomputeSignificance();
 
   const RoadNetwork* network_;
   LandmarkIndex* landmarks_;
@@ -129,9 +165,10 @@ class STMaker {
   PopularRouteMiner miner_;
   std::unique_ptr<HistoricalFeatureMap> feature_map_;
   std::unique_ptr<IrregularityAnalyzer> analyzer_;
-  std::unique_ptr<SignificanceModel> significance_model_;
-  std::unordered_map<int64_t, int64_t> traveler_ids_;
-  int64_t anonymous_counter_ = 0;
+  /// Durable training state behind landmark significance: persisted by
+  /// SaveModel, accumulated by TrainIncremental, sharded during parallel
+  /// ingestion.
+  VisitCorpus visit_corpus_;
   size_t num_trained_ = 0;
 };
 

@@ -1,7 +1,8 @@
 // Model persistence for STMaker (SaveModel/LoadModel): the mined
 // popular-route transitions, the historical feature map in accumulator
-// form, the landmark significances, and a small metadata file that pins the
-// feature set. See stmaker.h for the contract.
+// form, the landmark significances, the landmark visit corpus (which is
+// what re-arms TrainIncremental after a restore), and a small metadata
+// file that pins the feature set. See stmaker.h for the contract.
 
 #include <cstdlib>
 
@@ -94,19 +95,33 @@ Status STMaker::SaveModel(const std::string& prefix) const {
     }
     STMAKER_RETURN_IF_ERROR(writer.Close());
   }
+  // --- Visit corpus (traveller -> landmark visit counts). -----------------------
+  // Rows are written in record order (records keep first-seen traveller
+  // order, pairs keep first-visited order) so a restore rebuilds the
+  // corpus byte-for-byte and TrainIncremental keeps composing.
+  {
+    STMAKER_ASSIGN_OR_RETURN(CsvWriter writer,
+                             CsvWriter::Open(prefix + "_visits.csv"));
+    STMAKER_RETURN_IF_ERROR(
+        writer.WriteRow({"traveler", "landmark", "count"}));
+    for (const VisitCorpus::Record& record : visit_corpus_.records()) {
+      for (const auto& [landmark, count] : record.visits) {
+        STMAKER_RETURN_IF_ERROR(writer.WriteRow(
+            {std::to_string(record.key), std::to_string(landmark),
+             StrFormat("%.6f", count)}));
+      }
+    }
+    STMAKER_RETURN_IF_ERROR(writer.Close());
+  }
   return Status::OK();
 }
 
 Status STMaker::LoadModel(const std::string& prefix) {
-  // Reset trained state; on any failure the maker stays untrained. A
-  // restored model has no visit corpus, so the significance model is
-  // dropped (TrainIncremental documents that it needs a live Train()).
+  // Reset trained state; on any failure the maker stays untrained.
   analyzer_.reset();
   feature_map_.reset();
   miner_ = PopularRouteMiner();
-  significance_model_.reset();
-  traveler_ids_.clear();
-  anonymous_counter_ = 0;
+  visit_corpus_ = VisitCorpus();
   num_trained_ = 0;
 
   // --- Metadata: feature-set compatibility. -----------------------------------
@@ -216,6 +231,48 @@ Status STMaker::LoadModel(const std::string& prefix) {
         return Status::InvalidArgument("significance landmark out of range");
       }
       landmarks_->SetSignificance(landmark, significance);
+    }
+  }
+
+  // --- Visit corpus (optional for legacy three-file models). --------------------
+  // Without it the model still serves summaries; TrainIncremental reports
+  // FailedPrecondition because there is no corpus to accumulate onto.
+  {
+    Result<std::vector<std::vector<std::string>>> rows =
+        ReadCsvFile(prefix + "_visits.csv");
+    if (rows.ok()) {
+      if (rows->empty() ||
+          (*rows)[0] !=
+              std::vector<std::string>{"traveler", "landmark", "count"}) {
+        num_trained_ = 0;
+        feature_map_.reset();
+        return Status::InvalidArgument("bad visits header");
+      }
+      for (size_t r = 1; r < rows->size(); ++r) {
+        const std::vector<std::string>& row = (*rows)[r];
+        if (row.size() != 3) {
+          num_trained_ = 0;
+          feature_map_.reset();
+          visit_corpus_ = VisitCorpus();
+          return Status::InvalidArgument("bad visits row");
+        }
+        STMAKER_ASSIGN_OR_RETURN(int64_t traveler, ParseInt(row[0]));
+        STMAKER_ASSIGN_OR_RETURN(int64_t landmark, ParseInt(row[1]));
+        STMAKER_ASSIGN_OR_RETURN(double count, ParseDouble(row[2]));
+        if (landmark < 0 ||
+            static_cast<size_t>(landmark) >= landmarks_->size() ||
+            count <= 0) {
+          num_trained_ = 0;
+          feature_map_.reset();
+          visit_corpus_ = VisitCorpus();
+          return Status::InvalidArgument("bad visits entry");
+        }
+        visit_corpus_.AddVisitCount(traveler, landmark, count);
+      }
+    } else if (rows.status().code() != StatusCode::kIoError) {
+      num_trained_ = 0;
+      feature_map_.reset();
+      return rows.status();
     }
   }
 

@@ -1,5 +1,6 @@
 #include "landmark/significance.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.h"
@@ -12,7 +13,13 @@ SignificanceModel::SignificanceModel(size_t num_travelers,
       visits_by_traveler_(num_travelers) {}
 
 void SignificanceModel::AddVisit(int64_t traveler, LandmarkId landmark) {
+  AddVisitWeight(traveler, landmark, 1.0);
+}
+
+void SignificanceModel::AddVisitWeight(int64_t traveler, LandmarkId landmark,
+                                       double weight) {
   STMAKER_CHECK(traveler >= 0);
+  STMAKER_CHECK(weight > 0);
   if (static_cast<size_t>(traveler) >= visits_by_traveler_.size()) {
     visits_by_traveler_.resize(static_cast<size_t>(traveler) + 1);
   }
@@ -21,11 +28,11 @@ void SignificanceModel::AddVisit(int64_t traveler, LandmarkId landmark) {
   auto& visits = visits_by_traveler_[traveler];
   for (auto& [lm, count] : visits) {
     if (lm == landmark) {
-      count += 1.0;
+      count += weight;
       return;
     }
   }
-  visits.emplace_back(landmark, 1.0);
+  visits.emplace_back(landmark, weight);
 }
 
 std::vector<double> SignificanceModel::Compute(int iterations) const {
@@ -77,6 +84,83 @@ void SignificanceModel::Apply(LandmarkIndex* index, int iterations) const {
   for (size_t i = 0; i < scores.size(); ++i) {
     index->SetSignificance(static_cast<LandmarkId>(i), scores[i]);
   }
+}
+
+VisitCorpus::Record& VisitCorpus::RecordFor(int64_t key) {
+  auto [it, inserted] = index_.emplace(key, records_.size());
+  if (inserted) {
+    records_.push_back(Record{key, {}});
+  }
+  return records_[it->second];
+}
+
+void VisitCorpus::AddTrajectory(int64_t raw_traveler,
+                                const std::vector<LandmarkId>& landmarks) {
+  int64_t key = raw_traveler >= 0 ? raw_traveler : -(++anonymous_counter_);
+  Record& record = RecordFor(key);
+  for (LandmarkId lm : landmarks) {
+    // Coalesce onto the first-seen pair, mirroring
+    // SignificanceModel::AddVisit so BuildModel reproduces the multigraph
+    // an incremental AddVisit stream would have built.
+    bool found = false;
+    for (auto& [existing, count] : record.visits) {
+      if (existing == lm) {
+        count += 1.0;
+        found = true;
+        break;
+      }
+    }
+    if (!found) record.visits.emplace_back(lm, 1.0);
+  }
+}
+
+void VisitCorpus::AddVisitCount(int64_t key, LandmarkId landmark,
+                                double count) {
+  STMAKER_CHECK(count > 0);
+  if (key < 0) anonymous_counter_ = std::max(anonymous_counter_, -key);
+  Record& record = RecordFor(key);
+  for (auto& [existing, c] : record.visits) {
+    if (existing == landmark) {
+      c += count;
+      return;
+    }
+  }
+  record.visits.emplace_back(landmark, count);
+}
+
+void VisitCorpus::Merge(const VisitCorpus& other) {
+  for (const Record& record : other.records_) {
+    if (record.key < 0) {
+      // Anonymous travellers stay distinct across shards: allocate the
+      // next master key in replay order, matching what a serial ingest
+      // would have assigned.
+      Record& fresh = RecordFor(-(++anonymous_counter_));
+      fresh.visits = record.visits;
+      continue;
+    }
+    Record& mine = RecordFor(record.key);
+    for (const auto& [lm, count] : record.visits) {
+      bool found = false;
+      for (auto& [existing, c] : mine.visits) {
+        if (existing == lm) {
+          c += count;
+          found = true;
+          break;
+        }
+      }
+      if (!found) mine.visits.emplace_back(lm, count);
+    }
+  }
+}
+
+SignificanceModel VisitCorpus::BuildModel(size_t num_landmarks) const {
+  SignificanceModel model(records_.size(), num_landmarks);
+  for (size_t t = 0; t < records_.size(); ++t) {
+    for (const auto& [lm, count] : records_[t].visits) {
+      model.AddVisitWeight(static_cast<int64_t>(t), lm, count);
+    }
+  }
+  return model;
 }
 
 }  // namespace stmaker

@@ -1,0 +1,28 @@
+#include "roadnet/route_cache.h"
+
+namespace stmaker {
+
+CachingRouter::CachingRouter(const RoadNetwork* network, EdgeCostFn cost,
+                             size_t capacity)
+    : router_(network), cost_(std::move(cost)), cache_(capacity) {}
+
+Result<Path> CachingRouter::Route(NodeId src, NodeId dst) const {
+  const std::pair<NodeId, NodeId> key{src, dst};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (const Result<Path>* hit = cache_.Get(key)) return *hit;
+  }
+  Result<Path> result = router_.Route(src, dst, cost_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_.Put(key, result);
+  }
+  return result;
+}
+
+std::pair<size_t, size_t> CachingRouter::CacheStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {cache_.hits(), cache_.misses()};
+}
+
+}  // namespace stmaker

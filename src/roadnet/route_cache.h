@@ -1,0 +1,60 @@
+#ifndef STMAKER_ROADNET_ROUTE_CACHE_H_
+#define STMAKER_ROADNET_ROUTE_CACHE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <utility>
+
+#include "common/lru_cache.h"
+#include "common/status.h"
+#include "roadnet/shortest_path.h"
+
+namespace stmaker {
+
+/// \brief A ShortestPathRouter with a bounded, mutex-guarded LRU over
+/// point-to-point queries.
+///
+/// The cost function is fixed at construction — a cache entry is only
+/// valid for the costs it was computed under, so per-query cost functions
+/// (like the trajectory generator's per-trip perturbed costs) must keep
+/// using the raw router. Serving workloads that route under one stable
+/// metric (length, free-flow time) and re-query the same OD pairs heavily
+/// get their repeats answered from the cache; failures (NotFound) are
+/// memoized too, since an unreachable pair stays unreachable for a fixed
+/// network.
+///
+/// Thread-safety: Route() may be called concurrently from any number of
+/// threads (the cache is behind a mutex; the underlying Dijkstra is
+/// const-pure). The network must not change while a CachingRouter exists
+/// over it.
+class CachingRouter {
+ public:
+  /// `network` must outlive the router. A null `cost` selects geometric
+  /// length, as with ShortestPathRouter::Route.
+  CachingRouter(const RoadNetwork* network, EdgeCostFn cost,
+                size_t capacity = 4096);
+
+  /// Cached Dijkstra from `src` to `dst` under the fixed cost function.
+  Result<Path> Route(NodeId src, NodeId dst) const;
+
+  /// (hits, misses) since construction.
+  std::pair<size_t, size_t> CacheStats() const;
+
+ private:
+  struct PairHash {
+    size_t operator()(const std::pair<NodeId, NodeId>& p) const {
+      uint64_t h = static_cast<uint64_t>(p.first) * 0x9e3779b97f4a7c15ULL;
+      h ^= static_cast<uint64_t>(p.second) + (h << 6) + (h >> 2);
+      return static_cast<size_t>(h);
+    }
+  };
+
+  ShortestPathRouter router_;
+  EdgeCostFn cost_;
+  mutable std::mutex mu_;
+  mutable LruCache<std::pair<NodeId, NodeId>, Result<Path>, PairHash> cache_;
+};
+
+}  // namespace stmaker
+
+#endif  // STMAKER_ROADNET_ROUTE_CACHE_H_

@@ -1,13 +1,21 @@
 #include "traj/calibration.h"
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <mutex>
 #include <unordered_set>
 
 #include "common/check.h"
+#include "common/lru_cache.h"
 
 namespace stmaker {
 
 namespace {
+
+inline uint64_t MixBits(uint64_t h, uint64_t v) {
+  return h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+}
 
 /// Interpolates the fix time at arc-length position `s` from the per-vertex
 /// cumulative lengths of the raw polyline.
@@ -77,15 +85,89 @@ double CalibratedTrajectory::SegmentLength(size_t i) const {
   return arc_positions[i + 1] - arc_positions[i];
 }
 
+/// Memoization table behind Calibrate(). Keys copy the full trajectory and
+/// compare content exactly (bit-equal doubles), so a hit can only ever
+/// replay a result the uncached path would recompute identically.
+struct Calibrator::Cache {
+  struct Key {
+    RawTrajectory traj;
+
+    bool operator==(const Key& other) const {
+      const auto& a = traj.samples;
+      const auto& b = other.traj.samples;
+      if (traj.traveler != other.traj.traveler || a.size() != b.size()) {
+        return false;
+      }
+      for (size_t i = 0; i < a.size(); ++i) {
+        if (a[i].pos.x != b[i].pos.x || a[i].pos.y != b[i].pos.y ||
+            a[i].time != b[i].time) {
+          return false;
+        }
+      }
+      return true;
+    }
+  };
+
+  struct KeyHash {
+    size_t operator()(const Key& key) const {
+      uint64_t h = MixBits(0x51ed270b9f2f4c34ULL,
+                           static_cast<uint64_t>(key.traj.traveler));
+      h = MixBits(h, key.traj.samples.size());
+      for (const RawSample& s : key.traj.samples) {
+        h = MixBits(h, std::bit_cast<uint64_t>(s.pos.x));
+        h = MixBits(h, std::bit_cast<uint64_t>(s.pos.y));
+        h = MixBits(h, std::bit_cast<uint64_t>(s.time));
+      }
+      return static_cast<size_t>(h);
+    }
+  };
+
+  explicit Cache(size_t capacity) : lru(capacity) {}
+
+  std::mutex mu;
+  LruCache<Key, Result<CalibratedTrajectory>, KeyHash> lru;
+};
+
 Calibrator::Calibrator(const LandmarkIndex* landmarks,
                        const CalibrationOptions& options)
     : landmarks_(landmarks), options_(options) {
   STMAKER_CHECK(landmarks != nullptr);
   STMAKER_CHECK(options.anchor_radius_m > 0);
   STMAKER_CHECK(options.scan_step_m > 0);
+  if (options.cache_size > 0) {
+    cache_ = std::make_unique<Cache>(options.cache_size);
+  }
 }
 
+Calibrator::~Calibrator() = default;
+Calibrator::Calibrator(Calibrator&&) noexcept = default;
+Calibrator& Calibrator::operator=(Calibrator&&) noexcept = default;
+
 Result<CalibratedTrajectory> Calibrator::Calibrate(
+    const RawTrajectory& raw) const {
+  if (cache_ == nullptr) return CalibrateUncached(raw);
+  Cache::Key key{raw};
+  {
+    std::lock_guard<std::mutex> lock(cache_->mu);
+    if (const Result<CalibratedTrajectory>* hit = cache_->lru.Get(key)) {
+      return *hit;
+    }
+  }
+  Result<CalibratedTrajectory> result = CalibrateUncached(raw);
+  {
+    std::lock_guard<std::mutex> lock(cache_->mu);
+    cache_->lru.Put(key, result);
+  }
+  return result;
+}
+
+std::pair<size_t, size_t> Calibrator::CacheStats() const {
+  if (cache_ == nullptr) return {0, 0};
+  std::lock_guard<std::mutex> lock(cache_->mu);
+  return {cache_->lru.hits(), cache_->lru.misses()};
+}
+
+Result<CalibratedTrajectory> Calibrator::CalibrateUncached(
     const RawTrajectory& raw) const {
   if (raw.samples.size() < 2) {
     return Status::InvalidArgument(

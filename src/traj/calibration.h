@@ -2,6 +2,7 @@
 #define STMAKER_TRAJ_CALIBRATION_H_
 
 #include <cstddef>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -25,6 +26,13 @@ struct CalibrationOptions {
   /// positive and is independent of the trajectory's sampling rate, which is
   /// what makes calibration sampling-invariant.
   double scan_step_m = 50.0;
+  /// Entries of the bounded LRU memoizing whole calibrations (anchor
+  /// collection dominates the cost), keyed by exact trajectory content; 0
+  /// disables caching. Train-then-summarize workloads calibrate the same
+  /// trajectories twice, and repeated Summarize of popular trips hits too.
+  /// The cache never changes results — exact key, exact replay — and is
+  /// safe under concurrent Calibrate calls (mutex-guarded).
+  size_t cache_size = 256;
 };
 
 /// \brief A calibrated trajectory: the symbolic rewriting plus the geometry
@@ -69,16 +77,35 @@ class Calibrator {
   explicit Calibrator(const LandmarkIndex* landmarks,
                       const CalibrationOptions& options =
                           CalibrationOptions());
+  ~Calibrator();
+  Calibrator(Calibrator&&) noexcept;
+  Calibrator& operator=(Calibrator&&) noexcept;
 
   /// Calibrates one trajectory. Fails with InvalidArgument for trajectories
   /// with fewer than 2 samples or non-monotonic timestamps, and with
   /// NotFound when fewer than two anchors are within reach (nothing to
-  /// describe).
+  /// describe). Thread-safe: concurrent calls share the (mutex-guarded)
+  /// calibration cache.
+  ///
+  /// NOTE: results are memoized against the landmark set as-is; landmark
+  /// *positions* must not change under a live calibrator (significance
+  /// updates are fine — anchor thinning consults significance only to
+  /// break exact distance ties, and STMaker's cache is warmed after
+  /// training).
   Result<CalibratedTrajectory> Calibrate(const RawTrajectory& raw) const;
 
+  /// (hits, misses) of the calibration cache; (0, 0) when disabled.
+  std::pair<size_t, size_t> CacheStats() const;
+
  private:
+  struct Cache;  // defined in calibration.cc
+
+  Result<CalibratedTrajectory> CalibrateUncached(
+      const RawTrajectory& raw) const;
+
   const LandmarkIndex* landmarks_;
   CalibrationOptions options_;
+  std::unique_ptr<Cache> cache_;  ///< null when cache_size == 0
 };
 
 }  // namespace stmaker

@@ -19,8 +19,15 @@ done
 echo "== train =="
 "$CLI" train --dir "$DIR" --model "$DIR/model"
 for f in model_meta.csv model_transitions.csv model_feature_map.csv \
-         model_significance.csv; do
+         model_significance.csv model_visits.csv; do
   [[ -s "$DIR/$f" ]] || { echo "missing $f"; exit 1; }
+done
+
+echo "== train --threads 4 writes an identical model =="
+"$CLI" train --dir "$DIR" --model "$DIR/model_mt" --threads 4
+for f in meta transitions feature_map significance visits; do
+  cmp "$DIR/model_${f}.csv" "$DIR/model_mt_${f}.csv" || {
+    echo "model_${f}.csv differs between 1 and 4 threads"; exit 1; }
 done
 
 echo "== summarize (trained inline) =="
@@ -33,13 +40,22 @@ OUT2="$("$CLI" summarize --dir "$DIR" --trip 3 --model "$DIR/model" --k 2)"
 echo "$OUT2"
 [[ "$OUT2" == "The car started from"* ]] || { echo "bad summary"; exit 1; }
 
+echo "== summarize --threads matches serial =="
+OUT3="$("$CLI" summarize --dir "$DIR" --trip 3 --threads 4)"
+[[ "$OUT3" == "$OUT1" ]] || { echo "--threads changed the summary"; exit 1; }
+
 echo "== summarize --json =="
 JSON="$("$CLI" summarize --dir "$DIR" --trip 3 --model "$DIR/model" --json)"
 [[ "$JSON" == "{"* && "$JSON" == *"\"partitions\""* ]] || {
   echo "bad json"; exit 1; }
 
 echo "== stats =="
-"$CLI" stats --dir "$DIR" --trips 40 | grep -q "grade_of_road"
+STATS1="$("$CLI" stats --dir "$DIR" --trips 40)"
+grep -q "grade_of_road" <<< "$STATS1"
+
+echo "== stats --threads matches serial =="
+STATS2="$("$CLI" stats --dir "$DIR" --trips 40 --threads 4)"
+[[ "$STATS2" == "$STATS1" ]] || { echo "--threads changed stats"; exit 1; }
 
 echo "== group =="
 "$CLI" group --dir "$DIR" --from-hour 6 --to-hour 20 | grep -q "Among"

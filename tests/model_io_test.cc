@@ -70,6 +70,31 @@ TEST_F(ModelIoTest, RoundTripReproducesSummariesExactly) {
   }
 }
 
+TEST_F(ModelIoTest, VisitCorpusRoundTripsAndSignificanceRecomputes) {
+  // Save -> load -> TrainIncremental({}) recomputes significance from the
+  // restored corpus; the scores must match what training installed, which
+  // pins down that _visits.csv round-trips the corpus faithfully.
+  std::string prefix = TempPrefix("model_visits");
+  ASSERT_TRUE(world_.maker->SaveModel(prefix).ok());
+
+  LandmarkIndex& landmarks = const_cast<LandmarkIndex&>(*world_.landmarks);
+  std::vector<double> trained_scores;
+  for (const Landmark& lm : landmarks.landmarks()) {
+    trained_scores.push_back(lm.significance);
+  }
+
+  STMaker restored(&world_.city.network, &landmarks,
+                   FeatureRegistry::BuiltIn());
+  ASSERT_TRUE(restored.LoadModel(prefix).ok());
+  ASSERT_TRUE(restored.TrainIncremental({}).ok());
+  // The baseline may itself have passed through a %.9g save/load in an
+  // earlier test (the index is shared), so compare at that precision.
+  for (size_t i = 0; i < trained_scores.size(); ++i) {
+    EXPECT_NEAR(landmarks.landmark(static_cast<LandmarkId>(i)).significance,
+                trained_scores[i], 1e-8);
+  }
+}
+
 TEST_F(ModelIoTest, LoadRejectsDifferentFeatureSet) {
   std::string prefix = TempPrefix("model_featmismatch");
   ASSERT_TRUE(world_.maker->SaveModel(prefix).ok());

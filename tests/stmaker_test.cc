@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
 
 #include "core/stmaker.h"
 #include "test_world.h"
@@ -294,13 +295,39 @@ TEST_F(STMakerTest, TrainIncrementalRequiresPriorTraining) {
             StatusCode::kFailedPrecondition);
 }
 
-TEST_F(STMakerTest, TrainIncrementalRejectedAfterLoadModel) {
+TEST_F(STMakerTest, TrainIncrementalComposesWithLoadModel) {
+  // SaveModel persists the visit corpus, so a restored model keeps
+  // accumulating: LoadModel then TrainIncremental must behave like the
+  // original maker doing the same TrainIncremental.
   std::string prefix = ::testing::TempDir() + "/incr_after_load";
   ASSERT_TRUE(world_.maker->SaveModel(prefix).ok());
   LandmarkIndex& landmarks = const_cast<LandmarkIndex&>(*world_.landmarks);
   STMaker restored(&world_.city.network, &landmarks,
                    FeatureRegistry::BuiltIn());
   ASSERT_TRUE(restored.LoadModel(prefix).ok());
+  size_t trained_before = restored.num_trained();
+  std::vector<RawTrajectory> more;
+  for (size_t i = 0; i < 50; ++i) more.push_back(world_.history[i].raw);
+  ASSERT_TRUE(restored.TrainIncremental(more).ok());
+  EXPECT_GT(restored.num_trained(), trained_before);
+  auto trip = FreshTrip(9 * 3600, 70);
+  ASSERT_TRUE(trip.ok());
+  EXPECT_TRUE(restored.Summarize(trip->raw).ok());
+}
+
+TEST_F(STMakerTest, TrainIncrementalRejectedForLegacyModelWithoutVisits) {
+  // Models saved before the visit corpus existed (no _visits.csv) still
+  // load and serve, but cannot accumulate.
+  std::string prefix = ::testing::TempDir() + "/legacy_model";
+  ASSERT_TRUE(world_.maker->SaveModel(prefix).ok());
+  ASSERT_EQ(std::remove((prefix + "_visits.csv").c_str()), 0);
+  LandmarkIndex& landmarks = const_cast<LandmarkIndex&>(*world_.landmarks);
+  STMaker restored(&world_.city.network, &landmarks,
+                   FeatureRegistry::BuiltIn());
+  ASSERT_TRUE(restored.LoadModel(prefix).ok());
+  auto trip = FreshTrip(9 * 3600, 70);
+  ASSERT_TRUE(trip.ok());
+  EXPECT_TRUE(restored.Summarize(trip->raw).ok());
   std::vector<RawTrajectory> some = {world_.history[0].raw};
   EXPECT_EQ(restored.TrainIncremental(some).code(),
             StatusCode::kFailedPrecondition);

@@ -9,8 +9,9 @@
 //   stmaker_cli summarize --dir /tmp/city --trip 3 [--k 2] [--eta 0.2]
 //                         [--json]
 //
-//   # Train once and persist the mined model:
-//   stmaker_cli train --dir /tmp/city --model /tmp/city/model
+//   # Train once and persist the mined model (multi-threaded ingestion;
+//   # --threads 0 = all cores, output identical at any thread count):
+//   stmaker_cli train --dir /tmp/city --model /tmp/city/model --threads 4
 //
 //   # Summarize using a persisted model (no re-training):
 //   stmaker_cli summarize --dir /tmp/city --trip 3 --model /tmp/city/model
@@ -24,9 +25,11 @@
 // The dataset directory holds plain CSV files (see src/io/), so real map
 // and trajectory data can be dropped in using the same schema.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -88,17 +91,27 @@ int Usage() {
                "usage:\n"
                "  stmaker_cli gen --dir D [--seed N] [--blocks B] "
                "[--trips T] [--pois P]\n"
-               "  stmaker_cli train --dir D --model P\n"
+               "  stmaker_cli train --dir D --model P [--threads N]\n"
                "  stmaker_cli summarize --dir D --trip I [--k K] "
-               "[--eta E] [--json|--geojson] [--model P]\n"
-               "  stmaker_cli stats --dir D [--trips T]\n"
-               "  stmaker_cli group --dir D [--from-hour H] [--to-hour H]\n");
+               "[--eta E] [--json|--geojson] [--model P] [--threads N]\n"
+               "  stmaker_cli stats --dir D [--trips T] [--threads N]\n"
+               "  stmaker_cli group --dir D [--from-hour H] [--to-hour H]\n"
+               "(--threads: worker threads for training and batch "
+               "summarization; 0 = all cores, default 1; results are "
+               "identical at any thread count)\n");
   return 2;
 }
 
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+/// --threads N -> STMakerOptions with that ingestion/serving parallelism.
+STMakerOptions MakerOptions(const Args& args) {
+  STMakerOptions options;
+  options.num_threads = static_cast<int>(args.GetInt("threads", 1));
+  return options;
 }
 
 int RunGen(const Args& args) {
@@ -166,7 +179,7 @@ int RunTrain(const Args& args) {
   if (!loaded.ok()) return Fail(loaded.status());
   LoadedWorld& world = *loaded;
   STMaker maker(&world.network, world.landmarks.get(),
-                FeatureRegistry::BuiltIn());
+                FeatureRegistry::BuiltIn(), MakerOptions(args));
   Status st = maker.Train(world.trajectories);
   if (!st.ok()) return Fail(st);
   st = maker.SaveModel(args.Get("model", "model"));
@@ -190,7 +203,7 @@ int RunSummarize(const Args& args) {
   }
 
   STMaker maker(&world.network, world.landmarks.get(),
-                FeatureRegistry::BuiltIn());
+                FeatureRegistry::BuiltIn(), MakerOptions(args));
   if (args.Has("model")) {
     Status st = maker.LoadModel(args.Get("model", "model"));
     if (!st.ok()) return Fail(st);
@@ -232,15 +245,17 @@ int RunStats(const Args& args) {
   LoadedWorld& world = *loaded;
 
   STMaker maker(&world.network, world.landmarks.get(),
-                FeatureRegistry::BuiltIn());
+                FeatureRegistry::BuiltIn(), MakerOptions(args));
   Status st = maker.Train(world.trajectories);
   if (!st.ok()) return Fail(st);
 
   size_t limit = static_cast<size_t>(args.GetInt("trips", 200));
+  std::span<const RawTrajectory> batch(
+      world.trajectories.data(),
+      std::min(limit, world.trajectories.size()));
+  std::vector<Result<Summary>> results = maker.SummarizeBatch(batch);
   std::vector<Summary> summaries;
-  for (size_t i = 0; i < world.trajectories.size() && summaries.size() < limit;
-       ++i) {
-    Result<Summary> summary = maker.Summarize(world.trajectories[i]);
+  for (Result<Summary>& summary : results) {
     if (summary.ok()) summaries.push_back(std::move(summary).value());
   }
   std::vector<double> ff =
