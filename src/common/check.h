@@ -24,6 +24,18 @@ namespace stmaker::internal_check {
     }                                                                    \
   } while (0)
 
+/// Debug-only CHECK: fatal in debug builds, compiled out entirely under
+/// NDEBUG (release). The expression is still type-checked but never
+/// evaluated, so it must be side-effect free.
+#ifdef NDEBUG
+#define STMAKER_DCHECK(expr)         \
+  do {                               \
+    if (false && (expr)) {           \
+      /* never evaluated */          \
+    }                                \
+  } while (0)
+#else
 #define STMAKER_DCHECK(expr) STMAKER_CHECK(expr)
+#endif
 
 #endif  // STMAKER_COMMON_CHECK_H_

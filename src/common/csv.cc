@@ -2,6 +2,9 @@
 
 #include <cstdio>
 
+#include "common/fileutil.h"
+#include "common/strings.h"
+
 namespace stmaker {
 
 namespace {
@@ -25,6 +28,16 @@ std::string QuoteField(const std::string& field) {
 
 }  // namespace
 
+std::string FormatCsvRow(const std::vector<std::string>& fields) {
+  std::string line;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) line += ',';
+    line += NeedsQuoting(fields[i]) ? QuoteField(fields[i]) : fields[i];
+  }
+  line += '\n';
+  return line;
+}
+
 Result<CsvWriter> CsvWriter::Open(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -41,12 +54,7 @@ Status CsvWriter::WriteRow(const std::vector<std::string>& fields) {
   if (file_ == nullptr) {
     return Status::FailedPrecondition("CSV writer is closed");
   }
-  std::string line;
-  for (size_t i = 0; i < fields.size(); ++i) {
-    if (i > 0) line += ',';
-    line += NeedsQuoting(fields[i]) ? QuoteField(fields[i]) : fields[i];
-  }
-  line += '\n';
+  std::string line = FormatCsvRow(fields);
   if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) {
     return Status::IoError("short write");
   }
@@ -120,16 +128,39 @@ Result<std::vector<std::vector<std::string>>> ParseCsv(
 
 Result<std::vector<std::vector<std::string>>> ReadCsvFile(
     const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "r");
-  if (f == nullptr) return Status::IoError("cannot open for reading: " + path);
-  std::string text;
-  char buf[4096];
-  size_t n;
-  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
-    text.append(buf, n);
-  }
-  std::fclose(f);
+  STMAKER_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
   return ParseCsv(text);
+}
+
+Result<std::vector<std::vector<std::string>>> ParseCsvTable(
+    const std::string& text, const std::vector<std::string>& expected_header,
+    const std::string& context) {
+  STMAKER_ASSIGN_OR_RETURN(auto rows, ParseCsv(text));
+  if (rows.empty()) {
+    return Status::InvalidArgument(context + ": missing CSV header (want '" +
+                                   Join(expected_header, ",") + "')");
+  }
+  if (rows[0] != expected_header) {
+    return Status::InvalidArgument(context + ": bad CSV header '" +
+                                   Join(rows[0], ",") + "' (want '" +
+                                   Join(expected_header, ",") + "')");
+  }
+  for (size_t r = 1; r < rows.size(); ++r) {
+    if (rows[r].size() != expected_header.size()) {
+      return Status::InvalidArgument(StrFormat(
+          "%s: row %zu has %zu fields, want %zu", context.c_str(), r + 1,
+          rows[r].size(), expected_header.size()));
+    }
+  }
+  rows.erase(rows.begin());
+  return rows;
+}
+
+Result<std::vector<std::vector<std::string>>> ReadCsvTable(
+    const std::string& path,
+    const std::vector<std::string>& expected_header) {
+  STMAKER_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  return ParseCsvTable(text, expected_header, path);
 }
 
 }  // namespace stmaker

@@ -9,6 +9,10 @@
 
 namespace stmaker {
 
+/// Renders one CSV row (trailing newline included). Fields containing
+/// commas, quotes, or newlines are quoted per RFC 4180.
+std::string FormatCsvRow(const std::vector<std::string>& fields);
+
 /// \brief Minimal CSV writer used to persist generated datasets (trajectory
 /// corpora, landmark tables) and benchmark series. Fields containing commas,
 /// quotes, or newlines are quoted per RFC 4180.
@@ -44,14 +48,46 @@ class CsvWriter {
   std::FILE* file_;
 };
 
+/// \brief In-memory CSV serializer: same quoting as CsvWriter, but the
+/// output accumulates in a string. Model persistence builds each file's
+/// full content with this so it can be checksummed and written atomically.
+class CsvBuilder {
+ public:
+  void Row(const std::vector<std::string>& fields) {
+    text_ += FormatCsvRow(fields);
+  }
+  const std::string& str() const { return text_; }
+  std::string TakeString() { return std::move(text_); }
+
+ private:
+  std::string text_;
+};
+
 /// Parses CSV text into rows of fields, honoring RFC 4180 quoting.
-/// The final newline is optional; empty input yields no rows.
+/// The final newline is optional; empty input yields no rows. Rows may be
+/// ragged at this layer; schema-aware callers should use ParseCsvTable /
+/// ReadCsvTable, which reject them.
 Result<std::vector<std::vector<std::string>>> ParseCsv(
     const std::string& text);
 
-/// Reads and parses an entire CSV file.
+/// Reads and parses an entire CSV file (failpoints: the ReadFileToString
+/// ones).
 Result<std::vector<std::vector<std::string>>> ReadCsvFile(
     const std::string& path);
+
+/// \brief Parses CSV `text` as a rectangular table: the first row must
+/// equal `expected_header`, and every data row must have exactly the header
+/// width — short, long, or ragged rows fail with kInvalidArgument carrying
+/// `context` (typically the file path) and the 1-based row number.
+/// Returns the data rows (header removed).
+Result<std::vector<std::vector<std::string>>> ParseCsvTable(
+    const std::string& text, const std::vector<std::string>& expected_header,
+    const std::string& context);
+
+/// Reads `path` and parses it with ParseCsvTable (context = path).
+Result<std::vector<std::vector<std::string>>> ReadCsvTable(
+    const std::string& path,
+    const std::vector<std::string>& expected_header);
 
 }  // namespace stmaker
 

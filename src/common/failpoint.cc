@@ -1,0 +1,98 @@
+#include "common/failpoint.h"
+
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/strings.h"
+
+namespace stmaker {
+
+namespace {
+
+struct FailpointState {
+  int skip = 0;    // passing hits before the first failure
+  int count = -1;  // failing hits after that; -1 = unbounded
+  size_t hits = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, FailpointState> points;
+  bool env_loaded = false;
+
+  // Parses STMAKER_FAILPOINTS="name[=count][;name...]" once. Holding mu.
+  void LoadEnvLocked() {
+    if (env_loaded) return;
+    env_loaded = true;
+    const char* env = std::getenv("STMAKER_FAILPOINTS");
+    if (env == nullptr || *env == '\0') return;
+    for (const std::string& entry : Split(env, ';')) {
+      std::string_view spec = Trim(entry);
+      if (spec.empty()) continue;
+      FailpointState state;
+      size_t eq = spec.find('=');
+      std::string name(spec.substr(0, eq));
+      if (eq != std::string_view::npos) {
+        state.count = std::atoi(std::string(spec.substr(eq + 1)).c_str());
+      }
+      points[name] = state;
+    }
+  }
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+}  // namespace
+
+bool FailpointsCompiledIn() { return STMAKER_FAILPOINTS_ENABLED != 0; }
+
+void ArmFailpoint(const std::string& name, int skip, int count) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.LoadEnvLocked();
+  FailpointState state;
+  state.skip = skip;
+  state.count = count;
+  registry.points[name] = state;
+}
+
+void DisarmFailpoint(const std::string& name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.points.erase(name);
+}
+
+void DisarmAllFailpoints() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.points.clear();
+  registry.env_loaded = true;  // do not resurrect env-armed points
+}
+
+size_t FailpointHitCount(const std::string& name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.points.find(name);
+  return it == registry.points.end() ? 0 : it->second.hits;
+}
+
+bool FailpointShouldFail(const char* name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.LoadEnvLocked();
+  if (registry.points.empty()) return false;
+  auto it = registry.points.find(name);
+  if (it == registry.points.end()) return false;
+  FailpointState& state = it->second;
+  size_t hit = state.hits++;
+  if (hit < static_cast<size_t>(state.skip)) return false;
+  if (state.count < 0) return true;
+  return hit < static_cast<size_t>(state.skip) +
+                   static_cast<size_t>(state.count);
+}
+
+}  // namespace stmaker

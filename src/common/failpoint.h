@@ -1,0 +1,77 @@
+#ifndef STMAKER_COMMON_FAILPOINT_H_
+#define STMAKER_COMMON_FAILPOINT_H_
+
+#include <cstddef>
+#include <string>
+
+/// \file
+/// \brief Deterministic fault injection for robustness testing.
+///
+/// A failpoint is a named hook compiled into an error-prone code path (file
+/// I/O, the sharded ingestion loop). When the library is built with
+/// -DSTMAKER_FAILPOINTS=ON (CMake option, which defines
+/// STMAKER_FAILPOINTS_ENABLED=1) an armed failpoint makes the hook execute
+/// an injected action — invariably "return an error Status" — so tests can
+/// prove that every caller degrades cleanly instead of crashing.
+///
+/// In a normal build the hook macro expands to nothing: zero code, zero
+/// branches, zero cost. The arming API below always exists (so test
+/// binaries link in either configuration) and tests gate on
+/// FailpointsCompiledIn().
+///
+/// Failpoints are armed programmatically (ArmFailpoint) or through the
+/// environment: STMAKER_FAILPOINTS="io/read;train/shard=2" arms `io/read`
+/// for every hit and `train/shard` for its first 2 hits. The environment is
+/// read once, on the first hook evaluation.
+
+#ifndef STMAKER_FAILPOINTS_ENABLED
+#define STMAKER_FAILPOINTS_ENABLED 0
+#endif
+
+namespace stmaker {
+
+/// True when the library was compiled with failpoint hooks
+/// (-DSTMAKER_FAILPOINTS=ON). When false, STMAKER_FAILPOINT is a no-op and
+/// arming has no observable effect.
+bool FailpointsCompiledIn();
+
+/// Arms `name`: after `skip` passing hits, the next `count` hits fail
+/// (count < 0 = every subsequent hit). Re-arming resets the hit counter.
+/// Thread-safe.
+void ArmFailpoint(const std::string& name, int skip = 0, int count = -1);
+
+/// Disarms one failpoint (no-op when not armed). Thread-safe.
+void DisarmFailpoint(const std::string& name);
+
+/// Disarms every failpoint, including environment-armed ones. Thread-safe.
+void DisarmAllFailpoints();
+
+/// Number of times the named failpoint hook was evaluated since arming
+/// (0 when never armed). Thread-safe.
+size_t FailpointHitCount(const std::string& name);
+
+/// Hook predicate behind STMAKER_FAILPOINT: counts the hit and reports
+/// whether the injected action should run. Loads STMAKER_FAILPOINTS from
+/// the environment on first call. Thread-safe; cheap when nothing is armed
+/// (one mutex acquisition — and in non-failpoint builds it is never
+/// called from library code at all).
+bool FailpointShouldFail(const char* name);
+
+}  // namespace stmaker
+
+#if STMAKER_FAILPOINTS_ENABLED
+/// Runs `action` (typically `return Status::IoError(...)`) when the named
+/// failpoint is armed and fires on this hit.
+#define STMAKER_FAILPOINT(name, action)              \
+  do {                                               \
+    if (::stmaker::FailpointShouldFail(name)) {      \
+      action;                                        \
+    }                                                \
+  } while (0)
+#else
+#define STMAKER_FAILPOINT(name, action) \
+  do {                                  \
+  } while (0)
+#endif
+
+#endif  // STMAKER_COMMON_FAILPOINT_H_

@@ -1,0 +1,36 @@
+#ifndef STMAKER_COMMON_FILEUTIL_H_
+#define STMAKER_COMMON_FILEUTIL_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace stmaker {
+
+/// True when `path` exists and is readable.
+bool FileExists(const std::string& path);
+
+/// Reads the whole file into a string. Failpoints: "io/open-read",
+/// "io/read".
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Writes `content` to `path` non-atomically (truncating). Failpoints:
+/// "io/open-write", "io/write", "io/close".
+Status WriteFileToPath(const std::string& path, const std::string& content);
+
+/// Writes `content` to `path + ".tmp"` and renames it into place, so a
+/// crash or injected failure never leaves a partially written `path`
+/// visible (the stale temp file is removed on failure). Failpoint:
+/// "io/rename", plus the WriteFileToPath ones.
+Status WriteFileAtomic(const std::string& path, const std::string& content);
+
+/// Renames `from` to `to`, replacing `to` (POSIX rename semantics).
+/// Failpoint: "io/rename".
+Status RenameFile(const std::string& from, const std::string& to);
+
+/// Best-effort removal; missing files are not an error.
+void RemoveFileIfExists(const std::string& path);
+
+}  // namespace stmaker
+
+#endif  // STMAKER_COMMON_FILEUTIL_H_

@@ -51,6 +51,11 @@ class HistoricalFeatureMap {
   size_t num_features() const { return num_features_; }
   size_t NumEdges() const { return edges_.size(); }
 
+  /// True when no history has been accumulated at all — GlobalAverage then
+  /// fabricates zeros, and callers should degrade to BaselineStatus::
+  /// kNoBaseline instead of comparing against them.
+  bool empty() const { return global_count_ == 0; }
+
   /// One annotated edge in raw accumulator form, for model persistence.
   struct EdgeRecord {
     LandmarkId from;

@@ -121,12 +121,21 @@ Result<std::vector<double>> IrregularityAnalyzer::PopularRouteFeatureMeans(
 std::vector<double> IrregularityAnalyzer::IrregularRates(
     const SymbolicTrajectory& symbolic,
     const std::vector<SegmentFeatures>& segments, size_t seg_begin,
-    size_t seg_end) const {
+    size_t seg_end, std::vector<BaselineStatus>* baselines) const {
   STMAKER_CHECK(seg_begin < seg_end);
   STMAKER_CHECK(seg_end <= segments.size());
   STMAKER_CHECK(segments.size() + 1 == symbolic.samples.size());
   const size_t num_features = registry_->size();
   std::vector<double> rates(num_features, 0.0);
+  if (baselines != nullptr) {
+    baselines->assign(num_features, BaselineStatus::kHistorical);
+  }
+  // A model with no mined transitions / no feature history cannot ground
+  // any comparison; those features degrade to a neutral rate instead of
+  // reading as maximally irregular (routing) or deviating from fabricated
+  // zeros (moving). See the header's degraded-mode contract.
+  const bool no_routing_baseline = miner_->NumTransitions() == 0;
+  const bool no_moving_baseline = feature_map_->empty();
 
   // Popular route between the partition's endpoints, shared by all routing
   // features.
@@ -142,6 +151,14 @@ std::vector<double> IrregularityAnalyzer::IrregularRates(
 
   for (size_t f = 0; f < num_features; ++f) {
     const FeatureDef& def = registry_->def(f);
+    if ((def.kind == FeatureKind::kRouting && no_routing_baseline) ||
+        (def.kind != FeatureKind::kRouting && no_moving_baseline)) {
+      rates[f] = 0.0;  // neutral: nothing to compare against
+      if (baselines != nullptr) {
+        (*baselines)[f] = BaselineStatus::kNoBaseline;
+      }
+      continue;
+    }
     if (def.kind == FeatureKind::kRouting) {
       // Γ_f = w_f · d(F_TP, F_PR) / max(|F_TP|, |F_PR|).
       std::vector<double> f_tp;

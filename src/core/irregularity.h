@@ -7,6 +7,7 @@
 #include "core/feature_extractor.h"
 #include "core/historical_feature_map.h"
 #include "core/popular_route.h"
+#include "core/summary.h"
 #include "traj/trajectory.h"
 
 namespace stmaker {
@@ -43,10 +44,20 @@ class IrregularityAnalyzer {
   /// [seg_begin, seg_end) of `symbolic` (whose per-segment features are
   /// `segments`, covering the whole trajectory). Returns one rate per
   /// registry feature.
+  ///
+  /// Degraded mode: when the trained model carries no baseline for a
+  /// feature at all — an empty feature map for moving features, or a miner
+  /// with zero transitions for routing features — the rate is neutral (0)
+  /// and, when `baselines` is non-null, that feature is marked
+  /// BaselineStatus::kNoBaseline. A *trained* model whose history merely
+  /// lacks this partition's endpoints keeps the paper semantics (routing
+  /// maximally irregular, moving features against the global average);
+  /// only a model with nothing to compare against degrades. `baselines`,
+  /// when given, is resized to one entry per feature.
   std::vector<double> IrregularRates(
       const SymbolicTrajectory& symbolic,
       const std::vector<SegmentFeatures>& segments, size_t seg_begin,
-      size_t seg_end) const;
+      size_t seg_end, std::vector<BaselineStatus>* baselines = nullptr) const;
 
   /// Mean feature vector along the popular route between the partition's
   /// endpoints — the "most drivers" baseline used by routing-feature phrases

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/failpoint.h"
 #include "common/parallel.h"
 #include "common/strings.h"
 #include "core/similarity.h"
@@ -34,6 +35,44 @@ Result<CalibratedTrajectory> STMaker::Calibrate(
   return calibrator_.Calibrate(raw);
 }
 
+void IngestReport::Merge(const IngestReport& other) {
+  total += other.total;
+  ingested += other.ingested;
+  quarantined += other.quarantined;
+  sanitize_rejected += other.sanitize_rejected;
+  calibration_failed += other.calibration_failed;
+  extraction_failed += other.extraction_failed;
+  failpoint_injected += other.failpoint_injected;
+  repaired += other.repaired;
+  dropped_points += other.dropped_points;
+}
+
+std::string IngestReport::ToString() const {
+  std::string out = StrFormat("%zu/%zu ingested", ingested, total);
+  if (quarantined > 0) {
+    std::vector<std::string> reasons;
+    if (sanitize_rejected > 0) {
+      reasons.push_back(StrFormat("sanitize: %zu", sanitize_rejected));
+    }
+    if (calibration_failed > 0) {
+      reasons.push_back(StrFormat("calibration: %zu", calibration_failed));
+    }
+    if (extraction_failed > 0) {
+      reasons.push_back(StrFormat("extraction: %zu", extraction_failed));
+    }
+    if (failpoint_injected > 0) {
+      reasons.push_back(StrFormat("failpoint: %zu", failpoint_injected));
+    }
+    out += StrFormat(", %zu quarantined (%s)", quarantined,
+                     Join(reasons, ", ").c_str());
+  }
+  if (repaired > 0) {
+    out += StrFormat(", %zu repaired (%zu points dropped)", repaired,
+                     dropped_points);
+  }
+  return out;
+}
+
 namespace {
 
 /// Private accumulators of one ingestion worker. Shard s sees only the
@@ -42,13 +81,13 @@ struct IngestShard {
   PopularRouteMiner miner;
   std::unique_ptr<HistoricalFeatureMap> features;
   VisitCorpus visits;
-  size_t ingested = 0;
+  IngestReport report;
 };
 
 }  // namespace
 
-size_t STMaker::IngestCorpus(const std::vector<RawTrajectory>& history,
-                             int num_threads) {
+Result<IngestReport> STMaker::IngestCorpus(
+    const std::vector<RawTrajectory>& history, int num_threads) {
   const int threads = ResolveThreadCount(num_threads);
   std::vector<IngestShard> shards(static_cast<size_t>(threads));
   for (IngestShard& shard : shards) {
@@ -58,17 +97,48 @@ size_t STMaker::IngestCorpus(const std::vector<RawTrajectory>& history,
   // The shard body is exactly the serial per-trajectory ingest, writing to
   // the shard's private accumulators. The calibrator and extractor are
   // shared but thread-safe (const pipelines; the calibration cache locks).
+  // Unusable trajectories are quarantined into the shard report instead of
+  // failing the batch; one poisoned trip never takes the corpus down.
   ParallelFor(history.size(), threads,
               [&](size_t begin, size_t end, int shard_index) {
                 IngestShard& shard = shards[static_cast<size_t>(shard_index)];
+                IngestReport& report = shard.report;
                 for (size_t i = begin; i < end; ++i) {
-                  const RawTrajectory& raw = history[i];
+                  ++report.total;
+                  bool injected = false;
+                  STMAKER_FAILPOINT("train/shard", injected = true);
+                  if (injected) {
+                    ++report.quarantined;
+                    ++report.failpoint_injected;
+                    continue;
+                  }
+                  SanitizeReport sanitize_report;
+                  Result<RawTrajectory> sanitized = SanitizeTrajectory(
+                      history[i], options_.sanitize, &sanitize_report);
+                  if (!sanitized.ok()) {
+                    ++report.quarantined;
+                    ++report.sanitize_rejected;
+                    continue;
+                  }
+                  if (!sanitize_report.clean()) {
+                    ++report.repaired;
+                    report.dropped_points += sanitize_report.dropped_points;
+                  }
+                  const RawTrajectory& raw = *sanitized;
                   Result<CalibratedTrajectory> calibrated =
                       calibrator_.Calibrate(raw);
-                  if (!calibrated.ok()) continue;
+                  if (!calibrated.ok()) {
+                    ++report.quarantined;
+                    ++report.calibration_failed;
+                    continue;
+                  }
                   Result<std::vector<SegmentFeatures>> features =
                       extractor_->Extract(*calibrated);
-                  if (!features.ok()) continue;
+                  if (!features.ok()) {
+                    ++report.quarantined;
+                    ++report.extraction_failed;
+                    continue;
+                  }
 
                   const SymbolicTrajectory& symbolic = calibrated->symbolic;
                   shard.miner.AddTrajectory(symbolic);
@@ -88,21 +158,35 @@ size_t STMaker::IngestCorpus(const std::vector<RawTrajectory>& history,
                   // contribute hub mass without conflating distinct
                   // vehicles.
                   shard.visits.AddTrajectory(raw.traveler, visited);
-                  ++shard.ingested;
+                  ++report.ingested;
                 }
               });
 
+  // Decide acceptance from the merged counts *before* touching the member
+  // accumulators, so a rejected batch leaves the model exactly as it was
+  // (TrainIncremental relies on this).
+  IngestReport report;
+  for (const IngestShard& shard : shards) report.Merge(shard.report);
+  if (report.total > 0 &&
+      report.QuarantineFraction() > options_.max_quarantine_fraction) {
+    return Status::FailedPrecondition(StrFormat(
+        "quarantined %zu of %zu trajectories (%.0f%%), over the configured "
+        "limit of %.0f%% — corpus looks corrupt (%s)",
+        report.quarantined, report.total,
+        100.0 * report.QuarantineFraction(),
+        100.0 * options_.max_quarantine_fraction,
+        report.ToString().c_str()));
+  }
+
   // Merge in block order: shard 0 holds the leftmost trajectories, so this
   // replays the corpus left to right exactly as the serial loop would.
-  size_t ingested = 0;
   for (const IngestShard& shard : shards) {
     miner_.Merge(shard.miner);
     feature_map_->Merge(*shard.features);
     visit_corpus_.Merge(shard.visits);
-    ingested += shard.ingested;
   }
-  num_trained_ += ingested;
-  return ingested;
+  num_trained_ += report.ingested;
+  return report;
 }
 
 void STMaker::RecomputeSignificance() {
@@ -110,28 +194,39 @@ void STMaker::RecomputeSignificance() {
       .Apply(landmarks_, options_.significance_iterations);
 }
 
-Status STMaker::Train(const std::vector<RawTrajectory>& history) {
+Result<IngestReport> STMaker::TrainWithReport(
+    const std::vector<RawTrajectory>& history) {
   feature_map_ = std::make_unique<HistoricalFeatureMap>(registry_.size());
   miner_ = PopularRouteMiner();
   visit_corpus_ = VisitCorpus();
   num_trained_ = 0;
   analyzer_.reset();
 
-  IngestCorpus(history, options_.num_threads);
+  Result<IngestReport> report = IngestCorpus(history, options_.num_threads);
+  if (!report.ok()) {
+    feature_map_.reset();
+    visit_corpus_ = VisitCorpus();
+    return report.status();
+  }
 
   if (num_trained_ < 2) {
     feature_map_.reset();
     visit_corpus_ = VisitCorpus();
     return Status::FailedPrecondition(
-        "training corpus yielded fewer than two calibrated trajectories");
+        "training corpus yielded fewer than two calibrated trajectories (" +
+        report->ToString() + ")");
   }
   RecomputeSignificance();
   analyzer_ = std::make_unique<IrregularityAnalyzer>(&registry_, &miner_,
                                                      feature_map_.get());
-  return Status::OK();
+  return report;
 }
 
-Status STMaker::TrainIncremental(
+Status STMaker::Train(const std::vector<RawTrajectory>& history) {
+  return TrainWithReport(history).status();
+}
+
+Result<IngestReport> STMaker::TrainIncrementalWithReport(
     const std::vector<RawTrajectory>& history) {
   if (analyzer_ == nullptr || visit_corpus_.empty()) {
     return Status::FailedPrecondition(
@@ -139,9 +234,17 @@ Status STMaker::TrainIncremental(
         "model saved with its visit corpus (legacy models without "
         "_visits.csv cannot accumulate)");
   }
-  IngestCorpus(history, options_.num_threads);
+  // IngestCorpus rejects an over-quarantined batch before merging, so the
+  // served model is untouched on failure.
+  STMAKER_ASSIGN_OR_RETURN(IngestReport report,
+                           IngestCorpus(history, options_.num_threads));
   RecomputeSignificance();
-  return Status::OK();
+  return report;
+}
+
+Status STMaker::TrainIncremental(
+    const std::vector<RawTrajectory>& history) {
+  return TrainIncrementalWithReport(history).status();
 }
 
 namespace {
@@ -186,9 +289,15 @@ Result<Summary> STMaker::Summarize(const RawTrajectory& raw,
     return Status::InvalidArgument("eta must be non-negative");
   }
 
+  // Step 0: sanitize the input. kRepair mends defective fixes so one NaN
+  // or GPS teleport degrades the trip instead of poisoning the summary;
+  // clean inputs pass through bit-identical (same calibration cache key).
+  STMAKER_ASSIGN_OR_RETURN(RawTrajectory sanitized,
+                           SanitizeTrajectory(raw, options_.sanitize));
+
   // Step 1: rewrite into a symbolic trajectory.
   STMAKER_ASSIGN_OR_RETURN(CalibratedTrajectory calibrated,
-                           calibrator_.Calibrate(raw));
+                           calibrator_.Calibrate(sanitized));
   const SymbolicTrajectory& symbolic = calibrated.symbolic;
   const size_t num_segments = symbolic.NumSegments();
   STMAKER_CHECK(num_segments >= 1);
@@ -229,8 +338,16 @@ Result<Summary> STMaker::Summarize(const RawTrajectory& raw,
     ps.destination = symbolic.samples[end].landmark;
     ps.source_name = landmarks_->landmark(ps.source).name;
     ps.destination_name = landmarks_->landmark(ps.destination).name;
+    std::vector<BaselineStatus> baselines;
     ps.irregular_rates =
-        analyzer_->IrregularRates(symbolic, features, begin, end);
+        analyzer_->IrregularRates(symbolic, features, begin, end, &baselines);
+    // Record baseline provenance only when serving degraded — the common
+    // fully-trained case keeps the summary struct (and its JSON) unchanged.
+    bool any_no_baseline = false;
+    for (BaselineStatus b : baselines) {
+      if (b == BaselineStatus::kNoBaseline) any_no_baseline = true;
+    }
+    if (any_no_baseline) ps.baselines = baselines;
 
     // Partition-level aggregates used by the phrases.
     double total_len = 0;

@@ -19,6 +19,7 @@
 #include "landmark/significance.h"
 #include "roadnet/road_network.h"
 #include "traj/calibration.h"
+#include "traj/sanitize.h"
 
 namespace stmaker {
 
@@ -48,6 +49,45 @@ struct STMakerOptions {
   /// Thread count never changes results (see DESIGN.md, "Parallel execution
   /// & determinism").
   int num_threads = 1;
+  /// Input sanitization applied to every trajectory entering the system —
+  /// ingestion and serving alike. The default kRepair policy drops
+  /// defective points (NaN, out-of-range, backwards time, duplicates,
+  /// teleports) and mends the trajectory; kStrict quarantines/rejects it
+  /// whole. Clean trajectories pass through bit-identical.
+  SanitizeOptions sanitize;
+  /// Train/TrainIncremental fail with kFailedPrecondition when more than
+  /// this fraction of the corpus was quarantined — a corpus that is mostly
+  /// garbage signals an upstream fault, not a few bad trips. 1.0 (default)
+  /// never converts quarantine into a hard error.
+  double max_quarantine_fraction = 1.0;
+};
+
+/// \brief Outcome of one corpus ingestion (Train / TrainIncremental):
+/// how many trajectories made it into the model and why the rest were
+/// quarantined. Per-shard reports are merged deterministically (counts are
+/// additive and shard blocks are contiguous), so the report is identical at
+/// every thread count.
+struct IngestReport {
+  size_t total = 0;        ///< Trajectories offered.
+  size_t ingested = 0;     ///< Trajectories that entered the model.
+  size_t quarantined = 0;  ///< Skipped; the sum of the reasons below.
+  size_t sanitize_rejected = 0;    ///< kStrict sanitization rejections.
+  size_t calibration_failed = 0;   ///< Calibrator returned an error.
+  size_t extraction_failed = 0;    ///< Feature extractor returned an error.
+  size_t failpoint_injected = 0;   ///< "train/shard" failpoint firings.
+  /// Repair statistics (policy kRepair): trajectories that survived with
+  /// points dropped, and the total points dropped across the corpus.
+  size_t repaired = 0;
+  size_t dropped_points = 0;
+
+  double QuarantineFraction() const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(quarantined) /
+                            static_cast<double>(total);
+  }
+  void Merge(const IngestReport& other);
+  /// "380/400 ingested, 20 quarantined (calibration: 12, sanitize: 8)".
+  std::string ToString() const;
 };
 
 /// \brief The STMaker system: end-to-end trajectory summarization
@@ -79,11 +119,17 @@ class STMaker {
   const FeatureRegistry& registry() const { return registry_; }
 
   /// Builds the historical knowledge from a corpus of raw trajectories.
-  /// Trajectories that fail calibration are skipped; Train fails only when
+  /// Defective trajectories are sanitized (options().sanitize) and, when
+  /// still unusable, quarantined — counted and skipped, never fatal unless
+  /// the quarantine fraction exceeds options().max_quarantine_fraction or
   /// fewer than two trajectories survive. Replaces any previous training.
-  /// Ingestion runs on options().num_threads workers; the trained model is
-  /// identical for every thread count (see IngestCorpus).
+  /// Ingestion runs on options().num_threads workers; the trained model and
+  /// the report are identical for every thread count (see IngestCorpus).
   Status Train(const std::vector<RawTrajectory>& history);
+
+  /// Train(), returning the per-corpus IngestReport on success.
+  Result<IngestReport> TrainWithReport(
+      const std::vector<RawTrajectory>& history);
 
   /// Folds additional trajectories into an already-trained model: popular
   /// routes and the historical feature map accumulate, and landmark
@@ -91,13 +137,24 @@ class STMaker {
   /// prior successful Train() or a LoadModel() of a model that carries its
   /// visit corpus (models saved by this version do; legacy three-file
   /// models restore with an empty corpus and fail here with
-  /// FailedPrecondition).
+  /// FailedPrecondition). Quarantine semantics match Train(); when the
+  /// quarantine threshold converts to a hard error the existing model is
+  /// left untouched.
   Status TrainIncremental(const std::vector<RawTrajectory>& history);
+
+  /// TrainIncremental(), returning the batch's IngestReport on success.
+  Result<IngestReport> TrainIncrementalWithReport(
+      const std::vector<RawTrajectory>& history);
 
   bool trained() const { return analyzer_ != nullptr; }
   size_t num_trained() const { return num_trained_; }
 
-  /// Summarizes one raw trajectory (requires Train() first). Thread-safe
+  /// Summarizes one raw trajectory (requires Train() first). The input is
+  /// sanitized with options().sanitize first (kRepair mends defective
+  /// fixes; kStrict rejects the request with kInvalidArgument). Features
+  /// the model has no baseline for are marked BaselineStatus::kNoBaseline
+  /// in the partitions with a neutral irregular rate — a degraded but
+  /// well-formed summary rather than garbage or kInternal. Thread-safe
   /// against concurrent Summarize/SummarizeBatch calls — the const serving
   /// path only reads the trained model, and the internal caches
   /// (calibration, popular-route queries) are mutex-guarded. Must not
@@ -140,16 +197,19 @@ class STMaker {
   const LandmarkIndex& landmarks() const { return *landmarks_; }
 
  private:
-  /// Calibrates and mines every trajectory of `history` into the current
-  /// accumulators (miner, feature map, visit corpus) using `num_threads`
-  /// workers. Each worker ingests a contiguous block of `history` into
-  /// private shard accumulators; the shards are then merged in block order,
-  /// which reproduces the serial left-to-right ingest exactly (insertion
-  /// orders, traveller numbering, integral counts — see the Merge() docs on
-  /// PopularRouteMiner / HistoricalFeatureMap / VisitCorpus). Returns the
-  /// number of trajectories that survived calibration.
-  size_t IngestCorpus(const std::vector<RawTrajectory>& history,
-                      int num_threads);
+  /// Sanitizes, calibrates, and mines every trajectory of `history` into
+  /// the current accumulators (miner, feature map, visit corpus) using
+  /// `num_threads` workers. Each worker ingests a contiguous block of
+  /// `history` into private shard accumulators; the shards are then merged
+  /// in block order, which reproduces the serial left-to-right ingest
+  /// exactly (insertion orders, traveller numbering, integral counts — see
+  /// the Merge() docs on PopularRouteMiner / HistoricalFeatureMap /
+  /// VisitCorpus). Unusable trajectories are quarantined into the report.
+  /// When the quarantine fraction exceeds options().max_quarantine_fraction
+  /// the error is returned *before* the shard merge, leaving the member
+  /// accumulators untouched.
+  Result<IngestReport> IngestCorpus(const std::vector<RawTrajectory>& history,
+                                    int num_threads);
 
   /// Rebuilds HITS significance from the visit corpus and installs the
   /// scores into the landmark index.

@@ -3,10 +3,24 @@
 // form, the landmark significances, the landmark visit corpus (which is
 // what re-arms TrainIncremental after a restore), and a small metadata
 // file that pins the feature set. See stmaker.h for the contract.
+//
+// Durability: SaveModel builds every file in memory, writes each to a
+// ".tmp" sibling, renames the set into place, and finally writes a
+// "<prefix>_MANIFEST.csv" with per-file byte counts and CRC32s — so a
+// crash or injected I/O failure never leaves a torn model that LoadModel
+// would accept. LoadModel verifies the manifest (when present; pre-manifest
+// models load unverified for backward compatibility) before parsing:
+// missing files surface kIoError, checksum/size mismatches
+// kFailedPrecondition, both naming the offending file. All parsed state is
+// committed to the STMaker only after every file validated, so a failed
+// load leaves the maker untrained and the landmark index unmodified.
 
 #include <cstdlib>
+#include <utility>
 
+#include "common/crc32.h"
 #include "common/csv.h"
+#include "common/fileutil.h"
 #include "common/strings.h"
 #include "core/stmaker.h"
 
@@ -32,89 +46,138 @@ Result<int64_t> ParseInt(const std::string& field) {
   return static_cast<int64_t>(v);
 }
 
+/// The model's data files, in write (and manifest) order.
+constexpr const char* kModelSuffixes[] = {
+    "_meta.csv", "_transitions.csv", "_feature_map.csv",
+    "_significance.csv", "_visits.csv"};
+constexpr const char* kManifestSuffix = "_MANIFEST.csv";
+
+struct ModelPart {
+  std::string suffix;
+  std::string content;
+};
+
 }  // namespace
 
 Status STMaker::SaveModel(const std::string& prefix) const {
   if (analyzer_ == nullptr) {
     return Status::FailedPrecondition("SaveModel requires a trained model");
   }
-  // --- Metadata: the feature set this model was mined with. -----------------
-  {
-    STMAKER_ASSIGN_OR_RETURN(CsvWriter writer,
-                             CsvWriter::Open(prefix + "_meta.csv"));
-    STMAKER_RETURN_IF_ERROR(writer.WriteRow({"key", "value"}));
-    STMAKER_RETURN_IF_ERROR(
-        writer.WriteRow({"num_trained", std::to_string(num_trained_)}));
+
+  // --- Build every file in memory (checksummable, atomically writable). ----
+  std::vector<ModelPart> parts;
+
+  {  // Metadata: the feature set this model was mined with.
+    CsvBuilder csv;
+    csv.Row({"key", "value"});
+    csv.Row({"num_trained", std::to_string(num_trained_)});
     std::vector<std::string> feature_ids;
     for (const FeatureDef& def : registry_.defs()) {
       feature_ids.push_back(def.id);
     }
-    STMAKER_RETURN_IF_ERROR(
-        writer.WriteRow({"features", Join(feature_ids, ";")}));
-    STMAKER_RETURN_IF_ERROR(writer.Close());
+    csv.Row({"features", Join(feature_ids, ";")});
+    parts.push_back({kModelSuffixes[0], csv.TakeString()});
   }
-  // --- Popular-route transitions. --------------------------------------------
-  {
-    STMAKER_ASSIGN_OR_RETURN(CsvWriter writer,
-                             CsvWriter::Open(prefix + "_transitions.csv"));
-    STMAKER_RETURN_IF_ERROR(writer.WriteRow({"from", "to", "count"}));
+  {  // Popular-route transitions.
+    CsvBuilder csv;
+    csv.Row({"from", "to", "count"});
     for (const PopularRouteMiner::Transition& t : miner_.Transitions()) {
-      STMAKER_RETURN_IF_ERROR(writer.WriteRow(
-          {std::to_string(t.from), std::to_string(t.to),
-           StrFormat("%.6f", t.count)}));
+      csv.Row({std::to_string(t.from), std::to_string(t.to),
+               StrFormat("%.6f", t.count)});
     }
-    STMAKER_RETURN_IF_ERROR(writer.Close());
+    parts.push_back({kModelSuffixes[1], csv.TakeString()});
   }
-  // --- Historical feature map (accumulator form). -----------------------------
-  {
-    STMAKER_ASSIGN_OR_RETURN(CsvWriter writer,
-                             CsvWriter::Open(prefix + "_feature_map.csv"));
+  {  // Historical feature map (accumulator form).
+    CsvBuilder csv;
     std::vector<std::string> header = {"from", "to", "count"};
     for (const FeatureDef& def : registry_.defs()) {
       header.push_back("sum_" + def.id);
     }
-    STMAKER_RETURN_IF_ERROR(writer.WriteRow(header));
+    csv.Row(header);
     for (const HistoricalFeatureMap::EdgeRecord& e : feature_map_->Edges()) {
       std::vector<std::string> row = {std::to_string(e.from),
                                       std::to_string(e.to),
                                       StrFormat("%.6f", e.count)};
       for (double s : e.sums) row.push_back(StrFormat("%.9g", s));
-      STMAKER_RETURN_IF_ERROR(writer.WriteRow(row));
+      csv.Row(row);
     }
-    STMAKER_RETURN_IF_ERROR(writer.Close());
+    parts.push_back({kModelSuffixes[2], csv.TakeString()});
   }
-  // --- Landmark significances. -------------------------------------------------
-  {
-    STMAKER_ASSIGN_OR_RETURN(CsvWriter writer,
-                             CsvWriter::Open(prefix + "_significance.csv"));
-    STMAKER_RETURN_IF_ERROR(writer.WriteRow({"landmark", "significance"}));
+  {  // Landmark significances.
+    CsvBuilder csv;
+    csv.Row({"landmark", "significance"});
     for (const Landmark& lm : landmarks_->landmarks()) {
       if (lm.significance == 0) continue;  // sparse
-      STMAKER_RETURN_IF_ERROR(writer.WriteRow(
-          {std::to_string(lm.id), StrFormat("%.9g", lm.significance)}));
+      csv.Row({std::to_string(lm.id), StrFormat("%.9g", lm.significance)});
     }
-    STMAKER_RETURN_IF_ERROR(writer.Close());
+    parts.push_back({kModelSuffixes[3], csv.TakeString()});
   }
-  // --- Visit corpus (traveller -> landmark visit counts). -----------------------
-  // Rows are written in record order (records keep first-seen traveller
-  // order, pairs keep first-visited order) so a restore rebuilds the
-  // corpus byte-for-byte and TrainIncremental keeps composing.
-  {
-    STMAKER_ASSIGN_OR_RETURN(CsvWriter writer,
-                             CsvWriter::Open(prefix + "_visits.csv"));
-    STMAKER_RETURN_IF_ERROR(
-        writer.WriteRow({"traveler", "landmark", "count"}));
+  {  // Visit corpus (traveller -> landmark visit counts). Rows are written
+     // in record order (records keep first-seen traveller order, pairs keep
+     // first-visited order) so a restore rebuilds the corpus byte-for-byte
+     // and TrainIncremental keeps composing.
+    CsvBuilder csv;
+    csv.Row({"traveler", "landmark", "count"});
     for (const VisitCorpus::Record& record : visit_corpus_.records()) {
       for (const auto& [landmark, count] : record.visits) {
-        STMAKER_RETURN_IF_ERROR(writer.WriteRow(
-            {std::to_string(record.key), std::to_string(landmark),
-             StrFormat("%.6f", count)}));
+        csv.Row({std::to_string(record.key), std::to_string(landmark),
+                 StrFormat("%.6f", count)});
       }
     }
-    STMAKER_RETURN_IF_ERROR(writer.Close());
+    parts.push_back({kModelSuffixes[4], csv.TakeString()});
   }
-  return Status::OK();
+
+  // --- Stage to temp files, then rename the set into place. -----------------
+  auto cleanup_temps = [&]() {
+    for (const ModelPart& part : parts) {
+      RemoveFileIfExists(prefix + part.suffix + ".tmp");
+    }
+  };
+  for (const ModelPart& part : parts) {
+    Status written =
+        WriteFileToPath(prefix + part.suffix + ".tmp", part.content);
+    if (!written.ok()) {
+      cleanup_temps();
+      return written;
+    }
+  }
+  for (const ModelPart& part : parts) {
+    Status renamed =
+        RenameFile(prefix + part.suffix + ".tmp", prefix + part.suffix);
+    if (!renamed.ok()) {
+      cleanup_temps();
+      return renamed;
+    }
+  }
+
+  // --- Manifest last: readers treat it as the commit record. ----------------
+  CsvBuilder manifest;
+  manifest.Row({"file", "bytes", "crc32"});
+  for (const ModelPart& part : parts) {
+    manifest.Row({part.suffix, std::to_string(part.content.size()),
+                  StrFormat("%08x", Crc32(part.content))});
+  }
+  return WriteFileAtomic(prefix + kManifestSuffix, manifest.str());
 }
+
+namespace {
+
+/// One model file read into memory, with its manifest-declared checksum
+/// already verified (when a manifest was present).
+struct VerifiedFile {
+  std::string path;
+  std::string content;
+};
+
+Result<VerifiedFile> ReadModelFile(const std::string& prefix,
+                                   const std::string& suffix) {
+  VerifiedFile file;
+  file.path = prefix + suffix;
+  STMAKER_ASSIGN_OR_RETURN(file.content, ReadFileToString(file.path));
+  return file;
+}
+
+}  // namespace
 
 Status STMaker::LoadModel(const std::string& prefix) {
   // Reset trained state; on any failure the maker stays untrained.
@@ -124,23 +187,62 @@ Status STMaker::LoadModel(const std::string& prefix) {
   visit_corpus_ = VisitCorpus();
   num_trained_ = 0;
 
-  // --- Metadata: feature-set compatibility. -----------------------------------
-  {
-    STMAKER_ASSIGN_OR_RETURN(auto rows, ReadCsvFile(prefix + "_meta.csv"));
-    if (rows.empty() || rows[0] != std::vector<std::string>{"key", "value"}) {
-      return Status::InvalidArgument("bad model meta header");
+  // --- Manifest verification (pre-manifest models load unverified). ---------
+  const std::string manifest_path = prefix + kManifestSuffix;
+  bool manifest_lists_visits = false;
+  if (FileExists(manifest_path)) {
+    STMAKER_ASSIGN_OR_RETURN(std::string manifest_text,
+                             ReadFileToString(manifest_path));
+    STMAKER_ASSIGN_OR_RETURN(
+        auto rows, ParseCsvTable(manifest_text, {"file", "bytes", "crc32"},
+                                 manifest_path));
+    if (rows.empty()) {
+      return Status::FailedPrecondition(manifest_path +
+                                        ": manifest lists no files");
     }
-    size_t num_trained = 0;
-    std::string features;
-    for (size_t r = 1; r < rows.size(); ++r) {
-      if (rows[r].size() != 2) {
-        return Status::InvalidArgument("bad model meta row");
+    for (const std::vector<std::string>& row : rows) {
+      const std::string path = prefix + row[0];
+      if (row[0] == "_visits.csv") manifest_lists_visits = true;
+      STMAKER_ASSIGN_OR_RETURN(int64_t want_bytes, ParseInt(row[1]));
+      Result<std::string> content = ReadFileToString(path);
+      if (!content.ok()) {
+        return Status::IoError("model file listed in manifest is missing: " +
+                               path + " (" + content.status().message() +
+                               ")");
       }
-      if (rows[r][0] == "num_trained") {
-        STMAKER_ASSIGN_OR_RETURN(int64_t n, ParseInt(rows[r][1]));
-        num_trained = static_cast<size_t>(n);
-      } else if (rows[r][0] == "features") {
-        features = rows[r][1];
+      if (static_cast<int64_t>(content->size()) != want_bytes) {
+        return Status::FailedPrecondition(StrFormat(
+            "%s: size mismatch (manifest says %lld bytes, file has %zu) — "
+            "truncated or torn write",
+            path.c_str(), static_cast<long long>(want_bytes),
+            content->size()));
+      }
+      const std::string got_crc = StrFormat("%08x", Crc32(*content));
+      if (got_crc != row[2]) {
+        return Status::FailedPrecondition(StrFormat(
+            "%s: CRC32 mismatch (manifest %s, file %s) — corrupted model "
+            "file",
+            path.c_str(), row[2].c_str(), got_crc.c_str()));
+      }
+    }
+  }
+
+  // --- Parse every file into locals; commit only after all succeed. ---------
+
+  // Metadata: feature-set compatibility.
+  size_t loaded_num_trained = 0;
+  {
+    STMAKER_ASSIGN_OR_RETURN(VerifiedFile file,
+                             ReadModelFile(prefix, kModelSuffixes[0]));
+    STMAKER_ASSIGN_OR_RETURN(
+        auto rows, ParseCsvTable(file.content, {"key", "value"}, file.path));
+    std::string features;
+    for (const std::vector<std::string>& row : rows) {
+      if (row[0] == "num_trained") {
+        STMAKER_ASSIGN_OR_RETURN(int64_t n, ParseInt(row[1]));
+        loaded_num_trained = static_cast<size_t>(n);
+      } else if (row[0] == "features") {
+        features = row[1];
       }
     }
     std::vector<std::string> feature_ids;
@@ -151,131 +253,108 @@ Status STMaker::LoadModel(const std::string& prefix) {
       return Status::FailedPrecondition(
           "model was mined with a different feature set: " + features);
     }
-    num_trained_ = num_trained;
   }
 
-  // --- Transitions. -------------------------------------------------------------
+  // Transitions.
+  PopularRouteMiner miner;
   {
-    STMAKER_ASSIGN_OR_RETURN(auto rows,
-                             ReadCsvFile(prefix + "_transitions.csv"));
-    if (rows.empty() ||
-        rows[0] != std::vector<std::string>{"from", "to", "count"}) {
-      num_trained_ = 0;
-      return Status::InvalidArgument("bad transitions header");
-    }
-    for (size_t r = 1; r < rows.size(); ++r) {
-      if (rows[r].size() != 3) {
-        num_trained_ = 0;
-        return Status::InvalidArgument("bad transitions row");
-      }
-      STMAKER_ASSIGN_OR_RETURN(int64_t from, ParseInt(rows[r][0]));
-      STMAKER_ASSIGN_OR_RETURN(int64_t to, ParseInt(rows[r][1]));
-      STMAKER_ASSIGN_OR_RETURN(double count, ParseDouble(rows[r][2]));
-      miner_.AddTransitionCount(from, to, count);
+    STMAKER_ASSIGN_OR_RETURN(VerifiedFile file,
+                             ReadModelFile(prefix, kModelSuffixes[1]));
+    STMAKER_ASSIGN_OR_RETURN(
+        auto rows,
+        ParseCsvTable(file.content, {"from", "to", "count"}, file.path));
+    for (const std::vector<std::string>& row : rows) {
+      STMAKER_ASSIGN_OR_RETURN(int64_t from, ParseInt(row[0]));
+      STMAKER_ASSIGN_OR_RETURN(int64_t to, ParseInt(row[1]));
+      STMAKER_ASSIGN_OR_RETURN(double count, ParseDouble(row[2]));
+      miner.AddTransitionCount(from, to, count);
     }
   }
 
-  // --- Feature map. ---------------------------------------------------------------
+  // Feature map.
+  auto map = std::make_unique<HistoricalFeatureMap>(registry_.size());
   {
-    STMAKER_ASSIGN_OR_RETURN(auto rows,
-                             ReadCsvFile(prefix + "_feature_map.csv"));
-    const size_t want_fields = 3 + registry_.size();
-    if (rows.empty() || rows[0].size() != want_fields) {
-      num_trained_ = 0;
-      return Status::InvalidArgument("bad feature map header");
+    STMAKER_ASSIGN_OR_RETURN(VerifiedFile file,
+                             ReadModelFile(prefix, kModelSuffixes[2]));
+    std::vector<std::string> header = {"from", "to", "count"};
+    for (const FeatureDef& def : registry_.defs()) {
+      header.push_back("sum_" + def.id);
     }
-    auto map = std::make_unique<HistoricalFeatureMap>(registry_.size());
-    for (size_t r = 1; r < rows.size(); ++r) {
-      if (rows[r].size() != want_fields) {
-        num_trained_ = 0;
-        return Status::InvalidArgument("bad feature map row");
-      }
-      STMAKER_ASSIGN_OR_RETURN(int64_t from, ParseInt(rows[r][0]));
-      STMAKER_ASSIGN_OR_RETURN(int64_t to, ParseInt(rows[r][1]));
-      STMAKER_ASSIGN_OR_RETURN(double count, ParseDouble(rows[r][2]));
+    STMAKER_ASSIGN_OR_RETURN(auto rows,
+                             ParseCsvTable(file.content, header, file.path));
+    for (const std::vector<std::string>& row : rows) {
+      STMAKER_ASSIGN_OR_RETURN(int64_t from, ParseInt(row[0]));
+      STMAKER_ASSIGN_OR_RETURN(int64_t to, ParseInt(row[1]));
+      STMAKER_ASSIGN_OR_RETURN(double count, ParseDouble(row[2]));
       std::vector<double> sums(registry_.size(), 0.0);
       for (size_t f = 0; f < registry_.size(); ++f) {
-        STMAKER_ASSIGN_OR_RETURN(sums[f], ParseDouble(rows[r][3 + f]));
+        STMAKER_ASSIGN_OR_RETURN(sums[f], ParseDouble(row[3 + f]));
       }
       if (count <= 0) {
-        num_trained_ = 0;
-        return Status::InvalidArgument("non-positive feature map count");
+        return Status::InvalidArgument(file.path +
+                                       ": non-positive feature map count");
       }
       map->AddAccumulated(from, to, sums, count);
     }
-    feature_map_ = std::move(map);
   }
 
-  // --- Significances. --------------------------------------------------------------
+  // Significances (applied to the landmark index only on commit).
+  std::vector<std::pair<int64_t, double>> significances;
   {
-    STMAKER_ASSIGN_OR_RETURN(auto rows,
-                             ReadCsvFile(prefix + "_significance.csv"));
-    if (rows.empty() ||
-        rows[0] != std::vector<std::string>{"landmark", "significance"}) {
-      num_trained_ = 0;
-      feature_map_.reset();
-      return Status::InvalidArgument("bad significance header");
-    }
-    for (size_t r = 1; r < rows.size(); ++r) {
-      if (rows[r].size() != 2) {
-        num_trained_ = 0;
-        feature_map_.reset();
-        return Status::InvalidArgument("bad significance row");
-      }
-      STMAKER_ASSIGN_OR_RETURN(int64_t landmark, ParseInt(rows[r][0]));
-      STMAKER_ASSIGN_OR_RETURN(double significance, ParseDouble(rows[r][1]));
+    STMAKER_ASSIGN_OR_RETURN(VerifiedFile file,
+                             ReadModelFile(prefix, kModelSuffixes[3]));
+    STMAKER_ASSIGN_OR_RETURN(
+        auto rows,
+        ParseCsvTable(file.content, {"landmark", "significance"}, file.path));
+    for (const std::vector<std::string>& row : rows) {
+      STMAKER_ASSIGN_OR_RETURN(int64_t landmark, ParseInt(row[0]));
+      STMAKER_ASSIGN_OR_RETURN(double significance, ParseDouble(row[1]));
       if (landmark < 0 ||
           static_cast<size_t>(landmark) >= landmarks_->size()) {
-        num_trained_ = 0;
-        feature_map_.reset();
-        return Status::InvalidArgument("significance landmark out of range");
+        return Status::InvalidArgument(file.path +
+                                       ": significance landmark out of range");
       }
-      landmarks_->SetSignificance(landmark, significance);
+      significances.emplace_back(landmark, significance);
     }
   }
 
-  // --- Visit corpus (optional for legacy three-file models). --------------------
+  // Visit corpus (optional for legacy three-file models — but when the
+  // manifest lists it, its absence was already a hard kIoError above).
   // Without it the model still serves summaries; TrainIncremental reports
   // FailedPrecondition because there is no corpus to accumulate onto.
+  VisitCorpus visits;
   {
-    Result<std::vector<std::vector<std::string>>> rows =
-        ReadCsvFile(prefix + "_visits.csv");
-    if (rows.ok()) {
-      if (rows->empty() ||
-          (*rows)[0] !=
-              std::vector<std::string>{"traveler", "landmark", "count"}) {
-        num_trained_ = 0;
-        feature_map_.reset();
-        return Status::InvalidArgument("bad visits header");
-      }
-      for (size_t r = 1; r < rows->size(); ++r) {
-        const std::vector<std::string>& row = (*rows)[r];
-        if (row.size() != 3) {
-          num_trained_ = 0;
-          feature_map_.reset();
-          visit_corpus_ = VisitCorpus();
-          return Status::InvalidArgument("bad visits row");
-        }
+    const std::string path = prefix + kModelSuffixes[4];
+    Result<std::string> content = ReadFileToString(path);
+    if (content.ok()) {
+      STMAKER_ASSIGN_OR_RETURN(
+          auto rows,
+          ParseCsvTable(*content, {"traveler", "landmark", "count"}, path));
+      for (const std::vector<std::string>& row : rows) {
         STMAKER_ASSIGN_OR_RETURN(int64_t traveler, ParseInt(row[0]));
         STMAKER_ASSIGN_OR_RETURN(int64_t landmark, ParseInt(row[1]));
         STMAKER_ASSIGN_OR_RETURN(double count, ParseDouble(row[2]));
         if (landmark < 0 ||
             static_cast<size_t>(landmark) >= landmarks_->size() ||
             count <= 0) {
-          num_trained_ = 0;
-          feature_map_.reset();
-          visit_corpus_ = VisitCorpus();
-          return Status::InvalidArgument("bad visits entry");
+          return Status::InvalidArgument(path + ": bad visits entry");
         }
-        visit_corpus_.AddVisitCount(traveler, landmark, count);
+        visits.AddVisitCount(traveler, landmark, count);
       }
-    } else if (rows.status().code() != StatusCode::kIoError) {
-      num_trained_ = 0;
-      feature_map_.reset();
-      return rows.status();
+    } else if (content.status().code() != StatusCode::kIoError ||
+               manifest_lists_visits) {
+      return content.status();
     }
   }
 
+  // --- Commit. ---------------------------------------------------------------
+  num_trained_ = loaded_num_trained;
+  miner_ = std::move(miner);
+  feature_map_ = std::move(map);
+  visit_corpus_ = std::move(visits);
+  for (const auto& [landmark, significance] : significances) {
+    landmarks_->SetSignificance(landmark, significance);
+  }
   analyzer_ = std::make_unique<IrregularityAnalyzer>(&registry_, &miner_,
                                                      feature_map_.get());
   return Status::OK();

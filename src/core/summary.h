@@ -9,6 +9,18 @@
 
 namespace stmaker {
 
+/// Whether a feature's irregular rate was measured against real history or
+/// degraded because the trained model has no baseline to compare with.
+enum class BaselineStatus {
+  /// Historical data backed the comparison (normal operation).
+  kHistorical = 0,
+  /// The model holds no history relevant to the feature (empty feature
+  /// map, or no mined transitions at all for a routing feature). The rate
+  /// is neutral (0) and the feature is never selected — an explicit
+  /// degraded mode rather than a comparison against fabricated zeros.
+  kNoBaseline,
+};
+
 /// One feature chosen for description in a partition (its irregular rate
 /// exceeded the threshold η), with the rendered phrase and the numeric
 /// context it was rendered from.
@@ -30,8 +42,18 @@ struct PartitionSummary {
   std::string source_name;
   std::string destination_name;
   std::vector<double> irregular_rates;  ///< Γ_f for every feature.
+  /// Per-feature baseline provenance, parallel to irregular_rates. Empty
+  /// means every feature had a historical baseline (the common case keeps
+  /// the struct cheap).
+  std::vector<BaselineStatus> baselines;
   std::vector<SelectedFeature> selected;
   std::string sentence;  ///< Table VI sentence.
+
+  /// Baseline provenance of feature `f` (kHistorical when not recorded).
+  BaselineStatus baseline(size_t feature) const {
+    return feature < baselines.size() ? baselines[feature]
+                                      : BaselineStatus::kHistorical;
+  }
 
   bool ContainsFeature(size_t feature) const {
     for (const SelectedFeature& s : selected) {

@@ -103,27 +103,20 @@ Status WriteLatLonTrajectoriesCsv(
 
 Result<std::vector<RawTrajectory>> ReadLatLonTrajectoriesCsv(
     const std::string& path, const LocalProjection& projection) {
-  STMAKER_ASSIGN_OR_RETURN(auto rows, ReadCsvFile(path));
-  const std::vector<std::string> expected = {"trajectory_id", "latitude",
-                                             "longitude", "timestamp"};
-  if (rows.empty() || rows[0] != expected) {
-    return Status::InvalidArgument("unexpected lat/lon CSV header");
-  }
+  STMAKER_ASSIGN_OR_RETURN(
+      auto rows, ReadCsvTable(path, {"trajectory_id", "latitude", "longitude",
+                                     "timestamp"}));
   std::vector<RawTrajectory> out;
   std::string current_id;
   bool have_current = false;
-  for (size_t r = 1; r < rows.size(); ++r) {
+  for (size_t r = 0; r < rows.size(); ++r) {
     const auto& row = rows[r];
-    if (row.size() != 4) {
-      return Status::InvalidArgument(
-          StrFormat("row %zu has %zu fields, want 4", r, row.size()));
-    }
     STMAKER_ASSIGN_OR_RETURN(double lat, ParseDouble(row[1]));
     STMAKER_ASSIGN_OR_RETURN(double lon, ParseDouble(row[2]));
     STMAKER_ASSIGN_OR_RETURN(double time, ParsePaperTimestamp(row[3]));
     if (lat < -90 || lat > 90 || lon < -180 || lon > 180) {
-      return Status::InvalidArgument("coordinate out of range in row " +
-                                     std::to_string(r));
+      return Status::InvalidArgument(path + ": coordinate out of range in row " +
+                                     std::to_string(r + 1));
     }
     if (!have_current || row[0] != current_id) {
       out.emplace_back();

@@ -20,17 +20,10 @@ Status WritePoisCsv(const std::string& path,
 }
 
 Result<std::vector<RawPoi>> ReadPoisCsv(const std::string& path) {
-  STMAKER_ASSIGN_OR_RETURN(auto rows, ReadCsvFile(path));
-  if (rows.empty() || rows[0] != std::vector<std::string>{"x", "y", "name"}) {
-    return Status::InvalidArgument("bad POI CSV header");
-  }
+  STMAKER_ASSIGN_OR_RETURN(auto rows, ReadCsvTable(path, {"x", "y", "name"}));
   std::vector<RawPoi> out;
-  for (size_t r = 1; r < rows.size(); ++r) {
+  for (size_t r = 0; r < rows.size(); ++r) {
     const auto& row = rows[r];
-    if (row.size() != 3) {
-      return Status::InvalidArgument(
-          StrFormat("POI row %zu has %zu fields, want 3", r, row.size()));
-    }
     char* end = nullptr;
     double x = std::strtod(row[0].c_str(), &end);
     if (end == row[0].c_str() || *end != '\0') {

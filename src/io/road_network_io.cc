@@ -65,18 +65,11 @@ Status WriteRoadNetworkCsv(const std::string& prefix,
 Result<RoadNetwork> ReadRoadNetworkCsv(const std::string& prefix) {
   RoadNetwork network;
 
-  STMAKER_ASSIGN_OR_RETURN(auto node_rows,
-                           ReadCsvFile(prefix + "_nodes.csv"));
-  if (node_rows.empty() ||
-      node_rows[0] != std::vector<std::string>{"node_id", "x", "y"}) {
-    return Status::InvalidArgument("bad node CSV header");
-  }
-  for (size_t r = 1; r < node_rows.size(); ++r) {
+  STMAKER_ASSIGN_OR_RETURN(
+      auto node_rows,
+      ReadCsvTable(prefix + "_nodes.csv", {"node_id", "x", "y"}));
+  for (size_t r = 0; r < node_rows.size(); ++r) {
     const auto& row = node_rows[r];
-    if (row.size() != 3) {
-      return Status::InvalidArgument(
-          StrFormat("node row %zu has %zu fields, want 3", r, row.size()));
-    }
     STMAKER_ASSIGN_OR_RETURN(int64_t id, ParseInt(row[0]));
     STMAKER_ASSIGN_OR_RETURN(double x, ParseDouble(row[1]));
     STMAKER_ASSIGN_OR_RETURN(double y, ParseDouble(row[2]));
@@ -87,20 +80,13 @@ Result<RoadNetwork> ReadRoadNetworkCsv(const std::string& prefix) {
     }
   }
 
-  STMAKER_ASSIGN_OR_RETURN(auto edge_rows,
-                           ReadCsvFile(prefix + "_edges.csv"));
-  const std::vector<std::string> expected = {
-      "edge_id", "from", "to", "grade", "width", "direction", "name",
-      "bias"};
-  if (edge_rows.empty() || edge_rows[0] != expected) {
-    return Status::InvalidArgument("bad edge CSV header");
-  }
-  for (size_t r = 1; r < edge_rows.size(); ++r) {
+  STMAKER_ASSIGN_OR_RETURN(
+      auto edge_rows,
+      ReadCsvTable(prefix + "_edges.csv",
+                   {"edge_id", "from", "to", "grade", "width", "direction",
+                    "name", "bias"}));
+  for (size_t r = 0; r < edge_rows.size(); ++r) {
     const auto& row = edge_rows[r];
-    if (row.size() != 8) {
-      return Status::InvalidArgument(
-          StrFormat("edge row %zu has %zu fields, want 8", r, row.size()));
-    }
     STMAKER_ASSIGN_OR_RETURN(int64_t id, ParseInt(row[0]));
     STMAKER_ASSIGN_OR_RETURN(int64_t from, ParseInt(row[1]));
     STMAKER_ASSIGN_OR_RETURN(int64_t to, ParseInt(row[2]));

@@ -37,6 +37,19 @@ std::string SummaryToJson(const Summary& summary,
     }
     json.EndObject();
 
+    // Degraded-serving marker: present only when the model lacked a
+    // baseline for some features (BaselineStatus::kNoBaseline), so fully
+    // trained serving keeps its exact historical output.
+    if (!p.baselines.empty()) {
+      json.Key("no_baseline").BeginArray();
+      for (size_t f = 0; f < p.baselines.size() && f < registry.size(); ++f) {
+        if (p.baselines[f] == BaselineStatus::kNoBaseline) {
+          json.String(registry.def(f).id);
+        }
+      }
+      json.EndArray();
+    }
+
     json.Key("selected").BeginArray();
     for (const SelectedFeature& sel : p.selected) {
       json.BeginObject();

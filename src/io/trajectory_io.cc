@@ -48,26 +48,16 @@ Status WriteTrajectoriesCsv(const std::string& path,
 
 Result<std::vector<RawTrajectory>> ReadTrajectoriesCsv(
     const std::string& path) {
-  STMAKER_ASSIGN_OR_RETURN(auto rows, ReadCsvFile(path));
-  if (rows.empty()) {
-    return Status::InvalidArgument("trajectory CSV is empty: " + path);
-  }
-  const std::vector<std::string> expected = {"trajectory_id", "traveler",
-                                             "x", "y", "time"};
-  if (rows[0] != expected) {
-    return Status::InvalidArgument("unexpected trajectory CSV header");
-  }
+  STMAKER_ASSIGN_OR_RETURN(
+      auto rows,
+      ReadCsvTable(path, {"trajectory_id", "traveler", "x", "y", "time"}));
 
   std::vector<RawTrajectory> out;
   int64_t current_id = -1;
   bool have_current = false;
   std::vector<int64_t> seen_ids;
-  for (size_t r = 1; r < rows.size(); ++r) {
+  for (size_t r = 0; r < rows.size(); ++r) {
     const auto& row = rows[r];
-    if (row.size() != 5) {
-      return Status::InvalidArgument(
-          StrFormat("row %zu has %zu fields, want 5", r, row.size()));
-    }
     STMAKER_ASSIGN_OR_RETURN(int64_t id, ParseInt(row[0]));
     STMAKER_ASSIGN_OR_RETURN(int64_t traveler, ParseInt(row[1]));
     STMAKER_ASSIGN_OR_RETURN(double x, ParseDouble(row[2]));

@@ -1,0 +1,112 @@
+#include "traj/sanitize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace stmaker {
+
+const char* PointIssueName(PointIssue issue) {
+  switch (issue) {
+    case PointIssue::kNonFinite: return "non-finite";
+    case PointIssue::kOutOfRange: return "out-of-range";
+    case PointIssue::kNonMonotonicTime: return "non-monotonic-time";
+    case PointIssue::kDuplicate: return "duplicate";
+    case PointIssue::kTeleport: return "teleport";
+  }
+  return "unknown";
+}
+
+std::string SanitizeReport::ToString() const {
+  if (clean()) return StrFormat("clean (%zu points)", total_points);
+  std::vector<std::string> parts;
+  for (size_t i = 0; i < kNumPointIssues; ++i) {
+    if (issue_counts[i] == 0) continue;
+    parts.push_back(StrFormat("%s: %zu",
+                              PointIssueName(static_cast<PointIssue>(i)),
+                              issue_counts[i]));
+  }
+  return StrFormat("%zu/%zu points dropped (%s)", dropped_points,
+                   total_points, Join(parts, ", ").c_str());
+}
+
+namespace {
+
+/// First defect of `sample` against the last accepted sample (`prev`,
+/// null for the first point), or no value when the sample is acceptable.
+bool DiagnosePoint(const RawSample& sample, const RawSample* prev,
+                   const SanitizeOptions& options, PointIssue* issue) {
+  if (!std::isfinite(sample.pos.x) || !std::isfinite(sample.pos.y) ||
+      !std::isfinite(sample.time)) {
+    *issue = PointIssue::kNonFinite;
+    return true;
+  }
+  if (std::fabs(sample.pos.x) > options.max_abs_coord_m ||
+      std::fabs(sample.pos.y) > options.max_abs_coord_m) {
+    *issue = PointIssue::kOutOfRange;
+    return true;
+  }
+  if (prev == nullptr) return false;
+  if (sample.time < prev->time) {
+    *issue = PointIssue::kNonMonotonicTime;
+    return true;
+  }
+  const double dx = sample.pos.x - prev->pos.x;
+  const double dy = sample.pos.y - prev->pos.y;
+  const double dist = std::sqrt(dx * dx + dy * dy);
+  const double dt = sample.time - prev->time;
+  if (dt == 0 && dist == 0) {
+    *issue = PointIssue::kDuplicate;
+    return true;
+  }
+  if (options.max_speed_mps > 0) {
+    // Judge the displacement over at least min_speed_dt_s so that
+    // sub-second sampling jitter never reads as an infinite-speed jump;
+    // dt == 0 with a displacement beyond the window is still a teleport.
+    const double window = std::max(dt, options.min_speed_dt_s);
+    if (dist > options.max_speed_mps * window) {
+      *issue = PointIssue::kTeleport;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<RawTrajectory> SanitizeTrajectory(const RawTrajectory& raw,
+                                         const SanitizeOptions& options,
+                                         SanitizeReport* report) {
+  SanitizeReport local;
+  SanitizeReport& rep = report != nullptr ? *report : local;
+  rep = SanitizeReport();
+  rep.total_points = raw.samples.size();
+
+  RawTrajectory out;
+  out.traveler = raw.traveler;
+  out.samples.reserve(raw.samples.size());
+
+  for (size_t i = 0; i < raw.samples.size(); ++i) {
+    const RawSample& sample = raw.samples[i];
+    const RawSample* prev = out.samples.empty() ? nullptr : &out.samples.back();
+    PointIssue issue;
+    if (!DiagnosePoint(sample, prev, options, &issue)) {
+      out.samples.push_back(sample);
+      continue;
+    }
+    ++rep.dropped_points;
+    ++rep.issue_counts[static_cast<size_t>(issue)];
+    if (rep.diagnostics.size() < options.max_diagnostics) {
+      rep.diagnostics.push_back({i, issue});
+    }
+    if (options.policy == SanitizePolicy::kStrict) {
+      return Status::InvalidArgument(StrFormat(
+          "sample %zu is %s (strict sanitization rejects the trajectory)", i,
+          PointIssueName(issue)));
+    }
+  }
+  return out;
+}
+
+}  // namespace stmaker

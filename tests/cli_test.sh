@@ -60,10 +60,38 @@ STATS2="$("$CLI" stats --dir "$DIR" --trips 40 --threads 4)"
 echo "== group =="
 "$CLI" group --dir "$DIR" --from-hour 6 --to-hour 20 | grep -q "Among"
 
-echo "== bad usage exits nonzero =="
-if "$CLI" bogus 2>/dev/null; then echo "bogus command succeeded"; exit 1; fi
-if "$CLI" summarize --dir "$DIR" --trip 99999 2>/dev/null; then
-  echo "out-of-range trip succeeded"; exit 1
-fi
+echo "== error categories map to distinct exit codes =="
+# Usage errors -> 2.
+rc=0; "$CLI" bogus 2>/dev/null || rc=$?
+[[ $rc -eq 2 ]] || { echo "bogus command: want exit 2, got $rc"; exit 1; }
+
+# Out-of-range trip index -> 5.
+rc=0; "$CLI" summarize --dir "$DIR" --trip 99999 2>/dev/null || rc=$?
+[[ $rc -eq 5 ]] || { echo "out-of-range trip: want exit 5, got $rc"; exit 1; }
+
+# Missing dataset directory -> 8 (I/O error).
+rc=0; "$CLI" summarize --dir "$DIR/nonexistent" --trip 0 2>/dev/null || rc=$?
+[[ $rc -eq 8 ]] || { echo "missing dir: want exit 8, got $rc"; exit 1; }
+
+# Malformed input data (ragged CSV row) -> 3, error on stderr not stdout.
+BROKEN="$(mktemp -d)"
+cp "$DIR"/network_nodes.csv "$DIR"/network_edges.csv "$DIR"/pois.csv \
+   "$BROKEN/"
+head -n 3 "$DIR/trajectories.csv" | cut -d, -f1-3 > "$BROKEN/trajectories.csv"
+rc=0
+STDOUT="$("$CLI" summarize --dir "$BROKEN" --trip 0 \
+  2>"$BROKEN/stderr.txt")" || rc=$?
+[[ $rc -eq 3 ]] || { echo "ragged CSV: want exit 3, got $rc"; exit 1; }
+[[ -z "$STDOUT" ]] || { echo "error text leaked to stdout"; exit 1; }
+grep -q "trajectories.csv" "$BROKEN/stderr.txt" || {
+  echo "stderr does not name the bad file"; exit 1; }
+rm -rf "$BROKEN"
+
+# Corrupted model checksum -> 6 (failed precondition).
+printf 'x' >> "$DIR/model_transitions.csv"
+rc=0
+"$CLI" summarize --dir "$DIR" --trip 3 --model "$DIR/model" 2>/dev/null \
+  || rc=$?
+[[ $rc -eq 6 ]] || { echo "corrupted model: want exit 6, got $rc"; exit 1; }
 
 echo "cli_test OK"

@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 #include <set>
+#include <utility>
 
+#include "common/check.h"
 #include "common/csv.h"
+#include "common/fileutil.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "common/strings.h"
@@ -78,6 +82,70 @@ TEST(ResultTest, AssignOrReturnPropagates) {
   Result<int> fail = QuarterViaMacro(6);  // 6/2 = 3 is odd
   ASSERT_FALSE(fail.ok());
   EXPECT_EQ(fail.status().code(), StatusCode::kInvalidArgument);
+}
+
+// Result must carry move-only payloads through construction, rvalue
+// value(), and the ASSIGN_OR_RETURN macro — serving code moves
+// unique_ptr-owned state through all three.
+
+TEST(ResultTest, HoldsMoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(**r, 7);
+  std::unique_ptr<int> owned = std::move(r).value();
+  ASSERT_NE(owned, nullptr);
+  EXPECT_EQ(*owned, 7);
+}
+
+TEST(ResultTest, MoveOnlyErrorPath) {
+  Result<std::unique_ptr<int>> r = Status::Internal("boom");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(r.status().message(), "boom");
+  // status() stays callable repeatedly (it copies, never consumes).
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+Result<std::unique_ptr<int>> MakeBox(int x) {
+  if (x < 0) return Status::OutOfRange("negative");
+  return std::make_unique<int>(x);
+}
+
+Result<int> UnboxViaMacro(int x) {
+  STMAKER_ASSIGN_OR_RETURN(std::unique_ptr<int> box, MakeBox(x));
+  return *box;
+}
+
+TEST(ResultTest, AssignOrReturnMovesNonCopyablePayload) {
+  Result<int> ok = UnboxViaMacro(9);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 9);
+
+  Result<int> fail = UnboxViaMacro(-1);
+  ASSERT_FALSE(fail.ok());
+  EXPECT_EQ(fail.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(fail.status().message(), "negative");
+}
+
+// --------------------------------------------------------------------------
+// STMAKER_DCHECK
+// --------------------------------------------------------------------------
+
+TEST(CheckTest, DcheckCompilesOutInReleaseBuilds) {
+#ifdef NDEBUG
+  // In release builds (the repo default and the CI configuration) the
+  // expression must not be evaluated at all — a failing predicate with a
+  // side effect proves both.
+  int evaluations = 0;
+  STMAKER_DCHECK([&] {
+    ++evaluations;
+    return false;
+  }());
+  EXPECT_EQ(evaluations, 0) << "STMAKER_DCHECK evaluated its argument "
+                               "under NDEBUG";
+#else
+  GTEST_SKIP() << "debug build: STMAKER_DCHECK is live by design";
+#endif
 }
 
 // --------------------------------------------------------------------------
@@ -321,6 +389,78 @@ TEST(CsvTest, OpenBadPathFails) {
   auto writer = CsvWriter::Open("/nonexistent_dir_zz/file.csv");
   EXPECT_FALSE(writer.ok());
   EXPECT_EQ(writer.status().code(), StatusCode::kIoError);
+}
+
+// --------------------------------------------------------------------------
+// CSV tables (schema-checked rectangular CSV)
+// --------------------------------------------------------------------------
+
+TEST(CsvTableTest, ReturnsDataRowsWithoutHeader) {
+  auto rows = ParseCsvTable("x,y\n1,2\n3,4\n", {"x", "y"}, "test.csv");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"1", "2"}));
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"3", "4"}));
+}
+
+TEST(CsvTableTest, RejectsWrongHeader) {
+  auto rows = ParseCsvTable("a,b\n1,2\n", {"x", "y"}, "test.csv");
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(rows.status().message().find("test.csv"), std::string::npos);
+}
+
+TEST(CsvTableTest, RejectsEmptyInput) {
+  auto rows = ParseCsvTable("", {"x", "y"}, "test.csv");
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTableTest, RaggedRowIsAnErrorWithRowContext) {
+  // A short row used to be silently accepted by schemaless readers; the
+  // table layer must name the file and the offending row instead.
+  auto rows = ParseCsvTable("x,y\n1,2\n3\n5,6\n", {"x", "y"}, "poison.csv");
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(rows.status().message().find("poison.csv"), std::string::npos);
+  EXPECT_NE(rows.status().message().find("row 3"), std::string::npos)
+      << rows.status().message();
+
+  auto wide = ParseCsvTable("x,y\n1,2,3\n", {"x", "y"}, "wide.csv");
+  ASSERT_FALSE(wide.ok());
+  EXPECT_EQ(wide.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTableTest, ReadCsvTableCarriesPathContext) {
+  std::string path = ::testing::TempDir() + "/stmaker_table_ragged.csv";
+  ASSERT_TRUE(WriteFileToPath(path, "x,y\n1\n").ok());
+  auto rows = ReadCsvTable(path, {"x", "y"});
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(rows.status().message().find(path), std::string::npos);
+
+  auto missing = ReadCsvTable("/nonexistent_dir_zz/t.csv", {"x", "y"});
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kIoError);
+}
+
+// --------------------------------------------------------------------------
+// File utilities
+// --------------------------------------------------------------------------
+
+TEST(FileUtilTest, AtomicWriteLeavesNoTempOnSuccess) {
+  std::string path = ::testing::TempDir() + "/stmaker_atomic.txt";
+  ASSERT_TRUE(WriteFileAtomic(path, "hello").ok());
+  auto content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "hello");
+  EXPECT_FALSE(FileExists(path + ".tmp"));
+}
+
+TEST(FileUtilTest, ReadMissingFileIsIoError) {
+  auto content = ReadFileToString("/nonexistent_dir_zz/nope.txt");
+  ASSERT_FALSE(content.ok());
+  EXPECT_EQ(content.status().code(), StatusCode::kIoError);
 }
 
 }  // namespace

@@ -316,11 +316,12 @@ TEST_F(STMakerTest, TrainIncrementalComposesWithLoadModel) {
 }
 
 TEST_F(STMakerTest, TrainIncrementalRejectedForLegacyModelWithoutVisits) {
-  // Models saved before the visit corpus existed (no _visits.csv) still
-  // load and serve, but cannot accumulate.
+  // Models saved before the visit corpus existed (no _visits.csv, and no
+  // checksum manifest either) still load and serve, but cannot accumulate.
   std::string prefix = ::testing::TempDir() + "/legacy_model";
   ASSERT_TRUE(world_.maker->SaveModel(prefix).ok());
   ASSERT_EQ(std::remove((prefix + "_visits.csv").c_str()), 0);
+  ASSERT_EQ(std::remove((prefix + "_MANIFEST.csv").c_str()), 0);
   LandmarkIndex& landmarks = const_cast<LandmarkIndex&>(*world_.landmarks);
   STMaker restored(&world_.city.network, &landmarks,
                    FeatureRegistry::BuiltIn());

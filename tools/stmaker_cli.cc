@@ -86,6 +86,32 @@ Args ParseArgs(int argc, char** argv) {
   return args;
 }
 
+// Exit codes: every Status category maps to a distinct code so scripts can
+// tell "bad input" from "bad environment" without parsing stderr. Keep this
+// table in sync with Usage() below and the README troubleshooting table.
+constexpr int kExitOk = 0;
+constexpr int kExitUsage = 2;
+
+int ExitCodeFor(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return kExitOk;
+    case StatusCode::kInvalidArgument:
+      return 3;
+    case StatusCode::kNotFound:
+      return 4;
+    case StatusCode::kOutOfRange:
+      return 5;
+    case StatusCode::kFailedPrecondition:
+      return 6;
+    case StatusCode::kInternal:
+      return 7;
+    case StatusCode::kIoError:
+      return 8;
+  }
+  return 7;  // unreachable; treat unknown categories as internal
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
@@ -98,13 +124,24 @@ int Usage() {
                "  stmaker_cli group --dir D [--from-hour H] [--to-hour H]\n"
                "(--threads: worker threads for training and batch "
                "summarization; 0 = all cores, default 1; results are "
-               "identical at any thread count)\n");
-  return 2;
+               "identical at any thread count)\n"
+               "\n"
+               "exit codes:\n"
+               "  0  success\n"
+               "  2  usage error (bad command line)\n"
+               "  3  invalid argument (malformed input data)\n"
+               "  4  not found\n"
+               "  5  out of range (e.g. --trip beyond the corpus)\n"
+               "  6  failed precondition (e.g. model/feature-set mismatch,\n"
+               "     corrupted model checksum)\n"
+               "  7  internal error\n"
+               "  8  I/O error (missing or unreadable file)\n");
+  return kExitUsage;
 }
 
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
-  return 1;
+  return ExitCodeFor(status.code());
 }
 
 /// --threads N -> STMakerOptions with that ingestion/serving parallelism.
@@ -197,9 +234,9 @@ int RunSummarize(const Args& args) {
 
   size_t trip = static_cast<size_t>(args.GetInt("trip", 0));
   if (trip >= world.trajectories.size()) {
-    std::fprintf(stderr, "error: trip %zu out of range (corpus has %zu)\n",
-                 trip, world.trajectories.size());
-    return 1;
+    return Fail(Status::OutOfRange(
+        "trip " + std::to_string(trip) + " out of range (corpus has " +
+        std::to_string(world.trajectories.size()) + ")"));
   }
 
   STMaker maker(&world.network, world.landmarks.get(),
