@@ -238,9 +238,8 @@ int Run(const char* out_path) {
     }
     results.push_back(
         Summarize("PopularRouteQuery", 1, lat, kMicroIters, NowMs() - t0));
-    auto [hits, misses] = world.maker->popular_routes().CacheStats();
-    std::printf("# popular-route cache: %zu hits / %zu misses\n", hits,
-                misses);
+    CacheStats rc = world.maker->popular_routes().Stats();
+    std::printf("# popular-route cache: %s\n", rc.ToString().c_str());
   }
 
   // --- Emit JSON. -----------------------------------------------------------

@@ -1,0 +1,23 @@
+#include "common/context.h"
+
+#include <limits>
+
+namespace stmaker {
+
+double RequestContext::RemainingMs() const {
+  if (!has_deadline()) return std::numeric_limits<double>::infinity();
+  return std::chrono::duration<double, std::milli>(deadline - Clock::now())
+      .count();
+}
+
+Status RequestContext::Check() const {
+  if (cancel.cancelled()) {
+    return Status::Cancelled("request cancelled");
+  }
+  if (expired()) {
+    return Status::DeadlineExceeded("request deadline exceeded");
+  }
+  return Status::OK();
+}
+
+}  // namespace stmaker

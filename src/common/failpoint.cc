@@ -1,8 +1,11 @@
 #include "common/failpoint.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/strings.h"
 
@@ -16,27 +19,81 @@ struct FailpointState {
   size_t hits = 0;
 };
 
+/// Strict non-negative integer parse (the whole of `text`, no sign, no
+/// trailing garbage).
+bool ParseNonNegativeInt(std::string_view text, int* out) {
+  if (text.empty() || text.size() > 9) return false;
+  int value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + (c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+/// Parses one spec into (name -> state) entries without touching the
+/// registry. Returns kInvalidArgument naming the first bad entry.
+Status ParseSpec(const std::string& spec,
+                 std::vector<std::pair<std::string, FailpointState>>* out) {
+  for (const std::string& entry : Split(spec, ';')) {
+    std::string_view trimmed = Trim(entry);
+    if (trimmed.empty()) continue;
+    FailpointState state;
+    size_t eq = trimmed.find('=');
+    std::string_view name = Trim(trimmed.substr(0, eq));
+    if (name.empty()) {
+      return Status::InvalidArgument("failpoint spec entry has no name: \"" +
+                                     entry + "\"");
+    }
+    if (eq != std::string_view::npos) {
+      std::string_view window = Trim(trimmed.substr(eq + 1));
+      size_t colon = window.find(':');
+      std::string_view count_text = window;
+      if (colon != std::string_view::npos) {
+        if (!ParseNonNegativeInt(Trim(window.substr(0, colon)),
+                                 &state.skip)) {
+          return Status::InvalidArgument(
+              "failpoint spec entry has a malformed skip: \"" + entry +
+              "\" (want name=skip:count with non-negative integers)");
+        }
+        count_text = window.substr(colon + 1);
+      }
+      if (!ParseNonNegativeInt(Trim(count_text), &state.count)) {
+        return Status::InvalidArgument(
+            "failpoint spec entry has a malformed count: \"" + entry +
+            "\" (want name, name=count, or name=skip:count)");
+      }
+    }
+    out->emplace_back(std::string(name), state);
+  }
+  return Status::OK();
+}
+
 struct Registry {
   std::mutex mu;
   std::unordered_map<std::string, FailpointState> points;
   bool env_loaded = false;
 
-  // Parses STMAKER_FAILPOINTS="name[=count][;name...]" once. Holding mu.
+  // Parses and arms a spec atomically: a malformed spec arms nothing.
+  // Holding mu.
+  Status ArmSpecLocked(const std::string& spec) {
+    std::vector<std::pair<std::string, FailpointState>> parsed;
+    STMAKER_RETURN_IF_ERROR(ParseSpec(spec, &parsed));
+    for (auto& [name, state] : parsed) points[name] = state;
+    return Status::OK();
+  }
+
+  // Reads STMAKER_FAILPOINTS once. Holding mu.
   void LoadEnvLocked() {
     if (env_loaded) return;
     env_loaded = true;
     const char* env = std::getenv("STMAKER_FAILPOINTS");
     if (env == nullptr || *env == '\0') return;
-    for (const std::string& entry : Split(env, ';')) {
-      std::string_view spec = Trim(entry);
-      if (spec.empty()) continue;
-      FailpointState state;
-      size_t eq = spec.find('=');
-      std::string name(spec.substr(0, eq));
-      if (eq != std::string_view::npos) {
-        state.count = std::atoi(std::string(spec.substr(eq + 1)).c_str());
-      }
-      points[name] = state;
+    Status status = ArmSpecLocked(env);
+    if (!status.ok()) {
+      std::fprintf(stderr, "stmaker: ignoring STMAKER_FAILPOINTS: %s\n",
+                   status.ToString().c_str());
     }
   }
 };
@@ -58,6 +115,23 @@ void ArmFailpoint(const std::string& name, int skip, int count) {
   state.skip = skip;
   state.count = count;
   registry.points[name] = state;
+}
+
+Status ArmFailpointsFromSpec(const std::string& spec) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.LoadEnvLocked();
+  return registry.ArmSpecLocked(spec);
+}
+
+Status ReloadFailpointsFromEnv() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.points.clear();
+  registry.env_loaded = true;  // this reload is the (re-)read
+  const char* env = std::getenv("STMAKER_FAILPOINTS");
+  if (env == nullptr || *env == '\0') return Status::OK();
+  return registry.ArmSpecLocked(env);
 }
 
 void DisarmFailpoint(const std::string& name) {

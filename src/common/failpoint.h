@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <string>
 
+#include "common/status.h"
+
 /// \file
 /// \brief Deterministic fault injection for robustness testing.
 ///
@@ -20,9 +22,12 @@
 /// FailpointsCompiledIn().
 ///
 /// Failpoints are armed programmatically (ArmFailpoint) or through the
-/// environment: STMAKER_FAILPOINTS="io/read;train/shard=2" arms `io/read`
-/// for every hit and `train/shard` for its first 2 hits. The environment is
-/// read once, on the first hook evaluation.
+/// environment: STMAKER_FAILPOINTS="io/read;train/shard=2;io/write=1:3"
+/// arms `io/read` for every hit, `train/shard` for its first 2 hits, and
+/// `io/write` for hits 2..4 (skip 1 passing hit, then fail 3). The
+/// environment is read once, on the first hook evaluation; a malformed
+/// spec arms nothing and warns on stderr (tests use ArmFailpointsFromSpec
+/// to observe the parse error directly).
 
 #ifndef STMAKER_FAILPOINTS_ENABLED
 #define STMAKER_FAILPOINTS_ENABLED 0
@@ -39,6 +44,24 @@ bool FailpointsCompiledIn();
 /// (count < 0 = every subsequent hit). Re-arming resets the hit counter.
 /// Thread-safe.
 void ArmFailpoint(const std::string& name, int skip = 0, int count = -1);
+
+/// Arms every entry of a semicolon-separated spec — the same grammar the
+/// STMAKER_FAILPOINTS environment variable uses:
+///
+///   entry  := name | name "=" count | name "=" skip ":" count
+///   count  := non-negative integer (failing hits)
+///   skip   := non-negative integer (passing hits before the first failure)
+///
+/// A bare `name` fails every hit. Parsing is strict and atomic: on any
+/// malformed entry (empty name, missing/garbage/negative numbers) nothing
+/// is armed and kInvalidArgument names the offending entry. Thread-safe.
+Status ArmFailpointsFromSpec(const std::string& spec);
+
+/// Re-reads STMAKER_FAILPOINTS now, replacing the armed set (disarms
+/// everything first; an unset/empty variable just disarms). Returns the
+/// parse outcome. Primarily for tests that set the variable after the
+/// first hook evaluation already consumed it. Thread-safe.
+Status ReloadFailpointsFromEnv();
 
 /// Disarms one failpoint (no-op when not armed). Thread-safe.
 void DisarmFailpoint(const std::string& name);

@@ -2,14 +2,42 @@
 #define STMAKER_COMMON_LRU_CACHE_H_
 
 #include <cstddef>
+#include <cstdio>
 #include <functional>
 #include <list>
+#include <string>
 #include <unordered_map>
 #include <utility>
 
 #include "common/check.h"
 
 namespace stmaker {
+
+/// \brief Effectiveness counters for one cache: lookups that hit, lookups
+/// that missed, and entries evicted to make room. Monotonic over the
+/// cache's lifetime (Clear() drops entries, not counters).
+struct CacheStats {
+  size_t hits = 0;
+  size_t misses = 0;
+  size_t evictions = 0;
+
+  size_t lookups() const { return hits + misses; }
+  double HitRate() const {
+    return lookups() == 0 ? 0.0
+                          : static_cast<double>(hits) /
+                                static_cast<double>(lookups());
+  }
+
+  /// "1234 hits / 56 misses (95.7% hit rate), 7 evictions" — the line
+  /// serve mode prints per cache on shutdown.
+  std::string ToString() const {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "%zu hits / %zu misses (%.1f%% hit rate), %zu evictions",
+                  hits, misses, HitRate() * 100.0, evictions);
+    return buf;
+  }
+};
 
 /// \brief A bounded least-recently-used cache.
 ///
@@ -33,6 +61,10 @@ class LruCache {
   size_t capacity() const { return capacity_; }
   size_t hits() const { return hits_; }
   size_t misses() const { return misses_; }
+  size_t evictions() const { return evictions_; }
+
+  /// Snapshot of the hit/miss/eviction counters.
+  CacheStats stats() const { return CacheStats{hits_, misses_, evictions_}; }
 
   /// Pointer to the cached value (valid until the next non-const call), or
   /// nullptr on miss. A hit refreshes the entry's recency.
@@ -61,6 +93,7 @@ class LruCache {
     if (index_.size() > capacity_) {
       index_.erase(order_.back().first);
       order_.pop_back();
+      ++evictions_;
     }
   }
 
@@ -74,6 +107,7 @@ class LruCache {
   size_t capacity_;
   size_t hits_ = 0;
   size_t misses_ = 0;
+  size_t evictions_ = 0;
   std::list<std::pair<Key, Value>> order_;  // front = most recent
   std::unordered_map<Key, typename std::list<std::pair<Key, Value>>::iterator,
                      Hash>

@@ -36,8 +36,36 @@ void ThreadPool::Submit(std::function<void()> task) {
     STMAKER_CHECK(!stopping_);
     queue_.push_back(std::move(task));
     ++in_flight_;
+    ++admitted_;
   }
   task_ready_.notify_one();
+}
+
+bool ThreadPool::TrySubmit(std::function<void()> task, size_t max_inflight) {
+  STMAKER_CHECK(task != nullptr);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    STMAKER_CHECK(!stopping_);
+    if (in_flight_ >= max_inflight) {
+      ++rejected_;
+      return false;
+    }
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+    ++admitted_;
+  }
+  task_ready_.notify_one();
+  return true;
+}
+
+size_t ThreadPool::admitted() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return admitted_;
+}
+
+size_t ThreadPool::rejected() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return rejected_;
 }
 
 void ThreadPool::Wait() {

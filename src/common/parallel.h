@@ -45,17 +45,32 @@ class ThreadPool {
   /// Enqueues one task.
   void Submit(std::function<void()> task);
 
+  /// Bounded-admission enqueue: accepts only while fewer than
+  /// `max_inflight` tasks are queued or executing, else returns false
+  /// without taking the task. This is the load-shedding primitive behind
+  /// serve mode's --max_inflight: a request that cannot be admitted is
+  /// rejected immediately (kResourceExhausted) instead of queueing without
+  /// bound. Admission/rejection totals are tracked (admitted()/rejected()).
+  bool TrySubmit(std::function<void()> task, size_t max_inflight);
+
+  /// Tasks accepted / rejected by TrySubmit since construction (Submit()
+  /// counts as admitted). Thread-safe.
+  size_t admitted() const;
+  size_t rejected() const;
+
   /// Blocks until the queue is empty and every in-flight task returned.
   void Wait();
 
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable task_ready_;
   std::condition_variable drained_;
   std::deque<std::function<void()>> queue_;
   size_t in_flight_ = 0;  // queued + currently executing
+  size_t admitted_ = 0;
+  size_t rejected_ = 0;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };

@@ -1,0 +1,50 @@
+#include "common/retry.h"
+
+#include <chrono>
+#include <thread>
+
+#include "common/fileutil.h"
+#include "common/random.h"
+
+namespace stmaker {
+namespace retry_internal {
+
+double BackoffDelayMs(const RetryOptions& options, int retry,
+                      double jitter_draw) {
+  double base = options.initial_backoff_ms;
+  for (int i = 1; i < retry; ++i) base *= options.multiplier;
+  base = std::min(base, options.max_backoff_ms);
+  double jitter = std::clamp(options.jitter, 0.0, 1.0);
+  // Scale into [1 - jitter, 1] so the delay never exceeds the nominal
+  // backoff (full jitter would let retriers fire immediately).
+  return base * (1.0 - jitter * jitter_draw);
+}
+
+void SleepForMs(const RetryOptions& options, double delay_ms) {
+  if (options.context != nullptr) {
+    delay_ms = std::min(delay_ms, options.context->RemainingMs());
+  }
+  if (delay_ms <= 0) return;
+  if (options.sleep_ms) {
+    options.sleep_ms(delay_ms);
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+      delay_ms));
+}
+
+double JitterDraw(uint64_t seed, int retry) {
+  // SplitMix64 seeding makes nearby seeds unrelated, so seed + retry is a
+  // cheap deterministic per-attempt stream.
+  return Random(seed + static_cast<uint64_t>(retry)).Uniform();
+}
+
+}  // namespace retry_internal
+
+Result<std::string> ReadFileToStringWithRetry(const std::string& path,
+                                              const RetryOptions& options) {
+  return RetryWithBackoff(options,
+                          [&path] { return ReadFileToString(path); });
+}
+
+}  // namespace stmaker

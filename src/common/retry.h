@@ -1,0 +1,118 @@
+#ifndef STMAKER_COMMON_RETRY_H_
+#define STMAKER_COMMON_RETRY_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/context.h"
+#include "common/status.h"
+
+/// \file
+/// \brief Jittered exponential backoff around transient failures.
+///
+/// Retrying is reserved for errors that plausibly heal on their own —
+/// today only kIoError (a flaky filesystem read) qualifies; every other
+/// category is deterministic and retrying it would just triple the
+/// latency of a guaranteed failure. Both the jitter and the sleep are
+/// seamed for tests: the jitter comes from the repo's deterministic
+/// xoshiro256** Random seeded by RetryOptions::seed, and sleeps can be
+/// captured through RetryOptions::sleep_ms, so backoff tests are
+/// reproducible bit-for-bit (no wall-clock flakiness).
+
+namespace stmaker {
+
+/// Tuning for RetryWithBackoff. The defaults make three attempts with
+/// backoffs of ~5 ms and ~10 ms between them (scaled down by jitter).
+struct RetryOptions {
+  /// Total attempts including the first; values < 1 behave as 1.
+  int max_attempts = 3;
+
+  /// Delay before the first retry; doubled (by `multiplier`) after each
+  /// subsequent failure, capped at `max_backoff_ms`.
+  double initial_backoff_ms = 5.0;
+  double multiplier = 2.0;
+  double max_backoff_ms = 100.0;
+
+  /// Each delay is scaled by a uniform draw from [1 - jitter, 1], so
+  /// concurrent retriers decorrelate. 0 = no jitter.
+  double jitter = 0.5;
+
+  /// Seed for the deterministic jitter stream (per RetryWithBackoff call).
+  uint64_t seed = 0x5713aceU;
+
+  /// Test seam: invoked instead of a real sleep when set. The default
+  /// (nullptr) sleeps on std::this_thread.
+  std::function<void(double ms)> sleep_ms;
+
+  /// Optional request context: no retry is attempted once the deadline
+  /// has passed or the request is cancelled, and each backoff sleep is
+  /// clamped to the remaining time.
+  const RequestContext* context = nullptr;
+};
+
+/// True for status categories worth retrying (transient I/O).
+inline bool IsRetryableStatus(const Status& status) {
+  return status.code() == StatusCode::kIoError;
+}
+
+namespace retry_internal {
+
+inline Status GetStatus(const Status& s) { return s; }
+template <typename T>
+Status GetStatus(const Result<T>& r) {
+  return r.status();
+}
+
+/// Deterministic delay for 1-based retry number `retry` (the delay taken
+/// after the `retry`-th failed attempt). `jitter_draw` is a uniform [0,1)
+/// sample.
+double BackoffDelayMs(const RetryOptions& options, int retry,
+                      double jitter_draw);
+
+/// Sleeps via the seam or the real clock; clamps to the context's
+/// remaining time when one is set.
+void SleepForMs(const RetryOptions& options, double delay_ms);
+
+/// Next jitter draw for attempt index `retry` from the seeded stream.
+/// Kept out-of-line so retry.h does not pull in random.h.
+double JitterDraw(uint64_t seed, int retry);
+
+}  // namespace retry_internal
+
+/// \brief Runs `fn` (returning Status or Result<T>) up to
+/// `options.max_attempts` times, sleeping with jittered exponential
+/// backoff between attempts, and returns the last outcome.
+///
+/// Only IsRetryableStatus() errors are retried; anything else (including
+/// success) returns immediately. When `options.context` is set and
+/// expires or is cancelled mid-loop, the context error is returned so
+/// callers see why the retry budget was abandoned.
+template <typename Fn>
+auto RetryWithBackoff(const RetryOptions& options, Fn&& fn)
+    -> decltype(fn()) {
+  const int attempts = std::max(1, options.max_attempts);
+  for (int attempt = 1;; ++attempt) {
+    auto outcome = fn();
+    Status status = retry_internal::GetStatus(outcome);
+    if (status.ok() || !IsRetryableStatus(status) || attempt >= attempts) {
+      return outcome;
+    }
+    Status ctx_status = CheckContext(options.context);
+    if (!ctx_status.ok()) return ctx_status;
+    double draw = retry_internal::JitterDraw(options.seed, attempt);
+    retry_internal::SleepForMs(
+        options, retry_internal::BackoffDelayMs(options, attempt, draw));
+  }
+}
+
+/// ReadFileToString with retry — the standard wrapper for model/file
+/// reads on the serving path (exercised by the "io/open-read" /
+/// "io/read" failpoints).
+Result<std::string> ReadFileToStringWithRetry(const std::string& path,
+                                              const RetryOptions& options);
+
+}  // namespace stmaker
+
+#endif  // STMAKER_COMMON_RETRY_H_

@@ -17,7 +17,13 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kIoError,
+  kDeadlineExceeded,
+  kCancelled,
+  kResourceExhausted,
 };
+
+/// CamelCase name of a status category ("DeadlineExceeded", "OK", ...).
+const char* StatusCodeName(StatusCode code);
 
 /// \brief RocksDB-style status object. Library entry points never throw;
 /// recoverable failures are reported through Status / Result<T>.
@@ -47,6 +53,15 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

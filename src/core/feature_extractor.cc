@@ -22,12 +22,13 @@ FeatureExtractor::FeatureExtractor(const RoadNetwork* network,
 }
 
 Result<std::vector<SegmentFeatures>> FeatureExtractor::Extract(
-    const CalibratedTrajectory& trajectory) const {
+    const CalibratedTrajectory& trajectory, const RequestContext* ctx) const {
   const size_t num_segments = trajectory.NumSegments();
   if (num_segments == 0) {
     return Status::InvalidArgument(
         "trajectory has no segments to extract features from");
   }
+  STMAKER_RETURN_IF_ERROR(CheckContext(ctx));
 
   // Whole-trajectory passes, sliced per segment afterwards.
   std::vector<Vec2> positions;
@@ -35,13 +36,16 @@ Result<std::vector<SegmentFeatures>> FeatureExtractor::Extract(
   for (const RawSample& s : trajectory.raw.samples) {
     positions.push_back(s.pos);
   }
-  std::vector<EdgeId> matched = matcher_.Match(positions);
+  STMAKER_ASSIGN_OR_RETURN(std::vector<EdgeId> matched,
+                           matcher_.Match(positions, ctx));
   std::vector<StayPoint> stays =
       DetectStayPoints(trajectory.raw, options_.stay);
   std::vector<UTurn> uturns = DetectUTurns(trajectory.raw, options_.uturn);
 
+  CancelCheck check(ctx, /*stride=*/16);  // segments are coarse units
   std::vector<SegmentFeatures> out(num_segments);
   for (size_t seg = 0; seg < num_segments; ++seg) {
+    STMAKER_RETURN_IF_ERROR(check.Tick());
     SegmentFeatures& sf = out[seg];
     auto [first, last] = trajectory.SegmentSampleRange(seg);
     auto [t0, t1] = trajectory.SegmentTimeSpan(seg);

@@ -60,8 +60,12 @@ class FeatureExtractor {
 
   /// Extracts features for every segment of `trajectory`. The result has
   /// exactly trajectory.NumSegments() entries.
+  ///
+  /// With a context, map matching and the per-segment loop check the
+  /// deadline/cancel token and abort with kDeadlineExceeded/kCancelled.
   Result<std::vector<SegmentFeatures>> Extract(
-      const CalibratedTrajectory& trajectory) const;
+      const CalibratedTrajectory& trajectory,
+      const RequestContext* ctx = nullptr) const;
 
  private:
   const RoadNetwork* network_;

@@ -88,14 +88,14 @@ std::vector<std::vector<double>> RouteFeatureVectors(
 
 Result<std::vector<std::vector<double>>>
 IrregularityAnalyzer::PopularRouteFeatureValues(
-    const SymbolicTrajectory& symbolic, size_t seg_begin,
-    size_t seg_end) const {
+    const SymbolicTrajectory& symbolic, size_t seg_begin, size_t seg_end,
+    const RequestContext* ctx) const {
   STMAKER_CHECK(seg_begin < seg_end);
   STMAKER_CHECK(seg_end < symbolic.samples.size());
   LandmarkId from = symbolic.samples[seg_begin].landmark;
   LandmarkId to = symbolic.samples[seg_end].landmark;
   STMAKER_ASSIGN_OR_RETURN(std::vector<LandmarkId> route,
-                           miner_->PopularRoute(from, to));
+                           miner_->PopularRoute(from, to, ctx));
   std::vector<std::vector<double>> values =
       RouteFeatureVectors(*feature_map_, route);
   if (values.empty()) {
@@ -105,11 +105,11 @@ IrregularityAnalyzer::PopularRouteFeatureValues(
 }
 
 Result<std::vector<double>> IrregularityAnalyzer::PopularRouteFeatureMeans(
-    const SymbolicTrajectory& symbolic, size_t seg_begin,
-    size_t seg_end) const {
+    const SymbolicTrajectory& symbolic, size_t seg_begin, size_t seg_end,
+    const RequestContext* ctx) const {
   STMAKER_ASSIGN_OR_RETURN(
       std::vector<std::vector<double>> values,
-      PopularRouteFeatureValues(symbolic, seg_begin, seg_end));
+      PopularRouteFeatureValues(symbolic, seg_begin, seg_end, ctx));
   std::vector<double> means(feature_map_->num_features(), 0.0);
   for (const std::vector<double>& v : values) {
     for (size_t f = 0; f < means.size(); ++f) means[f] += v[f];
@@ -121,7 +121,8 @@ Result<std::vector<double>> IrregularityAnalyzer::PopularRouteFeatureMeans(
 std::vector<double> IrregularityAnalyzer::IrregularRates(
     const SymbolicTrajectory& symbolic,
     const std::vector<SegmentFeatures>& segments, size_t seg_begin,
-    size_t seg_end, std::vector<BaselineStatus>* baselines) const {
+    size_t seg_end, std::vector<BaselineStatus>* baselines,
+    const RequestContext* ctx) const {
   STMAKER_CHECK(seg_begin < seg_end);
   STMAKER_CHECK(seg_end <= segments.size());
   STMAKER_CHECK(segments.size() + 1 == symbolic.samples.size());
@@ -141,7 +142,7 @@ std::vector<double> IrregularityAnalyzer::IrregularRates(
   // features.
   LandmarkId from = symbolic.samples[seg_begin].landmark;
   LandmarkId to = symbolic.samples[seg_end].landmark;
-  Result<std::vector<LandmarkId>> pr = miner_->PopularRoute(from, to);
+  Result<std::vector<LandmarkId>> pr = miner_->PopularRoute(from, to, ctx);
 
   // Regular feature vectors along the popular route edges.
   std::vector<std::vector<double>> pr_values;  // [edge][feature]

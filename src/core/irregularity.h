@@ -54,25 +54,32 @@ class IrregularityAnalyzer {
   /// maximally irregular, moving features against the global average);
   /// only a model with nothing to compare against degrades. `baselines`,
   /// when given, is resized to one entry per feature.
+  ///
+  /// `ctx` bounds the popular-route lookup. A deadline/cancel abort inside
+  /// the lookup degrades the rates like a missing route would — callers on
+  /// the serving path (STMaker::Summarize) re-check the context right
+  /// after this call, and deadline/cancellation are sticky, so a summary
+  /// built from such degraded rates is always discarded, never returned.
   std::vector<double> IrregularRates(
       const SymbolicTrajectory& symbolic,
       const std::vector<SegmentFeatures>& segments, size_t seg_begin,
-      size_t seg_end, std::vector<BaselineStatus>* baselines = nullptr) const;
+      size_t seg_end, std::vector<BaselineStatus>* baselines = nullptr,
+      const RequestContext* ctx = nullptr) const;
 
   /// Mean feature vector along the popular route between the partition's
   /// endpoints — the "most drivers" baseline used by routing-feature phrases
   /// ("while most drivers choose ..."). NotFound when no popular route
   /// exists.
   Result<std::vector<double>> PopularRouteFeatureMeans(
-      const SymbolicTrajectory& symbolic, size_t seg_begin,
-      size_t seg_end) const;
+      const SymbolicTrajectory& symbolic, size_t seg_begin, size_t seg_end,
+      const RequestContext* ctx = nullptr) const;
 
   /// Per-edge regular feature vectors along the popular route between the
   /// partition's endpoints ([edge][feature]); lets callers compute modal
   /// categorical values where a mean would be meaningless.
   Result<std::vector<std::vector<double>>> PopularRouteFeatureValues(
-      const SymbolicTrajectory& symbolic, size_t seg_begin,
-      size_t seg_end) const;
+      const SymbolicTrajectory& symbolic, size_t seg_begin, size_t seg_end,
+      const RequestContext* ctx = nullptr) const;
 
   /// The regular (historical) value of feature `f` for segment `seg`
   /// (between symbolic landmarks seg and seg+1), falling back to the global

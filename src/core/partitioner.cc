@@ -29,7 +29,8 @@ PartitionResult BuildFromCuts(const std::vector<bool>& cut, double score) {
 Result<PartitionResult> Partitioner::Partition(
     const std::vector<double>& similarities,
     const std::vector<double>& interior_significance,
-    const PartitionOptions& options) const {
+    const PartitionOptions& options, const RequestContext* ctx) const {
+  STMAKER_RETURN_IF_ERROR(CheckContext(ctx));
   if (similarities.size() != interior_significance.size()) {
     return Status::InvalidArgument(
         "similarities and significances must have equal length");
@@ -45,10 +46,12 @@ Result<PartitionResult> Partitioner::Partition(
   }
 
   // --- Unconstrained optimum (Eq. 4): each boundary decides locally. -------
+  CancelCheck check(ctx);
   if (options.k == 0) {
     std::vector<bool> cut(num_boundaries, false);
     double score = 0;
     for (size_t b = 0; b < num_boundaries; ++b) {
+      STMAKER_RETURN_IF_ERROR(check.Tick());
       double cut_cost = -options.ca * interior_significance[b];
       double merge_cost = -similarities[b];
       if (cut_cost < merge_cost) {
@@ -70,6 +73,7 @@ Result<PartitionResult> Partitioner::Partition(
       num_boundaries + 1, std::vector<uint8_t>(cuts_needed + 1, 0));
   dp[0][0] = 0;
   for (size_t b = 1; b <= num_boundaries; ++b) {
+    STMAKER_RETURN_IF_ERROR(check.Tick());
     for (size_t j = 0; j <= cuts_needed; ++j) {
       double merge = dp[b - 1][j] == kInf
                          ? kInf

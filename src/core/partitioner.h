@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/context.h"
 #include "common/status.h"
 
 namespace stmaker {
@@ -41,10 +42,14 @@ class Partitioner {
   /// `interior_significance[i]` = significance of the landmark shared by
   /// segments i and i+1. Both must have length n-1 where n = number of
   /// segments (n >= 1). Fails when k exceeds n or inputs mismatch.
+  ///
+  /// With a context, the DP rows check the deadline/cancel token
+  /// periodically and abort with kDeadlineExceeded/kCancelled.
   Result<PartitionResult> Partition(
       const std::vector<double>& similarities,
       const std::vector<double>& interior_significance,
-      const PartitionOptions& options) const;
+      const PartitionOptions& options,
+      const RequestContext* ctx = nullptr) const;
 };
 
 }  // namespace stmaker

@@ -1,9 +1,13 @@
 #include "core/popular_route.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <queue>
+#include <thread>
+
+#include "common/failpoint.h"
 
 namespace stmaker {
 
@@ -128,7 +132,7 @@ const PopularRouteMiner::QueryTotals& PopularRouteMiner::EnsureTotals()
 }
 
 Result<std::vector<LandmarkId>> PopularRouteMiner::PopularRoute(
-    LandmarkId from, LandmarkId to) const {
+    LandmarkId from, LandmarkId to, const RequestContext* ctx) const {
   const std::pair<LandmarkId, LandmarkId> key{from, to};
   {
     std::lock_guard<std::mutex> lock(cache_mu_);
@@ -136,6 +140,7 @@ Result<std::vector<LandmarkId>> PopularRouteMiner::PopularRoute(
       return *hit;
     }
   }
+  STMAKER_RETURN_IF_ERROR(CheckContext(ctx));
   const QueryTotals& totals = EnsureTotals();
   // First try the pruned graph (rare transitions dropped); rare "skip"
   // transitions — artifacts of one trip's anchor set skipping landmarks that
@@ -143,25 +148,27 @@ Result<std::vector<LandmarkId>> PopularRouteMiner::PopularRoute(
   // virtue of being a single edge. Fall back to the full graph when pruning
   // disconnects the endpoints.
   Result<std::vector<LandmarkId>> result =
-      PopularRouteImpl(from, to, /*min_count_ratio=*/0.1, totals);
-  if (!result.ok()) {
-    result = PopularRouteImpl(from, to, /*min_count_ratio=*/0.0, totals);
+      PopularRouteImpl(from, to, /*min_count_ratio=*/0.1, totals, ctx);
+  if (!result.ok() && result.status().code() == StatusCode::kNotFound) {
+    result = PopularRouteImpl(from, to, /*min_count_ratio=*/0.0, totals, ctx);
   }
-  {
+  // Deadline/cancel aborts are request-scoped, not a property of the OD
+  // pair; memoizing one would poison every later query for the pair.
+  if (!IsContextError(result.status().code())) {
     std::lock_guard<std::mutex> lock(cache_mu_);
     route_cache_.Put(key, result);
   }
   return result;
 }
 
-std::pair<size_t, size_t> PopularRouteMiner::CacheStats() const {
+CacheStats PopularRouteMiner::Stats() const {
   std::lock_guard<std::mutex> lock(cache_mu_);
-  return {route_cache_.hits(), route_cache_.misses()};
+  return route_cache_.stats();
 }
 
 Result<std::vector<LandmarkId>> PopularRouteMiner::PopularRouteImpl(
     LandmarkId from, LandmarkId to, double min_count_ratio,
-    const QueryTotals& totals) const {
+    const QueryTotals& totals, const RequestContext* ctx) const {
   if (from == to) return std::vector<LandmarkId>{from};
   if (graph_.find(from) == graph_.end()) {
     return Status::NotFound("no historical transitions leave the source");
@@ -178,7 +185,17 @@ Result<std::vector<LandmarkId>> PopularRouteMiner::PopularRouteImpl(
   std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
   dist[from] = 0;
   pq.push({0.0, from});
+  // Stride 32 (not the default 256): landmark graphs are small, so a
+  // stalled search may never reach 256 expansions before the deadline
+  // test expects it to abort.
+  CancelCheck check(ctx, /*stride=*/32);
   while (!pq.empty()) {
+    // Test hook: simulate a pathologically slow expansion (e.g. a huge
+    // graph or a cold page cache) so deadline tests can force a timeout.
+    STMAKER_FAILPOINT("route/stall",
+                      std::this_thread::sleep_for(
+                          std::chrono::milliseconds(1)));
+    STMAKER_RETURN_IF_ERROR(check.Tick());
     auto [d, u] = pq.top();
     pq.pop();
     auto du = dist.find(u);

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/context.h"
 #include "common/lru_cache.h"
 #include "common/status.h"
 #include "landmark/landmark.h"
@@ -42,11 +43,18 @@ class PopularRouteMiner {
 
   /// The popular route from `from` to `to` as a landmark sequence
   /// (inclusive of both endpoints). NotFound when the history contains no
-  /// connecting transitions. Results (including failures) are memoized in
-  /// a bounded LRU cache shared behind a mutex, since summarization
-  /// re-queries the same OD pairs heavily.
-  Result<std::vector<LandmarkId>> PopularRoute(LandmarkId from,
-                                               LandmarkId to) const;
+  /// connecting transitions. Results (including NotFound failures) are
+  /// memoized in a bounded LRU cache shared behind a mutex, since
+  /// summarization re-queries the same OD pairs heavily.
+  ///
+  /// With a context, the transition-graph Dijkstra checks the
+  /// deadline/cancel token periodically and aborts with
+  /// kDeadlineExceeded/kCancelled; those request-scoped statuses are never
+  /// memoized. Failpoint "route/stall" (1 ms sleep per expansion)
+  /// simulates a pathological search for deadline tests.
+  Result<std::vector<LandmarkId>> PopularRoute(
+      LandmarkId from, LandmarkId to,
+      const RequestContext* ctx = nullptr) const;
 
   size_t NumTransitions() const;
 
@@ -73,9 +81,9 @@ class PopularRouteMiner {
   /// Associative and commutative up to transition ordering.
   void Merge(const PopularRouteMiner& other);
 
-  /// Cache observability for benchmarks: (hits, misses) of the route
-  /// cache since construction.
-  std::pair<size_t, size_t> CacheStats() const;
+  /// Cache observability for benchmarks and serve mode: hit/miss/eviction
+  /// counters of the route cache since construction.
+  CacheStats Stats() const;
 
  private:
   struct OutEdge {
@@ -108,7 +116,7 @@ class PopularRouteMiner {
   /// count is at least `min_count_ratio` of the landmark's busiest out-edge.
   Result<std::vector<LandmarkId>> PopularRouteImpl(
       LandmarkId from, LandmarkId to, double min_count_ratio,
-      const QueryTotals& totals) const;
+      const QueryTotals& totals, const RequestContext* ctx) const;
 
   std::unordered_map<LandmarkId, std::vector<OutEdge>> graph_;
   std::vector<LandmarkId> from_order_;  ///< first-seen order of graph_ keys

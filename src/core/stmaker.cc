@@ -31,8 +31,8 @@ STMaker::STMaker(const RoadNetwork* network, LandmarkIndex* landmarks,
 }
 
 Result<CalibratedTrajectory> STMaker::Calibrate(
-    const RawTrajectory& raw) const {
-  return calibrator_.Calibrate(raw);
+    const RawTrajectory& raw, const RequestContext* ctx) const {
+  return calibrator_.Calibrate(raw, ctx);
 }
 
 void IngestReport::Merge(const IngestReport& other) {
@@ -281,13 +281,17 @@ TrafficDirection DirectionFromAverage(double avg) {
 }  // namespace
 
 Result<Summary> STMaker::Summarize(const RawTrajectory& raw,
-                                   const SummaryOptions& options) const {
+                                   const SummaryOptions& options,
+                                   const RequestContext* ctx) const {
   if (analyzer_ == nullptr) {
     return Status::FailedPrecondition("STMaker::Train must run first");
   }
   if (options.eta < 0) {
     return Status::InvalidArgument("eta must be non-negative");
   }
+  // An already-expired/cancelled request fails here, before any work, so
+  // tiny inputs behave exactly like large ones (rule 1 in common/context.h).
+  STMAKER_RETURN_IF_ERROR(CheckContext(ctx));
 
   // Step 0: sanitize the input. kRepair mends defective fixes so one NaN
   // or GPS teleport degrades the trip instead of poisoning the summary;
@@ -297,14 +301,14 @@ Result<Summary> STMaker::Summarize(const RawTrajectory& raw,
 
   // Step 1: rewrite into a symbolic trajectory.
   STMAKER_ASSIGN_OR_RETURN(CalibratedTrajectory calibrated,
-                           calibrator_.Calibrate(sanitized));
+                           calibrator_.Calibrate(sanitized, ctx));
   const SymbolicTrajectory& symbolic = calibrated.symbolic;
   const size_t num_segments = symbolic.NumSegments();
   STMAKER_CHECK(num_segments >= 1);
 
   // Step 2: features per segment, normalized over this trajectory.
   STMAKER_ASSIGN_OR_RETURN(std::vector<SegmentFeatures> features,
-                           extractor_->Extract(calibrated));
+                           extractor_->Extract(calibrated, ctx));
   std::vector<std::vector<double>> normalized =
       NormalizeSegmentFeatures(features);
   std::vector<double> weights = registry_.Weights();
@@ -323,13 +327,14 @@ Result<Summary> STMaker::Summarize(const RawTrajectory& raw,
   popt.k = std::min<int>(options.k, static_cast<int>(num_segments));
   STMAKER_ASSIGN_OR_RETURN(
       PartitionResult partition,
-      partitioner_.Partition(similarities, significance, popt));
+      partitioner_.Partition(similarities, significance, popt, ctx));
 
   // Steps 4+5: per-partition feature selection and phrase construction.
   Summary summary;
   summary.symbolic = symbolic;
   std::vector<std::string> sentences;
   for (size_t p = 0; p < partition.partitions.size(); ++p) {
+    STMAKER_RETURN_IF_ERROR(CheckContext(ctx));
     auto [begin, end] = partition.partitions[p];
     PartitionSummary ps;
     ps.seg_begin = begin;
@@ -339,8 +344,13 @@ Result<Summary> STMaker::Summarize(const RawTrajectory& raw,
     ps.source_name = landmarks_->landmark(ps.source).name;
     ps.destination_name = landmarks_->landmark(ps.destination).name;
     std::vector<BaselineStatus> baselines;
-    ps.irregular_rates =
-        analyzer_->IrregularRates(symbolic, features, begin, end, &baselines);
+    ps.irregular_rates = analyzer_->IrregularRates(symbolic, features, begin,
+                                                   end, &baselines, ctx);
+    // IrregularRates cannot propagate a context abort from its internal
+    // popular-route lookup (it returns plain rates). Deadline/cancellation
+    // are sticky, so re-checking here always catches such an abort before
+    // degraded rates can shape a returned summary (see irregularity.h).
+    STMAKER_RETURN_IF_ERROR(CheckContext(ctx));
     // Record baseline provenance only when serving degraded — the common
     // fully-trained case keeps the summary struct (and its JSON) unchanged.
     bool any_no_baseline = false;
@@ -397,7 +407,10 @@ Result<Summary> STMaker::Summarize(const RawTrajectory& raw,
     // value along the popular route; numeric ones the mean. Falls back to
     // the per-segment regulars when the endpoints have no popular route.
     Result<std::vector<std::vector<double>>> pr_values =
-        analyzer_->PopularRouteFeatureValues(symbolic, begin, end);
+        analyzer_->PopularRouteFeatureValues(symbolic, begin, end, ctx);
+    if (!pr_values.ok() && IsContextError(pr_values.status().code())) {
+      return pr_values.status();
+    }
     auto routing_regular = [&](size_t f) {
       if (!pr_values.ok()) return regular_mean(f);
       if (registry_.def(f).value_type == FeatureValueType::kCategorical) {
@@ -520,27 +533,49 @@ Result<Summary> STMaker::Summarize(const RawTrajectory& raw,
   }
 
   summary.text = Join(sentences, " ");
+  // Final boundary check: a request that expired during the last partition
+  // reports the deadline instead of sneaking a summary out just past it.
+  STMAKER_RETURN_IF_ERROR(CheckContext(ctx));
   return summary;
 }
 
 std::vector<Result<Summary>> STMaker::SummarizeBatch(
     std::span<const RawTrajectory> raws, const SummaryOptions& options,
     int num_threads) const {
+  BatchOptions batch;
+  batch.num_threads = num_threads;
+  return SummarizeBatch(raws, options, batch);
+}
+
+std::vector<Result<Summary>> STMaker::SummarizeBatch(
+    std::span<const RawTrajectory> raws, const SummaryOptions& options,
+    const BatchOptions& batch) const {
   const int threads =
-      ResolveThreadCount(num_threads > 0 ? num_threads
-                                         : options_.num_threads);
+      ResolveThreadCount(batch.num_threads > 0 ? batch.num_threads
+                                               : options_.num_threads);
+  // Overload shedding is by item index, not arrival order: items past
+  // `max_items` are rejected before any worker runs, so the shed set is
+  // the same at every thread count (and trivially reproducible).
+  const size_t admitted = batch.max_items == 0
+                              ? raws.size()
+                              : std::min(raws.size(), batch.max_items);
   // Result<Summary> has no default state, so workers fill optionals by
   // index and the unwrap below restores the plain vector. Each item is
   // summarized independently through the const (thread-safe) serving path,
   // so element i is bit-identical to a lone Summarize(raws[i], options)
   // call at any thread count.
   std::vector<std::optional<Result<Summary>>> slots(raws.size());
-  ParallelFor(raws.size(), threads,
+  ParallelFor(admitted, threads,
               [&](size_t begin, size_t end, int /*shard*/) {
                 for (size_t i = begin; i < end; ++i) {
-                  slots[i].emplace(Summarize(raws[i], options));
+                  slots[i].emplace(Summarize(raws[i], options, batch.context));
                 }
               });
+  for (size_t i = admitted; i < raws.size(); ++i) {
+    slots[i].emplace(Status::ResourceExhausted(StrFormat(
+        "batch item %zu shed: over the admission limit of %zu items", i,
+        batch.max_items)));
+  }
   std::vector<Result<Summary>> out;
   out.reserve(raws.size());
   for (std::optional<Result<Summary>>& slot : slots) {

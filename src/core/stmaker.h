@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "common/context.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "core/feature.h"
 #include "core/feature_extractor.h"
@@ -60,6 +62,26 @@ struct STMakerOptions {
   /// garbage signals an upstream fault, not a few bad trips. 1.0 (default)
   /// never converts quarantine into a hard error.
   double max_quarantine_fraction = 1.0;
+  /// Backoff policy for model-file reads in LoadModel(): transient I/O
+  /// errors (kIoError) are retried with jittered exponential backoff.
+  /// Deterministic parse errors and checksum mismatches are not retried.
+  RetryOptions io_retry;
+};
+
+/// \brief Admission and limit knobs for SummarizeBatch.
+struct BatchOptions {
+  /// Worker threads; 0 = STMakerOptions::num_threads resolved against
+  /// hardware concurrency.
+  int num_threads = 0;
+  /// Optional shared request context (deadline / cancellation) applied to
+  /// every item of the batch.
+  const RequestContext* context = nullptr;
+  /// Admission limit: items with index >= max_items are shed — never run,
+  /// their slot reports kResourceExhausted. 0 admits everything. Shedding
+  /// is by item index, so the shed set is identical at every thread count
+  /// (a racy "first come, first served" policy would make batch results
+  /// scheduling-dependent).
+  size_t max_items = 0;
 };
 
 /// \brief Outcome of one corpus ingestion (Train / TrainIncremental):
@@ -159,9 +181,17 @@ class STMaker {
   /// path only reads the trained model, and the internal caches
   /// (calibration, popular-route queries) are mutex-guarded. Must not
   /// overlap Train/TrainIncremental/LoadModel.
+  ///
+  /// `ctx` (optional) bounds the request: the pipeline checks the deadline
+  /// and cancellation token at every stage boundary and inside every hot
+  /// loop, returning kDeadlineExceeded/kCancelled instead of a truncated
+  /// or degraded summary. A null context (the default) means no limits —
+  /// byte-identical behaviour to the pre-context API. Context aborts are
+  /// never memoized in the internal caches, so a timed-out request leaves
+  /// no observable trace for later calls.
   Result<Summary> Summarize(const RawTrajectory& raw,
-                            const SummaryOptions& options =
-                                SummaryOptions()) const;
+                            const SummaryOptions& options = SummaryOptions(),
+                            const RequestContext* ctx = nullptr) const;
 
   /// Summarizes a batch on `num_threads` workers (0 = options().num_threads
   /// resolved against hardware concurrency). Element i of the result is
@@ -171,6 +201,15 @@ class STMaker {
       std::span<const RawTrajectory> raws,
       const SummaryOptions& options = SummaryOptions(),
       int num_threads = 0) const;
+
+  /// SummarizeBatch with overload control: `batch.max_items` sheds excess
+  /// items deterministically by index (kResourceExhausted), and
+  /// `batch.context` applies one shared deadline/cancel context to every
+  /// admitted item. Results stay per-item: one slow, shed, or cancelled
+  /// trajectory never poisons the rest of its batch.
+  std::vector<Result<Summary>> SummarizeBatch(
+      std::span<const RawTrajectory> raws, const SummaryOptions& options,
+      const BatchOptions& batch) const;
 
   /// Persists the trained knowledge — popular-route transitions, the
   /// historical feature map, landmark significances, and the landmark
@@ -188,7 +227,13 @@ class STMaker {
   Status LoadModel(const std::string& prefix);
 
   /// Calibration entry point, exposed for tests and tooling.
-  Result<CalibratedTrajectory> Calibrate(const RawTrajectory& raw) const;
+  Result<CalibratedTrajectory> Calibrate(
+      const RawTrajectory& raw, const RequestContext* ctx = nullptr) const;
+
+  /// Hit/miss/eviction counters of the serving-path caches (serve mode
+  /// prints these on shutdown).
+  CacheStats CalibrationCacheStats() const { return calibrator_.Stats(); }
+  CacheStats RouteCacheStats() const { return miner_.Stats(); }
 
   const PopularRouteMiner& popular_routes() const { return miner_; }
   const HistoricalFeatureMap* feature_map() const {

@@ -21,6 +21,7 @@
 #include "common/crc32.h"
 #include "common/csv.h"
 #include "common/fileutil.h"
+#include "common/retry.h"
 #include "common/strings.h"
 #include "core/stmaker.h"
 
@@ -170,10 +171,12 @@ struct VerifiedFile {
 };
 
 Result<VerifiedFile> ReadModelFile(const std::string& prefix,
-                                   const std::string& suffix) {
+                                   const std::string& suffix,
+                                   const RetryOptions& retry) {
   VerifiedFile file;
   file.path = prefix + suffix;
-  STMAKER_ASSIGN_OR_RETURN(file.content, ReadFileToString(file.path));
+  STMAKER_ASSIGN_OR_RETURN(file.content,
+                           ReadFileToStringWithRetry(file.path, retry));
   return file;
 }
 
@@ -191,8 +194,9 @@ Status STMaker::LoadModel(const std::string& prefix) {
   const std::string manifest_path = prefix + kManifestSuffix;
   bool manifest_lists_visits = false;
   if (FileExists(manifest_path)) {
-    STMAKER_ASSIGN_OR_RETURN(std::string manifest_text,
-                             ReadFileToString(manifest_path));
+    STMAKER_ASSIGN_OR_RETURN(
+        std::string manifest_text,
+        ReadFileToStringWithRetry(manifest_path, options_.io_retry));
     STMAKER_ASSIGN_OR_RETURN(
         auto rows, ParseCsvTable(manifest_text, {"file", "bytes", "crc32"},
                                  manifest_path));
@@ -204,7 +208,8 @@ Status STMaker::LoadModel(const std::string& prefix) {
       const std::string path = prefix + row[0];
       if (row[0] == "_visits.csv") manifest_lists_visits = true;
       STMAKER_ASSIGN_OR_RETURN(int64_t want_bytes, ParseInt(row[1]));
-      Result<std::string> content = ReadFileToString(path);
+      Result<std::string> content =
+          ReadFileToStringWithRetry(path, options_.io_retry);
       if (!content.ok()) {
         return Status::IoError("model file listed in manifest is missing: " +
                                path + " (" + content.status().message() +
@@ -233,7 +238,7 @@ Status STMaker::LoadModel(const std::string& prefix) {
   size_t loaded_num_trained = 0;
   {
     STMAKER_ASSIGN_OR_RETURN(VerifiedFile file,
-                             ReadModelFile(prefix, kModelSuffixes[0]));
+                             ReadModelFile(prefix, kModelSuffixes[0], options_.io_retry));
     STMAKER_ASSIGN_OR_RETURN(
         auto rows, ParseCsvTable(file.content, {"key", "value"}, file.path));
     std::string features;
@@ -259,7 +264,7 @@ Status STMaker::LoadModel(const std::string& prefix) {
   PopularRouteMiner miner;
   {
     STMAKER_ASSIGN_OR_RETURN(VerifiedFile file,
-                             ReadModelFile(prefix, kModelSuffixes[1]));
+                             ReadModelFile(prefix, kModelSuffixes[1], options_.io_retry));
     STMAKER_ASSIGN_OR_RETURN(
         auto rows,
         ParseCsvTable(file.content, {"from", "to", "count"}, file.path));
@@ -275,7 +280,7 @@ Status STMaker::LoadModel(const std::string& prefix) {
   auto map = std::make_unique<HistoricalFeatureMap>(registry_.size());
   {
     STMAKER_ASSIGN_OR_RETURN(VerifiedFile file,
-                             ReadModelFile(prefix, kModelSuffixes[2]));
+                             ReadModelFile(prefix, kModelSuffixes[2], options_.io_retry));
     std::vector<std::string> header = {"from", "to", "count"};
     for (const FeatureDef& def : registry_.defs()) {
       header.push_back("sum_" + def.id);
@@ -302,7 +307,7 @@ Status STMaker::LoadModel(const std::string& prefix) {
   std::vector<std::pair<int64_t, double>> significances;
   {
     STMAKER_ASSIGN_OR_RETURN(VerifiedFile file,
-                             ReadModelFile(prefix, kModelSuffixes[3]));
+                             ReadModelFile(prefix, kModelSuffixes[3], options_.io_retry));
     STMAKER_ASSIGN_OR_RETURN(
         auto rows,
         ParseCsvTable(file.content, {"landmark", "significance"}, file.path));
@@ -324,8 +329,12 @@ Status STMaker::LoadModel(const std::string& prefix) {
   // FailedPrecondition because there is no corpus to accumulate onto.
   VisitCorpus visits;
   {
+    // Retried like the required files: a transient read failure here would
+    // otherwise silently restore without the corpus (disabling
+    // TrainIncremental) instead of surfacing or recovering.
     const std::string path = prefix + kModelSuffixes[4];
-    Result<std::string> content = ReadFileToString(path);
+    Result<std::string> content =
+        ReadFileToStringWithRetry(path, options_.io_retry);
     if (content.ok()) {
       STMAKER_ASSIGN_OR_RETURN(
           auto rows,

@@ -25,15 +25,26 @@ bool EdgesConnected(const RoadNetwork& net, EdgeId a, EdgeId b) {
 }  // namespace
 
 std::vector<EdgeId> MapMatcher::Match(const std::vector<Vec2>& points) const {
+  // A null context never fails, so the unwrap is safe.
+  Result<std::vector<EdgeId>> matched = Match(points, nullptr);
+  STMAKER_CHECK(matched.ok());
+  return std::move(matched).value();
+}
+
+Result<std::vector<EdgeId>> MapMatcher::Match(const std::vector<Vec2>& points,
+                                              const RequestContext* ctx) const {
   const RoadNetwork& net = *network_;
   const size_t n = points.size();
   std::vector<EdgeId> result(n, -1);
   if (n == 0) return result;
+  STMAKER_RETURN_IF_ERROR(CheckContext(ctx));
+  CancelCheck check(ctx);
 
   // Candidate edges and their emission costs, per point.
   std::vector<std::vector<EdgeId>> cand(n);
   std::vector<std::vector<double>> emit(n);
   for (size_t i = 0; i < n; ++i) {
+    STMAKER_RETURN_IF_ERROR(check.Tick());
     std::vector<EdgeId> near =
         net.EdgesNear(points[i], options_.candidate_radius_m);
     // Keep the closest max_candidates edges.
@@ -68,6 +79,7 @@ std::vector<EdgeId> MapMatcher::Match(const std::vector<Vec2>& points) const {
     score[0] = emit[i];
     back[0].assign(cand[i].size(), -1);
     for (size_t t = i + 1; t < run_end; ++t) {
+      STMAKER_RETURN_IF_ERROR(check.Tick());
       size_t r = t - i;
       score[r].assign(cand[t].size(), kInf);
       back[r].assign(cand[t].size(), -1);

@@ -3,6 +3,8 @@
 
 #include <vector>
 
+#include "common/context.h"
+#include "common/status.h"
 #include "geo/vec2.h"
 #include "roadnet/road_network.h"
 
@@ -34,6 +36,13 @@ class MapMatcher {
 
   /// Matches a sequence of projected GPS fixes to edge ids.
   std::vector<EdgeId> Match(const std::vector<Vec2>& points) const;
+
+  /// Context-aware matching for the serving path: the candidate scan and
+  /// the Viterbi recursion check the deadline/cancel token periodically
+  /// and abort with kDeadlineExceeded/kCancelled. With a null context
+  /// this is exactly Match() and cannot fail.
+  Result<std::vector<EdgeId>> Match(const std::vector<Vec2>& points,
+                                    const RequestContext* ctx) const;
 
  private:
   const RoadNetwork* network_;

@@ -6,23 +6,26 @@ CachingRouter::CachingRouter(const RoadNetwork* network, EdgeCostFn cost,
                              size_t capacity)
     : router_(network), cost_(std::move(cost)), cache_(capacity) {}
 
-Result<Path> CachingRouter::Route(NodeId src, NodeId dst) const {
+Result<Path> CachingRouter::Route(NodeId src, NodeId dst,
+                                  const RequestContext* ctx) const {
   const std::pair<NodeId, NodeId> key{src, dst};
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (const Result<Path>* hit = cache_.Get(key)) return *hit;
   }
-  Result<Path> result = router_.Route(src, dst, cost_);
-  {
+  Result<Path> result = router_.Route(src, dst, cost_, ctx);
+  // Context errors (deadline/cancel/budget) are per-request, not
+  // per-OD-pair: caching one would poison every later query for the pair.
+  if (!IsContextError(result.status().code())) {
     std::lock_guard<std::mutex> lock(mu_);
     cache_.Put(key, result);
   }
   return result;
 }
 
-std::pair<size_t, size_t> CachingRouter::CacheStats() const {
+CacheStats CachingRouter::Stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return {cache_.hits(), cache_.misses()};
+  return cache_.stats();
 }
 
 }  // namespace stmaker

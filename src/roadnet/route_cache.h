@@ -5,6 +5,7 @@
 #include <mutex>
 #include <utility>
 
+#include "common/context.h"
 #include "common/lru_cache.h"
 #include "common/status.h"
 #include "roadnet/shortest_path.h"
@@ -35,10 +36,16 @@ class CachingRouter {
                 size_t capacity = 4096);
 
   /// Cached Dijkstra from `src` to `dst` under the fixed cost function.
-  Result<Path> Route(NodeId src, NodeId dst) const;
+  ///
+  /// With a context, an uncached search honors its deadline/cancel/budget
+  /// limits; the resulting kDeadlineExceeded/kCancelled/kResourceExhausted
+  /// statuses describe the request, not the OD pair, and are never
+  /// memoized (a later call with a fresh context recomputes).
+  Result<Path> Route(NodeId src, NodeId dst,
+                     const RequestContext* ctx = nullptr) const;
 
-  /// (hits, misses) since construction.
-  std::pair<size_t, size_t> CacheStats() const;
+  /// Hit/miss/eviction counters since construction.
+  CacheStats Stats() const;
 
  private:
   struct PairHash {

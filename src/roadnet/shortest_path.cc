@@ -48,15 +48,28 @@ Result<Path> Reconstruct(const RoadNetwork& net, NodeId src, NodeId dst,
   return path;
 }
 
+/// kResourceExhausted for a search that settled `expansions` nodes without
+/// reaching dst inside the per-call budget.
+Status BudgetExhausted(size_t budget) {
+  return Status::ResourceExhausted(
+      "node-expansion budget (" + std::to_string(budget) +
+      ") exhausted before reaching the destination");
+}
+
 }  // namespace
 
 Result<Path> ShortestPathRouter::Route(NodeId src, NodeId dst,
-                                       const EdgeCostFn& cost) const {
+                                       const EdgeCostFn& cost,
+                                       const RequestContext* ctx) const {
   const RoadNetwork& net = *network_;
   if (src < 0 || static_cast<size_t>(src) >= net.NumNodes() || dst < 0 ||
       static_cast<size_t>(dst) >= net.NumNodes()) {
     return Status::InvalidArgument("Route: node id out of range");
   }
+  STMAKER_RETURN_IF_ERROR(CheckContext(ctx));
+  const size_t budget = ctx == nullptr ? 0 : ctx->max_node_expansions;
+  size_t expansions = 0;
+  CancelCheck check(ctx);
   EdgeCostFn c = cost ? cost : LengthCost();
   std::vector<double> dist(net.NumNodes(), kInf);
   std::vector<NodeId> prev_node(net.NumNodes(), -1);
@@ -70,6 +83,8 @@ Result<Path> ShortestPathRouter::Route(NodeId src, NodeId dst,
     pq.pop();
     if (d > dist[u]) continue;
     if (u == dst) break;
+    STMAKER_RETURN_IF_ERROR(check.Tick());
+    if (budget > 0 && ++expansions > budget) return BudgetExhausted(budget);
     for (const Adjacency& adj : net.OutEdges(u)) {
       double w = c(net.edge(adj.edge), adj.forward);
       STMAKER_DCHECK(w >= 0);
@@ -87,7 +102,8 @@ Result<Path> ShortestPathRouter::Route(NodeId src, NodeId dst,
 
 Result<Path> ShortestPathRouter::RouteAStar(NodeId src, NodeId dst,
                                             const EdgeCostFn& cost,
-                                            double heuristic_scale) const {
+                                            double heuristic_scale,
+                                            const RequestContext* ctx) const {
   const RoadNetwork& net = *network_;
   if (src < 0 || static_cast<size_t>(src) >= net.NumNodes() || dst < 0 ||
       static_cast<size_t>(dst) >= net.NumNodes()) {
@@ -96,6 +112,10 @@ Result<Path> ShortestPathRouter::RouteAStar(NodeId src, NodeId dst,
   if (heuristic_scale < 0) {
     return Status::InvalidArgument("RouteAStar: negative heuristic scale");
   }
+  STMAKER_RETURN_IF_ERROR(CheckContext(ctx));
+  const size_t budget = ctx == nullptr ? 0 : ctx->max_node_expansions;
+  size_t expansions = 0;
+  CancelCheck check(ctx);
   EdgeCostFn c = cost ? cost : LengthCost();
   const Vec2 goal = net.node(dst).pos;
   auto h = [&](NodeId n) {
@@ -113,6 +133,8 @@ Result<Path> ShortestPathRouter::RouteAStar(NodeId src, NodeId dst,
     pq.pop();
     if (f > dist[u] + h(u) + 1e-9) continue;  // stale entry
     if (u == dst) break;
+    STMAKER_RETURN_IF_ERROR(check.Tick());
+    if (budget > 0 && ++expansions > budget) return BudgetExhausted(budget);
     for (const Adjacency& adj : net.OutEdges(u)) {
       double w = c(net.edge(adj.edge), adj.forward);
       STMAKER_DCHECK(w >= 0);

@@ -4,6 +4,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/context.h"
 #include "common/status.h"
 #include "roadnet/road_network.h"
 
@@ -39,8 +40,13 @@ class ShortestPathRouter {
   explicit ShortestPathRouter(const RoadNetwork* network);
 
   /// Dijkstra from `src` to `dst`. Returns NotFound when unreachable.
-  Result<Path> Route(NodeId src, NodeId dst,
-                     const EdgeCostFn& cost = nullptr) const;
+  ///
+  /// With a context: the expansion loop checks the deadline/cancel token
+  /// periodically (kDeadlineExceeded/kCancelled — never a truncated path),
+  /// and ctx->max_node_expansions caps the number of settled nodes for
+  /// this call (kResourceExhausted when the cap is hit before dst).
+  Result<Path> Route(NodeId src, NodeId dst, const EdgeCostFn& cost = nullptr,
+                     const RequestContext* ctx = nullptr) const;
 
   /// A* with a straight-line admissible heuristic. `heuristic_scale` maps
   /// meters of bird distance to cost units and must keep the heuristic
@@ -48,9 +54,10 @@ class ShortestPathRouter {
   /// TravelTimeCost use 3.6 / max-speed-kmh (seconds per meter at the
   /// fastest grade). A scale of 0 degenerates to Dijkstra. Same result as
   /// Route() whenever the heuristic is admissible, explored-node count
-  /// permitting.
+  /// permitting. Honors the context like Route().
   Result<Path> RouteAStar(NodeId src, NodeId dst, const EdgeCostFn& cost,
-                          double heuristic_scale) const;
+                          double heuristic_scale,
+                          const RequestContext* ctx = nullptr) const;
 
   /// Bellman–Ford reference implementation (O(V·E)); test oracle only.
   Result<Path> RouteBellmanFord(NodeId src, NodeId dst,

@@ -144,8 +144,8 @@ Calibrator::Calibrator(Calibrator&&) noexcept = default;
 Calibrator& Calibrator::operator=(Calibrator&&) noexcept = default;
 
 Result<CalibratedTrajectory> Calibrator::Calibrate(
-    const RawTrajectory& raw) const {
-  if (cache_ == nullptr) return CalibrateUncached(raw);
+    const RawTrajectory& raw, const RequestContext* ctx) const {
+  if (cache_ == nullptr) return CalibrateUncached(raw, ctx);
   Cache::Key key{raw};
   {
     std::lock_guard<std::mutex> lock(cache_->mu);
@@ -153,22 +153,25 @@ Result<CalibratedTrajectory> Calibrator::Calibrate(
       return *hit;
     }
   }
-  Result<CalibratedTrajectory> result = CalibrateUncached(raw);
-  {
+  Result<CalibratedTrajectory> result = CalibrateUncached(raw, ctx);
+  // Deadline/cancel aborts are request-scoped, never a property of the
+  // trajectory — memoizing one would make every later call fail too.
+  if (!IsContextError(result.status().code())) {
     std::lock_guard<std::mutex> lock(cache_->mu);
     cache_->lru.Put(key, result);
   }
   return result;
 }
 
-std::pair<size_t, size_t> Calibrator::CacheStats() const {
-  if (cache_ == nullptr) return {0, 0};
+CacheStats Calibrator::Stats() const {
+  if (cache_ == nullptr) return CacheStats{};
   std::lock_guard<std::mutex> lock(cache_->mu);
-  return {cache_->lru.hits(), cache_->lru.misses()};
+  return cache_->lru.stats();
 }
 
 Result<CalibratedTrajectory> Calibrator::CalibrateUncached(
-    const RawTrajectory& raw) const {
+    const RawTrajectory& raw, const RequestContext* ctx) const {
+  STMAKER_RETURN_IF_ERROR(CheckContext(ctx));
   if (raw.samples.size() < 2) {
     return Status::InvalidArgument(
         "calibration requires at least two samples");
@@ -193,7 +196,9 @@ Result<CalibratedTrajectory> Calibrator::CalibrateUncached(
   // --- Collect candidate anchors by walking the polyline. -------------------
   std::unordered_set<LandmarkId> candidates;
   const double length = out.geometry.Length();
+  CancelCheck check(ctx);
   for (double s = 0;; s += options_.scan_step_m) {
+    STMAKER_RETURN_IF_ERROR(check.Tick());
     bool last = s >= length;
     Vec2 p = out.geometry.Interpolate(std::min(s, length));
     for (LandmarkId id :
@@ -211,6 +216,7 @@ Result<CalibratedTrajectory> Calibrator::CalibrateUncached(
   };
   std::vector<Anchor> anchors;
   for (LandmarkId id : candidates) {
+    STMAKER_RETURN_IF_ERROR(check.Tick());
     const Landmark& lm = landmarks_->landmark(id);
     PolylineProjection proj = out.geometry.Project(lm.pos);
     if (proj.distance <= options_.anchor_radius_m) {

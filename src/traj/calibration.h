@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/context.h"
+#include "common/lru_cache.h"
 #include "common/status.h"
 #include "geo/polyline.h"
 #include "landmark/landmark_index.h"
@@ -92,16 +94,23 @@ class Calibrator {
   /// updates are fine — anchor thinning consults significance only to
   /// break exact distance ties, and STMaker's cache is warmed after
   /// training).
-  Result<CalibratedTrajectory> Calibrate(const RawTrajectory& raw) const;
+  ///
+  /// With a context, the polyline scan checks the deadline/cancel token
+  /// periodically and aborts with kDeadlineExceeded/kCancelled; those
+  /// statuses are never memoized (they describe the request, not the
+  /// trajectory), so a later call with a fresh context recomputes.
+  Result<CalibratedTrajectory> Calibrate(
+      const RawTrajectory& raw, const RequestContext* ctx = nullptr) const;
 
-  /// (hits, misses) of the calibration cache; (0, 0) when disabled.
-  std::pair<size_t, size_t> CacheStats() const;
+  /// Hit/miss/eviction counters of the calibration cache; all-zero when
+  /// disabled.
+  CacheStats Stats() const;
 
  private:
   struct Cache;  // defined in calibration.cc
 
   Result<CalibratedTrajectory> CalibrateUncached(
-      const RawTrajectory& raw) const;
+      const RawTrajectory& raw, const RequestContext* ctx) const;
 
   const LandmarkIndex* landmarks_;
   CalibrationOptions options_;

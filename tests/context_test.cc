@@ -1,0 +1,390 @@
+// Unit tests for the request-context subsystem: deadlines, cooperative
+// cancellation, CancelCheck amortization, cache counters, bounded
+// thread-pool admission, and the jittered retry helper. Everything here is
+// deterministic — deadlines in the past, captured sleeps, seeded jitter —
+// so no test depends on scheduler timing.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/context.h"
+#include "common/failpoint.h"
+#include "common/fileutil.h"
+#include "common/lru_cache.h"
+#include "common/parallel.h"
+#include "common/retry.h"
+
+namespace stmaker {
+namespace {
+
+using std::chrono::milliseconds;
+
+// --------------------------------------------------------------------------
+// CancelToken / CancelSource
+// --------------------------------------------------------------------------
+
+TEST(CancelTokenTest, DefaultTokenNeverCancels) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(CancelTokenTest, TokenObservesSourceCancel) {
+  CancelSource source;
+  CancelToken token = source.token();
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_FALSE(source.cancelled());
+  source.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(source.cancelled());
+}
+
+TEST(CancelTokenTest, TokenOutlivesSource) {
+  CancelToken token;
+  {
+    CancelSource source;
+    token = source.token();
+    source.Cancel();
+  }
+  EXPECT_TRUE(token.cancelled());  // shared flag, not a dangling pointer
+}
+
+TEST(CancelTokenTest, CopiedTokensShareTheFlag) {
+  CancelSource source;
+  CancelToken a = source.token();
+  CancelToken b = a;
+  source.Cancel();
+  EXPECT_TRUE(a.cancelled());
+  EXPECT_TRUE(b.cancelled());
+}
+
+// --------------------------------------------------------------------------
+// RequestContext
+// --------------------------------------------------------------------------
+
+TEST(RequestContextTest, DefaultContextHasNoLimits) {
+  RequestContext ctx;
+  EXPECT_FALSE(ctx.has_deadline());
+  EXPECT_FALSE(ctx.expired());
+  EXPECT_TRUE(ctx.Check().ok());
+  EXPECT_GT(ctx.RemainingMs(), 1e18);  // +infinity
+}
+
+TEST(RequestContextTest, NullContextIsAlwaysOk) {
+  EXPECT_TRUE(CheckContext(nullptr).ok());
+}
+
+TEST(RequestContextTest, ExpiredDeadlineReportsDeadlineExceeded) {
+  RequestContext ctx = RequestContext::WithDeadline(milliseconds(-1));
+  EXPECT_TRUE(ctx.has_deadline());
+  EXPECT_TRUE(ctx.expired());
+  EXPECT_LT(ctx.RemainingMs(), 0.0);
+  Status status = ctx.Check();
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(RequestContextTest, FutureDeadlineIsOk) {
+  RequestContext ctx = RequestContext::WithDeadline(milliseconds(60000));
+  EXPECT_TRUE(ctx.has_deadline());
+  EXPECT_FALSE(ctx.expired());
+  EXPECT_TRUE(ctx.Check().ok());
+  EXPECT_GT(ctx.RemainingMs(), 0.0);
+}
+
+TEST(RequestContextTest, CancellationWinsOverExpiredDeadline) {
+  CancelSource source;
+  RequestContext ctx = RequestContext::WithDeadline(milliseconds(-1));
+  ctx.cancel = source.token();
+  source.Cancel();
+  // Both fired; cancellation is the more specific signal (the watchdog
+  // cancels *because* the deadline passed).
+  EXPECT_EQ(ctx.Check().code(), StatusCode::kCancelled);
+}
+
+TEST(RequestContextTest, IsContextErrorCoversExactlyTheRequestCodes) {
+  EXPECT_TRUE(IsContextError(StatusCode::kDeadlineExceeded));
+  EXPECT_TRUE(IsContextError(StatusCode::kCancelled));
+  EXPECT_TRUE(IsContextError(StatusCode::kResourceExhausted));
+  EXPECT_FALSE(IsContextError(StatusCode::kOk));
+  EXPECT_FALSE(IsContextError(StatusCode::kIoError));
+  EXPECT_FALSE(IsContextError(StatusCode::kNotFound));
+  EXPECT_FALSE(IsContextError(StatusCode::kInternal));
+}
+
+// --------------------------------------------------------------------------
+// CancelCheck
+// --------------------------------------------------------------------------
+
+TEST(CancelCheckTest, NullContextTicksForever) {
+  CancelCheck check(nullptr, /*stride=*/1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(check.Tick().ok());
+  }
+}
+
+TEST(CancelCheckTest, ChecksOnlyEveryStrideTicks) {
+  CancelSource source;
+  RequestContext ctx;
+  ctx.cancel = source.token();
+  source.Cancel();  // cancelled from the start
+  CancelCheck check(&ctx, /*stride=*/4);
+  // The first stride-1 ticks only decrement; the stride-th consults the
+  // context and sees the cancellation.
+  EXPECT_TRUE(check.Tick().ok());
+  EXPECT_TRUE(check.Tick().ok());
+  EXPECT_TRUE(check.Tick().ok());
+  EXPECT_EQ(check.Tick().code(), StatusCode::kCancelled);
+}
+
+TEST(CancelCheckTest, ZeroStrideBehavesAsEveryTick) {
+  RequestContext ctx = RequestContext::WithDeadline(milliseconds(-1));
+  CancelCheck check(&ctx, /*stride=*/0);
+  EXPECT_EQ(check.Tick().code(), StatusCode::kDeadlineExceeded);
+}
+
+// --------------------------------------------------------------------------
+// CacheStats / LruCache counters
+// --------------------------------------------------------------------------
+
+TEST(CacheStatsTest, CountersTrackHitsMissesAndEvictions) {
+  LruCache<int, std::string> cache(2);
+  EXPECT_EQ(cache.Get(1), nullptr);  // miss
+  cache.Put(1, "one");
+  cache.Put(2, "two");
+  ASSERT_NE(cache.Get(1), nullptr);  // hit; 1 now most recent
+  cache.Put(3, "three");             // evicts 2
+  EXPECT_EQ(cache.Get(2), nullptr);  // miss (evicted)
+  ASSERT_NE(cache.Get(3), nullptr);  // hit
+
+  CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.lookups(), 4u);
+  EXPECT_DOUBLE_EQ(stats.HitRate(), 0.5);
+}
+
+TEST(CacheStatsTest, OverwritingAKeyIsNotAnEviction) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 10);
+  cache.Put(1, 11);  // overwrite in place
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(CacheStatsTest, ClearDropsEntriesButKeepsCounters) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 10);
+  (void)cache.Get(1);
+  (void)cache.Get(9);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(CacheStatsTest, ToStringIsHumanReadable) {
+  CacheStats stats{3, 1, 2};
+  EXPECT_EQ(stats.ToString(),
+            "3 hits / 1 misses (75.0% hit rate), 2 evictions");
+  EXPECT_EQ(CacheStats{}.ToString(),
+            "0 hits / 0 misses (0.0% hit rate), 0 evictions");
+}
+
+// --------------------------------------------------------------------------
+// ThreadPool bounded admission
+// --------------------------------------------------------------------------
+
+TEST(TrySubmitTest, RejectsBeyondTheInflightLimit) {
+  ThreadPool pool(1);
+  std::atomic<bool> release{false};
+  std::atomic<int> ran{0};
+  // Occupy the single worker so later submissions stay queued.
+  pool.Submit([&] {
+    while (!release.load()) std::this_thread::yield();
+    ++ran;
+  });
+  // One executing; admit one more (limit 2), then reject.
+  EXPECT_TRUE(pool.TrySubmit([&] { ++ran; }, /*max_inflight=*/2));
+  EXPECT_FALSE(pool.TrySubmit([&] { ++ran; }, /*max_inflight=*/2));
+  EXPECT_EQ(pool.rejected(), 1u);
+  release.store(true);
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 2);  // the rejected task never ran
+  EXPECT_EQ(pool.admitted(), 2u);
+
+  // Capacity freed: admission works again.
+  EXPECT_TRUE(pool.TrySubmit([&] { ++ran; }, /*max_inflight=*/2));
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 3);
+  EXPECT_EQ(pool.admitted(), 3u);
+  EXPECT_EQ(pool.rejected(), 1u);
+}
+
+// --------------------------------------------------------------------------
+// RetryWithBackoff
+// --------------------------------------------------------------------------
+
+RetryOptions CapturedSleepOptions(std::vector<double>* sleeps) {
+  RetryOptions options;
+  options.sleep_ms = [sleeps](double ms) { sleeps->push_back(ms); };
+  return options;
+}
+
+TEST(RetryTest, SuccessOnFirstAttemptNeverSleeps) {
+  std::vector<double> sleeps;
+  RetryOptions options = CapturedSleepOptions(&sleeps);
+  int calls = 0;
+  Status status = RetryWithBackoff(options, [&] {
+    ++calls;
+    return Status::OK();
+  });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(sleeps.empty());
+}
+
+TEST(RetryTest, TransientIoErrorRetriesUntilSuccess) {
+  std::vector<double> sleeps;
+  RetryOptions options = CapturedSleepOptions(&sleeps);
+  int calls = 0;
+  Status status = RetryWithBackoff(options, [&]() -> Status {
+    if (++calls < 3) return Status::IoError("flaky");
+    return Status::OK();
+  });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 3);
+  ASSERT_EQ(sleeps.size(), 2u);
+  // Delays follow the documented formula with the seeded jitter stream —
+  // bit-for-bit reproducible.
+  EXPECT_DOUBLE_EQ(
+      sleeps[0],
+      retry_internal::BackoffDelayMs(options, 1,
+                                     retry_internal::JitterDraw(options.seed,
+                                                                1)));
+  EXPECT_DOUBLE_EQ(
+      sleeps[1],
+      retry_internal::BackoffDelayMs(options, 2,
+                                     retry_internal::JitterDraw(options.seed,
+                                                                2)));
+  // Nominal backoffs are 5 ms then 10 ms; jitter scales into [0.5, 1].
+  EXPECT_GE(sleeps[0], 2.5);
+  EXPECT_LE(sleeps[0], 5.0);
+  EXPECT_GE(sleeps[1], 5.0);
+  EXPECT_LE(sleeps[1], 10.0);
+}
+
+TEST(RetryTest, SameSeedSameDelays) {
+  auto run = [](uint64_t seed) {
+    std::vector<double> sleeps;
+    RetryOptions options;
+    options.seed = seed;
+    options.sleep_ms = [&sleeps](double ms) { sleeps.push_back(ms); };
+    (void)RetryWithBackoff(options,
+                           [] { return Status::IoError("always"); });
+    return sleeps;
+  };
+  EXPECT_EQ(run(123), run(123));
+  EXPECT_NE(run(123), run(456));  // different stream, different jitter
+}
+
+TEST(RetryTest, NonRetryableErrorReturnsImmediately) {
+  std::vector<double> sleeps;
+  RetryOptions options = CapturedSleepOptions(&sleeps);
+  int calls = 0;
+  Status status = RetryWithBackoff(options, [&] {
+    ++calls;
+    return Status::InvalidArgument("deterministic");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(sleeps.empty());
+}
+
+TEST(RetryTest, ExhaustedAttemptsReturnTheLastError) {
+  std::vector<double> sleeps;
+  RetryOptions options = CapturedSleepOptions(&sleeps);
+  options.max_attempts = 4;
+  int calls = 0;
+  Status status = RetryWithBackoff(options, [&] {
+    ++calls;
+    return Status::IoError("never heals");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(sleeps.size(), 3u);  // no sleep after the final attempt
+}
+
+TEST(RetryTest, WorksWithResultReturningFunctions) {
+  RetryOptions options;
+  options.sleep_ms = [](double) {};
+  int calls = 0;
+  Result<int> result = RetryWithBackoff(options, [&]() -> Result<int> {
+    if (++calls < 2) return Status::IoError("flaky");
+    return 42;
+  });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(RetryTest, ExpiredContextAbandonsTheRetryBudget) {
+  RequestContext ctx = RequestContext::WithDeadline(milliseconds(-1));
+  std::vector<double> sleeps;
+  RetryOptions options = CapturedSleepOptions(&sleeps);
+  options.context = &ctx;
+  int calls = 0;
+  Status status = RetryWithBackoff(options, [&] {
+    ++calls;
+    return Status::IoError("flaky");
+  });
+  // One attempt, then the context error surfaces instead of a retry.
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(sleeps.empty());
+}
+
+TEST(RetryTest, BackoffDelayIsCappedAtMaxBackoff) {
+  RetryOptions options;
+  options.initial_backoff_ms = 50.0;
+  options.multiplier = 10.0;
+  options.max_backoff_ms = 80.0;
+  options.jitter = 0.0;
+  EXPECT_DOUBLE_EQ(retry_internal::BackoffDelayMs(options, 1, 0.5), 50.0);
+  EXPECT_DOUBLE_EQ(retry_internal::BackoffDelayMs(options, 2, 0.5), 80.0);
+  EXPECT_DOUBLE_EQ(retry_internal::BackoffDelayMs(options, 3, 0.5), 80.0);
+}
+
+TEST(RetryTest, ReadFileToStringWithRetryReadsExistingFile) {
+  const std::string path = ::testing::TempDir() + "/retry_read.txt";
+  ASSERT_TRUE(WriteFileToPath(path, "payload").ok());
+  RetryOptions options;
+  options.sleep_ms = [](double) {};
+  Result<std::string> content = ReadFileToStringWithRetry(path, options);
+  ASSERT_TRUE(content.ok()) << content.status().ToString();
+  EXPECT_EQ(*content, "payload");
+}
+
+TEST(RetryTest, ReadRetryRecoversFromInjectedTransientError) {
+  if (!FailpointsCompiledIn()) {
+    GTEST_SKIP() << "build without -DSTMAKER_FAILPOINTS=ON";
+  }
+  const std::string path = ::testing::TempDir() + "/retry_transient.txt";
+  ASSERT_TRUE(WriteFileToPath(path, "heals").ok());
+  // First read fails, subsequent reads succeed — exactly the transient
+  // fault the retry wrapper exists for.
+  ArmFailpoint("io/open-read", /*skip=*/0, /*count=*/1);
+  std::vector<double> sleeps;
+  RetryOptions options = CapturedSleepOptions(&sleeps);
+  Result<std::string> content = ReadFileToStringWithRetry(path, options);
+  DisarmAllFailpoints();
+  ASSERT_TRUE(content.ok()) << content.status().ToString();
+  EXPECT_EQ(*content, "heals");
+  EXPECT_EQ(sleeps.size(), 1u);  // exactly one backoff between attempts
+}
+
+}  // namespace
+}  // namespace stmaker

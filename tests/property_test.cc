@@ -5,9 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <set>
 
+#include "common/context.h"
 #include "common/random.h"
 #include "core/irregularity.h"
 #include "roadnet/map_matcher.h"
@@ -282,6 +285,91 @@ TEST(PipelineDeterminismTest, IdenticalWorldsProduceIdenticalSummaries) {
   EXPECT_EQ(first.text, second.text);
   EXPECT_FALSE(first.text.empty());
 }
+
+// --------------------------------------------------------------------------
+// Request contexts are observationally transparent: a context that never
+// fires changes nothing, and a context that does fire changes nothing
+// *afterwards*.
+// --------------------------------------------------------------------------
+
+// Everything a caller can observe about a summary, flattened for equality
+// checks that produce a readable diff on failure.
+std::string SummaryFingerprint(const Summary& summary) {
+  std::string out = summary.text;
+  out += '\n';
+  for (const PartitionSummary& p : summary.partitions) {
+    out += p.sentence;
+    out += '|';
+    out += std::to_string(p.seg_begin) + "-" + std::to_string(p.seg_end);
+    out += '|';
+    for (double r : p.irregular_rates) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g,", r);
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+class ContextTransparencyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ContextTransparencyTest, PassiveContextIsByteIdentical) {
+  const TestWorld& world = GetTestWorld();
+  Random rng(GetParam());
+  auto trip = world.generator->GenerateTrip(10 * 3600.0, &rng);
+  ASSERT_TRUE(trip.ok());
+
+  // A default context: no deadline, no cancellation, no budget. Threading
+  // it through the pipeline must not perturb a single byte of output —
+  // the check points are pure observers.
+  RequestContext passive;
+  auto with_ctx =
+      world.maker->Summarize(trip->raw, SummaryOptions(), &passive);
+  auto without_ctx = world.maker->Summarize(trip->raw, SummaryOptions());
+  ASSERT_TRUE(with_ctx.ok()) << with_ctx.status().ToString();
+  ASSERT_TRUE(without_ctx.ok()) << without_ctx.status().ToString();
+  EXPECT_EQ(SummaryFingerprint(*with_ctx), SummaryFingerprint(*without_ctx));
+}
+
+TEST_P(ContextTransparencyTest, DeadlineFailureLeavesNoPartialState) {
+  // Two makers restored from the same model file, so each starts with
+  // identical trained state and cold caches. One absorbs a
+  // deadline-exceeded request first; if the abort leaked partial state
+  // (a truncated cache entry, a half-updated structure), the follow-up
+  // summary would differ from the never-failed maker's.
+  const TestWorld& world = GetTestWorld();
+  std::string prefix = ::testing::TempDir() + "/ctx_purity_" +
+                       std::to_string(GetParam());
+  ASSERT_TRUE(world.maker->SaveModel(prefix).ok());
+  LandmarkIndex& landmarks = const_cast<LandmarkIndex&>(*world.landmarks);
+
+  STMaker tainted(&world.city.network, &landmarks, FeatureRegistry::BuiltIn());
+  STMaker pristine(&world.city.network, &landmarks,
+                   FeatureRegistry::BuiltIn());
+  ASSERT_TRUE(tainted.LoadModel(prefix).ok());
+  ASSERT_TRUE(pristine.LoadModel(prefix).ok());
+
+  Random rng(GetParam() + 500);
+  auto trip = world.generator->GenerateTrip(15 * 3600.0, &rng);
+  ASSERT_TRUE(trip.ok());
+
+  RequestContext expired =
+      RequestContext::WithDeadline(std::chrono::milliseconds(-1));
+  auto failed = tainted.Summarize(trip->raw, SummaryOptions(), &expired);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kDeadlineExceeded);
+
+  auto after_failure = tainted.Summarize(trip->raw, SummaryOptions());
+  auto never_failed = pristine.Summarize(trip->raw, SummaryOptions());
+  ASSERT_TRUE(after_failure.ok()) << after_failure.status().ToString();
+  ASSERT_TRUE(never_failed.ok()) << never_failed.status().ToString();
+  EXPECT_EQ(SummaryFingerprint(*after_failure),
+            SummaryFingerprint(*never_failed));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ContextTransparencyTest,
+                         ::testing::Values(201u, 202u, 203u));
 
 }  // namespace
 }  // namespace stmaker

@@ -7,20 +7,25 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 #include <string>
 #include <vector>
 
+#include "common/context.h"
 #include "common/crc32.h"
 #include "common/csv.h"
 #include "common/failpoint.h"
 #include "common/fileutil.h"
 #include "common/random.h"
+#include "common/retry.h"
 #include "common/strings.h"
 #include "core/stmaker.h"
 #include "io/summary_json.h"
 #include "io/trajectory_io.h"
+#include "roadnet/shortest_path.h"
 #include "test_world.h"
 #include "traj/sanitize.h"
 
@@ -655,6 +660,267 @@ TEST_F(FailpointTest, SkipAndCountWindowsAreHonored) {
 
   DisarmFailpoint("test/window");
   EXPECT_FALSE(FailpointShouldFail("test/window"));
+}
+
+// --------------------------------------------------------------------------
+// Failpoint spec parsing (the STMAKER_FAILPOINTS grammar). The arming
+// registry is live in every build — only the library-side hooks compile
+// out — so these run without -DSTMAKER_FAILPOINTS=ON.
+// --------------------------------------------------------------------------
+
+class FailpointSpecTest : public ::testing::Test {
+ protected:
+  void TearDown() override { DisarmAllFailpoints(); }
+};
+
+TEST_F(FailpointSpecTest, ParsesEveryEntryForm) {
+  ASSERT_TRUE(
+      ArmFailpointsFromSpec("spec/bare; spec/count=2; spec/window=1:2").ok());
+  // bare: every hit fails.
+  EXPECT_TRUE(FailpointShouldFail("spec/bare"));
+  EXPECT_TRUE(FailpointShouldFail("spec/bare"));
+  // name=count: first `count` hits fail.
+  EXPECT_TRUE(FailpointShouldFail("spec/count"));
+  EXPECT_TRUE(FailpointShouldFail("spec/count"));
+  EXPECT_FALSE(FailpointShouldFail("spec/count"));
+  // name=skip:count: skip passing hits, then the failing window.
+  EXPECT_FALSE(FailpointShouldFail("spec/window"));
+  EXPECT_TRUE(FailpointShouldFail("spec/window"));
+  EXPECT_TRUE(FailpointShouldFail("spec/window"));
+  EXPECT_FALSE(FailpointShouldFail("spec/window"));
+}
+
+TEST_F(FailpointSpecTest, EmptyEntriesAreIgnored) {
+  EXPECT_TRUE(ArmFailpointsFromSpec("").ok());
+  EXPECT_TRUE(ArmFailpointsFromSpec(";;  ;").ok());
+}
+
+TEST_F(FailpointSpecTest, MalformedSpecsAreRejectedAndNameTheEntry) {
+  struct Case {
+    const char* spec;
+    const char* want_in_message;
+  };
+  const Case cases[] = {
+      {"=3", "no name"},
+      {"spec/bad=", "malformed count"},
+      {"spec/bad=abc", "malformed count"},
+      {"spec/bad=-1", "malformed count"},
+      {"spec/bad=1:2:3", "malformed count"},
+      {"spec/bad=x:2", "malformed skip"},
+      {"spec/bad=-1:2", "malformed skip"},
+      {"spec/bad=1:", "malformed count"},
+      {"spec/bad=9999999999", "malformed count"},  // > 9 digits
+  };
+  for (const Case& c : cases) {
+    Status status = ArmFailpointsFromSpec(c.spec);
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << c.spec;
+    EXPECT_NE(status.message().find(c.want_in_message), std::string::npos)
+        << c.spec << " -> " << status.message();
+  }
+}
+
+TEST_F(FailpointSpecTest, MalformedSpecArmsNothingAtomically) {
+  // The valid leading entry must not be armed when a later entry is bad.
+  Status status = ArmFailpointsFromSpec("spec/valid; spec/bad=oops");
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(FailpointShouldFail("spec/valid"));
+}
+
+TEST_F(FailpointSpecTest, ReloadFailpointsFromEnvReArmsFromTheVariable) {
+  ASSERT_EQ(setenv("STMAKER_FAILPOINTS", "env/point=1:1", /*overwrite=*/1),
+            0);
+  ASSERT_TRUE(ReloadFailpointsFromEnv().ok());
+  EXPECT_FALSE(FailpointShouldFail("env/point"));  // skip window
+  EXPECT_TRUE(FailpointShouldFail("env/point"));
+  EXPECT_FALSE(FailpointShouldFail("env/point"));
+
+  // A malformed variable reports the parse error and arms nothing.
+  ASSERT_EQ(setenv("STMAKER_FAILPOINTS", "env/bad=nope", 1), 0);
+  Status status = ReloadFailpointsFromEnv();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(FailpointShouldFail("env/bad"));
+  EXPECT_FALSE(FailpointShouldFail("env/point"));  // previous set cleared
+
+  // Unset variable: reload just disarms.
+  ASSERT_EQ(unsetenv("STMAKER_FAILPOINTS"), 0);
+  EXPECT_TRUE(ReloadFailpointsFromEnv().ok());
+  EXPECT_FALSE(FailpointShouldFail("env/point"));
+}
+
+// --------------------------------------------------------------------------
+// Request contexts on the serving path: deadlines, cancellation, budgets,
+// admission control, and retry recovery.
+// --------------------------------------------------------------------------
+
+using std::chrono::milliseconds;
+
+TEST(RequestContextServingTest, ExpiredContextFailsSummarizeUpFront) {
+  const TestWorld& world = GetTestWorld();
+  RequestContext ctx = RequestContext::WithDeadline(milliseconds(-1));
+  Result<Summary> summary =
+      world.maker->Summarize(world.history[0].raw, SummaryOptions(), &ctx);
+  ASSERT_FALSE(summary.ok());
+  EXPECT_EQ(summary.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(RequestContextServingTest, CancelledContextFailsSummarize) {
+  const TestWorld& world = GetTestWorld();
+  CancelSource source;
+  source.Cancel();
+  RequestContext ctx;
+  ctx.cancel = source.token();
+  Result<Summary> summary =
+      world.maker->Summarize(world.history[0].raw, SummaryOptions(), &ctx);
+  ASSERT_FALSE(summary.ok());
+  EXPECT_EQ(summary.status().code(), StatusCode::kCancelled);
+}
+
+TEST(RequestContextServingTest, NodeExpansionBudgetCapsShortestPath) {
+  const TestWorld& world = GetTestWorld();
+  const RoadNetwork& network = world.city.network;
+  ShortestPathRouter router(&network);
+  NodeId src = 0;
+  NodeId dst = static_cast<NodeId>(network.NumNodes() - 1);
+
+  RequestContext tiny;
+  tiny.max_node_expansions = 1;
+  Result<Path> capped = router.Route(src, dst, nullptr, &tiny);
+  ASSERT_FALSE(capped.ok());
+  EXPECT_EQ(capped.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(capped.status().message().find("budget"), std::string::npos);
+
+  // A budget large enough for the whole graph changes nothing.
+  RequestContext roomy;
+  roomy.max_node_expansions = network.NumNodes() + 1;
+  Result<Path> budgeted = router.Route(src, dst, nullptr, &roomy);
+  Result<Path> plain = router.Route(src, dst);
+  ASSERT_TRUE(budgeted.ok());
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(budgeted->nodes, plain->nodes);
+  EXPECT_EQ(budgeted->cost, plain->cost);
+}
+
+TEST(RequestContextServingTest, BatchShedsTheSameItemsAtEveryThreadCount) {
+  const TestWorld& world = GetTestWorld();
+  std::vector<RawTrajectory> raws;
+  for (size_t i = 0; i < 12; ++i) raws.push_back(world.history[i].raw);
+
+  auto run = [&](int threads) {
+    BatchOptions batch;
+    batch.num_threads = threads;
+    batch.max_items = 5;
+    return world.maker->SummarizeBatch(raws, SummaryOptions(), batch);
+  };
+  std::vector<Result<Summary>> serial = run(1);
+  std::vector<Result<Summary>> parallel = run(4);
+
+  ASSERT_EQ(serial.size(), raws.size());
+  ASSERT_EQ(parallel.size(), raws.size());
+  for (size_t i = 0; i < raws.size(); ++i) {
+    EXPECT_EQ(serial[i].ok(), parallel[i].ok()) << "item " << i;
+    if (i < 5) {
+      // Admitted at every thread count, and bit-identical.
+      ASSERT_TRUE(serial[i].ok()) << serial[i].status().ToString();
+      EXPECT_EQ(serial[i]->text, parallel[i]->text) << "item " << i;
+    } else {
+      // Shed by index: same set, same code, message names the item.
+      ASSERT_FALSE(serial[i].ok());
+      EXPECT_EQ(serial[i].status().code(), StatusCode::kResourceExhausted);
+      EXPECT_EQ(parallel[i].status().code(), StatusCode::kResourceExhausted);
+      EXPECT_NE(serial[i].status().message().find(std::to_string(i)),
+                std::string::npos);
+    }
+  }
+}
+
+TEST(RequestContextServingTest, CancelledBatchFailsAdmittedItemsAsCancelled) {
+  const TestWorld& world = GetTestWorld();
+  std::vector<RawTrajectory> raws;
+  for (size_t i = 0; i < 4; ++i) raws.push_back(world.history[i].raw);
+
+  CancelSource source;
+  source.Cancel();
+  RequestContext ctx;
+  ctx.cancel = source.token();
+  BatchOptions batch;
+  batch.num_threads = 2;
+  batch.context = &ctx;
+  batch.max_items = 3;
+  std::vector<Result<Summary>> results =
+      world.maker->SummarizeBatch(raws, SummaryOptions(), batch);
+  ASSERT_EQ(results.size(), 4u);
+  for (size_t i = 0; i < 3; ++i) {
+    ASSERT_FALSE(results[i].ok());
+    EXPECT_EQ(results[i].status().code(), StatusCode::kCancelled);
+  }
+  EXPECT_EQ(results[3].status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(FailpointTest, StalledRouteSearchHonorsTheDeadline) {
+  const TestWorld& world = GetTestWorld();
+  // A fresh maker restored from disk starts with cold route caches, so the
+  // popular-route Dijkstra genuinely runs (and stalls) instead of serving
+  // a result another test already cached.
+  std::string prefix = TempPrefix("stall_model");
+  ASSERT_TRUE(world.maker->SaveModel(prefix).ok());
+  LandmarkIndex& landmarks = const_cast<LandmarkIndex&>(*world.landmarks);
+  STMaker maker(&world.city.network, &landmarks, FeatureRegistry::BuiltIn());
+  ASSERT_TRUE(maker.LoadModel(prefix).ok());
+
+  // "route/stall" sleeps 1 ms per node expansion: a summarize that would
+  // normally finish in a few ms now wants seconds. The 50 ms deadline must
+  // cut it off promptly with kDeadlineExceeded — never a truncated
+  // summary.
+  ArmFailpoint("route/stall");
+  RequestContext ctx = RequestContext::WithDeadline(milliseconds(50));
+  auto started = RequestContext::Clock::now();
+  Result<Summary> summary =
+      maker.Summarize(world.history[0].raw, SummaryOptions(), &ctx);
+  double elapsed_ms = std::chrono::duration<double, std::milli>(
+                          RequestContext::Clock::now() - started)
+                          .count();
+  DisarmAllFailpoints();
+
+  ASSERT_FALSE(summary.ok());
+  EXPECT_EQ(summary.status().code(), StatusCode::kDeadlineExceeded);
+  // Prompt: the stride-32 CancelCheck notices within tens of stalled
+  // expansions. The generous bound keeps sanitizer builds green while
+  // still distinguishing "aborted" from "ran the whole stalled search"
+  // (which would take many seconds).
+  EXPECT_LT(elapsed_ms, 2000.0);
+
+  // The aborted request left no partial state behind: the same trip
+  // summarizes fine afterwards.
+  Result<Summary> retry =
+      maker.Summarize(world.history[0].raw, SummaryOptions());
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+}
+
+TEST_F(FailpointTest, LoadModelRetriesThroughATransientReadError) {
+  const TestWorld& world = GetTestWorld();
+  std::string prefix = TempPrefix("retry_model");
+  ASSERT_TRUE(world.maker->SaveModel(prefix).ok());
+
+  LandmarkIndex& landmarks = const_cast<LandmarkIndex&>(*world.landmarks);
+  STMaker maker(&world.city.network, &landmarks, FeatureRegistry::BuiltIn());
+  // Exactly one injected open failure: the first read attempt fails, the
+  // retry wrapper backs off (a few ms) and succeeds. No flakiness — the
+  // failure window is deterministic.
+  ArmFailpoint("io/open-read", /*skip=*/0, /*count=*/1);
+  Status loaded = maker.LoadModel(prefix);
+  DisarmAllFailpoints();
+  ASSERT_TRUE(loaded.ok()) << loaded.ToString();
+  EXPECT_TRUE(maker.trained());
+
+  // And with a fault that outlasts the retry budget, the error still
+  // surfaces cleanly (no infinite retry loop).
+  ArmFailpoint("io/open-read");  // every hit
+  STMaker maker2(&world.city.network, &landmarks, FeatureRegistry::BuiltIn());
+  Status failed = maker2.LoadModel(prefix);
+  DisarmAllFailpoints();
+  EXPECT_FALSE(failed.ok());
+  EXPECT_EQ(failed.code(), StatusCode::kIoError);
+  EXPECT_FALSE(maker2.trained());
 }
 
 }  // namespace

@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# End-to-end test for `stmaker_cli serve`: NDJSON request/response over
+# stdin/stdout, per-request deadlines, malformed-input handling, the
+# shutdown report, and --threads / --max_inflight flag validation.
+# Registered with ctest; $1 is the path to the stmaker_cli binary.
+set -euo pipefail
+
+CLI="$1"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+
+echo "== gen + train =="
+"$CLI" gen --dir "$DIR" --seed 5 --blocks 10 --trips 80 --pois 100
+"$CLI" train --dir "$DIR" --model "$DIR/model"
+
+echo "== serve answers every request and exits 0 =="
+REQUESTS="$DIR/requests.ndjson"
+cat > "$REQUESTS" <<'EOF'
+{"id": 1, "trip": 3}
+{"id": 2, "trip": 99999}
+{"id": 3, "trip": 4, "deadline_ms": -1}
+this line is not json
+{"id": 5, "trip": 5, "k": 2, "eta": 0.3}
+EOF
+OUT="$DIR/responses.ndjson"
+ERR="$DIR/serve.stderr"
+"$CLI" serve --dir "$DIR" --model "$DIR/model" --threads 2 \
+  < "$REQUESTS" > "$OUT" 2> "$ERR"
+cat "$OUT"
+
+# One response line per request line, each a JSON object.
+[[ "$(wc -l < "$OUT")" -eq 5 ]] || { echo "want 5 responses"; exit 1; }
+while IFS= read -r line; do
+  [[ "$line" == "{"*"}" ]] || { echo "non-JSON response: $line"; exit 1; }
+done < "$OUT"
+
+grep -q '"id": 1, "status": "ok"' "$OUT" || { echo "id 1 not ok"; exit 1; }
+grep '"id": 1' "$OUT" | grep -q '"text": "The car started from' || {
+  echo "id 1 lacks a summary text"; exit 1; }
+grep -q '"id": 2, "status": "out_of_range"' "$OUT" || {
+  echo "id 2 not out_of_range"; exit 1; }
+grep -q '"id": 3, "status": "deadline_exceeded"' "$OUT" || {
+  echo "id 3 not deadline_exceeded"; exit 1; }
+grep -q '"id": -1, "status": "invalid_argument"' "$OUT" || {
+  echo "malformed line not reported"; exit 1; }
+grep -q '"id": 5, "status": "ok"' "$OUT" || { echo "id 5 not ok"; exit 1; }
+
+echo "== shutdown report and cache stats land on stderr =="
+grep -q "served 5 requests (1 malformed" "$ERR" || {
+  echo "missing shutdown report"; cat "$ERR"; exit 1; }
+grep -q "calibration cache:" "$ERR" || { echo "missing cache stats"; exit 1; }
+grep -q "popular-route cache:" "$ERR" || {
+  echo "missing route cache stats"; exit 1; }
+grep -q "hit rate" "$ERR" || { echo "stats lack a hit rate"; exit 1; }
+
+echo "== an expired server-wide --deadline_ms fails requests, not the server =="
+OUT2="$DIR/responses2.ndjson"
+printf '{"id": 9, "trip": 1}\n' | "$CLI" serve --dir "$DIR" \
+  --model "$DIR/model" --deadline_ms -1 > "$OUT2" 2>/dev/null
+grep -q '"id": 9, "status": "deadline_exceeded"' "$OUT2" || {
+  echo "server-wide deadline ignored"; exit 1; }
+
+echo "== --threads edge cases =="
+# 0 = auto-detect: a valid request must still succeed.
+OUT3="$DIR/responses3.ndjson"
+printf '{"id": 4, "trip": 2}\n' | "$CLI" serve --dir "$DIR" \
+  --model "$DIR/model" --threads 0 > "$OUT3" 2>/dev/null
+grep -q '"id": 4, "status": "ok"' "$OUT3" || { echo "--threads 0 broke"; exit 1; }
+
+# Negative, oversized, and non-numeric values are usage errors -> exit 3.
+for bad in -4 99999 abc; do
+  rc=0
+  "$CLI" serve --dir "$DIR" --model "$DIR/model" --threads "$bad" \
+    < /dev/null > /dev/null 2>&1 || rc=$?
+  [[ $rc -eq 3 ]] || { echo "--threads $bad: want exit 3, got $rc"; exit 1; }
+done
+# The same validation applies outside serve mode.
+rc=0
+"$CLI" summarize --dir "$DIR" --trip 1 --threads -1 > /dev/null 2>&1 || rc=$?
+[[ $rc -eq 3 ]] || { echo "summarize --threads -1: want 3, got $rc"; exit 1; }
+
+echo "== --max_inflight must be positive =="
+rc=0
+"$CLI" serve --dir "$DIR" --model "$DIR/model" --max_inflight 0 \
+  < /dev/null > /dev/null 2>&1 || rc=$?
+[[ $rc -eq 3 ]] || { echo "--max_inflight 0: want exit 3, got $rc"; exit 1; }
+
+echo "serve_test OK"

@@ -22,16 +22,31 @@
 //   # Aggregate (group) summary of a time window:
 //   stmaker_cli group --dir /tmp/city --from-hour 7 --to-hour 10
 //
+//   # Serve summarization requests over stdin/stdout NDJSON (one JSON
+//   # object per line; see README "Serving"):
+//   stmaker_cli serve --dir /tmp/city --model /tmp/city/model
+//                     --deadline_ms 500 --max_inflight 64 --threads 4
+//
 // The dataset directory holds plain CSV files (see src/io/), so real map
 // and trajectory data can be dropped in using the same schema.
 
 #include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <iostream>
 #include <map>
+#include <mutex>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include "common/context.h"
+#include "common/parallel.h"
+#include "common/strings.h"
 
 #include "core/corpus_stats.h"
 #include "core/group_summarizer.h"
@@ -108,6 +123,12 @@ int ExitCodeFor(StatusCode code) {
       return 7;
     case StatusCode::kIoError:
       return 8;
+    case StatusCode::kDeadlineExceeded:
+      return 9;
+    case StatusCode::kCancelled:
+      return 10;
+    case StatusCode::kResourceExhausted:
+      return 11;
   }
   return 7;  // unreachable; treat unknown categories as internal
 }
@@ -122,20 +143,26 @@ int Usage() {
                "[--eta E] [--json|--geojson] [--model P] [--threads N]\n"
                "  stmaker_cli stats --dir D [--trips T] [--threads N]\n"
                "  stmaker_cli group --dir D [--from-hour H] [--to-hour H]\n"
+               "  stmaker_cli serve --dir D [--model P] [--threads N]\n"
+               "              [--deadline_ms MS] [--max_inflight N]\n"
+               "              [--max_expansions N]\n"
                "(--threads: worker threads for training and batch "
-               "summarization; 0 = all cores, default 1; results are "
-               "identical at any thread count)\n"
+               "summarization; 0 = all cores, default 1, max 1024; results "
+               "are identical at any thread count)\n"
                "\n"
                "exit codes:\n"
                "  0  success\n"
                "  2  usage error (bad command line)\n"
-               "  3  invalid argument (malformed input data)\n"
+               "  3  invalid argument (malformed input data or flag value)\n"
                "  4  not found\n"
                "  5  out of range (e.g. --trip beyond the corpus)\n"
                "  6  failed precondition (e.g. model/feature-set mismatch,\n"
                "     corrupted model checksum)\n"
                "  7  internal error\n"
-               "  8  I/O error (missing or unreadable file)\n");
+               "  8  I/O error (missing or unreadable file)\n"
+               "  9  deadline exceeded\n"
+               "  10 cancelled\n"
+               "  11 resource exhausted (admission limit or search budget)\n");
   return kExitUsage;
 }
 
@@ -144,10 +171,35 @@ int Fail(const Status& status) {
   return ExitCodeFor(status.code());
 }
 
+/// Upper bound on --threads: far above any real machine, low enough to
+/// catch a mistyped value before it spawns a few million workers.
+constexpr long kMaxThreads = 1024;
+
+/// Validates --threads: 0 selects hardware concurrency, 1..1024 pass
+/// through. Negative, non-numeric, or absurd counts are errors — a typo
+/// like --threads -4 or --threads 40000 should fail loudly, not be
+/// silently clamped into something that happens to run.
+Result<int> ThreadsFlag(const Args& args) {
+  if (!args.Has("threads")) return 1;
+  const std::string& text = args.options.at("threads");
+  char* end = nullptr;
+  long value = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') {
+    return Status::InvalidArgument("--threads wants an integer, got '" +
+                                   text + "'");
+  }
+  if (value < 0 || value > kMaxThreads) {
+    return Status::InvalidArgument(StrFormat(
+        "--threads must be in [0, %ld] (0 = all cores), got %ld", kMaxThreads,
+        value));
+  }
+  return static_cast<int>(value == 0 ? ResolveThreadCount(0) : value);
+}
+
 /// --threads N -> STMakerOptions with that ingestion/serving parallelism.
-STMakerOptions MakerOptions(const Args& args) {
+STMakerOptions MakerOptions(int threads) {
   STMakerOptions options;
-  options.num_threads = static_cast<int>(args.GetInt("threads", 1));
+  options.num_threads = threads;
   return options;
 }
 
@@ -212,11 +264,13 @@ Result<LoadedWorld> LoadWorld(const std::string& dir) {
 
 int RunTrain(const Args& args) {
   if (!args.Has("dir") || !args.Has("model")) return Usage();
+  Result<int> threads = ThreadsFlag(args);
+  if (!threads.ok()) return Fail(threads.status());
   Result<LoadedWorld> loaded = LoadWorld(args.Get("dir", "."));
   if (!loaded.ok()) return Fail(loaded.status());
   LoadedWorld& world = *loaded;
   STMaker maker(&world.network, world.landmarks.get(),
-                FeatureRegistry::BuiltIn(), MakerOptions(args));
+                FeatureRegistry::BuiltIn(), MakerOptions(*threads));
   Status st = maker.Train(world.trajectories);
   if (!st.ok()) return Fail(st);
   st = maker.SaveModel(args.Get("model", "model"));
@@ -228,6 +282,8 @@ int RunTrain(const Args& args) {
 
 int RunSummarize(const Args& args) {
   if (!args.Has("dir") || !args.Has("trip")) return Usage();
+  Result<int> threads = ThreadsFlag(args);
+  if (!threads.ok()) return Fail(threads.status());
   Result<LoadedWorld> loaded = LoadWorld(args.Get("dir", "."));
   if (!loaded.ok()) return Fail(loaded.status());
   LoadedWorld& world = *loaded;
@@ -240,7 +296,7 @@ int RunSummarize(const Args& args) {
   }
 
   STMaker maker(&world.network, world.landmarks.get(),
-                FeatureRegistry::BuiltIn(), MakerOptions(args));
+                FeatureRegistry::BuiltIn(), MakerOptions(*threads));
   if (args.Has("model")) {
     Status st = maker.LoadModel(args.Get("model", "model"));
     if (!st.ok()) return Fail(st);
@@ -277,12 +333,14 @@ int RunSummarize(const Args& args) {
 
 int RunStats(const Args& args) {
   if (!args.Has("dir")) return Usage();
+  Result<int> threads = ThreadsFlag(args);
+  if (!threads.ok()) return Fail(threads.status());
   Result<LoadedWorld> loaded = LoadWorld(args.Get("dir", "."));
   if (!loaded.ok()) return Fail(loaded.status());
   LoadedWorld& world = *loaded;
 
   STMaker maker(&world.network, world.landmarks.get(),
-                FeatureRegistry::BuiltIn(), MakerOptions(args));
+                FeatureRegistry::BuiltIn(), MakerOptions(*threads));
   Status st = maker.Train(world.trajectories);
   if (!st.ok()) return Fail(st);
 
@@ -331,6 +389,324 @@ int RunGroup(const Args& args) {
   return 0;
 }
 
+// --- serve mode -------------------------------------------------------------
+//
+// NDJSON request/response loop over stdin/stdout. One flat JSON object per
+// line; numeric fields only:
+//
+//   {"id": 1, "trip": 3}
+//   {"id": 2, "trip": 7, "k": 2, "eta": 0.3, "deadline_ms": 250}
+//
+// Responses (one line each, order may differ from request order under
+// --threads > 1; correlate by id):
+//
+//   {"id": 1, "status": "ok", "partitions": 2, "text": "..."}
+//   {"id": 2, "status": "deadline_exceeded", "error": "..."}
+//
+// A per-request "deadline_ms" overrides --deadline_ms; a non-positive value
+// means already expired (deterministic deadline_exceeded — used by tests).
+// Requests beyond --max_inflight are rejected immediately with
+// "resource_exhausted" instead of queueing without bound. A watchdog thread
+// additionally cancels requests still running past their deadline, so even
+// code between check points cannot hold a worker hostage forever.
+
+/// JSON string escaping for the response lines (control chars, quote,
+/// backslash).
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// Wire name of a status category ("deadline_exceeded", "ok", ...).
+std::string WireStatusName(StatusCode code) {
+  std::string name = StatusCodeName(code);  // "DeadlineExceeded"
+  std::string out;
+  for (size_t i = 0; i < name.size(); ++i) {
+    if (std::isupper(static_cast<unsigned char>(name[i]))) {
+      if (i > 0) out += '_';
+      out += static_cast<char>(
+          std::tolower(static_cast<unsigned char>(name[i])));
+    } else {
+      out += name[i];
+    }
+  }
+  return out;
+}
+
+/// Parses one request line: a flat JSON object whose values are all
+/// numbers. The serve protocol needs nothing richer, and a hand-rolled
+/// scanner keeps the tool dependency-free.
+Result<std::map<std::string, double>> ParseFlatJsonNumbers(
+    const std::string& line) {
+  std::map<std::string, double> fields;
+  size_t i = 0;
+  auto skip_ws = [&] {
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+  };
+  skip_ws();
+  if (i >= line.size() || line[i] != '{') {
+    return Status::InvalidArgument("request is not a JSON object");
+  }
+  ++i;
+  skip_ws();
+  if (i < line.size() && line[i] == '}') {
+    ++i;
+  } else {
+    while (true) {
+      skip_ws();
+      if (i >= line.size() || line[i] != '"') {
+        return Status::InvalidArgument("expected a quoted field name");
+      }
+      size_t key_end = line.find('"', i + 1);
+      if (key_end == std::string::npos) {
+        return Status::InvalidArgument("unterminated field name");
+      }
+      std::string key = line.substr(i + 1, key_end - i - 1);
+      i = key_end + 1;
+      skip_ws();
+      if (i >= line.size() || line[i] != ':') {
+        return Status::InvalidArgument("expected ':' after field name");
+      }
+      ++i;
+      skip_ws();
+      char* end = nullptr;
+      double value = std::strtod(line.c_str() + i, &end);
+      if (end == line.c_str() + i) {
+        return Status::InvalidArgument("field '" + key +
+                                       "' wants a numeric value");
+      }
+      fields[key] = value;
+      i = static_cast<size_t>(end - line.c_str());
+      skip_ws();
+      if (i < line.size() && line[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (i < line.size() && line[i] == '}') {
+        ++i;
+        break;
+      }
+      return Status::InvalidArgument("expected ',' or '}' in object");
+    }
+  }
+  skip_ws();
+  if (i != line.size()) {
+    return Status::InvalidArgument("trailing characters after object");
+  }
+  return fields;
+}
+
+/// One admitted request being tracked by the watchdog.
+struct InflightRequest {
+  long id = 0;
+  RequestContext::Clock::time_point deadline;
+  CancelSource cancel;
+};
+
+int RunServe(const Args& args) {
+  if (!args.Has("dir")) return Usage();
+  Result<int> threads = ThreadsFlag(args);
+  if (!threads.ok()) return Fail(threads.status());
+  const long default_deadline_ms = args.GetInt("deadline_ms", 0);
+  const long max_inflight = args.GetInt("max_inflight", 64);
+  const long max_expansions = args.GetInt("max_expansions", 0);
+  if (max_inflight < 1) {
+    return Fail(Status::InvalidArgument("--max_inflight must be >= 1"));
+  }
+
+  Result<LoadedWorld> loaded = LoadWorld(args.Get("dir", "."));
+  if (!loaded.ok()) return Fail(loaded.status());
+  LoadedWorld& world = *loaded;
+  STMaker maker(&world.network, world.landmarks.get(),
+                FeatureRegistry::BuiltIn(), MakerOptions(*threads));
+  if (args.Has("model")) {
+    Status st = maker.LoadModel(args.Get("model", "model"));
+    if (!st.ok()) return Fail(st);
+  } else {
+    Status st = maker.Train(world.trajectories);
+    if (!st.ok()) return Fail(st);
+  }
+  std::fprintf(stderr, "stmaker_cli: serving %zu trajectories on %d threads\n",
+               world.trajectories.size(), *threads);
+
+  std::mutex out_mu;  // one response line at a time
+  auto respond = [&](long id, const Status& status, const Summary* summary) {
+    std::lock_guard<std::mutex> lock(out_mu);
+    if (status.ok() && summary != nullptr) {
+      std::printf("{\"id\": %ld, \"status\": \"ok\", \"partitions\": %zu, "
+                  "\"text\": \"%s\"}\n",
+                  id, summary->partitions.size(),
+                  JsonEscape(summary->text).c_str());
+    } else {
+      std::printf("{\"id\": %ld, \"status\": \"%s\", \"error\": \"%s\"}\n",
+                  id, WireStatusName(status.code()).c_str(),
+                  JsonEscape(status.message()).c_str());
+    }
+    std::fflush(stdout);
+  };
+
+  // Watchdog: cancels admitted requests still running past their deadline
+  // and logs the overrun. The library's own deadline checks normally fire
+  // first; the watchdog is the backstop for code between check points.
+  std::mutex inflight_mu;
+  std::map<uint64_t, InflightRequest> inflight;
+  uint64_t next_token = 0;
+  std::atomic<bool> shutting_down{false};
+  std::atomic<size_t> watchdog_cancelled{0};
+  std::thread watchdog([&] {
+    while (!shutting_down.load(std::memory_order_relaxed)) {
+      {
+        std::lock_guard<std::mutex> lock(inflight_mu);
+        auto now = RequestContext::Clock::now();
+        for (auto& [token, req] : inflight) {
+          if (now >= req.deadline && !req.cancel.cancelled()) {
+            double over_ms =
+                std::chrono::duration<double, std::milli>(now - req.deadline)
+                    .count();
+            std::fprintf(stderr,
+                         "stmaker_cli: watchdog: request %ld is %.1f ms over "
+                         "deadline, cancelling\n",
+                         req.id, over_ms);
+            req.cancel.Cancel();
+            watchdog_cancelled.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+
+  ThreadPool pool(*threads);
+  size_t num_requests = 0;
+  size_t num_malformed = 0;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    ++num_requests;
+    Result<std::map<std::string, double>> parsed = ParseFlatJsonNumbers(line);
+    if (!parsed.ok()) {
+      ++num_malformed;
+      respond(-1, parsed.status(), nullptr);
+      continue;
+    }
+    const std::map<std::string, double>& fields = *parsed;
+    auto field = [&](const std::string& key, double fallback) {
+      auto it = fields.find(key);
+      return it == fields.end() ? fallback : it->second;
+    };
+    long id = static_cast<long>(field("id", -1));
+    if (fields.count("trip") == 0) {
+      respond(id, Status::InvalidArgument("request lacks a 'trip' field"),
+              nullptr);
+      continue;
+    }
+    double trip_value = field("trip", 0);
+    if (trip_value < 0 || trip_value >= world.trajectories.size()) {
+      respond(id,
+              Status::OutOfRange(StrFormat(
+                  "trip %.0f out of range (corpus has %zu)", trip_value,
+                  world.trajectories.size())),
+              nullptr);
+      continue;
+    }
+    size_t trip = static_cast<size_t>(trip_value);
+
+    SummaryOptions options;
+    options.k = static_cast<int>(field("k", 0));
+    options.eta = field("eta", 0.2);
+
+    // The deadline starts at admission, so queueing time counts against
+    // it — a request that waited out its budget in the queue fails fast
+    // instead of running anyway.
+    RequestContext ctx;
+    double deadline_ms = field("deadline_ms",
+                               static_cast<double>(default_deadline_ms));
+    if (deadline_ms != 0) {
+      ctx.deadline = RequestContext::Clock::now() +
+                     std::chrono::milliseconds(
+                         static_cast<long long>(deadline_ms));
+    }
+    ctx.max_node_expansions = static_cast<size_t>(
+        field("max_expansions", static_cast<double>(max_expansions)));
+
+    // A deadline already expired at admission fails right here, before
+    // the request can take a pool slot or race the watchdog — this keeps
+    // non-positive deadline_ms a *deterministic* deadline_exceeded.
+    if (Status at_admission = ctx.Check(); !at_admission.ok()) {
+      respond(id, at_admission, nullptr);
+      continue;
+    }
+
+    uint64_t token;
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu);
+      token = next_token++;
+      InflightRequest req;
+      req.id = id;
+      req.deadline = ctx.has_deadline()
+                         ? ctx.deadline
+                         : RequestContext::Clock::time_point::max();
+      inflight.emplace(token, req);
+      ctx.cancel = inflight[token].cancel.token();
+    }
+    bool admitted = pool.TrySubmit(
+        [&maker, &world, &respond, &inflight, &inflight_mu, id, trip, options,
+         ctx, token] {
+          Result<Summary> summary =
+              maker.Summarize(world.trajectories[trip], options, &ctx);
+          respond(id, summary.status(), summary.ok() ? &*summary : nullptr);
+          std::lock_guard<std::mutex> lock(inflight_mu);
+          inflight.erase(token);
+        },
+        static_cast<size_t>(max_inflight));
+    if (!admitted) {
+      {
+        std::lock_guard<std::mutex> lock(inflight_mu);
+        inflight.erase(token);
+      }
+      respond(id,
+              Status::ResourceExhausted(StrFormat(
+                  "server at capacity (%ld requests in flight)", max_inflight)),
+              nullptr);
+    }
+  }
+
+  pool.Wait();
+  shutting_down.store(true, std::memory_order_relaxed);
+  watchdog.join();
+
+  // Shutdown report: every request must have been answered, and the cache
+  // counters tell operators whether the LRUs are sized right.
+  std::fprintf(stderr, "stmaker_cli: served %zu requests (%zu malformed, "
+               "%zu admitted, %zu rejected, %zu watchdog-cancelled)\n",
+               num_requests, num_malformed, pool.admitted(), pool.rejected(),
+               watchdog_cancelled.load());
+  std::fprintf(stderr, "stmaker_cli: calibration cache: %s\n",
+               maker.CalibrationCacheStats().ToString().c_str());
+  std::fprintf(stderr, "stmaker_cli: popular-route cache: %s\n",
+               maker.RouteCacheStats().ToString().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -340,5 +716,6 @@ int main(int argc, char** argv) {
   if (args.command == "summarize") return RunSummarize(args);
   if (args.command == "stats") return RunStats(args);
   if (args.command == "group") return RunGroup(args);
+  if (args.command == "serve") return RunServe(args);
   return Usage();
 }
