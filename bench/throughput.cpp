@@ -20,7 +20,9 @@
 #include <vector>
 
 #include "bench_world.h"
+#include "common/metrics.h"
 #include "common/parallel.h"
+#include "common/trace.h"
 #include "core/feature_extractor.h"
 #include "traj/calibration.h"
 
@@ -242,11 +244,62 @@ int Run(const char* out_path) {
     std::printf("# popular-route cache: %s\n", rc.ToString().c_str());
   }
 
+  // --- Tracing overhead: the same summaries with and without a span sink.
+  // Certifies both halves of the observability contract: tracing must not
+  // change a byte of output, and its cost must stay in the noise.
+  {
+    const size_t n = std::min<size_t>(serve_batch.size(), 100);
+    std::vector<std::string> plain_texts, traced_texts;
+    std::vector<double> plain_lat, traced_lat;
+    double plain_t0 = NowMs();
+    for (size_t i = 0; i < n; ++i) {
+      double c0 = NowMs();
+      auto summary = world.maker->Summarize(serve_batch[i]);
+      plain_lat.push_back(NowMs() - c0);
+      plain_texts.push_back(summary.ok() ? summary->text : "<failed>");
+    }
+    double plain_total = NowMs() - plain_t0;
+    double traced_t0 = NowMs();
+    for (size_t i = 0; i < n; ++i) {
+      Trace trace;
+      RequestContext ctx;
+      ctx.trace = &trace;
+      double c0 = NowMs();
+      auto summary = world.maker->Summarize(serve_batch[i],
+                                            SummaryOptions(), &ctx);
+      traced_lat.push_back(NowMs() - c0);
+      traced_texts.push_back(summary.ok() ? summary->text : "<failed>");
+      STMAKER_CHECK(!trace.Events().empty());
+    }
+    double traced_total = NowMs() - traced_t0;
+    if (plain_texts != traced_texts) {
+      std::fprintf(stderr, "FATAL: tracing changed summary output\n");
+      return 1;
+    }
+    results.push_back(
+        Summarize("Summarize_untraced", 1, plain_lat, n, plain_total));
+    results.push_back(
+        Summarize("Summarize_traced", 1, traced_lat, n, traced_total));
+    std::printf("# traced outputs byte-identical to untraced: yes "
+                "(overhead %+.1f%%)\n",
+                plain_total > 0
+                    ? (traced_total - plain_total) / plain_total * 100.0
+                    : 0.0);
+  }
+
   // --- Emit JSON. -----------------------------------------------------------
   std::FILE* out = std::fopen(out_path, "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot open %s\n", out_path);
     return 1;
+  }
+  // Registry histograms accumulated by the instrumented pipeline over the
+  // whole run ride along as records of a second shape, so BENCH JSON
+  // carries the same per-stage latency picture serve mode's `stats` does.
+  MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  size_t num_hists = 0;
+  for (const auto& [name, hist] : snapshot.histograms) {
+    if (hist.count > 0) ++num_hists;
   }
   std::fprintf(out, "[\n");
   for (size_t i = 0; i < results.size(); ++i) {
@@ -256,7 +309,20 @@ int Run(const char* out_path) {
                  "\"items_per_sec\": %.2f, \"p50_ms\": %.4f, "
                  "\"p99_ms\": %.4f}%s\n",
                  r.name.c_str(), r.threads, r.items_per_sec, r.p50_ms,
-                 r.p99_ms, i + 1 < results.size() ? "," : "");
+                 r.p99_ms,
+                 i + 1 < results.size() || num_hists > 0 ? "," : "");
+  }
+  size_t emitted = 0;
+  for (const auto& [name, hist] : snapshot.histograms) {
+    if (hist.count == 0) continue;
+    ++emitted;
+    std::fprintf(out,
+                 "  {\"name\": \"histogram\", \"metric\": \"%s\", "
+                 "\"count\": %llu, \"mean_ms\": %.4f, \"p50_ms\": %.4f, "
+                 "\"p95_ms\": %.4f, \"p99_ms\": %.4f}%s\n",
+                 name.c_str(), static_cast<unsigned long long>(hist.count),
+                 hist.mean(), hist.p50(), hist.p95(), hist.p99(),
+                 emitted < num_hists ? "," : "");
   }
   std::fprintf(out, "]\n");
   std::fclose(out);

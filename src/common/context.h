@@ -32,6 +32,8 @@
 
 namespace stmaker {
 
+class Trace;  // common/trace.h
+
 /// \brief Cheap, copyable view of a cancellation flag.
 ///
 /// A default-constructed token can never be cancelled (the common case for
@@ -90,6 +92,13 @@ struct RequestContext {
   /// Applies to roadnet shortest-path searches only (see DESIGN.md §10).
   size_t max_node_expansions = 0;
 
+  /// Optional span collector for this request (common/trace.h); null (the
+  /// default) disables tracing — pipeline spans then cost one branch.
+  /// The Trace must outlive every call carrying this context. Tracing is
+  /// observational only: attaching one never changes any result
+  /// (DESIGN.md §11; the golden suite pins byte-identical output).
+  Trace* trace = nullptr;
+
   /// Context whose deadline is `timeout` from now. Non-positive timeouts
   /// produce an already-expired deadline (useful in tests).
   static RequestContext WithDeadline(std::chrono::milliseconds timeout) {
@@ -115,6 +124,12 @@ struct RequestContext {
 /// point uses for its up-front check.
 inline Status CheckContext(const RequestContext* ctx) {
   return ctx == nullptr ? Status::OK() : ctx->Check();
+}
+
+/// The request's span collector, or null for a null/untraced context —
+/// exactly what ScopedSpan's first argument wants.
+inline Trace* TraceOf(const RequestContext* ctx) {
+  return ctx == nullptr ? nullptr : ctx->trace;
 }
 
 /// True for status codes that describe the request's limits rather than

@@ -1,0 +1,268 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace stmaker {
+
+namespace {
+
+/// Shard selection must agree for every spelling of the same name, so hash
+/// the bytes (FNV-1a) rather than rely on std::hash<string_view> quirks.
+size_t NameHash(std::string_view name) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return static_cast<size_t>(h);
+}
+
+/// Shortest %.17g-style representation that round-trips doubles without
+/// printing "1e+02" for small integral values the tests want readable.
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+// --- HistogramSnapshot ------------------------------------------------------
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Target rank in [1, count]; walk buckets until the cumulative count
+  // reaches it.
+  const double rank = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const uint64_t in_bucket = counts[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) < rank) {
+      cumulative += in_bucket;
+      continue;
+    }
+    if (i >= bounds.size()) {
+      // Overflow bucket: no upper edge to interpolate toward.
+      return bounds.empty() ? 0.0 : bounds.back();
+    }
+    const double lo = i == 0 ? 0.0 : bounds[i - 1];
+    const double hi = bounds[i];
+    const double into = rank - static_cast<double>(cumulative);
+    return lo + (hi - lo) * (into / static_cast<double>(in_bucket));
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+// --- Histogram --------------------------------------------------------------
+
+std::vector<double> Histogram::DefaultLatencyBoundsMs() {
+  std::vector<double> bounds;
+  bounds.reserve(20);
+  double b = 0.01;  // 10 µs
+  for (int i = 0; i < 20; ++i) {
+    bounds.push_back(b);
+    b *= 2;  // ..., 5242.88 ms
+  }
+  return bounds;
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {
+  STMAKER_CHECK(!bounds_.empty());
+  STMAKER_CHECK(bounds_.size() <= kMaxBuckets);
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    STMAKER_CHECK(bounds_[i] > bounds_[i - 1]);
+  }
+}
+
+void Histogram::Observe(double value) {
+  // First bucket whose upper bound admits the value; the implicit last
+  // bucket is the overflow.
+  const size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // fetch_add on atomic<double> is a CAS loop on most targets — still
+  // lock-free, and the histogram is not on any per-iteration hot path
+  // (one Observe per pipeline stage per request).
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.reserve(counts_.size());
+  for (const std::atomic<uint64_t>& c : counts_) {
+    snap.counts.push_back(c.load(std::memory_order_relaxed));
+  }
+  // Derive the total from the copied buckets so count and counts always
+  // agree inside one snapshot even when observations race the copy.
+  snap.count = 0;
+  for (uint64_t c : snap.counts) snap.count += c;
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+// --- MetricsSnapshot --------------------------------------------------------
+
+uint64_t MetricsSnapshot::counter(std::string_view name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\": {";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    out += StrFormat("%s\"%s\": %llu", i == 0 ? "" : ", ",
+                     counters[i].first.c_str(),
+                     static_cast<unsigned long long>(counters[i].second));
+  }
+  out += "}, \"gauges\": {";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    out += StrFormat("%s\"%s\": %lld", i == 0 ? "" : ", ",
+                     gauges[i].first.c_str(),
+                     static_cast<long long>(gauges[i].second));
+  }
+  out += "}, \"histograms\": {";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramSnapshot& h = histograms[i].second;
+    out += StrFormat(
+        "%s\"%s\": {\"count\": %llu, \"sum\": %s, \"mean\": %s, "
+        "\"p50\": %s, \"p95\": %s, \"p99\": %s}",
+        i == 0 ? "" : ", ", histograms[i].first.c_str(),
+        static_cast<unsigned long long>(h.count), FormatDouble(h.sum).c_str(),
+        FormatDouble(h.mean()).c_str(), FormatDouble(h.p50()).c_str(),
+        FormatDouble(h.p95()).c_str(), FormatDouble(h.p99()).c_str());
+  }
+  out += "}}";
+  return out;
+}
+
+// --- MetricsRegistry --------------------------------------------------------
+
+MetricsRegistry::Shard& MetricsRegistry::ShardFor(std::string_view name) {
+  return shards_[NameHash(name) % kNumShards];
+}
+
+const MetricsRegistry::Shard& MetricsRegistry::ShardFor(
+    std::string_view name) const {
+  return shards_[NameHash(name) % kNumShards];
+}
+
+MetricsRegistry::Entry& MetricsRegistry::GetOrCreate(std::string_view name,
+                                                     Kind kind) {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(name);
+  if (it != shard.entries.end()) {
+    // Re-registering under a different kind is a naming bug, not a
+    // recoverable condition.
+    STMAKER_CHECK(it->second.kind == kind);
+    return it->second;
+  }
+  Entry entry;
+  entry.kind = kind;
+  switch (kind) {
+    case Kind::kCounter:
+      entry.counter = std::make_unique<Counter>();
+      break;
+    case Kind::kGauge:
+      entry.gauge = std::make_unique<Gauge>();
+      break;
+    case Kind::kHistogram:
+      break;  // installed by the histogram() overloads
+  }
+  return shard.entries.emplace(std::string(name), std::move(entry))
+      .first->second;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  return *GetOrCreate(name, Kind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  return *GetOrCreate(name, Kind::kGauge).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  return histogram(name, Histogram::DefaultLatencyBoundsMs());
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> bounds) {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(name);
+  if (it != shard.entries.end()) {
+    STMAKER_CHECK(it->second.kind == Kind::kHistogram);
+    STMAKER_CHECK(it->second.histogram->bounds() == bounds);
+    return *it->second.histogram;
+  }
+  Entry entry;
+  entry.kind = Kind::kHistogram;
+  entry.histogram = std::make_unique<Histogram>(std::move(bounds));
+  return *shard.entries.emplace(std::string(name), std::move(entry))
+              .first->second.histogram;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [name, entry] : shard.entries) {
+      switch (entry.kind) {
+        case Kind::kCounter:
+          snap.counters.emplace_back(name, entry.counter->value());
+          break;
+        case Kind::kGauge:
+          snap.gauges.emplace_back(name, entry.gauge->value());
+          break;
+        case Kind::kHistogram:
+          snap.histograms.emplace_back(name, entry.histogram->Snapshot());
+          break;
+      }
+    }
+  }
+  auto by_name = [](const auto& a, const auto& b) { return a.first < b.first; };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  return snap;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never freed
+  return *registry;
+}
+
+// --- ScopedLatencyTimer -----------------------------------------------------
+
+namespace {
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+ScopedLatencyTimer::ScopedLatencyTimer(Histogram* hist) : hist_(hist) {
+  if (hist_ != nullptr) start_ns_ = NowNs();
+}
+
+ScopedLatencyTimer::~ScopedLatencyTimer() {
+  if (hist_ == nullptr) return;
+  hist_->Observe(static_cast<double>(NowNs() - start_ns_) / 1e6);
+}
+
+}  // namespace stmaker

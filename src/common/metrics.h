@@ -1,0 +1,200 @@
+#ifndef STMAKER_COMMON_METRICS_H_
+#define STMAKER_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+/// \file
+/// \brief Process-wide operational metrics: counters, gauges, and
+/// fixed-bucket latency histograms behind a lock-sharded registry.
+///
+/// Design rules (DESIGN.md §11):
+///   - Recording is wait-free after the first lookup: Counter/Gauge are one
+///     relaxed atomic op, Histogram is two relaxed ops plus a bucket scan
+///     over a small fixed array. No locks, no allocation, no clock reads.
+///   - Registry lookups (`counter("x")`) take one shard mutex and are meant
+///     to happen once per call site — cache the returned reference in a
+///     function-local `static` (metric objects live as long as the
+///     registry; the registry never removes them).
+///   - Metrics observe, never steer: no library code path reads a metric to
+///     make a decision, so instrumentation can never change results. The
+///     golden suite pins this (tracing/metrics on vs off, byte-identical).
+///   - Snapshot() copies every value while holding each shard lock in turn;
+///     the copy is then immune to later increments (snapshot isolation per
+///     metric, not a global atomic cut — fine for operational telemetry).
+
+namespace stmaker {
+
+/// \brief A monotonically increasing counter (relaxed atomic).
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief A last-written level (relaxed atomic); Set and Add from any
+/// thread.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Point-in-time copy of one histogram, with quantile extraction.
+struct HistogramSnapshot {
+  /// Upper bounds of the finite buckets, strictly increasing. Bucket i
+  /// holds observations v with bounds[i-1] < v <= bounds[i]; one extra
+  /// overflow bucket past the last bound catches everything larger.
+  std::vector<double> bounds;
+  std::vector<uint64_t> counts;  ///< bounds.size() + 1 entries.
+  uint64_t count = 0;            ///< Total observations.
+  double sum = 0;                ///< Sum of observed values.
+
+  double mean() const { return count == 0 ? 0.0 : sum / count; }
+
+  /// Quantile q in [0, 1] by linear interpolation inside the bucket that
+  /// contains the target rank (the classic Prometheus estimator). The
+  /// overflow bucket reports its lower bound — an estimator can't invent
+  /// an upper edge it doesn't have. 0 observations -> 0.
+  double Quantile(double q) const;
+
+  double p50() const { return Quantile(0.50); }
+  double p95() const { return Quantile(0.95); }
+  double p99() const { return Quantile(0.99); }
+};
+
+/// \brief A fixed-bucket histogram; bucket bounds are frozen at
+/// construction. Observe() is lock-free (relaxed atomics), Snapshot()
+/// copies the counters.
+class Histogram {
+ public:
+  static constexpr size_t kMaxBuckets = 64;
+
+  /// Default latency bounds in milliseconds: 20 geometric buckets from
+  /// 0.01 ms to ~2.6 s (x2 per bucket), sized so every pipeline stage in
+  /// this codebase lands well inside the finite range.
+  static std::vector<double> DefaultLatencyBoundsMs();
+
+  /// `bounds` must be non-empty, strictly increasing, and at most
+  /// kMaxBuckets long.
+  explicit Histogram(std::vector<double> bounds = DefaultLatencyBoundsMs());
+
+  void Observe(double value);
+  HistogramSnapshot Snapshot() const;
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  std::vector<double> bounds_;
+  /// counts_[bounds_.size()] is the overflow bucket.
+  std::vector<std::atomic<uint64_t>> counts_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0};
+};
+
+/// Everything the registry knew at one point in time, ready to serialize.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;  // sorted by name
+  std::vector<std::pair<std::string, int64_t>> gauges;     // sorted by name
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  /// Counter value by name; 0 when absent (a metric that was never touched
+  /// was never registered — semantically zero).
+  uint64_t counter(std::string_view name) const;
+
+  /// One JSON object: {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {count, sum, p50, p95, p99, buckets}}}. Compact
+  /// (single line) so it can ride in an NDJSON response.
+  std::string ToJson() const;
+};
+
+/// \brief Name -> metric registry, lock-sharded so unrelated call sites
+/// never contend on registration or snapshot.
+///
+/// Metrics are created on first use and never removed; the returned
+/// references stay valid for the registry's lifetime. Re-requesting a name
+/// returns the same object; requesting an existing name as a different
+/// kind (or a histogram with different bounds) is a programming error
+/// (STMAKER_CHECK).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+  Histogram& histogram(std::string_view name, std::vector<double> bounds);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// The process-wide registry the library instruments into. Tests that
+  /// need isolation construct their own MetricsRegistry; tests asserting
+  /// on library-side counters read deltas of Global() instead (counters
+  /// are monotonic, so deltas are race-free to reason about).
+  static MetricsRegistry& Global();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Entry {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  static constexpr size_t kNumShards = 16;
+
+  struct Shard {
+    mutable std::mutex mu;
+    // std::map: stable iteration order makes snapshots sorted per shard
+    // for free; the full snapshot re-sorts across shards anyway.
+    std::map<std::string, Entry, std::less<>> entries;
+  };
+
+  Shard& ShardFor(std::string_view name);
+  const Shard& ShardFor(std::string_view name) const;
+  Entry& GetOrCreate(std::string_view name, Kind kind);
+
+  Shard shards_[kNumShards];
+};
+
+/// \brief RAII wall-clock timer: observes the elapsed milliseconds into a
+/// histogram at scope exit. Null histogram = fully disabled (one branch).
+class ScopedLatencyTimer {
+ public:
+  explicit ScopedLatencyTimer(Histogram* hist);
+  ~ScopedLatencyTimer();
+
+  ScopedLatencyTimer(const ScopedLatencyTimer&) = delete;
+  ScopedLatencyTimer& operator=(const ScopedLatencyTimer&) = delete;
+
+ private:
+  Histogram* hist_;
+  uint64_t start_ns_ = 0;
+};
+
+}  // namespace stmaker
+
+#endif  // STMAKER_COMMON_METRICS_H_

@@ -3,8 +3,34 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/metrics.h"
 
 namespace stmaker {
+
+namespace {
+
+/// Pool-wide operational metrics, shared across every ThreadPool in the
+/// process (serve mode runs exactly one long-lived pool; the ephemeral
+/// ParallelFor pools contribute the training-side picture).
+struct PoolMetrics {
+  Counter& admitted;
+  Counter& rejected;
+  Gauge& queue_depth;  ///< queued + executing, last writer wins
+  Histogram& queue_wait_ms;
+
+  static PoolMetrics& Get() {
+    static PoolMetrics* m = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      return new PoolMetrics{r.counter("threadpool.admitted"),
+                             r.counter("threadpool.rejected"),
+                             r.gauge("threadpool.queue_depth"),
+                             r.histogram("threadpool.queue_wait_ms")};
+    }();
+    return *m;
+  }
+};
+
+}  // namespace
 
 int ResolveThreadCount(int requested) {
   if (requested >= 1) return requested;
@@ -31,29 +57,38 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   STMAKER_CHECK(task != nullptr);
+  PoolMetrics& metrics = PoolMetrics::Get();
   {
     std::unique_lock<std::mutex> lock(mu_);
     STMAKER_CHECK(!stopping_);
-    queue_.push_back(std::move(task));
+    queue_.emplace_back(std::move(task), std::chrono::steady_clock::now());
     ++in_flight_;
     ++admitted_;
+    metrics.queue_depth.Set(static_cast<int64_t>(in_flight_));
   }
+  metrics.admitted.Increment();
   task_ready_.notify_one();
 }
 
 bool ThreadPool::TrySubmit(std::function<void()> task, size_t max_inflight) {
   STMAKER_CHECK(task != nullptr);
+  PoolMetrics& metrics = PoolMetrics::Get();
   {
     std::unique_lock<std::mutex> lock(mu_);
     STMAKER_CHECK(!stopping_);
     if (in_flight_ >= max_inflight) {
       ++rejected_;
+      // A rejection is otherwise invisible beyond the caller's false
+      // return — the counter is what overload dashboards watch.
+      metrics.rejected.Increment();
       return false;
     }
-    queue_.push_back(std::move(task));
+    queue_.emplace_back(std::move(task), std::chrono::steady_clock::now());
     ++in_flight_;
     ++admitted_;
+    metrics.queue_depth.Set(static_cast<int64_t>(in_flight_));
   }
+  metrics.admitted.Increment();
   task_ready_.notify_one();
   return true;
 }
@@ -74,20 +109,28 @@ void ThreadPool::Wait() {
 }
 
 void ThreadPool::WorkerLoop() {
+  PoolMetrics& metrics = PoolMetrics::Get();
   for (;;) {
     std::function<void()> task;
+    std::chrono::steady_clock::time_point enqueued;
     {
       std::unique_lock<std::mutex> lock(mu_);
       task_ready_.wait(lock,
                        [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_ with a drained queue
-      task = std::move(queue_.front());
+      task = std::move(queue_.front().first);
+      enqueued = queue_.front().second;
       queue_.pop_front();
     }
+    metrics.queue_wait_ms.Observe(
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - enqueued)
+            .count());
     task();
     {
       std::unique_lock<std::mutex> lock(mu_);
       --in_flight_;
+      metrics.queue_depth.Set(static_cast<int64_t>(in_flight_));
       if (in_flight_ == 0) drained_.notify_all();
     }
   }

@@ -1,12 +1,14 @@
 #ifndef STMAKER_COMMON_PARALLEL_H_
 #define STMAKER_COMMON_PARALLEL_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace stmaker {
@@ -67,7 +69,11 @@ class ThreadPool {
   mutable std::mutex mu_;
   std::condition_variable task_ready_;
   std::condition_variable drained_;
-  std::deque<std::function<void()>> queue_;
+  /// Each task carries its enqueue time so the worker can observe queue
+  /// wait (threadpool.queue_wait_ms) on dequeue — no extra allocation.
+  std::deque<std::pair<std::function<void()>,
+                       std::chrono::steady_clock::time_point>>
+      queue_;
   size_t in_flight_ = 0;  // queued + currently executing
   size_t admitted_ = 0;
   size_t rejected_ = 0;

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "common/failpoint.h"
+#include "common/metrics.h"
 
 namespace stmaker {
 
@@ -133,13 +134,19 @@ const PopularRouteMiner::QueryTotals& PopularRouteMiner::EnsureTotals()
 
 Result<std::vector<LandmarkId>> PopularRouteMiner::PopularRoute(
     LandmarkId from, LandmarkId to, const RequestContext* ctx) const {
+  static Counter& cache_hits =
+      MetricsRegistry::Global().counter("popular_route.cache.hits");
+  static Counter& cache_misses =
+      MetricsRegistry::Global().counter("popular_route.cache.misses");
   const std::pair<LandmarkId, LandmarkId> key{from, to};
   {
     std::lock_guard<std::mutex> lock(cache_mu_);
     if (const Result<std::vector<LandmarkId>>* hit = route_cache_.Get(key)) {
+      cache_hits.Increment();
       return *hit;
     }
   }
+  cache_misses.Increment();
   STMAKER_RETURN_IF_ERROR(CheckContext(ctx));
   const QueryTotals& totals = EnsureTotals();
   // First try the pruned graph (rare transitions dropped); rare "skip"

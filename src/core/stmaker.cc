@@ -8,8 +8,10 @@
 
 #include "common/check.h"
 #include "common/failpoint.h"
+#include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/strings.h"
+#include "common/trace.h"
 #include "core/similarity.h"
 #include "landmark/significance.h"
 #include "text/phrases.h"
@@ -186,6 +188,19 @@ Result<IngestReport> STMaker::IngestCorpus(
     visit_corpus_.Merge(shard.visits);
   }
   num_trained_ += report.ingested;
+  // One registry update per corpus from the merged report (not per shard),
+  // so the counters are deterministic at every thread count.
+  {
+    MetricsRegistry& r = MetricsRegistry::Global();
+    static Counter& offered = r.counter("stmaker.train.offered");
+    static Counter& ingested = r.counter("stmaker.train.ingested");
+    static Counter& quarantined = r.counter("stmaker.train.quarantined");
+    static Counter& repaired = r.counter("stmaker.train.repaired");
+    offered.Increment(report.total);
+    ingested.Increment(report.ingested);
+    quarantined.Increment(report.quarantined);
+    repaired.Increment(report.repaired);
+  }
   return report;
 }
 
@@ -268,6 +283,39 @@ T LengthWeightedMode(const std::vector<SegmentFeatures>& segments,
   return best;
 }
 
+/// The per-stage latency histograms of the serving pipeline (one per
+/// Fig. 12 stage) plus request counters, registered once. Kept in one
+/// struct so Summarize touches a single cached reference set.
+struct ServeMetrics {
+  Counter& requests;
+  Counter& ok;
+  Counter& errors;
+  Histogram& total_ms;
+  Histogram& sanitize_ms;
+  Histogram& calibrate_ms;
+  Histogram& extract_ms;
+  Histogram& partition_ms;
+  Histogram& select_ms;
+  Histogram& generate_ms;
+
+  static ServeMetrics& Get() {
+    static ServeMetrics* m = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      return new ServeMetrics{r.counter("stmaker.summarize.requests"),
+                              r.counter("stmaker.summarize.ok"),
+                              r.counter("stmaker.summarize.errors"),
+                              r.histogram("stmaker.stage.total_ms"),
+                              r.histogram("stmaker.stage.sanitize_ms"),
+                              r.histogram("stmaker.stage.calibrate_ms"),
+                              r.histogram("stmaker.stage.extract_ms"),
+                              r.histogram("stmaker.stage.partition_ms"),
+                              r.histogram("stmaker.stage.select_ms"),
+                              r.histogram("stmaker.stage.generate_ms")};
+    }();
+    return *m;
+  }
+};
+
 RoadGrade GradeFromAverage(double avg) {
   int g = static_cast<int>(std::lround(avg));
   g = std::clamp(g, 1, 7);
@@ -283,6 +331,18 @@ TrafficDirection DirectionFromAverage(double avg) {
 Result<Summary> STMaker::Summarize(const RawTrajectory& raw,
                                    const SummaryOptions& options,
                                    const RequestContext* ctx) const {
+  ServeMetrics& metrics = ServeMetrics::Get();
+  metrics.requests.Increment();
+  ScopedSpan root_span(TraceOf(ctx), "summarize", &metrics.total_ms);
+  Result<Summary> result = SummarizeStages(raw, options, ctx);
+  (result.ok() ? metrics.ok : metrics.errors).Increment();
+  return result;
+}
+
+Result<Summary> STMaker::SummarizeStages(const RawTrajectory& raw,
+                                         const SummaryOptions& options,
+                                         const RequestContext* ctx) const {
+  ServeMetrics& metrics = ServeMetrics::Get();
   if (analyzer_ == nullptr) {
     return Status::FailedPrecondition("STMaker::Train must run first");
   }
@@ -296,38 +356,53 @@ Result<Summary> STMaker::Summarize(const RawTrajectory& raw,
   // Step 0: sanitize the input. kRepair mends defective fixes so one NaN
   // or GPS teleport degrades the trip instead of poisoning the summary;
   // clean inputs pass through bit-identical (same calibration cache key).
+  Result<RawTrajectory> sanitize_result = [&] {
+    ScopedSpan span(TraceOf(ctx), "sanitize", &metrics.sanitize_ms);
+    return SanitizeTrajectory(raw, options_.sanitize);
+  }();
   STMAKER_ASSIGN_OR_RETURN(RawTrajectory sanitized,
-                           SanitizeTrajectory(raw, options_.sanitize));
+                           std::move(sanitize_result));
 
   // Step 1: rewrite into a symbolic trajectory.
+  Result<CalibratedTrajectory> calibrate_result = [&] {
+    ScopedSpan span(TraceOf(ctx), "calibrate", &metrics.calibrate_ms);
+    return calibrator_.Calibrate(sanitized, ctx);
+  }();
   STMAKER_ASSIGN_OR_RETURN(CalibratedTrajectory calibrated,
-                           calibrator_.Calibrate(sanitized, ctx));
+                           std::move(calibrate_result));
   const SymbolicTrajectory& symbolic = calibrated.symbolic;
   const size_t num_segments = symbolic.NumSegments();
   STMAKER_CHECK(num_segments >= 1);
 
   // Step 2: features per segment, normalized over this trajectory.
+  Result<std::vector<SegmentFeatures>> extract_result = [&] {
+    ScopedSpan span(TraceOf(ctx), "extract", &metrics.extract_ms);
+    return extractor_->Extract(calibrated, ctx);
+  }();
   STMAKER_ASSIGN_OR_RETURN(std::vector<SegmentFeatures> features,
-                           extractor_->Extract(calibrated, ctx));
+                           std::move(extract_result));
   std::vector<std::vector<double>> normalized =
       NormalizeSegmentFeatures(features);
   std::vector<double> weights = registry_.Weights();
 
   // Step 3: partition (CRF MAP via DP).
-  std::vector<double> similarities;
-  std::vector<double> significance;
-  for (size_t i = 0; i + 1 < num_segments; ++i) {
-    similarities.push_back(
-        SegmentSimilarity(normalized[i], normalized[i + 1], weights));
-    significance.push_back(
-        landmarks_->landmark(symbolic.samples[i + 1].landmark).significance);
-  }
-  PartitionOptions popt;
-  popt.ca = options.ca;
-  popt.k = std::min<int>(options.k, static_cast<int>(num_segments));
-  STMAKER_ASSIGN_OR_RETURN(
-      PartitionResult partition,
-      partitioner_.Partition(similarities, significance, popt, ctx));
+  Result<PartitionResult> partition_result = [&]() -> Result<PartitionResult> {
+    ScopedSpan span(TraceOf(ctx), "partition", &metrics.partition_ms);
+    std::vector<double> similarities;
+    std::vector<double> significance;
+    for (size_t i = 0; i + 1 < num_segments; ++i) {
+      similarities.push_back(
+          SegmentSimilarity(normalized[i], normalized[i + 1], weights));
+      significance.push_back(
+          landmarks_->landmark(symbolic.samples[i + 1].landmark).significance);
+    }
+    PartitionOptions popt;
+    popt.ca = options.ca;
+    popt.k = std::min<int>(options.k, static_cast<int>(num_segments));
+    return partitioner_.Partition(similarities, significance, popt, ctx);
+  }();
+  STMAKER_ASSIGN_OR_RETURN(PartitionResult partition,
+                           std::move(partition_result));
 
   // Steps 4+5: per-partition feature selection and phrase construction.
   Summary summary;
@@ -335,6 +410,11 @@ Result<Summary> STMaker::Summarize(const RawTrajectory& raw,
   std::vector<std::string> sentences;
   for (size_t p = 0; p < partition.partitions.size(); ++p) {
     STMAKER_RETURN_IF_ERROR(CheckContext(ctx));
+    // Step 4: irregularity scoring + feature selection for this partition.
+    // (One span per partition; the histogram collects per-partition
+    // samples, which is what sizing a partition budget needs.)
+    std::optional<ScopedSpan> select_span;
+    select_span.emplace(TraceOf(ctx), "select", &metrics.select_ms);
     auto [begin, end] = partition.partitions[p];
     PartitionSummary ps;
     ps.seg_begin = begin;
@@ -517,8 +597,11 @@ Result<Summary> STMaker::Summarize(const RawTrajectory& raw,
       ps.selected.push_back(std::move(sel));
     }
 
-    // Table VI sentence. The road type is mentioned unless the grade phrase
-    // already covers it.
+    select_span.reset();
+
+    // Step 5: Table VI sentence. The road type is mentioned unless the
+    // grade phrase already covers it.
+    ScopedSpan generate_span(TraceOf(ctx), "generate", &metrics.generate_ms);
     std::vector<std::string> phrases;
     for (const SelectedFeature& sel : ps.selected) {
       phrases.push_back(sel.phrase);
@@ -565,6 +648,17 @@ std::vector<Result<Summary>> STMaker::SummarizeBatch(
   // so element i is bit-identical to a lone Summarize(raws[i], options)
   // call at any thread count.
   std::vector<std::optional<Result<Summary>>> slots(raws.size());
+  {
+    static Counter& batch_items =
+        MetricsRegistry::Global().counter("stmaker.batch.items");
+    static Counter& batch_shed =
+        MetricsRegistry::Global().counter("stmaker.batch.shed");
+    batch_items.Increment(raws.size());
+    // Shed items are invisible to callers beyond their per-slot status;
+    // the counter makes overload visible to operators (and assertable in
+    // tests) without changing the deterministic shed set.
+    batch_shed.Increment(raws.size() - admitted);
+  }
   ParallelFor(admitted, threads,
               [&](size_t begin, size_t end, int /*shard*/) {
                 for (size_t i = begin; i < end; ++i) {

@@ -242,6 +242,16 @@ class STMaker {
   const LandmarkIndex& landmarks() const { return *landmarks_; }
 
  private:
+  /// The staged pipeline body of Summarize (sanitize → calibrate → extract
+  /// → partition → select → generate), each stage wrapped in a trace span
+  /// and a stage-latency histogram. Summarize() itself only adds the
+  /// request counters and the root span — the split keeps "count every
+  /// outcome exactly once" trivially correct across the many early
+  /// returns.
+  Result<Summary> SummarizeStages(const RawTrajectory& raw,
+                                  const SummaryOptions& options,
+                                  const RequestContext* ctx) const;
+
   /// Sanitizes, calibrates, and mines every trajectory of `history` into
   /// the current accumulators (miner, feature map, visit corpus) using
   /// `num_threads` workers. Each worker ingests a contiguous block of

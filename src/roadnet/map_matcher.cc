@@ -4,6 +4,8 @@
 #include <limits>
 
 #include "common/check.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 
 namespace stmaker {
 
@@ -38,6 +40,15 @@ Result<std::vector<EdgeId>> MapMatcher::Match(const std::vector<Vec2>& points,
   std::vector<EdgeId> result(n, -1);
   if (n == 0) return result;
   STMAKER_RETURN_IF_ERROR(CheckContext(ctx));
+  static Counter& matches =
+      MetricsRegistry::Global().counter("roadnet.map_match.calls");
+  static Counter& matched_points =
+      MetricsRegistry::Global().counter("roadnet.map_match.points");
+  static Histogram& latency =
+      MetricsRegistry::Global().histogram("roadnet.map_match_ms");
+  matches.Increment();
+  matched_points.Increment(n);
+  ScopedSpan span(TraceOf(ctx), "map_match", &latency);
   CancelCheck check(ctx);
 
   // Candidate edges and their emission costs, per point.

@@ -1,5 +1,7 @@
 #include "roadnet/route_cache.h"
 
+#include "common/metrics.h"
+
 namespace stmaker {
 
 CachingRouter::CachingRouter(const RoadNetwork* network, EdgeCostFn cost,
@@ -8,11 +10,19 @@ CachingRouter::CachingRouter(const RoadNetwork* network, EdgeCostFn cost,
 
 Result<Path> CachingRouter::Route(NodeId src, NodeId dst,
                                   const RequestContext* ctx) const {
+  static Counter& cache_hits =
+      MetricsRegistry::Global().counter("roadnet.route_cache.hits");
+  static Counter& cache_misses =
+      MetricsRegistry::Global().counter("roadnet.route_cache.misses");
   const std::pair<NodeId, NodeId> key{src, dst};
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (const Result<Path>* hit = cache_.Get(key)) return *hit;
+    if (const Result<Path>* hit = cache_.Get(key)) {
+      cache_hits.Increment();
+      return *hit;
+    }
   }
+  cache_misses.Increment();
   Result<Path> result = router_.Route(src, dst, cost_, ctx);
   // Context errors (deadline/cancel/budget) are per-request, not
   // per-OD-pair: caching one would poison every later query for the pair.

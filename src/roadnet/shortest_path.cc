@@ -5,8 +5,51 @@
 #include <queue>
 
 #include "common/check.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 
 namespace stmaker {
+
+namespace {
+
+/// Flushes a search's expansion count into the registry on every exit path
+/// (success, NotFound, deadline, budget) with a single Increment.
+struct ExpansionCounter {
+  Counter& sink;
+  size_t expansions = 0;
+  ~ExpansionCounter() { sink.Increment(expansions); }
+};
+
+Counter& DijkstraSearches() {
+  static Counter& c =
+      MetricsRegistry::Global().counter("roadnet.dijkstra.searches");
+  return c;
+}
+
+Counter& DijkstraNodesExpanded() {
+  static Counter& c =
+      MetricsRegistry::Global().counter("roadnet.dijkstra.nodes_expanded");
+  return c;
+}
+
+Counter& AStarSearches() {
+  static Counter& c =
+      MetricsRegistry::Global().counter("roadnet.astar.searches");
+  return c;
+}
+
+Counter& AStarNodesExpanded() {
+  static Counter& c =
+      MetricsRegistry::Global().counter("roadnet.astar.nodes_expanded");
+  return c;
+}
+
+Histogram& RouteLatency() {
+  static Histogram& h = MetricsRegistry::Global().histogram("roadnet.route_ms");
+  return h;
+}
+
+}  // namespace
 
 EdgeCostFn LengthCost() {
   return [](const RoadEdge& e, bool /*forward*/) { return e.length_m; };
@@ -67,8 +110,11 @@ Result<Path> ShortestPathRouter::Route(NodeId src, NodeId dst,
     return Status::InvalidArgument("Route: node id out of range");
   }
   STMAKER_RETURN_IF_ERROR(CheckContext(ctx));
+  DijkstraSearches().Increment();
+  ScopedSpan span(TraceOf(ctx), "dijkstra", &RouteLatency());
+  ExpansionCounter expanded{DijkstraNodesExpanded()};
   const size_t budget = ctx == nullptr ? 0 : ctx->max_node_expansions;
-  size_t expansions = 0;
+  size_t& expansions = expanded.expansions;
   CancelCheck check(ctx);
   EdgeCostFn c = cost ? cost : LengthCost();
   std::vector<double> dist(net.NumNodes(), kInf);
@@ -84,7 +130,8 @@ Result<Path> ShortestPathRouter::Route(NodeId src, NodeId dst,
     if (d > dist[u]) continue;
     if (u == dst) break;
     STMAKER_RETURN_IF_ERROR(check.Tick());
-    if (budget > 0 && ++expansions > budget) return BudgetExhausted(budget);
+    ++expansions;
+    if (budget > 0 && expansions > budget) return BudgetExhausted(budget);
     for (const Adjacency& adj : net.OutEdges(u)) {
       double w = c(net.edge(adj.edge), adj.forward);
       STMAKER_DCHECK(w >= 0);
@@ -113,8 +160,11 @@ Result<Path> ShortestPathRouter::RouteAStar(NodeId src, NodeId dst,
     return Status::InvalidArgument("RouteAStar: negative heuristic scale");
   }
   STMAKER_RETURN_IF_ERROR(CheckContext(ctx));
+  AStarSearches().Increment();
+  ScopedSpan span(TraceOf(ctx), "astar", &RouteLatency());
+  ExpansionCounter expanded{AStarNodesExpanded()};
   const size_t budget = ctx == nullptr ? 0 : ctx->max_node_expansions;
-  size_t expansions = 0;
+  size_t& expansions = expanded.expansions;
   CancelCheck check(ctx);
   EdgeCostFn c = cost ? cost : LengthCost();
   const Vec2 goal = net.node(dst).pos;
@@ -134,7 +184,8 @@ Result<Path> ShortestPathRouter::RouteAStar(NodeId src, NodeId dst,
     if (f > dist[u] + h(u) + 1e-9) continue;  // stale entry
     if (u == dst) break;
     STMAKER_RETURN_IF_ERROR(check.Tick());
-    if (budget > 0 && ++expansions > budget) return BudgetExhausted(budget);
+    ++expansions;
+    if (budget > 0 && expansions > budget) return BudgetExhausted(budget);
     for (const Adjacency& adj : net.OutEdges(u)) {
       double w = c(net.edge(adj.edge), adj.forward);
       STMAKER_DCHECK(w >= 0);

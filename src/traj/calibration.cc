@@ -8,6 +8,7 @@
 
 #include "common/check.h"
 #include "common/lru_cache.h"
+#include "common/metrics.h"
 
 namespace stmaker {
 
@@ -145,14 +146,23 @@ Calibrator& Calibrator::operator=(Calibrator&&) noexcept = default;
 
 Result<CalibratedTrajectory> Calibrator::Calibrate(
     const RawTrajectory& raw, const RequestContext* ctx) const {
+  // Mirrored into the metrics registry (the LRU's own CacheStats remain
+  // the per-instance source of truth; the registry aggregates across
+  // instances for the serve-mode snapshot).
+  static Counter& cache_hits =
+      MetricsRegistry::Global().counter("calibration.cache.hits");
+  static Counter& cache_misses =
+      MetricsRegistry::Global().counter("calibration.cache.misses");
   if (cache_ == nullptr) return CalibrateUncached(raw, ctx);
   Cache::Key key{raw};
   {
     std::lock_guard<std::mutex> lock(cache_->mu);
     if (const Result<CalibratedTrajectory>* hit = cache_->lru.Get(key)) {
+      cache_hits.Increment();
       return *hit;
     }
   }
+  cache_misses.Increment();
   Result<CalibratedTrajectory> result = CalibrateUncached(raw, ctx);
   // Deadline/cancel aborts are request-scoped, never a property of the
   // trajectory — memoizing one would make every later call fail too.

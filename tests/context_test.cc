@@ -15,6 +15,7 @@
 #include "common/failpoint.h"
 #include "common/fileutil.h"
 #include "common/lru_cache.h"
+#include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/retry.h"
 
@@ -199,6 +200,10 @@ TEST(CacheStatsTest, ToStringIsHumanReadable) {
 // --------------------------------------------------------------------------
 
 TEST(TrySubmitTest, RejectsBeyondTheInflightLimit) {
+  // Rejections are also counted process-wide (threadpool.rejected), so the
+  // registry delta must track pool.rejected() exactly.
+  MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
+
   ThreadPool pool(1);
   std::atomic<bool> release{false};
   std::atomic<int> ran{0};
@@ -222,6 +227,14 @@ TEST(TrySubmitTest, RejectsBeyondTheInflightLimit) {
   EXPECT_EQ(ran.load(), 3);
   EXPECT_EQ(pool.admitted(), 3u);
   EXPECT_EQ(pool.rejected(), 1u);
+
+  MetricsSnapshot after = MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(after.counter("threadpool.rejected") -
+                before.counter("threadpool.rejected"),
+            1u);
+  EXPECT_EQ(after.counter("threadpool.admitted") -
+                before.counter("threadpool.admitted"),
+            3u);
 }
 
 // --------------------------------------------------------------------------

@@ -19,6 +19,7 @@
 #include "common/csv.h"
 #include "common/failpoint.h"
 #include "common/fileutil.h"
+#include "common/metrics.h"
 #include "common/random.h"
 #include "common/retry.h"
 #include "common/strings.h"
@@ -805,6 +806,11 @@ TEST(RequestContextServingTest, BatchShedsTheSameItemsAtEveryThreadCount) {
   std::vector<RawTrajectory> raws;
   for (size_t i = 0; i < 12; ++i) raws.push_back(world.history[i].raw);
 
+  // Shedding is counted in the global registry (stmaker.batch.shed);
+  // counters are monotonic, so the delta across the two runs is exact
+  // even if other tests in the binary touched the same metric.
+  MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
+
   auto run = [&](int threads) {
     BatchOptions batch;
     batch.num_threads = threads;
@@ -813,6 +819,15 @@ TEST(RequestContextServingTest, BatchShedsTheSameItemsAtEveryThreadCount) {
   };
   std::vector<Result<Summary>> serial = run(1);
   std::vector<Result<Summary>> parallel = run(4);
+
+  MetricsSnapshot after = MetricsRegistry::Global().Snapshot();
+  // 12 items offered per run, 7 shed per run, two runs.
+  EXPECT_EQ(after.counter("stmaker.batch.items") -
+                before.counter("stmaker.batch.items"),
+            24u);
+  EXPECT_EQ(after.counter("stmaker.batch.shed") -
+                before.counter("stmaker.batch.shed"),
+            14u);
 
   ASSERT_EQ(serial.size(), raws.size());
   ASSERT_EQ(parallel.size(), raws.size());

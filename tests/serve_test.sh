@@ -85,4 +85,84 @@ rc=0
   < /dev/null > /dev/null 2>&1 || rc=$?
 [[ $rc -eq 3 ]] || { echo "--max_inflight 0: want exit 3, got $rc"; exit 1; }
 
+echo "== stats request: readiness probe + metrics snapshot =="
+# The server is driven through a FIFO so we can poll its output instead of
+# guessing with fixed sleeps: a stats request is answered synchronously on
+# the accept thread, so its response doubles as the readiness signal.
+OUT4="$DIR/responses4.ndjson"
+FIFO="$DIR/requests.fifo"
+mkfifo "$FIFO"
+"$CLI" serve --dir "$DIR" --model "$DIR/model" --threads 2 \
+  < "$FIFO" > "$OUT4" 2>/dev/null &
+SERVE_PID=$!
+exec 9> "$FIFO"
+
+poll_for() {  # poll_for <pattern> — bounded wait on the response stream
+  for _ in $(seq 1 400); do
+    grep -q "$1" "$OUT4" 2>/dev/null && return 0
+    sleep 0.05
+  done
+  echo "timed out waiting for: $1"; kill "$SERVE_PID" 2>/dev/null; exit 1
+}
+
+printf '{"id": 70, "stats": 1}\n' >&9
+poll_for '"id": 70'
+grep '"id": 70' "$OUT4" | grep -q '"status": "ok", "stats": {"counters"' || {
+  echo "stats response malformed"; exit 1; }
+
+# One summarize request; its response line means every pipeline-stage
+# metric for it has been recorded (metrics land before the response).
+printf '{"id": 71, "trip": 1}\n' >&9
+poll_for '"id": 71'
+printf '{"id": 72, "stats": 1}\n' >&9
+exec 9>&-
+wait "$SERVE_PID"
+STATS2="$(grep '"id": 72' "$OUT4")"
+for metric in '"serve.requests": 3' '"serve.stats_requests": 2' \
+    '"stmaker.summarize.requests": 1' '"stmaker.summarize.ok": 1' \
+    'stmaker.stage.total_ms' 'stmaker.stage.sanitize_ms' \
+    'stmaker.stage.calibrate_ms' 'stmaker.stage.extract_ms' \
+    'stmaker.stage.partition_ms' 'stmaker.stage.select_ms' \
+    'stmaker.stage.generate_ms' 'roadnet.map_match_ms' \
+    'threadpool.admitted'; do
+  echo "$STATS2" | grep -q "$metric" || {
+    echo "stats snapshot lacks $metric"; echo "$STATS2"; exit 1; }
+done
+
+echo "== --trace_log writes parseable span trees and changes no output =="
+REQ5="$DIR/requests5.ndjson"
+cat > "$REQ5" <<'EOF'
+{"id": 1, "trip": 3}
+{"id": 2, "trip": 5, "k": 2}
+EOF
+OUT5A="$DIR/responses5a.ndjson"
+OUT5B="$DIR/responses5b.ndjson"
+TRACE="$DIR/trace.ndjson"
+"$CLI" serve --dir "$DIR" --model "$DIR/model" --threads 1 \
+  < "$REQ5" > "$OUT5A" 2>/dev/null
+"$CLI" serve --dir "$DIR" --model "$DIR/model" --threads 1 \
+  --trace_log "$TRACE" < "$REQ5" > "$OUT5B" 2>/dev/null
+diff "$OUT5A" "$OUT5B" || {
+  echo "tracing changed the responses"; exit 1; }
+python3 - "$TRACE" <<'EOF'
+import json, sys
+lines = [l for l in open(sys.argv[1]) if l.strip()]
+assert len(lines) == 2, f"want 2 trace lines, got {len(lines)}"
+ids = set()
+for line in lines:
+    rec = json.loads(line)          # every line must parse
+    ids.add(rec["id"])
+    spans = rec["trace"]["spans"]
+    assert len(spans) == 1, "want one root span"
+    root = spans[0]
+    assert root["name"] == "summarize", root["name"]
+    child_names = [c["name"] for c in root["children"]]
+    for stage in ("sanitize", "calibrate", "extract", "partition",
+                  "select", "generate"):
+        assert stage in child_names, f"missing stage span {stage}"
+    assert root["end_ms"] >= root["start_ms"]
+assert ids == {1, 2}, ids
+print("trace log OK: 2 parseable span trees, all stages present")
+EOF
+
 echo "serve_test OK"

@@ -38,6 +38,7 @@
 #include <cstdlib>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <string>
@@ -45,8 +46,10 @@
 #include <vector>
 
 #include "common/context.h"
+#include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/strings.h"
+#include "common/trace.h"
 
 #include "core/corpus_stats.h"
 #include "core/group_summarizer.h"
@@ -145,7 +148,7 @@ int Usage() {
                "  stmaker_cli group --dir D [--from-hour H] [--to-hour H]\n"
                "  stmaker_cli serve --dir D [--model P] [--threads N]\n"
                "              [--deadline_ms MS] [--max_inflight N]\n"
-               "              [--max_expansions N]\n"
+               "              [--max_expansions N] [--trace_log PATH]\n"
                "(--threads: worker threads for training and batch "
                "summarization; 0 = all cores, default 1, max 1024; results "
                "are identical at any thread count)\n"
@@ -409,6 +412,18 @@ int RunGroup(const Args& args) {
 // "resource_exhausted" instead of queueing without bound. A watchdog thread
 // additionally cancels requests still running past their deadline, so even
 // code between check points cannot hold a worker hostage forever.
+//
+// Observability:
+//   - {"id": 7, "stats": 1} answers synchronously with a metrics snapshot
+//     ({"id": 7, "status": "ok", "stats": {counters, gauges, histograms}}):
+//     per-stage latency histograms with p50/p95/p99, cache hit/miss
+//     counters, thread-pool admission/queue numbers. Clients poll it as a
+//     readiness probe — the server answers as soon as the loop is up.
+//   - --trace_log PATH appends one NDJSON line per summarize request:
+//     {"id": N, "trace": {"spans": [...]}} — the per-request span tree
+//     (summarize -> sanitize/calibrate/extract/partition/select/generate,
+//     with map-match and route searches nested below). Tracing never
+//     changes responses (golden_test pins byte-identical output).
 
 /// JSON string escaping for the response lines (control chars, quote,
 /// backslash).
@@ -533,6 +548,24 @@ int RunServe(const Args& args) {
     return Fail(Status::InvalidArgument("--max_inflight must be >= 1"));
   }
 
+  // Per-request span export (NDJSON; one line per summarize request).
+  std::FILE* trace_log = nullptr;
+  if (args.Has("trace_log")) {
+    trace_log = std::fopen(args.Get("trace_log", "").c_str(), "w");
+    if (trace_log == nullptr) {
+      return Fail(Status::IoError("cannot open --trace_log file '" +
+                                  args.Get("trace_log", "") + "'"));
+    }
+  }
+
+  // Serve-loop counters live in the global registry so the `stats`
+  // request and the shutdown report read the same numbers.
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter& c_requests = registry.counter("serve.requests");
+  Counter& c_malformed = registry.counter("serve.malformed");
+  Counter& c_stats_requests = registry.counter("serve.stats_requests");
+  Counter& c_watchdog_cancelled = registry.counter("serve.watchdog_cancelled");
+
   Result<LoadedWorld> loaded = LoadWorld(args.Get("dir", "."));
   if (!loaded.ok()) return Fail(loaded.status());
   LoadedWorld& world = *loaded;
@@ -588,6 +621,7 @@ int RunServe(const Args& args) {
                          req.id, over_ms);
             req.cancel.Cancel();
             watchdog_cancelled.fetch_add(1, std::memory_order_relaxed);
+            c_watchdog_cancelled.Increment();
           }
         }
       }
@@ -595,16 +629,25 @@ int RunServe(const Args& args) {
     }
   });
 
+  // Mirrors the maker's LRU cache stats into gauges so a `stats` snapshot
+  // carries them alongside the registry-native counters.
+  auto mirror_cache_gauges = [&] {
+    CacheStats cal = maker.CalibrationCacheStats();
+    CacheStats route = maker.RouteCacheStats();
+    registry.gauge("calibration.cache.evictions").Set(
+        static_cast<int64_t>(cal.evictions));
+    registry.gauge("popular_route.cache.evictions").Set(
+        static_cast<int64_t>(route.evictions));
+  };
+
   ThreadPool pool(*threads);
-  size_t num_requests = 0;
-  size_t num_malformed = 0;
   std::string line;
   while (std::getline(std::cin, line)) {
     if (line.empty()) continue;
-    ++num_requests;
+    c_requests.Increment();
     Result<std::map<std::string, double>> parsed = ParseFlatJsonNumbers(line);
     if (!parsed.ok()) {
-      ++num_malformed;
+      c_malformed.Increment();
       respond(-1, parsed.status(), nullptr);
       continue;
     }
@@ -614,6 +657,19 @@ int RunServe(const Args& args) {
       return it == fields.end() ? fallback : it->second;
     };
     long id = static_cast<long>(field("id", -1));
+    if (fields.count("stats") != 0) {
+      // Answered synchronously on the accept thread: a stats probe must
+      // succeed even when the pool is saturated (it doubles as the
+      // readiness/health check in the serve tests).
+      c_stats_requests.Increment();
+      mirror_cache_gauges();
+      std::string snapshot = registry.Snapshot().ToJson();
+      std::lock_guard<std::mutex> lock(out_mu);
+      std::printf("{\"id\": %ld, \"status\": \"ok\", \"stats\": %s}\n", id,
+                  snapshot.c_str());
+      std::fflush(stdout);
+      continue;
+    }
     if (fields.count("trip") == 0) {
       respond(id, Status::InvalidArgument("request lacks a 'trip' field"),
               nullptr);
@@ -668,12 +724,26 @@ int RunServe(const Args& args) {
       inflight.emplace(token, req);
       ctx.cancel = inflight[token].cancel.token();
     }
+    // When --trace_log is active every admitted request carries its own
+    // Trace; the span tree is appended (one NDJSON line, under out_mu so
+    // lines never interleave) after the response is sent. Tracing only
+    // observes — the response bytes are identical either way.
+    std::shared_ptr<Trace> trace;
+    if (trace_log != nullptr) trace = std::make_shared<Trace>();
+    ctx.trace = trace.get();
     bool admitted = pool.TrySubmit(
-        [&maker, &world, &respond, &inflight, &inflight_mu, id, trip, options,
-         ctx, token] {
+        [&maker, &world, &respond, &inflight, &inflight_mu, &out_mu, trace_log,
+         id, trip, options, ctx, token, trace] {
           Result<Summary> summary =
               maker.Summarize(world.trajectories[trip], options, &ctx);
           respond(id, summary.status(), summary.ok() ? &*summary : nullptr);
+          if (trace_log != nullptr && trace != nullptr) {
+            std::string json = trace->ToJson();
+            std::lock_guard<std::mutex> lock(out_mu);
+            std::fprintf(trace_log, "{\"id\": %ld, \"trace\": %s}\n", id,
+                         json.c_str());
+            std::fflush(trace_log);
+          }
           std::lock_guard<std::mutex> lock(inflight_mu);
           inflight.erase(token);
         },
@@ -694,16 +764,31 @@ int RunServe(const Args& args) {
   shutting_down.store(true, std::memory_order_relaxed);
   watchdog.join();
 
+  if (trace_log != nullptr) std::fclose(trace_log);
+
   // Shutdown report: every request must have been answered, and the cache
-  // counters tell operators whether the LRUs are sized right.
+  // counters tell operators whether the LRUs are sized right. The totals
+  // come from the same registry the `stats` request serves — the report is
+  // just the final snapshot rendered for humans.
   std::fprintf(stderr, "stmaker_cli: served %zu requests (%zu malformed, "
                "%zu admitted, %zu rejected, %zu watchdog-cancelled)\n",
-               num_requests, num_malformed, pool.admitted(), pool.rejected(),
-               watchdog_cancelled.load());
+               static_cast<size_t>(c_requests.value()),
+               static_cast<size_t>(c_malformed.value()), pool.admitted(),
+               pool.rejected(),
+               static_cast<size_t>(c_watchdog_cancelled.value()));
   std::fprintf(stderr, "stmaker_cli: calibration cache: %s\n",
                maker.CalibrationCacheStats().ToString().c_str());
   std::fprintf(stderr, "stmaker_cli: popular-route cache: %s\n",
                maker.RouteCacheStats().ToString().c_str());
+  MetricsSnapshot final_snapshot = MetricsRegistry::Global().Snapshot();
+  for (const auto& [name, hist] : final_snapshot.histograms) {
+    if (hist.count == 0) continue;
+    std::fprintf(stderr,
+                 "stmaker_cli: latency %s: n=%llu p50=%.3fms p95=%.3fms "
+                 "p99=%.3fms\n",
+                 name.c_str(), static_cast<unsigned long long>(hist.count),
+                 hist.p50(), hist.p95(), hist.p99());
+  }
   return 0;
 }
 
