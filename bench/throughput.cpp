@@ -1,22 +1,33 @@
 // Operational throughput of the parallel train/serve pipeline (not a paper
 // figure, but the numbers a deployment needs): a thread sweep of corpus
-// ingestion (Train) and batch summarization (SummarizeBatch), plus
-// per-stage serving latencies (calibration cold/cached, feature
-// extraction, popular-route queries with the LRU warm).
+// ingestion (Train) and batch summarization (SummarizeBatch), per-stage
+// serving latencies (calibration cold/cached, feature extraction,
+// popular-route queries with the LRU warm), and the routing backends —
+// plain Dijkstra against the contraction hierarchy on the largest
+// generated map, point queries and many-to-many tables.
 //
 // Every parallel configuration is checked against the serial one — the
 // sweep aborts with a nonzero exit if any thread count changes a single
-// byte of output, so the emitted numbers are certified equal-output.
+// byte of output — and every CH route is checked against Dijkstra, so the
+// emitted numbers are certified equal-output.
 //
 // Run:  ./build/bench/throughput [out.json]
 // Emits one JSON record per (benchmark, threads) pair:
 //   {"name", "threads", "items_per_sec", "p50_ms", "p99_ms"}
+// plus three special records: "ch_routing" (map size, build cost, measured
+// CH-over-Dijkstra speedup), "machine" (hardware concurrency, so scaling
+// numbers can be read against the cores that produced them), and the
+// registry histograms accumulated over the run.
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <limits>
 #include <memory>
+#include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_world.h"
@@ -24,6 +35,8 @@
 #include "common/parallel.h"
 #include "common/trace.h"
 #include "core/feature_extractor.h"
+#include "roadnet/contraction_hierarchy.h"
+#include "roadnet/shortest_path.h"
 #include "traj/calibration.h"
 
 using namespace stmaker;
@@ -287,6 +300,114 @@ int Run(const char* out_path) {
                     : 0.0);
   }
 
+  // --- Routing backends: Dijkstra vs contraction hierarchy. ----------------
+  // A dedicated map, larger than the bench city, so the asymptotic gap is
+  // visible: uninformed Dijkstra settles O(n) nodes per query while the CH
+  // search touches a few dozen regardless of distance.
+  double ch_build_ms = 0;
+  double ch_speedup = 0;
+  double ch_batch_speedup = 0;
+  size_t routing_nodes = 0;
+  {
+    MapGeneratorOptions big;
+    big.blocks_x = 80;
+    big.blocks_y = 80;
+    big.seed = 7;
+    GeneratedMap metro = MapGenerator(big).Generate();
+    const RoadNetwork& net = metro.network;
+    routing_nodes = net.NumNodes();
+    std::printf("# routing map: %zu nodes, %zu edges\n", net.NumNodes(),
+                net.NumEdges());
+
+    double b0 = NowMs();
+    Result<ContractionHierarchy> ch = ContractionHierarchy::Build(net);
+    ch_build_ms = NowMs() - b0;
+    STMAKER_CHECK(ch.ok());
+    std::printf("# ch build: %.1f ms, %zu arcs (%zu shortcuts)\n",
+                ch_build_ms, ch->NumArcs(), ch->NumShortcuts());
+
+    const size_t kPairs = 600;
+    std::mt19937_64 rng(123);
+    std::vector<std::pair<NodeId, NodeId>> pairs;
+    pairs.reserve(kPairs);
+    for (size_t i = 0; i < kPairs; ++i) {
+      pairs.push_back({static_cast<NodeId>(rng() % net.NumNodes()),
+                       static_cast<NodeId>(rng() % net.NumNodes())});
+    }
+
+    ShortestPathRouter dijkstra(&net);
+    std::vector<double> dj_cost(kPairs, -1), dj_lat;
+    dj_lat.reserve(kPairs);
+    double t0 = NowMs();
+    for (size_t i = 0; i < kPairs; ++i) {
+      double c0 = NowMs();
+      Result<Path> p = dijkstra.Route(pairs[i].first, pairs[i].second);
+      dj_lat.push_back(NowMs() - c0);
+      if (p.ok()) dj_cost[i] = p->cost;
+    }
+    double dj_total = NowMs() - t0;
+    results.push_back(
+        Summarize("RouteDijkstra", 1, dj_lat, kPairs, dj_total));
+
+    std::vector<double> ch_lat;
+    ch_lat.reserve(kPairs);
+    t0 = NowMs();
+    for (size_t i = 0; i < kPairs; ++i) {
+      double c0 = NowMs();
+      Result<Path> p = ch->Route(pairs[i].first, pairs[i].second);
+      ch_lat.push_back(NowMs() - c0);
+      double got = p.ok() ? p->cost : -1;
+      if (std::abs(got - dj_cost[i]) > 1e-6 * (1.0 + std::abs(dj_cost[i]))) {
+        std::fprintf(stderr,
+                     "FATAL: CH route %zu disagrees with Dijkstra "
+                     "(%.9g vs %.9g)\n",
+                     i, got, dj_cost[i]);
+        return 1;
+      }
+    }
+    double ch_total = NowMs() - t0;
+    results.push_back(Summarize("RouteCH", 1, ch_lat, kPairs, ch_total));
+    ch_speedup = ch_total > 0 ? dj_total / ch_total : 0;
+    std::printf("# ch routes identical to dijkstra: yes "
+                "(point-query speedup %.1fx)\n",
+                ch_speedup);
+
+    // Many-to-many: one bucket-based table against the same table assembled
+    // from point queries — the distance-matrix workload of a group
+    // summarization or a k-nearest-landmark pass.
+    const size_t kTableSide = 64;
+    std::vector<NodeId> sources, targets;
+    for (size_t i = 0; i < kTableSide; ++i) {
+      sources.push_back(static_cast<NodeId>(rng() % net.NumNodes()));
+      targets.push_back(static_cast<NodeId>(rng() % net.NumNodes()));
+    }
+    t0 = NowMs();
+    Result<std::vector<std::vector<double>>> table =
+        ch->BatchRoutes(sources, targets);
+    double table_ms = NowMs() - t0;
+    STMAKER_CHECK(table.ok());
+    const size_t table_pairs = kTableSide * kTableSide;
+    std::vector<double> table_lat{table_ms};
+    results.push_back(
+        Summarize("RouteCHBatch64x64", 1, table_lat, table_pairs, table_ms));
+    // Point-query equivalent of the same table, for the speedup record.
+    t0 = NowMs();
+    for (size_t i = 0; i < kTableSide; ++i) {
+      for (size_t j = 0; j < kTableSide; ++j) {
+        Result<double> d = ch->Distance(sources[i], targets[j]);
+        double got = d.ok() ? *d : std::numeric_limits<double>::infinity();
+        STMAKER_CHECK(std::abs(got - (*table)[i][j]) <=
+                          1e-6 * (1.0 + std::abs(got)) ||
+                      got == (*table)[i][j]);
+      }
+    }
+    double pointwise_ms = NowMs() - t0;
+    ch_batch_speedup = table_ms > 0 ? pointwise_ms / table_ms : 0;
+    std::printf("# batch table identical to point queries: yes "
+                "(batch speedup %.1fx)\n",
+                ch_batch_speedup);
+  }
+
   // --- Emit JSON. -----------------------------------------------------------
   std::FILE* out = std::fopen(out_path, "w");
   if (out == nullptr) {
@@ -304,14 +425,24 @@ int Run(const char* out_path) {
   std::fprintf(out, "[\n");
   for (size_t i = 0; i < results.size(); ++i) {
     const BenchResult& r = results[i];
+    // The two special records below always follow, so every result row
+    // takes a trailing comma.
     std::fprintf(out,
                  "  {\"name\": \"%s\", \"threads\": %d, "
                  "\"items_per_sec\": %.2f, \"p50_ms\": %.4f, "
-                 "\"p99_ms\": %.4f}%s\n",
+                 "\"p99_ms\": %.4f},\n",
                  r.name.c_str(), r.threads, r.items_per_sec, r.p50_ms,
-                 r.p99_ms,
-                 i + 1 < results.size() || num_hists > 0 ? "," : "");
+                 r.p99_ms);
   }
+  std::fprintf(out,
+               "  {\"name\": \"ch_routing\", \"map_nodes\": %zu, "
+               "\"build_ms\": %.1f, \"speedup_vs_dijkstra\": %.2f, "
+               "\"batch_speedup_vs_point\": %.2f},\n",
+               routing_nodes, ch_build_ms, ch_speedup, ch_batch_speedup);
+  std::fprintf(out,
+               "  {\"name\": \"machine\", \"hardware_concurrency\": %u}%s\n",
+               std::thread::hardware_concurrency(),
+               num_hists > 0 ? "," : "");
   size_t emitted = 0;
   for (const auto& [name, hist] : snapshot.histograms) {
     if (hist.count == 0) continue;

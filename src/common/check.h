@@ -1,6 +1,10 @@
 #ifndef STMAKER_COMMON_CHECK_H_
 #define STMAKER_COMMON_CHECK_H_
 
+/// \file
+/// Assertion macros (STMAKER_CHECK, STMAKER_DCHECK) that abort on violated
+/// internal invariants — programmer errors, never data errors.
+
 #include <cstdio>
 #include <cstdlib>
 

@@ -43,8 +43,9 @@ class CancelToken {
  public:
   CancelToken() = default;
 
-  /// True once the owning CancelSource has been cancelled. Always false
-  /// for a default-constructed token. Thread-safe (one relaxed load).
+  /// Thread-safe (one relaxed load).
+  /// \return True once the owning CancelSource has been cancelled; always
+  /// false for a default-constructed token.
   bool cancelled() const {
     return flag_ != nullptr && flag_->load(std::memory_order_relaxed);
   }
@@ -65,8 +66,11 @@ class CancelSource {
  public:
   CancelSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
 
+  /// \return A token observing this source's flag; copy it into requests.
   CancelToken token() const { return CancelToken(flag_); }
+  /// Fires the flag; every outstanding token reads cancelled from now on.
   void Cancel() { flag_->store(true, std::memory_order_relaxed); }
+  /// \return True once Cancel() has been called.
   bool cancelled() const { return flag_->load(std::memory_order_relaxed); }
 
  private:
@@ -99,42 +103,50 @@ struct RequestContext {
   /// (DESIGN.md §11; the golden suite pins byte-identical output).
   Trace* trace = nullptr;
 
-  /// Context whose deadline is `timeout` from now. Non-positive timeouts
-  /// produce an already-expired deadline (useful in tests).
+  /// \param timeout Time allowed from now; non-positive values produce an
+  /// already-expired deadline (useful in tests).
+  /// \return A context whose deadline is `timeout` from now.
   static RequestContext WithDeadline(std::chrono::milliseconds timeout) {
     RequestContext ctx;
     ctx.deadline = Clock::now() + timeout;
     return ctx;
   }
 
+  /// \return True when a finite deadline is set.
   bool has_deadline() const { return deadline != Clock::time_point::max(); }
+  /// \return True when a finite deadline is set and has passed.
   bool expired() const { return has_deadline() && Clock::now() >= deadline; }
 
-  /// Milliseconds until the deadline (negative once expired); +infinity
-  /// when no deadline is set.
+  /// \return Milliseconds until the deadline (negative once expired);
+  /// +infinity when no deadline is set.
   double RemainingMs() const;
 
-  /// kCancelled if the token fired, else kDeadlineExceeded if the deadline
-  /// passed, else OK. Cancellation wins because it is the more specific
+  /// Cancellation wins over the deadline because it is the more specific
   /// signal (the watchdog cancels *because* the deadline passed).
+  /// \return kCancelled if the token fired, else kDeadlineExceeded if the
+  /// deadline passed, else OK.
   Status Check() const;
 };
 
-/// OK for a null context, else ctx->Check(). The one-liner every entry
-/// point uses for its up-front check.
+/// The one-liner every entry point uses for its up-front check.
+/// \param ctx The request's context; null means "no limits".
+/// \return OK for a null context, else ctx->Check().
 inline Status CheckContext(const RequestContext* ctx) {
   return ctx == nullptr ? Status::OK() : ctx->Check();
 }
 
-/// The request's span collector, or null for a null/untraced context —
-/// exactly what ScopedSpan's first argument wants.
+/// \param ctx The request's context, possibly null.
+/// \return The request's span collector, or null for a null/untraced
+/// context — exactly what ScopedSpan's first argument wants.
 inline Trace* TraceOf(const RequestContext* ctx) {
   return ctx == nullptr ? nullptr : ctx->trace;
 }
 
-/// True for status codes that describe the request's limits rather than
-/// the computation itself. Results carrying these must never be cached:
-/// a later identical call with a fresh context could succeed.
+/// Results carrying these codes must never be cached: a later identical
+/// call with a fresh context could succeed.
+/// \param code The status code to classify.
+/// \return True for codes that describe the request's limits rather than
+/// the computation itself.
 inline bool IsContextError(StatusCode code) {
   return code == StatusCode::kDeadlineExceeded ||
          code == StatusCode::kCancelled ||
@@ -156,11 +168,15 @@ class CancelCheck {
  public:
   static constexpr uint32_t kDefaultStride = 256;
 
+  /// \param ctx The request's context; null disables all checking.
+  /// \param stride Number of Tick() calls between real ctx->Check() calls;
+  /// 0 is treated as 1.
   explicit CancelCheck(const RequestContext* ctx,
                        uint32_t stride = kDefaultStride)
       : ctx_(ctx), stride_(stride == 0 ? 1 : stride), countdown_(stride_) {}
 
   /// Cheap iteration check; see class comment.
+  /// \return OK on most calls; the context's error once a check fires.
   Status Tick() {
     if (ctx_ == nullptr) return Status::OK();
     if (--countdown_ > 0) return Status::OK();

@@ -1,6 +1,9 @@
 #ifndef STMAKER_COMMON_CRC32_H_
 #define STMAKER_COMMON_CRC32_H_
 
+/// \file
+/// CRC-32 checksum used to verify persisted model and dataset files.
+
 #include <cstdint>
 #include <string_view>
 

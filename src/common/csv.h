@@ -1,6 +1,10 @@
 #ifndef STMAKER_COMMON_CSV_H_
 #define STMAKER_COMMON_CSV_H_
 
+/// \file
+/// CSV formatting, parsing, and streaming writers shared by all
+/// persistence code.
+
 #include <cstdio>
 #include <string>
 #include <vector>

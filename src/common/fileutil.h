@@ -1,6 +1,10 @@
 #ifndef STMAKER_COMMON_FILEUTIL_H_
 #define STMAKER_COMMON_FILEUTIL_H_
 
+/// \file
+/// Filesystem helpers: existence checks, whole-file read/write, and
+/// atomic replace-on-write.
+
 #include <string>
 
 #include "common/status.h"

@@ -1,6 +1,9 @@
 #ifndef STMAKER_COMMON_LRU_CACHE_H_
 #define STMAKER_COMMON_LRU_CACHE_H_
 
+/// \file
+/// Bounded LRU cache template and its CacheStats effectiveness counters.
+
 #include <cstddef>
 #include <cstdio>
 #include <functional>

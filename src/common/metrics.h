@@ -37,9 +37,13 @@ namespace stmaker {
 /// \brief A monotonically increasing counter (relaxed atomic).
 class Counter {
  public:
+  /// Adds to the counter; safe from any thread.
+  /// \param n Amount to add (defaults to 1).
   void Increment(uint64_t n = 1) {
     value_.fetch_add(n, std::memory_order_relaxed);
   }
+  /// \return The current total (relaxed read — may trail concurrent
+  /// increments by a few).
   uint64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
@@ -50,8 +54,13 @@ class Counter {
 /// thread.
 class Gauge {
  public:
+  /// Overwrites the level.
+  /// \param v The new value.
   void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  /// Adjusts the level by a signed delta.
+  /// \param d The delta to add (may be negative).
   void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  /// \return The last written (or accumulated) level.
   int64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
@@ -70,10 +79,12 @@ struct HistogramSnapshot {
 
   double mean() const { return count == 0 ? 0.0 : sum / count; }
 
-  /// Quantile q in [0, 1] by linear interpolation inside the bucket that
+  /// Quantile estimation by linear interpolation inside the bucket that
   /// contains the target rank (the classic Prometheus estimator). The
   /// overflow bucket reports its lower bound — an estimator can't invent
-  /// an upper edge it doesn't have. 0 observations -> 0.
+  /// an upper edge it doesn't have.
+  /// \param q The quantile to estimate, in [0, 1].
+  /// \return The estimated value, or 0 when there are no observations.
   double Quantile(double q) const;
 
   double p50() const { return Quantile(0.50); }
@@ -93,14 +104,20 @@ class Histogram {
   /// this codebase lands well inside the finite range.
   static std::vector<double> DefaultLatencyBoundsMs();
 
-  /// `bounds` must be non-empty, strictly increasing, and at most
-  /// kMaxBuckets long.
+  /// \param bounds Finite-bucket upper bounds; must be non-empty, strictly
+  /// increasing, and at most kMaxBuckets long.
   explicit Histogram(std::vector<double> bounds = DefaultLatencyBoundsMs());
 
+  /// Records one observation (lock-free; relaxed atomics).
+  /// \param value The observed value, in the same unit as the bounds.
   void Observe(double value);
+  /// \return A point-in-time copy of the bucket counters, ready for
+  /// quantile extraction.
   HistogramSnapshot Snapshot() const;
+  /// \return Total observations so far (relaxed read).
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
 
+  /// \return The finite-bucket upper bounds this histogram was built with.
   const std::vector<double>& bounds() const { return bounds_; }
 
  private:
@@ -141,11 +158,28 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
+  /// Finds or creates the counter with this name.
+  /// \param name The metric name (dotted lowercase by convention).
+  /// \return A reference valid for the registry's lifetime.
   Counter& counter(std::string_view name);
+  /// Finds or creates the gauge with this name.
+  /// \param name The metric name.
+  /// \return A reference valid for the registry's lifetime.
   Gauge& gauge(std::string_view name);
+  /// Finds or creates the histogram with this name, using the default
+  /// latency bounds on first creation.
+  /// \param name The metric name.
+  /// \return A reference valid for the registry's lifetime.
   Histogram& histogram(std::string_view name);
+  /// Finds or creates the histogram with this name and explicit bounds.
+  /// \param name The metric name.
+  /// \param bounds Finite-bucket upper bounds; must match the existing
+  /// histogram's bounds when the name is already registered.
+  /// \return A reference valid for the registry's lifetime.
   Histogram& histogram(std::string_view name, std::vector<double> bounds);
 
+  /// \return A copy of every registered metric's current value (per-metric
+  /// snapshot isolation; see the file comment).
   MetricsSnapshot Snapshot() const;
 
   /// The process-wide registry the library instruments into. Tests that
@@ -184,6 +218,7 @@ class MetricsRegistry {
 /// histogram at scope exit. Null histogram = fully disabled (one branch).
 class ScopedLatencyTimer {
  public:
+  /// \param hist Destination histogram, or null to disable the timer.
   explicit ScopedLatencyTimer(Histogram* hist);
   ~ScopedLatencyTimer();
 

@@ -1,6 +1,10 @@
 #ifndef STMAKER_COMMON_PARALLEL_H_
 #define STMAKER_COMMON_PARALLEL_H_
 
+/// \file
+/// Thread pool with bounded admission, deterministic parallel-for, and
+/// thread-count resolution.
+
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>

@@ -1,6 +1,9 @@
 #ifndef STMAKER_COMMON_RANDOM_H_
 #define STMAKER_COMMON_RANDOM_H_
 
+/// \file
+/// Deterministic xoshiro256** PRNG with distribution helpers.
+
 #include <cstddef>
 #include <cstdint>
 #include <vector>

@@ -1,6 +1,10 @@
 #ifndef STMAKER_COMMON_STATUS_H_
 #define STMAKER_COMMON_STATUS_H_
 
+/// \file
+/// Status and Result<T>: the error-handling vocabulary of every library
+/// entry point (no exceptions cross the API boundary).
+
 #include <string>
 #include <utility>
 #include <variant>

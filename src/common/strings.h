@@ -1,6 +1,9 @@
 #ifndef STMAKER_COMMON_STRINGS_H_
 #define STMAKER_COMMON_STRINGS_H_
 
+/// \file
+/// Small string utilities: split, join, trim, prefix tests, formatting.
+
 #include <string>
 #include <string_view>
 #include <vector>

@@ -56,19 +56,21 @@ class Trace {
   Trace(const Trace&) = delete;
   Trace& operator=(const Trace&) = delete;
 
-  /// Finished spans in completion order (children before their parents,
-  /// since a child's destructor runs first).
+  /// \return Finished spans in completion order (children before their
+  /// parents, since a child's destructor runs first).
   std::vector<TraceEvent> Events() const;
 
   /// The assembled parent/child tree as one compact JSON object:
   ///   {"spans": [{"name": ..., "start_ms": ..., "end_ms": ...,
   ///               "children": [...]}]}
   /// Spans at each level are ordered by start time.
+  /// \return A single-line JSON string.
   std::string ToJson() const;
 
   /// Flat NDJSON event log: one JSON object per line, one line per span,
   /// in completion order. Each line carries id/parent so the tree can be
   /// rebuilt downstream.
+  /// \return Newline-delimited JSON, one event per line.
   std::string ToNdjson() const;
 
  private:
@@ -86,11 +88,16 @@ class Trace {
   std::vector<TraceEvent> events_;
 };
 
-/// \brief RAII span recorder. `trace` may be null — the disabled fast
-/// path. `name` must be a string literal (or otherwise outlive the span);
-/// it is copied only when the span completes.
+/// \brief RAII span recorder; records one span from construction to scope
+/// exit.
 class ScopedSpan {
  public:
+  /// \param trace Destination trace, or null for the disabled fast path
+  /// (one branch per constructor/destructor, nothing recorded).
+  /// \param name Span name; must be a string literal (or otherwise outlive
+  /// the span) — it is copied only when the span completes.
+  /// \param latency_hist Optional histogram that also receives the span's
+  /// duration in milliseconds (recorded even when `trace` is null).
   ScopedSpan(Trace* trace, const char* name,
              Histogram* latency_hist = nullptr);
   ~ScopedSpan();

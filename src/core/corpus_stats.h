@@ -1,6 +1,10 @@
 #ifndef STMAKER_CORE_CORPUS_STATS_H_
 #define STMAKER_CORE_CORPUS_STATS_H_
 
+/// \file
+/// Corpus-level statistics over summary sets: feature frequencies and
+/// partition description rates (Sec. VII figures).
+
 #include <vector>
 
 #include "core/summary.h"

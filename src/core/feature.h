@@ -1,6 +1,9 @@
 #ifndef STMAKER_CORE_FEATURE_H_
 #define STMAKER_CORE_FEATURE_H_
 
+/// \file
+/// Feature definitions and the extensible FeatureRegistry (Sec. V).
+
 #include <functional>
 #include <string>
 #include <vector>

@@ -1,6 +1,9 @@
 #ifndef STMAKER_CORE_FEATURE_EXTRACTOR_H_
 #define STMAKER_CORE_FEATURE_EXTRACTOR_H_
 
+/// \file
+/// Per-segment feature-vector computation over calibrated trajectories.
+
 #include <string>
 #include <vector>
 

@@ -1,6 +1,10 @@
 #ifndef STMAKER_CORE_GROUP_SUMMARIZER_H_
 #define STMAKER_CORE_GROUP_SUMMARIZER_H_
 
+/// \file
+/// Aggregate summarization of trajectory groups (the paper's
+/// trajectory-aggregation application).
+
 #include <string>
 #include <vector>
 

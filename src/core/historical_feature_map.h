@@ -1,6 +1,10 @@
 #ifndef STMAKER_CORE_HISTORICAL_FEATURE_MAP_H_
 #define STMAKER_CORE_HISTORICAL_FEATURE_MAP_H_
 
+/// \file
+/// The historical feature map of Sec. V-B: regular feature values per
+/// directed landmark pair, accumulated from the training corpus.
+
 #include <cstdint>
 #include <unordered_map>
 #include <vector>

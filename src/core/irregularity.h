@@ -1,6 +1,10 @@
 #ifndef STMAKER_CORE_IRREGULARITY_H_
 #define STMAKER_CORE_IRREGULARITY_H_
 
+/// \file
+/// Irregular-rate computation and feature-sequence edit distance
+/// (Sec. V-A).
+
 #include <vector>
 
 #include "core/feature.h"

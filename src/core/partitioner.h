@@ -1,6 +1,9 @@
 #ifndef STMAKER_CORE_PARTITIONER_H_
 #define STMAKER_CORE_PARTITIONER_H_
 
+/// \file
+/// MAP inference for the chain-CRF trajectory partition model (Sec. IV).
+
 #include <cstddef>
 #include <utility>
 #include <vector>

@@ -1,6 +1,10 @@
 #ifndef STMAKER_CORE_POPULAR_ROUTE_H_
 #define STMAKER_CORE_POPULAR_ROUTE_H_
 
+/// \file
+/// Popular-route mining over symbolic trajectories: the transition graph
+/// and its memoized point queries.
+
 #include <cstdint>
 #include <memory>
 #include <mutex>

@@ -1,6 +1,9 @@
 #ifndef STMAKER_CORE_SIMILARITY_H_
 #define STMAKER_CORE_SIMILARITY_H_
 
+/// \file
+/// Segment feature normalization and similarity scoring.
+
 #include <vector>
 
 #include "core/feature_extractor.h"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <map>
 #include <optional>
 #include <utility>
@@ -25,11 +26,55 @@ STMaker::STMaker(const RoadNetwork* network, LandmarkIndex* landmarks,
       landmarks_(landmarks),
       registry_(std::move(registry)),
       options_(options),
-      calibrator_(landmarks, options.calibration) {
+      calibrator_(landmarks, options.calibration),
+      road_router_(network) {
   STMAKER_CHECK(network != nullptr);
   STMAKER_CHECK(landmarks != nullptr);
   extractor_ = std::make_unique<FeatureExtractor>(
       network_, landmarks_, &registry_, options_.extraction);
+}
+
+Status STMaker::BuildRoadHierarchy() {
+  STMAKER_ASSIGN_OR_RETURN(ContractionHierarchy ch,
+                           ContractionHierarchy::Build(*network_));
+  road_hierarchy_ = std::make_unique<ContractionHierarchy>(std::move(ch));
+  road_router_.AttachHierarchy(road_hierarchy_.get());
+  return Status::OK();
+}
+
+void STMaker::DropRoadHierarchy() {
+  road_router_.AttachHierarchy(nullptr);
+  road_hierarchy_.reset();
+}
+
+Result<Path> STMaker::RoadRoute(NodeId src, NodeId dst,
+                                const RequestContext* ctx) const {
+  return road_router_.Route(src, dst, nullptr, ctx);
+}
+
+Result<std::vector<std::vector<double>>> STMaker::RoadDistanceTable(
+    std::span<const NodeId> sources, std::span<const NodeId> targets,
+    const RequestContext* ctx) const {
+  if (road_hierarchy_ != nullptr) {
+    return road_hierarchy_->BatchRoutes(sources, targets, ctx);
+  }
+  // Dijkstra fallback: one sweep per source. Same table, no preprocessing
+  // required.
+  constexpr double kInfinity = std::numeric_limits<double>::infinity();
+  std::vector<std::vector<double>> table(
+      sources.size(), std::vector<double>(targets.size(), kInfinity));
+  for (size_t i = 0; i < sources.size(); ++i) {
+    for (size_t j = 0; j < targets.size(); ++j) {
+      Result<Path> path = road_router_.Route(sources[i], targets[j], nullptr,
+                                             ctx);
+      if (path.ok()) {
+        table[i][j] = path->cost;
+      } else if (path.status().code() != StatusCode::kNotFound) {
+        return path.status();
+      }
+    }
+  }
+  return table;
 }
 
 Result<CalibratedTrajectory> STMaker::Calibrate(

@@ -1,6 +1,11 @@
 #ifndef STMAKER_CORE_STMAKER_H_
 #define STMAKER_CORE_STMAKER_H_
 
+/// \file
+/// STMaker: the façade wiring sanitize, calibration, feature extraction,
+/// partitioning, selection, and text generation into train/serve entry
+/// points, plus model persistence and the road-routing seam.
+
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -19,7 +24,9 @@
 #include "core/summary.h"
 #include "landmark/landmark_index.h"
 #include "landmark/significance.h"
+#include "roadnet/contraction_hierarchy.h"
 #include "roadnet/road_network.h"
+#include "roadnet/shortest_path.h"
 #include "traj/calibration.h"
 #include "traj/sanitize.h"
 
@@ -230,6 +237,48 @@ class STMaker {
   Result<CalibratedTrajectory> Calibrate(
       const RawTrajectory& raw, const RequestContext* ctx = nullptr) const;
 
+  /// Contracts the road network into a hierarchy and installs it as the
+  /// routing backend for RoadRoute/RoadDistanceTable. SaveModel then
+  /// persists it ("<prefix>_ch.csv") so a later LoadModel serves without
+  /// re-contracting. Preprocessing work, not serving work — run it next to
+  /// Train(), never concurrently with queries.
+  ///
+  /// \return OK, or the ContractionHierarchy::Build error.
+  Status BuildRoadHierarchy();
+
+  /// Detaches and discards the hierarchy; road queries return to Dijkstra
+  /// and SaveModel stops persisting a "_ch.csv".
+  void DropRoadHierarchy();
+
+  /// True when a hierarchy is installed (built or restored by LoadModel).
+  bool has_road_hierarchy() const { return road_hierarchy_ != nullptr; }
+
+  /// Point-to-point road route under the geometric-length metric —
+  /// hierarchy-accelerated when one is installed, plain Dijkstra
+  /// otherwise; results are identical either way. Honors `ctx` like
+  /// Summarize (deadline, cancellation, expansion budget).
+  ///
+  /// \param src Start road-network node id.
+  /// \param dst Destination road-network node id.
+  /// \param ctx Optional request limits (may be null).
+  /// \return The path, or the ShortestPathRouter::Route errors.
+  Result<Path> RoadRoute(NodeId src, NodeId dst,
+                         const RequestContext* ctx = nullptr) const;
+
+  /// Many-to-many length-metric distance table; result[i][j] is the
+  /// distance sources[i] -> targets[j] in meters (+infinity when
+  /// unreachable). With a hierarchy installed this is the bucket-based
+  /// batch query (|S|+|T| small searches); without one it degrades to
+  /// |S| Dijkstra sweeps.
+  ///
+  /// \param sources Source node ids.
+  /// \param targets Target node ids.
+  /// \param ctx Optional request limits (may be null).
+  /// \return The |S|×|T| table, or the query errors.
+  Result<std::vector<std::vector<double>>> RoadDistanceTable(
+      std::span<const NodeId> sources, std::span<const NodeId> targets,
+      const RequestContext* ctx = nullptr) const;
+
   /// Hit/miss/eviction counters of the serving-path caches (serve mode
   /// prints these on shutdown).
   CacheStats CalibrationCacheStats() const { return calibrator_.Stats(); }
@@ -285,6 +334,11 @@ class STMaker {
   /// ingestion.
   VisitCorpus visit_corpus_;
   size_t num_trained_ = 0;
+  /// Length-metric road routing facade. The hierarchy (when present) is
+  /// attached to the router, which transparently falls back to Dijkstra
+  /// for custom cost functions.
+  std::unique_ptr<ContractionHierarchy> road_hierarchy_;
+  ShortestPathRouter road_router_;
 };
 
 }  // namespace stmaker

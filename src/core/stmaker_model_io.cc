@@ -15,12 +15,14 @@
 // committed to the STMaker only after every file validated, so a failed
 // load leaves the maker untrained and the landmark index unmodified.
 
+#include <cstdio>
 #include <cstdlib>
 #include <utility>
 
 #include "common/crc32.h"
 #include "common/csv.h"
 #include "common/fileutil.h"
+#include "common/metrics.h"
 #include "common/retry.h"
 #include "common/strings.h"
 #include "core/stmaker.h"
@@ -51,6 +53,11 @@ Result<int64_t> ParseInt(const std::string& field) {
 constexpr const char* kModelSuffixes[] = {
     "_meta.csv", "_transitions.csv", "_feature_map.csv",
     "_significance.csv", "_visits.csv"};
+/// The preprocessed routing hierarchy: optional (only written when one was
+/// built) and advisory (a corrupt or stale file downgrades routing to
+/// Dijkstra with a warning instead of failing the model load — the model
+/// itself is intact, only the accelerator is lost).
+constexpr const char* kHierarchySuffix = "_ch.csv";
 constexpr const char* kManifestSuffix = "_MANIFEST.csv";
 
 struct ModelPart {
@@ -127,6 +134,12 @@ Status STMaker::SaveModel(const std::string& prefix) const {
     }
     parts.push_back({kModelSuffixes[4], csv.TakeString()});
   }
+  if (road_hierarchy_ != nullptr) {
+    // The hierarchy serializes itself (with its own trailing CRC record);
+    // the manifest adds the same bytes+CRC32 commit check as the other
+    // parts.
+    parts.push_back({kHierarchySuffix, road_hierarchy_->SaveToString()});
+  }
 
   // --- Stage to temp files, then rename the set into place. -----------------
   auto cleanup_temps = [&]() {
@@ -183,16 +196,22 @@ Result<VerifiedFile> ReadModelFile(const std::string& prefix,
 }  // namespace
 
 Status STMaker::LoadModel(const std::string& prefix) {
-  // Reset trained state; on any failure the maker stays untrained.
+  // Reset trained state; on any failure the maker stays untrained. The
+  // routing hierarchy goes too — it belongs to the model being replaced.
   analyzer_.reset();
   feature_map_.reset();
   miner_ = PopularRouteMiner();
   visit_corpus_ = VisitCorpus();
   num_trained_ = 0;
+  DropRoadHierarchy();
 
   // --- Manifest verification (pre-manifest models load unverified). ---------
   const std::string manifest_path = prefix + kManifestSuffix;
   bool manifest_lists_visits = false;
+  // The "_ch.csv" hierarchy is advisory: a damaged one must never block the
+  // model (the summaries don't depend on it), so its manifest failures
+  // downgrade to a warning and routing falls back to Dijkstra.
+  bool hierarchy_damaged = false;
   if (FileExists(manifest_path)) {
     STMAKER_ASSIGN_OR_RETURN(
         std::string manifest_text,
@@ -207,27 +226,41 @@ Status STMaker::LoadModel(const std::string& prefix) {
     for (const std::vector<std::string>& row : rows) {
       const std::string path = prefix + row[0];
       if (row[0] == "_visits.csv") manifest_lists_visits = true;
-      STMAKER_ASSIGN_OR_RETURN(int64_t want_bytes, ParseInt(row[1]));
-      Result<std::string> content =
-          ReadFileToStringWithRetry(path, options_.io_retry);
-      if (!content.ok()) {
-        return Status::IoError("model file listed in manifest is missing: " +
-                               path + " (" + content.status().message() +
-                               ")");
-      }
-      if (static_cast<int64_t>(content->size()) != want_bytes) {
-        return Status::FailedPrecondition(StrFormat(
-            "%s: size mismatch (manifest says %lld bytes, file has %zu) — "
-            "truncated or torn write",
-            path.c_str(), static_cast<long long>(want_bytes),
-            content->size()));
-      }
-      const std::string got_crc = StrFormat("%08x", Crc32(*content));
-      if (got_crc != row[2]) {
-        return Status::FailedPrecondition(StrFormat(
-            "%s: CRC32 mismatch (manifest %s, file %s) — corrupted model "
-            "file",
-            path.c_str(), row[2].c_str(), got_crc.c_str()));
+      Status verified = [&]() -> Status {
+        STMAKER_ASSIGN_OR_RETURN(int64_t want_bytes, ParseInt(row[1]));
+        Result<std::string> content =
+            ReadFileToStringWithRetry(path, options_.io_retry);
+        if (!content.ok()) {
+          return Status::IoError("model file listed in manifest is missing: " +
+                                 path + " (" + content.status().message() +
+                                 ")");
+        }
+        if (static_cast<int64_t>(content->size()) != want_bytes) {
+          return Status::FailedPrecondition(StrFormat(
+              "%s: size mismatch (manifest says %lld bytes, file has %zu) — "
+              "truncated or torn write",
+              path.c_str(), static_cast<long long>(want_bytes),
+              content->size()));
+        }
+        const std::string got_crc = StrFormat("%08x", Crc32(*content));
+        if (got_crc != row[2]) {
+          return Status::FailedPrecondition(StrFormat(
+              "%s: CRC32 mismatch (manifest %s, file %s) — corrupted model "
+              "file",
+              path.c_str(), row[2].c_str(), got_crc.c_str()));
+        }
+        return Status::OK();
+      }();
+      if (!verified.ok()) {
+        if (row[0] == kHierarchySuffix) {
+          std::fprintf(stderr,
+                       "warning: routing hierarchy unusable, falling back to "
+                       "Dijkstra: %s\n",
+                       verified.ToString().c_str());
+          hierarchy_damaged = true;
+          continue;
+        }
+        return verified;
       }
     }
   }
@@ -356,8 +389,42 @@ Status STMaker::LoadModel(const std::string& prefix) {
     }
   }
 
+  // Routing hierarchy (optional, advisory — see kHierarchySuffix). Any
+  // failure here warns and serves Dijkstra; it never fails the load.
+  std::unique_ptr<ContractionHierarchy> hierarchy;
+  {
+    static Counter& load_failures =
+        MetricsRegistry::Global().counter("router.ch.load_failures");
+    const std::string path = prefix + kHierarchySuffix;
+    if (hierarchy_damaged) {
+      load_failures.Increment();
+    } else if (FileExists(path)) {
+      Status loaded = [&]() -> Status {
+        STMAKER_ASSIGN_OR_RETURN(
+            std::string content,
+            ReadFileToStringWithRetry(path, options_.io_retry));
+        STMAKER_ASSIGN_OR_RETURN(
+            ContractionHierarchy ch,
+            ContractionHierarchy::LoadFromString(content, *network_, path));
+        hierarchy = std::make_unique<ContractionHierarchy>(std::move(ch));
+        return Status::OK();
+      }();
+      if (!loaded.ok()) {
+        std::fprintf(stderr,
+                     "warning: routing hierarchy unusable, falling back to "
+                     "Dijkstra: %s\n",
+                     loaded.ToString().c_str());
+        load_failures.Increment();
+      }
+    }
+  }
+
   // --- Commit. ---------------------------------------------------------------
   num_trained_ = loaded_num_trained;
+  if (hierarchy != nullptr) {
+    road_hierarchy_ = std::move(hierarchy);
+    road_router_.AttachHierarchy(road_hierarchy_.get());
+  }
   miner_ = std::move(miner);
   feature_map_ = std::move(map);
   visit_corpus_ = std::move(visits);

@@ -1,6 +1,9 @@
 #ifndef STMAKER_CORE_SUMMARY_H_
 #define STMAKER_CORE_SUMMARY_H_
 
+/// \file
+/// Summary value types: partitions, selected features, final text.
+
 #include <string>
 #include <vector>
 

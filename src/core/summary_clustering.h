@@ -1,6 +1,9 @@
 #ifndef STMAKER_CORE_SUMMARY_CLUSTERING_H_
 #define STMAKER_CORE_SUMMARY_CLUSTERING_H_
 
+/// \file
+/// Text-similarity clustering of summary corpora (Sec. VI-C).
+
 #include <cstddef>
 #include <string>
 #include <vector>

@@ -1,6 +1,10 @@
 #ifndef STMAKER_CORE_SUMMARY_INDEX_H_
 #define STMAKER_CORE_SUMMARY_INDEX_H_
 
+/// \file
+/// Searchable summary store: keyword and landmark lookup over generated
+/// summaries.
+
 #include <cstddef>
 #include <string>
 #include <unordered_map>

@@ -1,6 +1,9 @@
 #ifndef STMAKER_GEO_BOUNDING_BOX_H_
 #define STMAKER_GEO_BOUNDING_BOX_H_
 
+/// \file
+/// Axis-aligned bounding box over planar points.
+
 #include <algorithm>
 
 #include "geo/vec2.h"

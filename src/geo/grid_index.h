@@ -1,6 +1,10 @@
 #ifndef STMAKER_GEO_GRID_INDEX_H_
 #define STMAKER_GEO_GRID_INDEX_H_
 
+/// \file
+/// Uniform spatial hash grid for radius queries over (id, position)
+/// pairs.
+
 #include <cstdint>
 #include <unordered_map>
 #include <vector>

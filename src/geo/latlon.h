@@ -1,6 +1,9 @@
 #ifndef STMAKER_GEO_LATLON_H_
 #define STMAKER_GEO_LATLON_H_
 
+/// \file
+/// WGS-84 coordinates and haversine distance.
+
 namespace stmaker {
 
 /// WGS-84 coordinate in decimal degrees.

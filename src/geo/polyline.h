@@ -1,6 +1,10 @@
 #ifndef STMAKER_GEO_POLYLINE_H_
 #define STMAKER_GEO_POLYLINE_H_
 
+/// \file
+/// Planar polyline with cached arc lengths, interpolation, and
+/// point-to-polyline projection.
+
 #include <vector>
 
 #include "geo/vec2.h"

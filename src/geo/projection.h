@@ -1,6 +1,9 @@
 #ifndef STMAKER_GEO_PROJECTION_H_
 #define STMAKER_GEO_PROJECTION_H_
 
+/// \file
+/// Equirectangular local projection between LatLon and planar Vec2.
+
 #include "geo/latlon.h"
 #include "geo/vec2.h"
 

@@ -1,6 +1,9 @@
 #ifndef STMAKER_GEO_VEC2_H_
 #define STMAKER_GEO_VEC2_H_
 
+/// \file
+/// Minimal 2-D vector type and arithmetic.
+
 #include <cmath>
 
 namespace stmaker {

@@ -1,6 +1,9 @@
 #ifndef STMAKER_IO_GEOJSON_H_
 #define STMAKER_IO_GEOJSON_H_
 
+/// \file
+/// GeoJSON export of trajectories and summaries for map visualization.
+
 #include <string>
 
 #include "core/summary.h"

@@ -1,6 +1,9 @@
 #ifndef STMAKER_IO_JSON_H_
 #define STMAKER_IO_JSON_H_
 
+/// \file
+/// Minimal streaming JSON emitter.
+
 #include <string>
 
 namespace stmaker {

@@ -1,6 +1,9 @@
 #ifndef STMAKER_IO_LATLON_IO_H_
 #define STMAKER_IO_LATLON_IO_H_
 
+/// \file
+/// Ingestion of trajectories in the paper's Table I database format.
+
 #include <string>
 #include <vector>
 

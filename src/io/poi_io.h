@@ -1,6 +1,9 @@
 #ifndef STMAKER_IO_POI_IO_H_
 #define STMAKER_IO_POI_IO_H_
 
+/// \file
+/// CSV persistence for POI datasets.
+
 #include <string>
 #include <vector>
 

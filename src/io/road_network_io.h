@@ -1,6 +1,10 @@
 #ifndef STMAKER_IO_ROAD_NETWORK_IO_H_
 #define STMAKER_IO_ROAD_NETWORK_IO_H_
 
+/// \file
+/// CSV persistence for road networks (the digital-map interchange
+/// format).
+
 #include <string>
 
 #include "common/status.h"

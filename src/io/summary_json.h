@@ -1,6 +1,9 @@
 #ifndef STMAKER_IO_SUMMARY_JSON_H_
 #define STMAKER_IO_SUMMARY_JSON_H_
 
+/// \file
+/// JSON serialization of summaries.
+
 #include <string>
 
 #include "core/feature.h"

@@ -1,6 +1,9 @@
 #ifndef STMAKER_IO_TRAJECTORY_IO_H_
 #define STMAKER_IO_TRAJECTORY_IO_H_
 
+/// \file
+/// CSV persistence for raw trajectory corpora.
+
 #include <string>
 #include <vector>
 

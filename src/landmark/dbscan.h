@@ -1,6 +1,9 @@
 #ifndef STMAKER_LANDMARK_DBSCAN_H_
 #define STMAKER_LANDMARK_DBSCAN_H_
 
+/// \file
+/// Density-based clustering of planar points (DBSCAN).
+
 #include <vector>
 
 #include "geo/vec2.h"

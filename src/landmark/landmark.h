@@ -1,6 +1,9 @@
 #ifndef STMAKER_LANDMARK_LANDMARK_H_
 #define STMAKER_LANDMARK_LANDMARK_H_
 
+/// \file
+/// The Landmark record: position, name, significance score.
+
 #include <cstdint>
 #include <string>
 

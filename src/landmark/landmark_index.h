@@ -1,6 +1,9 @@
 #ifndef STMAKER_LANDMARK_LANDMARK_INDEX_H_
 #define STMAKER_LANDMARK_LANDMARK_INDEX_H_
 
+/// \file
+/// The landmark dataset with spatial radius queries (Sec. VII-A).
+
 #include <memory>
 #include <vector>
 

@@ -1,6 +1,9 @@
 #ifndef STMAKER_LANDMARK_POI_GENERATOR_H_
 #define STMAKER_LANDMARK_POI_GENERATOR_H_
 
+/// \file
+/// Synthetic POI site generator over a road network.
+
 #include <cstdint>
 #include <string>
 #include <vector>

@@ -1,6 +1,10 @@
 #ifndef STMAKER_LANDMARK_SIGNIFICANCE_H_
 #define STMAKER_LANDMARK_SIGNIFICANCE_H_
 
+/// \file
+/// HITS-like landmark significance model and the visit corpus behind it
+/// (Sec. IV-B).
+
 #include <cstdint>
 #include <unordered_map>
 #include <utility>

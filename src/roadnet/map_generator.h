@@ -1,6 +1,10 @@
 #ifndef STMAKER_ROADNET_MAP_GENERATOR_H_
 #define STMAKER_ROADNET_MAP_GENERATOR_H_
 
+/// \file
+/// Deterministic synthetic-city builder: grid blocks, arterials,
+/// one-way conversions, and edge removals.
+
 #include <cstdint>
 #include <string>
 #include <vector>

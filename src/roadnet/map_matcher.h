@@ -1,6 +1,9 @@
 #ifndef STMAKER_ROADNET_MAP_MATCHER_H_
 #define STMAKER_ROADNET_MAP_MATCHER_H_
 
+/// \file
+/// Viterbi map matching of raw trajectories onto the road graph.
+
 #include <vector>
 
 #include "common/context.h"

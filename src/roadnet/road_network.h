@@ -1,6 +1,9 @@
 #ifndef STMAKER_ROADNET_ROAD_NETWORK_H_
 #define STMAKER_ROADNET_ROAD_NETWORK_H_
 
+/// \file
+/// In-memory road graph: nodes, edges, and adjacency queries.
+
 #include <cstdint>
 #include <memory>
 #include <string>

@@ -1,6 +1,10 @@
 #ifndef STMAKER_ROADNET_ROAD_TYPES_H_
 #define STMAKER_ROADNET_ROAD_TYPES_H_
 
+/// \file
+/// Road grade and traffic-direction enums with display names and
+/// per-grade defaults.
+
 #include <string>
 
 namespace stmaker {

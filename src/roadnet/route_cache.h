@@ -1,6 +1,10 @@
 #ifndef STMAKER_ROADNET_ROUTE_CACHE_H_
 #define STMAKER_ROADNET_ROUTE_CACHE_H_
 
+/// \file
+/// CachingRouter: LRU-memoized point-to-point routing over a fixed cost
+/// function.
+
 #include <cstdint>
 #include <mutex>
 #include <utility>
@@ -34,6 +38,17 @@ class CachingRouter {
   /// length, as with ShortestPathRouter::Route.
   CachingRouter(const RoadNetwork* network, EdgeCostFn cost,
                 size_t capacity = 4096);
+
+  /// Forwards to ShortestPathRouter::AttachHierarchy on the wrapped
+  /// router: cache misses under a null cost function are then answered by
+  /// the hierarchy instead of Dijkstra. Cached entries stay valid — both
+  /// backends compute the same metric. Attach before serving; not
+  /// synchronized with concurrent Route() calls.
+  ///
+  /// \param hierarchy The hierarchy to accelerate misses with, or null.
+  void AttachHierarchy(const ContractionHierarchy* hierarchy) {
+    router_.AttachHierarchy(hierarchy);
+  }
 
   /// Cached Dijkstra from `src` to `dst` under the fixed cost function.
   ///

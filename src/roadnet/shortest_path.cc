@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/metrics.h"
 #include "common/trace.h"
+#include "roadnet/contraction_hierarchy.h"
 
 namespace stmaker {
 
@@ -47,6 +48,11 @@ Counter& AStarNodesExpanded() {
 Histogram& RouteLatency() {
   static Histogram& h = MetricsRegistry::Global().histogram("roadnet.route_ms");
   return h;
+}
+
+Counter& ChFallbacks() {
+  static Counter& c = MetricsRegistry::Global().counter("router.ch.fallbacks");
+  return c;
 }
 
 }  // namespace
@@ -108,6 +114,12 @@ Result<Path> ShortestPathRouter::Route(NodeId src, NodeId dst,
   if (src < 0 || static_cast<size_t>(src) >= net.NumNodes() || dst < 0 ||
       static_cast<size_t>(dst) >= net.NumNodes()) {
     return Status::InvalidArgument("Route: node id out of range");
+  }
+  if (hierarchy_ != nullptr) {
+    if (!cost) return hierarchy_->Route(src, dst, ctx);
+    // The hierarchy was contracted under the length metric; a custom cost
+    // function must take the exact path.
+    ChFallbacks().Increment();
   }
   STMAKER_RETURN_IF_ERROR(CheckContext(ctx));
   DijkstraSearches().Increment();

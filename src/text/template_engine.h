@@ -1,6 +1,9 @@
 #ifndef STMAKER_TEXT_TEMPLATE_ENGINE_H_
 #define STMAKER_TEXT_TEMPLATE_ENGINE_H_
 
+/// \file
+/// {name}-style template rendering (Sec. VI-A).
+
 #include <map>
 #include <string>
 

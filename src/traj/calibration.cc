@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cstdint>
+#include <deque>
 #include <mutex>
 #include <unordered_set>
 
@@ -89,6 +90,14 @@ double CalibratedTrajectory::SegmentLength(size_t i) const {
 /// Memoization table behind Calibrate(). Keys copy the full trajectory and
 /// compare content exactly (bit-equal doubles), so a hit can only ever
 /// replay a result the uncached path would recompute identically.
+///
+/// The table is sharded by key hash: corpus ingestion calibrates distinct
+/// trajectories from many worker threads at once (all misses, by
+/// construction), and a single mutex around the whole LRU serialized every
+/// worker on the Get-then-Put pair — the dominant serialization point in
+/// the train thread sweep. With independent shards, concurrent misses on
+/// different trajectories take different locks and proceed in parallel;
+/// results are unchanged because memoization is exact-key either way.
 struct Calibrator::Cache {
   struct Key {
     RawTrajectory traj;
@@ -123,10 +132,25 @@ struct Calibrator::Cache {
     }
   };
 
-  explicit Cache(size_t capacity) : lru(capacity) {}
+  /// Enough shards that an 8-way ingest rarely collides, few enough that a
+  /// small cache_size still gives each shard a useful capacity.
+  static constexpr size_t kNumShards = 8;
 
-  std::mutex mu;
-  LruCache<Key, Result<CalibratedTrajectory>, KeyHash> lru;
+  struct Shard {
+    explicit Shard(size_t capacity) : lru(capacity) {}
+    std::mutex mu;
+    LruCache<Key, Result<CalibratedTrajectory>, KeyHash> lru;
+  };
+
+  explicit Cache(size_t capacity) {
+    const size_t per_shard =
+        std::max<size_t>(1, (capacity + kNumShards - 1) / kNumShards);
+    for (size_t i = 0; i < kNumShards; ++i) shards.emplace_back(per_shard);
+  }
+
+  Shard& ShardFor(size_t hash) { return shards[hash % kNumShards]; }
+
+  std::deque<Shard> shards;  // deque: Shard holds a mutex, so no moves
 };
 
 Calibrator::Calibrator(const LandmarkIndex* landmarks,
@@ -155,9 +179,12 @@ Result<CalibratedTrajectory> Calibrator::Calibrate(
       MetricsRegistry::Global().counter("calibration.cache.misses");
   if (cache_ == nullptr) return CalibrateUncached(raw, ctx);
   Cache::Key key{raw};
+  // The content hash is O(samples); computing it once out here keeps the
+  // per-shard critical sections down to the map probe itself.
+  Cache::Shard& shard = cache_->ShardFor(Cache::KeyHash{}(key));
   {
-    std::lock_guard<std::mutex> lock(cache_->mu);
-    if (const Result<CalibratedTrajectory>* hit = cache_->lru.Get(key)) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (const Result<CalibratedTrajectory>* hit = shard.lru.Get(key)) {
       cache_hits.Increment();
       return *hit;
     }
@@ -167,16 +194,23 @@ Result<CalibratedTrajectory> Calibrator::Calibrate(
   // Deadline/cancel aborts are request-scoped, never a property of the
   // trajectory — memoizing one would make every later call fail too.
   if (!IsContextError(result.status().code())) {
-    std::lock_guard<std::mutex> lock(cache_->mu);
-    cache_->lru.Put(key, result);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.lru.Put(key, result);
   }
   return result;
 }
 
 CacheStats Calibrator::Stats() const {
   if (cache_ == nullptr) return CacheStats{};
-  std::lock_guard<std::mutex> lock(cache_->mu);
-  return cache_->lru.stats();
+  CacheStats total;
+  for (Cache::Shard& shard : cache_->shards) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    CacheStats s = shard.lru.stats();
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.evictions += s.evictions;
+  }
+  return total;
 }
 
 Result<CalibratedTrajectory> Calibrator::CalibrateUncached(

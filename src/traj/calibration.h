@@ -1,6 +1,10 @@
 #ifndef STMAKER_TRAJ_CALIBRATION_H_
 #define STMAKER_TRAJ_CALIBRATION_H_
 
+/// \file
+/// Anchor-based trajectory calibration (Def. 2/3): rewriting raw fixes
+/// into landmark sequences, sampling-rate invariant.
+
 #include <cstddef>
 #include <memory>
 #include <utility>
@@ -33,7 +37,9 @@ struct CalibrationOptions {
   /// disables caching. Train-then-summarize workloads calibrate the same
   /// trajectories twice, and repeated Summarize of popular trips hits too.
   /// The cache never changes results — exact key, exact replay — and is
-  /// safe under concurrent Calibrate calls (mutex-guarded).
+  /// safe under concurrent Calibrate calls. Internally it is sharded by
+  /// key hash (capacity split across shards) so that parallel ingestion of
+  /// distinct trajectories does not serialize on one lock.
   size_t cache_size = 256;
 };
 

@@ -1,6 +1,10 @@
 #ifndef STMAKER_TRAJ_CONGESTION_H_
 #define STMAKER_TRAJ_CONGESTION_H_
 
+/// \file
+/// Time-of-day congestion model shared by the trajectory simulator and
+/// the speed features.
+
 namespace stmaker {
 
 /// \brief Time-of-day congestion model shared by the trajectory simulator.

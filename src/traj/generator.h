@@ -1,6 +1,10 @@
 #ifndef STMAKER_TRAJ_GENERATOR_H_
 #define STMAKER_TRAJ_GENERATOR_H_
 
+/// \file
+/// Synthetic trajectory and trip-corpus generator over a road network
+/// and landmark set.
+
 #include <cstdint>
 #include <vector>
 

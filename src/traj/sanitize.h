@@ -1,6 +1,10 @@
 #ifndef STMAKER_TRAJ_SANITIZE_H_
 #define STMAKER_TRAJ_SANITIZE_H_
 
+/// \file
+/// Input sanitization: diagnosing and repairing defective raw
+/// trajectories (NaNs, time regressions, duplicates, teleports).
+
 #include <array>
 #include <cstddef>
 #include <string>

@@ -1,6 +1,9 @@
 #ifndef STMAKER_TRAJ_SIMPLIFY_H_
 #define STMAKER_TRAJ_SIMPLIFY_H_
 
+/// \file
+/// Douglas–Peucker trajectory simplification and sampling statistics.
+
 #include "geo/bounding_box.h"
 #include "traj/trajectory.h"
 

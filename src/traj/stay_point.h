@@ -1,6 +1,9 @@
 #ifndef STMAKER_TRAJ_STAY_POINT_H_
 #define STMAKER_TRAJ_STAY_POINT_H_
 
+/// \file
+/// Stay-point detection over raw trajectories.
+
 #include <vector>
 
 #include "traj/trajectory.h"

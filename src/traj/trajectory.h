@@ -1,6 +1,9 @@
 #ifndef STMAKER_TRAJ_TRAJECTORY_H_
 #define STMAKER_TRAJ_TRAJECTORY_H_
 
+/// \file
+/// Raw and symbolic trajectory value types (Def. 1–3).
+
 #include <cstdint>
 #include <vector>
 

@@ -1,6 +1,9 @@
 #ifndef STMAKER_TRAJ_UTURN_H_
 #define STMAKER_TRAJ_UTURN_H_
 
+/// \file
+/// U-turn detection over raw trajectories.
+
 #include <vector>
 
 #include "traj/trajectory.h"

@@ -19,16 +19,23 @@ done
 echo "== train =="
 "$CLI" train --dir "$DIR" --model "$DIR/model"
 for f in model_meta.csv model_transitions.csv model_feature_map.csv \
-         model_significance.csv model_visits.csv; do
+         model_significance.csv model_visits.csv model_ch.csv; do
   [[ -s "$DIR/$f" ]] || { echo "missing $f"; exit 1; }
 done
 
 echo "== train --threads 4 writes an identical model =="
 "$CLI" train --dir "$DIR" --model "$DIR/model_mt" --threads 4
-for f in meta transitions feature_map significance visits; do
+for f in meta transitions feature_map significance visits ch; do
   cmp "$DIR/model_${f}.csv" "$DIR/model_mt_${f}.csv" || {
     echo "model_${f}.csv differs between 1 and 4 threads"; exit 1; }
 done
+
+echo "== train --router dijkstra skips the routing hierarchy =="
+"$CLI" train --dir "$DIR" --model "$DIR/model_plain" --router dijkstra
+[[ ! -e "$DIR/model_plain_ch.csv" ]] || {
+  echo "--router dijkstra still wrote a hierarchy"; exit 1; }
+rc=0; "$CLI" train --dir "$DIR" --model "$DIR/x" --router hc 2>/dev/null || rc=$?
+[[ $rc -eq 3 ]] || { echo "--router hc: want exit 3, got $rc"; exit 1; }
 
 echo "== summarize (trained inline) =="
 OUT1="$("$CLI" summarize --dir "$DIR" --trip 3)"

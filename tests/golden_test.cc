@@ -245,6 +245,30 @@ TEST(GoldenTest, GoldensIdenticalThroughBatchAtOneAndFourThreads) {
   }
 }
 
+TEST(GoldenTest, GoldensIdenticalUnderContractionHierarchy) {
+  // The routing-backend contract: attaching a contraction hierarchy swaps
+  // how length-metric road routes are computed, not what they are — so a
+  // maker serving with the hierarchy must reproduce every default-maker
+  // golden byte for byte.
+  if (UpdateGoldenRequested()) GTEST_SKIP() << "regeneration run";
+  const TestWorld& world = GetTestWorld();
+  STMaker ch_maker(&world.city.network, world.landmarks.get(),
+                   FeatureRegistry::BuiltIn());
+  std::vector<RawTrajectory> corpus;
+  corpus.reserve(world.history.size());
+  for (const GeneratedTrip& t : world.history) corpus.push_back(t.raw);
+  Status trained = ch_maker.Train(corpus);
+  ASSERT_TRUE(trained.ok()) << trained.ToString();
+  Status built = ch_maker.BuildRoadHierarchy();
+  ASSERT_TRUE(built.ok()) << built.ToString();
+  ASSERT_TRUE(ch_maker.has_road_hierarchy());
+  for (const GoldenCase& c : DefaultMakerCases()) {
+    SCOPED_TRACE(c.name);
+    CheckGolden(c.name,
+                SummaryJsonOrDie(ch_maker, CorpusRaw(c.trip), c.options));
+  }
+}
+
 TEST(GoldenTest, TracingOnMatchesEveryGolden) {
   // The observability contract: attaching a Trace must not change a byte.
   // Every default-maker case is re-run with tracing enabled and compared

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include "common/fileutil.h"
 #include "core/stmaker.h"
+#include "roadnet/shortest_path.h"
 #include "test_world.h"
 
 namespace stmaker {
@@ -120,6 +122,91 @@ TEST_F(ModelIoTest, LoadFromMissingFilesFails) {
   Status loaded = fresh.LoadModel("/nonexistent_zz/model");
   EXPECT_FALSE(loaded.ok());
   EXPECT_FALSE(fresh.trained());
+}
+
+TEST_F(ModelIoTest, HierarchyRoundTripsThroughModel) {
+  // SaveModel with a built hierarchy ships it as model_ch.csv; LoadModel
+  // restores it so a served model cold-starts on the fast backend without
+  // re-contracting. Restored CH routes must equal plain Dijkstra.
+  std::string prefix = TempPrefix("model_with_ch");
+  ASSERT_TRUE(world_.maker->BuildRoadHierarchy().ok());
+  ASSERT_TRUE(world_.maker->SaveModel(prefix).ok());
+  world_.maker->DropRoadHierarchy();  // the world is shared; leave it as found
+
+  Result<std::string> saved = ReadFileToString(prefix + "_ch.csv");
+  ASSERT_TRUE(saved.ok()) << "model save did not write the hierarchy file";
+
+  LandmarkIndex& landmarks = const_cast<LandmarkIndex&>(*world_.landmarks);
+  STMaker restored(&world_.city.network, &landmarks,
+                   FeatureRegistry::BuiltIn());
+  Status loaded = restored.LoadModel(prefix);
+  ASSERT_TRUE(loaded.ok()) << loaded.ToString();
+  EXPECT_TRUE(restored.has_road_hierarchy());
+
+  ShortestPathRouter reference(&world_.city.network);
+  const NodeId n = static_cast<NodeId>(world_.city.network.NumNodes());
+  for (NodeId src = 0; src < n; src += 97) {
+    for (NodeId dst = 1; dst < n; dst += 89) {
+      Result<Path> fast = restored.RoadRoute(src, dst);
+      Result<Path> slow = reference.Route(src, dst);
+      ASSERT_EQ(fast.ok(), slow.ok()) << src << "->" << dst;
+      if (fast.ok()) {
+        EXPECT_NEAR(fast->cost, slow->cost, 1e-6 * (1.0 + slow->cost))
+            << src << "->" << dst;
+      }
+    }
+  }
+}
+
+TEST_F(ModelIoTest, CorruptedHierarchyFallsBackToDijkstraNotFailure) {
+  // The hierarchy file is an optional accelerator: damage to it must not
+  // take the model down. LoadModel succeeds, serves summaries, and routes
+  // via Dijkstra — has_road_hierarchy() just reports false.
+  std::string prefix = TempPrefix("model_bad_ch");
+  ASSERT_TRUE(world_.maker->BuildRoadHierarchy().ok());
+  ASSERT_TRUE(world_.maker->SaveModel(prefix).ok());
+  world_.maker->DropRoadHierarchy();
+
+  Result<std::string> content = ReadFileToString(prefix + "_ch.csv");
+  ASSERT_TRUE(content.ok());
+  ASSERT_TRUE(WriteFileToPath(prefix + "_ch.csv", *content + "x").ok());
+
+  LandmarkIndex& landmarks = const_cast<LandmarkIndex&>(*world_.landmarks);
+  STMaker restored(&world_.city.network, &landmarks,
+                   FeatureRegistry::BuiltIn());
+  Status loaded = restored.LoadModel(prefix);
+  ASSERT_TRUE(loaded.ok()) << loaded.ToString();
+  EXPECT_FALSE(restored.has_road_hierarchy());
+  EXPECT_TRUE(restored.trained());
+
+  // Routing still answers (slow path), and summaries still serve.
+  Result<Path> route = restored.RoadRoute(0, 1);
+  ShortestPathRouter reference(&world_.city.network);
+  Result<Path> expected = reference.Route(0, 1);
+  ASSERT_EQ(route.ok(), expected.ok());
+  if (route.ok()) {
+    EXPECT_DOUBLE_EQ(route->cost, expected->cost);
+  }
+  Result<Summary> summary = restored.Summarize(world_.history[0].raw);
+  EXPECT_TRUE(summary.ok()) << summary.status().ToString();
+}
+
+TEST_F(ModelIoTest, MissingHierarchyFileIsNotAnError) {
+  // A model written by an older build (or with --router dijkstra) simply
+  // has no _ch.csv; loading it yields a working, Dijkstra-backed maker.
+  std::string prefix = TempPrefix("model_no_ch");
+  ASSERT_FALSE(world_.maker->has_road_hierarchy());
+  ASSERT_TRUE(world_.maker->SaveModel(prefix).ok());
+  EXPECT_FALSE(FileExists(prefix + "_ch.csv"));
+
+  LandmarkIndex& landmarks = const_cast<LandmarkIndex&>(*world_.landmarks);
+  STMaker restored(&world_.city.network, &landmarks,
+                   FeatureRegistry::BuiltIn());
+  ASSERT_TRUE(restored.LoadModel(prefix).ok());
+  EXPECT_FALSE(restored.has_road_hierarchy());
+  EXPECT_TRUE(restored.RoadRoute(0, 1).ok() ||
+              restored.RoadRoute(0, 1).status().code() ==
+                  StatusCode::kNotFound);
 }
 
 TEST_F(ModelIoTest, MinerSerializationHooks) {

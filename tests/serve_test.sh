@@ -129,6 +129,58 @@ for metric in '"serve.requests": 3' '"serve.stats_requests": 2' \
     echo "stats snapshot lacks $metric"; echo "$STATS2"; exit 1; }
 done
 
+echo "== route requests: ch backend, flags, and dijkstra parity =="
+REQ6="$DIR/requests6.ndjson"
+cat > "$REQ6" <<'EOF'
+{"id": 80, "route": 1, "src": 0, "dst": 40}
+{"id": 81, "route": 1, "src": 0, "dst": 40, "deadline_ms": -1}
+{"id": 82, "route": 1, "src": 0, "dst": 40, "max_expansions": 1}
+{"id": 83, "route": 1}
+EOF
+OUT6="$DIR/responses6.ndjson"
+ERR6="$DIR/serve6.stderr"
+"$CLI" serve --dir "$DIR" --model "$DIR/model" < "$REQ6" > "$OUT6" 2> "$ERR6"
+cat "$OUT6"
+grep -q "(router: ch)" "$ERR6" || { echo "serve did not pick ch"; exit 1; }
+grep -q '"id": 80, "status": "ok", "cost": ' "$OUT6" || {
+  echo "route request failed"; exit 1; }
+grep -q '"id": 81, "status": "deadline_exceeded"' "$OUT6" || {
+  echo "route deadline ignored"; exit 1; }
+grep -q '"id": 82, "status": "resource_exhausted"' "$OUT6" || {
+  echo "route expansion budget ignored"; exit 1; }
+grep -q '"id": 83, "status": "invalid_argument"' "$OUT6" || {
+  echo "route without src/dst not rejected"; exit 1; }
+
+# The dijkstra backend answers the same route with the same bytes.
+OUT7="$DIR/responses7.ndjson"
+ERR7="$DIR/serve7.stderr"
+printf '{"id": 80, "route": 1, "src": 0, "dst": 40}\n' | \
+  "$CLI" serve --dir "$DIR" --model "$DIR/model" --router dijkstra \
+  > "$OUT7" 2> "$ERR7"
+grep -q "(router: dijkstra)" "$ERR7" || {
+  echo "--router dijkstra not honored"; exit 1; }
+diff <(grep '"id": 80' "$OUT6") "$OUT7" || {
+  echo "ch and dijkstra disagree on a route"; exit 1; }
+
+echo "== a corrupted hierarchy file degrades to dijkstra, not a crash =="
+cp "$DIR/model_ch.csv" "$DIR/model_ch.csv.bak"
+printf 'x' >> "$DIR/model_ch.csv"
+OUT8="$DIR/responses8.ndjson"
+ERR8="$DIR/serve8.stderr"
+printf '{"id": 84, "route": 1, "src": 0, "dst": 40}\n' | \
+  "$CLI" serve --dir "$DIR" --model "$DIR/model" > "$OUT8" 2> "$ERR8"
+grep -q "falling back to Dijkstra" "$ERR8" || {
+  echo "missing fallback warning"; cat "$ERR8"; exit 1; }
+grep -q '"id": 84, "status": "ok", "cost": ' "$OUT8" || {
+  echo "route failed after hierarchy corruption"; exit 1; }
+mv "$DIR/model_ch.csv.bak" "$DIR/model_ch.csv"
+
+# An unknown --router value is a usage-category error -> exit 3.
+rc=0
+"$CLI" serve --dir "$DIR" --model "$DIR/model" --router hc \
+  < /dev/null > /dev/null 2>&1 || rc=$?
+[[ $rc -eq 3 ]] || { echo "--router hc: want exit 3, got $rc"; exit 1; }
+
 echo "== --trace_log writes parseable span trees and changes no output =="
 REQ5="$DIR/requests5.ndjson"
 cat > "$REQ5" <<'EOF'

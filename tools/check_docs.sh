@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Structural documentation checks, cheap enough to run before Doxygen.
+#
+#   1. Every public header under src/ carries a file-level `/// \file`
+#      comment block (what the API index is built from).
+#   2. No `TODO(doc)` markers anywhere in the tree — a doc TODO is a doc
+#      bug once WARN_AS_ERROR is on.
+#
+# Exits nonzero and names every offending file. Run from the repo root:
+#   tools/check_docs.sh
+set -u
+
+cd "$(dirname "$0")/.."
+
+fail=0
+
+missing=$(grep -rL '\\file' --include='*.h' src/ || true)
+if [ -n "$missing" ]; then
+  echo "error: headers missing a file-level '/// \\file' block:" >&2
+  echo "$missing" | sed 's/^/  /' >&2
+  fail=1
+fi
+
+todos=$(grep -rln 'TODO(doc)' --include='*.h' --include='*.cc' \
+  --include='*.cpp' --include='*.md' src/ tools/ tests/ bench/ \
+  README.md DESIGN.md 2>/dev/null | grep -v 'tools/check_docs.sh' || true)
+if [ -n "$todos" ]; then
+  echo "error: unresolved TODO(doc) markers in:" >&2
+  echo "$todos" | sed 's/^/  /' >&2
+  fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "check_docs: OK ($(find src -name '*.h' | wc -l) headers carry \\file blocks, no TODO(doc))"

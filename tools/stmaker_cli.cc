@@ -142,6 +142,7 @@ int Usage() {
                "  stmaker_cli gen --dir D [--seed N] [--blocks B] "
                "[--trips T] [--pois P]\n"
                "  stmaker_cli train --dir D --model P [--threads N]\n"
+               "              [--router dijkstra|ch]\n"
                "  stmaker_cli summarize --dir D --trip I [--k K] "
                "[--eta E] [--json|--geojson] [--model P] [--threads N]\n"
                "  stmaker_cli stats --dir D [--trips T] [--threads N]\n"
@@ -149,9 +150,13 @@ int Usage() {
                "  stmaker_cli serve --dir D [--model P] [--threads N]\n"
                "              [--deadline_ms MS] [--max_inflight N]\n"
                "              [--max_expansions N] [--trace_log PATH]\n"
+               "              [--router dijkstra|ch]\n"
                "(--threads: worker threads for training and batch "
                "summarization; 0 = all cores, default 1, max 1024; results "
                "are identical at any thread count)\n"
+               "(--router: backend for road-network `route` requests; ch — "
+               "the default — builds/loads a contraction hierarchy, dijkstra "
+               "disables it; summaries are byte-identical either way)\n"
                "\n"
                "exit codes:\n"
                "  0  success\n"
@@ -197,6 +202,19 @@ Result<int> ThreadsFlag(const Args& args) {
         value));
   }
   return static_cast<int>(value == 0 ? ResolveThreadCount(0) : value);
+}
+
+/// Validates --router: "ch" (the default) selects the contraction-hierarchy
+/// backend for length-metric road routing, "dijkstra" turns it off. Any
+/// other value is a loud error, not a silent fallback — a typo like
+/// --router hc must not quietly serve the slow path.
+Result<std::string> RouterFlag(const Args& args) {
+  std::string value = args.Get("router", "ch");
+  if (value != "ch" && value != "dijkstra") {
+    return Status::InvalidArgument("--router must be 'dijkstra' or 'ch', got '" +
+                                   value + "'");
+  }
+  return value;
 }
 
 /// --threads N -> STMakerOptions with that ingestion/serving parallelism.
@@ -269,6 +287,8 @@ int RunTrain(const Args& args) {
   if (!args.Has("dir") || !args.Has("model")) return Usage();
   Result<int> threads = ThreadsFlag(args);
   if (!threads.ok()) return Fail(threads.status());
+  Result<std::string> router = RouterFlag(args);
+  if (!router.ok()) return Fail(router.status());
   Result<LoadedWorld> loaded = LoadWorld(args.Get("dir", "."));
   if (!loaded.ok()) return Fail(loaded.status());
   LoadedWorld& world = *loaded;
@@ -276,10 +296,17 @@ int RunTrain(const Args& args) {
                 FeatureRegistry::BuiltIn(), MakerOptions(*threads));
   Status st = maker.Train(world.trajectories);
   if (!st.ok()) return Fail(st);
+  if (*router == "ch") {
+    // Contract the road network once at train time so `serve --model`
+    // cold-starts with the fast routing backend instead of re-contracting.
+    st = maker.BuildRoadHierarchy();
+    if (!st.ok()) return Fail(st);
+  }
   st = maker.SaveModel(args.Get("model", "model"));
   if (!st.ok()) return Fail(st);
-  std::printf("trained on %zu trajectories; model saved under %s_*\n",
-              maker.num_trained(), args.Get("model", "model").c_str());
+  std::printf("trained on %zu trajectories; model saved under %s_*%s\n",
+              maker.num_trained(), args.Get("model", "model").c_str(),
+              maker.has_road_hierarchy() ? " (with routing hierarchy)" : "");
   return 0;
 }
 
@@ -413,6 +440,14 @@ int RunGroup(const Args& args) {
 // additionally cancels requests still running past their deadline, so even
 // code between check points cannot hold a worker hostage forever.
 //
+// Road routing:
+//   - {"id": 5, "route": 1, "src": 12, "dst": 977} answers synchronously
+//     with the length-metric shortest path between two road-network nodes:
+//     {"id": 5, "status": "ok", "cost": 1834.2, "hops": 41}. The backend is
+//     the contraction hierarchy when one is attached (--router ch, the
+//     default) and plain Dijkstra otherwise; both return identical costs.
+//     "deadline_ms" and "max_expansions" apply exactly as for summarize.
+//
 // Observability:
 //   - {"id": 7, "stats": 1} answers synchronously with a metrics snapshot
 //     ({"id": 7, "status": "ok", "stats": {counters, gauges, histograms}}):
@@ -541,6 +576,8 @@ int RunServe(const Args& args) {
   if (!args.Has("dir")) return Usage();
   Result<int> threads = ThreadsFlag(args);
   if (!threads.ok()) return Fail(threads.status());
+  Result<std::string> router = RouterFlag(args);
+  if (!router.ok()) return Fail(router.status());
   const long default_deadline_ms = args.GetInt("deadline_ms", 0);
   const long max_inflight = args.GetInt("max_inflight", 64);
   const long max_expansions = args.GetInt("max_expansions", 0);
@@ -564,6 +601,7 @@ int RunServe(const Args& args) {
   Counter& c_requests = registry.counter("serve.requests");
   Counter& c_malformed = registry.counter("serve.malformed");
   Counter& c_stats_requests = registry.counter("serve.stats_requests");
+  Counter& c_route_requests = registry.counter("serve.route_requests");
   Counter& c_watchdog_cancelled = registry.counter("serve.watchdog_cancelled");
 
   Result<LoadedWorld> loaded = LoadWorld(args.Get("dir", "."));
@@ -578,8 +616,19 @@ int RunServe(const Args& args) {
     Status st = maker.Train(world.trajectories);
     if (!st.ok()) return Fail(st);
   }
-  std::fprintf(stderr, "stmaker_cli: serving %zu trajectories on %d threads\n",
-               world.trajectories.size(), *threads);
+  if (*router == "dijkstra") {
+    maker.DropRoadHierarchy();  // also discards one loaded from the model
+  } else if (!maker.has_road_hierarchy()) {
+    // Trained in-process, or the model shipped without a usable hierarchy
+    // (older model, or its _ch.csv failed verification and LoadModel fell
+    // back): contract now so `route` requests still get the fast backend.
+    if (Status st = maker.BuildRoadHierarchy(); !st.ok()) return Fail(st);
+  }
+  std::fprintf(stderr,
+               "stmaker_cli: serving %zu trajectories on %d threads "
+               "(router: %s)\n",
+               world.trajectories.size(), *threads,
+               maker.has_road_hierarchy() ? "ch" : "dijkstra");
 
   std::mutex out_mu;  // one response line at a time
   auto respond = [&](long id, const Status& status, const Summary* summary) {
@@ -667,6 +716,44 @@ int RunServe(const Args& args) {
       std::lock_guard<std::mutex> lock(out_mu);
       std::printf("{\"id\": %ld, \"status\": \"ok\", \"stats\": %s}\n", id,
                   snapshot.c_str());
+      std::fflush(stdout);
+      continue;
+    }
+    if (fields.count("route") != 0) {
+      // Answered synchronously on the accept thread: a point query on the
+      // routing backend is microseconds under the hierarchy, and keeping it
+      // out of the pool means routing probes work even when summarization
+      // has the workers saturated.
+      c_route_requests.Increment();
+      if (fields.count("src") == 0 || fields.count("dst") == 0) {
+        respond(id,
+                Status::InvalidArgument(
+                    "route request lacks 'src' and/or 'dst' fields"),
+                nullptr);
+        continue;
+      }
+      RequestContext route_ctx;
+      double route_deadline_ms = field(
+          "deadline_ms", static_cast<double>(default_deadline_ms));
+      if (route_deadline_ms != 0) {
+        route_ctx.deadline =
+            RequestContext::Clock::now() +
+            std::chrono::milliseconds(
+                static_cast<long long>(route_deadline_ms));
+      }
+      route_ctx.max_node_expansions = static_cast<size_t>(
+          field("max_expansions", static_cast<double>(max_expansions)));
+      Result<Path> path =
+          maker.RoadRoute(static_cast<NodeId>(field("src", -1)),
+                          static_cast<NodeId>(field("dst", -1)), &route_ctx);
+      if (!path.ok()) {
+        respond(id, path.status(), nullptr);
+        continue;
+      }
+      std::lock_guard<std::mutex> lock(out_mu);
+      std::printf("{\"id\": %ld, \"status\": \"ok\", \"cost\": %.3f, "
+                  "\"hops\": %zu}\n",
+                  id, path->cost, path->edges.size());
       std::fflush(stdout);
       continue;
     }
