@@ -15,14 +15,20 @@
 // Emits one JSON record per (benchmark, threads) pair:
 //   {"name", "threads", "items_per_sec", "p50_ms", "p99_ms"}
 // plus three special records: "ch_routing" (map size, build cost, measured
-// CH-over-Dijkstra speedup), "machine" (hardware concurrency, so scaling
-// numbers can be read against the cores that produced them), and the
-// registry histograms accumulated over the run.
+// CH-over-Dijkstra speedup), "machine" (hardware concurrency plus CPU
+// model and ISA flags, so scaling and SIMD-sensitive numbers can be read
+// against the silicon that produced them), and the registry histograms
+// accumulated over the run. The matcher is additionally benchmarked
+// per-topology over the shared scenario corpus (tests/scenario_dsl.h), so
+// a candidate-pruning regression on, say, dense grids shows up as its own
+// row instead of vanishing into the city-wide aggregate.
 
 #include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <limits>
 #include <memory>
 #include <random>
@@ -36,7 +42,9 @@
 #include "common/trace.h"
 #include "core/feature_extractor.h"
 #include "roadnet/contraction_hierarchy.h"
+#include "roadnet/map_matcher.h"
 #include "roadnet/shortest_path.h"
+#include "scenario_dsl.h"
 #include "traj/calibration.h"
 
 using namespace stmaker;
@@ -73,6 +81,71 @@ struct BenchResult {
   double p50_ms;
   double p99_ms;
 };
+
+/// CPU identity for the "machine" record: model string plus the ISA flags
+/// that actually move these benchmarks (vector width, FMA, AES, BMI). The
+/// full /proc/cpuinfo flag line runs to hundreds of tokens; anything not on
+/// this list is noise for a latency comparison, so it is dropped.
+struct CpuInfo {
+  std::string model;
+  std::string flags;
+};
+
+CpuInfo ReadCpuInfo() {
+  CpuInfo info;
+  std::FILE* f = std::fopen("/proc/cpuinfo", "r");
+  if (f == nullptr) return info;  // non-Linux: fields stay empty
+  static constexpr const char* kWanted[] = {
+      "sse4_2", "popcnt", "aes",     "avx",        "fma",     "bmi1",
+      "bmi2",   "avx2",   "avx512f", "avx512dq",   "avx512bw", "avx512vl",
+      "avx512_vnni", "avx512_bf16", "avx512_fp16", "amx_tile",
+  };
+  char line[4096];
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    std::string s(line);
+    size_t colon = s.find(':');
+    if (colon == std::string::npos) continue;
+    std::string key = s.substr(0, colon);
+    while (!key.empty() && (key.back() == ' ' || key.back() == '\t')) {
+      key.pop_back();
+    }
+    std::string value = s.substr(colon + 1);
+    if (!value.empty() && value.front() == ' ') value.erase(0, 1);
+    while (!value.empty() && (value.back() == '\n' || value.back() == ' ')) {
+      value.pop_back();
+    }
+    if (key == "model name" && info.model.empty()) {
+      // Keep the record safely quotable: drop anything outside a plain
+      // printable subset (model strings are vendor-controlled text).
+      for (char c : value) {
+        if (std::isalnum(static_cast<unsigned char>(c)) ||
+            std::strchr(" ()@.-_/", c) != nullptr) {
+          info.model.push_back(c);
+        }
+      }
+    } else if (key == "flags" && info.flags.empty()) {
+      std::string token;
+      std::string padded = value;
+      padded.push_back(' ');
+      for (char c : padded) {
+        if (c == ' ') {
+          for (const char* want : kWanted) {
+            if (token == want) {
+              if (!info.flags.empty()) info.flags.push_back(' ');
+              info.flags += token;
+            }
+          }
+          token.clear();
+        } else {
+          token.push_back(c);
+        }
+      }
+    }
+    if (!info.model.empty() && !info.flags.empty()) break;
+  }
+  std::fclose(f);
+  return info;
+}
 
 BenchResult Summarize(const std::string& name, int threads,
                       const std::vector<double>& latencies_ms,
@@ -300,6 +373,56 @@ int Run(const char* out_path) {
                     : 0.0);
   }
 
+  // --- Per-topology matcher benchmarks over the scenario corpus. -----------
+  // The same hand-drawn maps the scenario/property tests certify against
+  // brute force and the reference matcher. Each row matches the corpus
+  // route at three noise levels (clean, urban, degraded), so the JSON
+  // carries a per-topology latency profile of the pruned candidate search
+  // — a regression on dense grids or long Viterbi chains gets its own row.
+  {
+    using stmaker::testing::NamedScenario;
+    using stmaker::testing::Scenario;
+    using stmaker::testing::ScenarioCorpus;
+    using stmaker::testing::ScenarioPath;
+    const int kScenarioReps = 300;
+    const double kNoiseLevels[] = {0.0, 8.0, 30.0};
+    for (const NamedScenario& ns : ScenarioCorpus()) {
+      Scenario s = ns.Build();
+      MapMatcher matcher(&s.network);
+      std::vector<std::vector<Vec2>> trips;
+      size_t fixes_per_pass = 0;
+      for (double noise : kNoiseLevels) {
+        trips.push_back(ScenarioPath(s, ns.route, /*step_m=*/40.0, noise,
+                                     /*seed=*/11));
+        fixes_per_pass += trips.back().size();
+      }
+      // Warm pass: fault in the spatial index pages and thread-local
+      // scratch so the timed loop measures steady state.
+      for (const auto& trip : trips) (void)matcher.Match(trip);
+      std::vector<double> lat;
+      lat.reserve(kScenarioReps * trips.size());
+      size_t fixes = 0;
+      double t0 = NowMs();
+      for (int rep = 0; rep < kScenarioReps; ++rep) {
+        for (const auto& trip : trips) {
+          double c0 = NowMs();
+          std::vector<EdgeId> matched = matcher.Match(trip);
+          lat.push_back(NowMs() - c0);
+          STMAKER_CHECK(matched.size() == trip.size());
+          fixes += matched.size();
+        }
+      }
+      double total = NowMs() - t0;
+      results.push_back(Summarize("MapMatch_" + ns.name, 1, lat,
+                                  kScenarioReps * trips.size(), total));
+      std::printf("# scenario %-16s %zu nodes %zu edges, %zu fixes/pass, "
+                  "%.0f fixes/s\n",
+                  ns.name.c_str(), s.network.NumNodes(), s.network.NumEdges(),
+                  fixes_per_pass,
+                  total > 0 ? fixes / (total / 1000.0) : 0.0);
+    }
+  }
+
   // --- Routing backends: Dijkstra vs contraction hierarchy. ----------------
   // A dedicated map, larger than the bench city, so the asymptotic gap is
   // visible: uninformed Dijkstra settles O(n) nodes per query while the CH
@@ -439,10 +562,12 @@ int Run(const char* out_path) {
                "\"build_ms\": %.1f, \"speedup_vs_dijkstra\": %.2f, "
                "\"batch_speedup_vs_point\": %.2f},\n",
                routing_nodes, ch_build_ms, ch_speedup, ch_batch_speedup);
+  CpuInfo cpu = ReadCpuInfo();
   std::fprintf(out,
-               "  {\"name\": \"machine\", \"hardware_concurrency\": %u}%s\n",
-               std::thread::hardware_concurrency(),
-               num_hists > 0 ? "," : "");
+               "  {\"name\": \"machine\", \"hardware_concurrency\": %u, "
+               "\"cpu_model\": \"%s\", \"cpu_flags\": \"%s\"}%s\n",
+               std::thread::hardware_concurrency(), cpu.model.c_str(),
+               cpu.flags.c_str(), num_hists > 0 ? "," : "");
   size_t emitted = 0;
   for (const auto& [name, hist] : snapshot.histograms) {
     if (hist.count == 0) continue;

@@ -1,0 +1,87 @@
+#include "common/arena.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace stmaker {
+
+namespace {
+
+inline size_t AlignUp(size_t value, size_t align) {
+  return (value + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+Arena::Arena(size_t block_bytes)
+    : block_bytes_(std::max(block_bytes, kMinBlockBytes)) {}
+
+Arena::~Arena() = default;
+
+void* Arena::Allocate(size_t bytes, size_t align) {
+  STMAKER_DCHECK(align > 0 && (align & (align - 1)) == 0);
+  if (bytes == 0) bytes = 1;
+  // Bump within the current block when it fits. Alignment is applied to
+  // the absolute address — new[] only guarantees malloc alignment, which
+  // over-aligned requests (e.g. 64-byte) exceed.
+  while (current_ < blocks_.size()) {
+    Block& b = blocks_[current_];
+    uintptr_t base = reinterpret_cast<uintptr_t>(b.data.get());
+    size_t offset = AlignUp(base + b.used, align) - base;
+    if (offset + bytes <= b.size) {
+      b.used = offset + bytes;
+      bytes_in_use_ += bytes;
+      return b.data.get() + offset;
+    }
+    // Advance into an already-chained (previously rewound) block, if any.
+    if (current_ + 1 < blocks_.size()) {
+      ++current_;
+      blocks_[current_].used = 0;
+      continue;
+    }
+    break;
+  }
+  // Chain a fresh block; oversized requests get a dedicated one so a large
+  // scratch vector doesn't force every later block to its size. `align`
+  // slack guarantees the aligned cursor still fits.
+  size_t size = std::max(block_bytes_, bytes + align);
+  Block block;
+  block.data = std::make_unique<char[]>(size);
+  block.size = size;
+  bytes_reserved_ += size;
+  blocks_.push_back(std::move(block));
+  current_ = blocks_.size() - 1;
+  Block& b = blocks_.back();
+  uintptr_t base = reinterpret_cast<uintptr_t>(b.data.get());
+  size_t offset = AlignUp(base, align) - base;
+  b.used = offset + bytes;
+  bytes_in_use_ += bytes;
+  return b.data.get() + offset;
+}
+
+void Arena::Reset() {
+  for (Block& b : blocks_) b.used = 0;
+  current_ = 0;
+  bytes_in_use_ = 0;
+}
+
+Arena::Mark Arena::Position() const {
+  if (blocks_.empty()) return {0, 0, 0};
+  return {current_, blocks_[current_].used, bytes_in_use_};
+}
+
+void Arena::Rewind(const Mark& mark) {
+  if (blocks_.empty()) return;
+  for (size_t i = mark.block + 1; i < blocks_.size(); ++i) blocks_[i].used = 0;
+  if (mark.block < blocks_.size()) blocks_[mark.block].used = mark.used;
+  current_ = std::min(mark.block, blocks_.size() - 1);
+  bytes_in_use_ = mark.in_use;
+}
+
+Arena& Arena::ThreadLocal() {
+  thread_local Arena arena;
+  return arena;
+}
+
+}  // namespace stmaker

@@ -1,0 +1,149 @@
+#ifndef STMAKER_COMMON_ARENA_H_
+#define STMAKER_COMMON_ARENA_H_
+
+/// \file
+/// \brief Bump allocator for per-request scratch memory (DESIGN.md §13).
+///
+/// The serving hot path (map matching, calibration resampling, feature
+/// extraction) used to allocate dozens of short-lived vectors, sets, and
+/// maps per request; the malloc/free churn showed up directly as p99
+/// spikes in `stmaker.stage.extract_ms` and `stmaker.stage.calibrate_ms`.
+/// An Arena replaces that churn with pointer bumps into reusable blocks:
+///
+///   - Allocate() is a bump of the current block's cursor; a new block is
+///     chained only when the current one is full. Nothing is ever freed
+///     per-object — Deallocate is a no-op.
+///   - ArenaScope captures the cursor on entry and rewinds it on exit, so
+///     nested scopes (extract → match) release memory LIFO and a request
+///     leaves the arena exactly as it found it. Blocks are retained for
+///     the next request, so steady-state serving performs no allocation.
+///   - Arena::ThreadLocal() hands each thread its own arena; scratch never
+///     crosses threads, so there is no locking and no false sharing.
+///
+/// Rules:
+///   - Arena memory must never escape the enclosing ArenaScope; anything
+///     returned to a caller is copied into normal heap containers first.
+///   - Arena-backed containers must be destroyed (or simply abandoned —
+///     trivially-destructible contents only) before the scope rewinds.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace stmaker {
+
+/// \brief A growable bump allocator. Not thread-safe; use one per thread
+/// (see ThreadLocal()).
+class Arena {
+ public:
+  /// \param block_bytes Size of each chained block; the first request
+  /// rounds odd sizes up to at least kMinBlockBytes.
+  explicit Arena(size_t block_bytes = kDefaultBlockBytes);
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of storage aligned to `align` (a power of two).
+  /// Never returns nullptr; chains a new block when the current one is
+  /// full (oversized requests get a dedicated block).
+  void* Allocate(size_t bytes, size_t align);
+
+  /// Rewinds the arena to completely empty, keeping the blocks for reuse.
+  void Reset();
+
+  /// Bytes currently handed out (high-water mark within this scope chain).
+  size_t bytes_in_use() const { return bytes_in_use_; }
+
+  /// Total capacity of all chained blocks.
+  size_t bytes_reserved() const { return bytes_reserved_; }
+
+  /// The calling thread's scratch arena. Each thread gets its own lazily;
+  /// it lives until thread exit. Pair every use with an ArenaScope so the
+  /// memory is reclaimed when the request finishes.
+  static Arena& ThreadLocal();
+
+  static constexpr size_t kDefaultBlockBytes = 64 * 1024;
+  static constexpr size_t kMinBlockBytes = 1024;
+
+ private:
+  friend class ArenaScope;
+
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t size = 0;
+    size_t used = 0;
+  };
+
+  /// Opaque rewind point: (block index, offset within it, bytes in use).
+  struct Mark {
+    size_t block;
+    size_t used;
+    size_t in_use;
+  };
+
+  Mark Position() const;
+  void Rewind(const Mark& mark);
+
+  size_t block_bytes_;
+  size_t current_ = 0;  ///< Index of the block being bumped.
+  size_t bytes_in_use_ = 0;
+  size_t bytes_reserved_ = 0;
+  std::vector<Block> blocks_;
+};
+
+/// \brief RAII rewind point: everything allocated from `arena` after
+/// construction is released (LIFO) at scope exit. Scopes nest freely.
+class ArenaScope {
+ public:
+  explicit ArenaScope(Arena& arena)
+      : arena_(&arena), mark_(arena.Position()) {}
+  ~ArenaScope() { arena_->Rewind(mark_); }
+
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+  Arena& arena() const { return *arena_; }
+
+ private:
+  Arena* arena_;
+  Arena::Mark mark_;
+};
+
+/// \brief STL-compatible allocator over an Arena. deallocate() is a no-op;
+/// memory is reclaimed only when the enclosing ArenaScope rewinds.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena* arena) : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(arena_->Allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T*, size_t) {}  // reclaimed by ArenaScope rewind
+
+  Arena* arena() const { return arena_; }
+
+  bool operator==(const ArenaAllocator& other) const {
+    return arena_ == other.arena_;
+  }
+  bool operator!=(const ArenaAllocator& other) const {
+    return arena_ != other.arena_;
+  }
+
+ private:
+  Arena* arena_;
+};
+
+/// Scratch vector whose backing store lives in an arena.
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace stmaker
+
+#endif  // STMAKER_COMMON_ARENA_H_

@@ -99,9 +99,11 @@ class Histogram {
  public:
   static constexpr size_t kMaxBuckets = 64;
 
-  /// Default latency bounds in milliseconds: 20 geometric buckets from
-  /// 0.01 ms to ~2.6 s (x2 per bucket), sized so every pipeline stage in
-  /// this codebase lands well inside the finite range.
+  /// Default latency bounds in milliseconds: four sub-10 µs buckets
+  /// (0.5/1/2/5 µs — microsecond-scale stages like partition/select need
+  /// them for sane quantile interpolation) followed by 20 geometric
+  /// buckets from 0.01 ms to ~2.6 s (x2 per bucket), sized so every
+  /// pipeline stage in this codebase lands well inside the finite range.
   static std::vector<double> DefaultLatencyBoundsMs();
 
   /// \param bounds Finite-bucket upper bounds; must be non-empty, strictly

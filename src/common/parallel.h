@@ -37,7 +37,11 @@ int ResolveThreadCount(int requested);
 /// std::terminate is acceptable.
 class ThreadPool {
  public:
-  /// Spawns `num_threads` workers (resolved via ResolveThreadCount).
+  /// Spawns workers for `num_threads` (resolved via ResolveThreadCount),
+  /// capped at the hardware concurrency: the pool only ever runs CPU-bound
+  /// tasks, so oversubscribing cores cannot add throughput and only
+  /// inflates per-task latency tails. `num_threads()` reports the actual
+  /// (possibly capped) worker count.
   explicit ThreadPool(int num_threads);
 
   /// Joins all workers; pending tasks are completed first.

@@ -1,11 +1,68 @@
 #include "core/feature_extractor.h"
 
 #include <algorithm>
-#include <map>
+#include <array>
 
 #include "common/check.h"
 
 namespace stmaker {
+
+namespace {
+
+/// Majority vote over a dense enum range [1, kMax]; ties go to the smallest
+/// enum value, exactly like max_element over the ordered map this replaces
+/// (strict-< keeps the first maximum, and std::map iterates keys ascending).
+template <typename E, int kMax>
+class EnumVotes {
+ public:
+  void Vote(E v) { counts_[static_cast<int>(v)]++; }
+  E Best() const {
+    int best = 1;
+    for (int v = 2; v <= kMax; ++v) {
+      if (counts_[v] > counts_[best]) best = v;
+    }
+    return static_cast<E>(best);
+  }
+
+ private:
+  std::array<int, kMax + 1> counts_{};
+};
+
+/// Majority vote over road names; ties go to the lexicographically smallest
+/// name (the ordered-map iteration order the dense path replaces). Segments
+/// see a handful of distinct names, so a linear scan beats any map.
+class NameVotes {
+ public:
+  void Vote(const std::string* name) {
+    for (auto& [n, count] : votes_) {
+      if (n == name || *n == *name) {
+        count++;
+        return;
+      }
+    }
+    votes_.push_back({name, 1});
+  }
+  bool empty() const { return votes_.empty(); }
+  const std::string& Best() const {
+    const std::string* best_name = votes_[0].first;
+    int best_count = votes_[0].second;
+    for (size_t i = 1; i < votes_.size(); ++i) {
+      const auto& [n, count] = votes_[i];
+      if (count > best_count ||
+          (count == best_count && *n < *best_name)) {
+        best_name = n;
+        best_count = count;
+      }
+    }
+    return *best_name;
+  }
+  void clear() { votes_.clear(); }
+
+ private:
+  std::vector<std::pair<const std::string*, int>> votes_;
+};
+
+}  // namespace
 
 FeatureExtractor::FeatureExtractor(const RoadNetwork* network,
                                    const LandmarkIndex* landmarks,
@@ -30,7 +87,10 @@ Result<std::vector<SegmentFeatures>> FeatureExtractor::Extract(
   }
   STMAKER_RETURN_IF_ERROR(CheckContext(ctx));
 
-  // Whole-trajectory passes, sliced per segment afterwards.
+  // Whole-trajectory passes, sliced per segment afterwards. The dominant
+  // scratch consumer here is matcher_.Match, which runs inside the thread
+  // arena; the per-segment buffers below stay std::vector (their types are
+  // part of the SegmentContext extension API) but are hoisted and reused.
   std::vector<Vec2> positions;
   positions.reserve(trajectory.raw.samples.size());
   for (const RawSample& s : trajectory.raw.samples) {
@@ -44,6 +104,10 @@ Result<std::vector<SegmentFeatures>> FeatureExtractor::Extract(
 
   CancelCheck check(ctx, /*stride=*/16);  // segments are coarse units
   std::vector<SegmentFeatures> out(num_segments);
+  NameVotes name_votes;
+  // Plain vector (SegmentContext's type is part of the extension API), but
+  // hoisted: assign() reuses its capacity across segments.
+  std::vector<EdgeId> matched_slice;
   for (size_t seg = 0; seg < num_segments; ++seg) {
     STMAKER_RETURN_IF_ERROR(check.Tick());
     SegmentFeatures& sf = out[seg];
@@ -53,34 +117,25 @@ Result<std::vector<SegmentFeatures>> FeatureExtractor::Extract(
     sf.duration_s = t1 - t0;
 
     // --- Routing attributes from the matched edges. -------------------------
-    std::map<RoadGrade, int> grade_votes;
-    std::map<TrafficDirection, int> direction_votes;
-    std::map<std::string, int> name_votes;
+    EnumVotes<RoadGrade, 7> grade_votes;
+    EnumVotes<TrafficDirection, 2> direction_votes;
+    name_votes.clear();
     double width_sum = 0;
     int width_count = 0;
-    std::vector<EdgeId> segment_edges;
     for (size_t i = first; i < last && i < matched.size(); ++i) {
       EdgeId e = matched[i];
       if (e < 0) continue;
       const RoadEdge& edge = network_->edge(e);
-      grade_votes[edge.grade]++;
-      direction_votes[edge.direction]++;
-      name_votes[edge.name]++;
+      grade_votes.Vote(edge.grade);
+      direction_votes.Vote(edge.direction);
+      name_votes.Vote(&edge.name);
       width_sum += edge.width_m;
       width_count++;
-      segment_edges.push_back(e);
     }
     if (width_count > 0) {
-      auto best = [](const auto& votes) {
-        return std::max_element(votes.begin(), votes.end(),
-                                [](const auto& a, const auto& b) {
-                                  return a.second < b.second;
-                                })
-            ->first;
-      };
-      sf.dominant_grade = best(grade_votes);
-      sf.dominant_direction = best(direction_votes);
-      sf.dominant_road_name = best(name_votes);
+      sf.dominant_grade = grade_votes.Best();
+      sf.dominant_direction = direction_votes.Best();
+      sf.dominant_road_name = name_votes.Best();
       sf.mean_width_m = width_sum / width_count;
     }
 
@@ -101,7 +156,7 @@ Result<std::vector<SegmentFeatures>> FeatureExtractor::Extract(
 
     // --- Assemble the feature vector in registry order. ---------------------
     RawTrajectory segment_raw = trajectory.SegmentRaw(seg);
-    std::vector<EdgeId> matched_slice(
+    matched_slice.assign(
         matched.begin() + std::min(first, matched.size()),
         matched.begin() + std::min(last, matched.size()));
     SegmentContext context;

@@ -25,7 +25,13 @@ void GridIndex::Insert(int64_t id, const Vec2& pos) {
 std::vector<int64_t> GridIndex::WithinRadius(const Vec2& center,
                                              double radius) const {
   std::vector<int64_t> out;
-  if (radius < 0 || items_.empty()) return out;
+  AppendWithinRadius(center, radius, &out);
+  return out;
+}
+
+void GridIndex::AppendWithinRadius(const Vec2& center, double radius,
+                                   std::vector<int64_t>* out) const {
+  if (radius < 0 || items_.empty()) return;
   int64_t span = static_cast<int64_t>(std::ceil(radius / cell_size_));
   CellKey c = CellOf(center);
   for (int64_t dx = -span; dx <= span; ++dx) {
@@ -34,12 +40,11 @@ std::vector<int64_t> GridIndex::WithinRadius(const Vec2& center,
       if (it == cells_.end()) continue;
       for (size_t idx : it->second) {
         if (Distance(items_[idx].pos, center) <= radius) {
-          out.push_back(items_[idx].id);
+          out->push_back(items_[idx].id);
         }
       }
     }
   }
-  return out;
 }
 
 int64_t GridIndex::Nearest(const Vec2& p, double max_radius) const {

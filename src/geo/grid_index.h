@@ -34,6 +34,12 @@ class GridIndex {
   /// in unspecified order.
   std::vector<int64_t> WithinRadius(const Vec2& center, double radius) const;
 
+  /// Appends the ids of all items within `radius` of `center` to `*out`
+  /// (same result set as WithinRadius). Lets hot paths reuse one buffer
+  /// across queries instead of allocating a vector per call.
+  void AppendWithinRadius(const Vec2& center, double radius,
+                          std::vector<int64_t>* out) const;
+
   /// Id of the item nearest to `p`, or -1 when the index is empty.
   /// If `max_radius` >= 0, items farther than it are ignored.
   int64_t Nearest(const Vec2& p, double max_radius = -1) const;

@@ -104,6 +104,11 @@ std::vector<LandmarkId> LandmarkIndex::WithinRadius(const Vec2& p,
   return index_->WithinRadius(p, radius);
 }
 
+void LandmarkIndex::AppendWithinRadius(const Vec2& p, double radius,
+                                       std::vector<LandmarkId>* out) const {
+  index_->AppendWithinRadius(p, radius, out);
+}
+
 LandmarkId LandmarkIndex::Nearest(const Vec2& p, double max_radius) const {
   return index_->Nearest(p, max_radius);
 }

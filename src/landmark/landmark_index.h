@@ -48,6 +48,11 @@ class LandmarkIndex {
   /// Landmarks within `radius` meters of `p`.
   std::vector<LandmarkId> WithinRadius(const Vec2& p, double radius) const;
 
+  /// Appends the landmarks within `radius` of `p` to `*out` (same result
+  /// set as WithinRadius); lets scan loops reuse one buffer.
+  void AppendWithinRadius(const Vec2& p, double radius,
+                          std::vector<LandmarkId>* out) const;
+
   /// Nearest landmark id, or -1 (respecting `max_radius` if >= 0).
   LandmarkId Nearest(const Vec2& p, double max_radius = -1) const;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/arena.h"
 #include "common/check.h"
 #include "common/metrics.h"
 #include "common/trace.h"
@@ -17,11 +18,18 @@ MapMatcher::MapMatcher(const RoadNetwork* network,
 
 namespace {
 
-bool EdgesConnected(const RoadNetwork& net, EdgeId a, EdgeId b) {
-  const RoadEdge& ea = net.edge(a);
-  const RoadEdge& eb = net.edge(b);
-  return ea.from == eb.from || ea.from == eb.to || ea.to == eb.from ||
-         ea.to == eb.to;
+/// Segment-level connectivity: the edges share an endpoint. Works off the
+/// packed endpoint records so the check never loads a RoadEdge (whose
+/// std::string name would drag a second cache line into the hot loop).
+inline bool EdgesConnected(const RoadNetwork::EdgeEndpoints& a,
+                           const RoadNetwork::EdgeEndpoints& b) {
+  return a.from == b.from || a.from == b.to || a.to == b.from || a.to == b.to;
+}
+
+/// Reused (distance, edge) buffer for the per-fix candidate search.
+std::vector<std::pair<double, EdgeId>>& ScoredBuffer() {
+  thread_local std::vector<std::pair<double, EdgeId>> buffer;
+  return buffer;
 }
 
 }  // namespace
@@ -51,76 +59,116 @@ Result<std::vector<EdgeId>> MapMatcher::Match(const std::vector<Vec2>& points,
   ScopedSpan span(TraceOf(ctx), "map_match", &latency);
   CancelCheck check(ctx);
 
-  // Candidate edges and their emission costs, per point.
-  std::vector<std::vector<EdgeId>> cand(n);
-  std::vector<std::vector<double>> emit(n);
+  // All scratch below lives in the thread's arena and is released when this
+  // request returns; steady-state matching allocates nothing on the heap.
+  ArenaScope scope(Arena::ThreadLocal());
+  Arena* arena = &scope.arena();
+
+  // Candidate edges, emission costs, and endpoint records per point, packed
+  // flat: point i's candidates live at [cand_start[i], cand_start[i+1]).
+  const size_t max_c = static_cast<size_t>(options_.max_candidates);
+  ArenaVector<uint32_t> cand_start{ArenaAllocator<uint32_t>(arena)};
+  ArenaVector<EdgeId> cand_edge{ArenaAllocator<EdgeId>(arena)};
+  ArenaVector<double> emit{ArenaAllocator<double>(arena)};
+  ArenaVector<RoadNetwork::EdgeEndpoints> cand_ends{
+      ArenaAllocator<RoadNetwork::EdgeEndpoints>(arena)};
+  cand_start.reserve(n + 1);
+  cand_edge.reserve(n * max_c);
+  emit.reserve(n * max_c);
+  cand_ends.reserve(n * max_c);
+
+  std::vector<std::pair<double, EdgeId>>& scored = ScoredBuffer();
+  cand_start.push_back(0);
   for (size_t i = 0; i < n; ++i) {
     STMAKER_RETURN_IF_ERROR(check.Tick());
-    std::vector<EdgeId> near =
-        net.EdgesNear(points[i], options_.candidate_radius_m);
-    // Keep the closest max_candidates edges.
-    std::vector<std::pair<double, EdgeId>> scored;
-    scored.reserve(near.size());
-    for (EdgeId e : near) {
-      scored.emplace_back(net.DistanceToEdge(points[i], e), e);
+    scored.clear();
+    // Exact k-closest under the radius: identical candidate set and order
+    // to the old sort-all-of-EdgesNear scan, found with a pruned search.
+    net.ClosestEdges(points[i], options_.candidate_radius_m, max_c, &scored);
+    for (const auto& [d, e] : scored) {
+      // Divide, don't multiply by a reciprocal: emission costs must stay
+      // bit-identical to the pre-CSR matcher (golden corpus).
+      double z = d / options_.gps_sigma_m;
+      cand_edge.push_back(e);
+      emit.push_back(z * z);
+      cand_ends.push_back(net.edge_endpoints(e));
     }
-    std::sort(scored.begin(), scored.end());
-    size_t keep = std::min<size_t>(scored.size(),
-                                   static_cast<size_t>(options_.max_candidates));
-    for (size_t k = 0; k < keep; ++k) {
-      double d = scored[k].first / options_.gps_sigma_m;
-      cand[i].push_back(scored[k].second);
-      emit[i].push_back(d * d);
-    }
+    cand_start.push_back(static_cast<uint32_t>(cand_edge.size()));
   }
 
-  // Viterbi over contiguous runs of points that have candidates.
+  // Viterbi over contiguous runs of points that have candidates. Rolling
+  // score rows; the backpointer matrix is packed with the same offsets as
+  // the candidate arrays.
   constexpr double kInf = std::numeric_limits<double>::infinity();
+  ArenaVector<double> prev_score{ArenaAllocator<double>(arena)};
+  ArenaVector<double> curr_score{ArenaAllocator<double>(arena)};
+  ArenaVector<int32_t> back{ArenaAllocator<int32_t>(arena)};
   size_t i = 0;
   while (i < n) {
-    if (cand[i].empty()) {
+    if (cand_start[i + 1] == cand_start[i]) {
       ++i;
       continue;
     }
     size_t run_end = i;
-    while (run_end < n && !cand[run_end].empty()) ++run_end;
+    while (run_end < n && cand_start[run_end + 1] != cand_start[run_end]) {
+      ++run_end;
+    }
+    const uint32_t run_base = cand_start[i];
 
-    std::vector<std::vector<double>> score(run_end - i);
-    std::vector<std::vector<int>> back(run_end - i);
-    score[0] = emit[i];
-    back[0].assign(cand[i].size(), -1);
+    back.assign(cand_start[run_end] - run_base, -1);
+    prev_score.assign(emit.begin() + cand_start[i],
+                      emit.begin() + cand_start[i + 1]);
     for (size_t t = i + 1; t < run_end; ++t) {
       STMAKER_RETURN_IF_ERROR(check.Tick());
-      size_t r = t - i;
-      score[r].assign(cand[t].size(), kInf);
-      back[r].assign(cand[t].size(), -1);
-      for (size_t j = 0; j < cand[t].size(); ++j) {
-        for (size_t p = 0; p < cand[t - 1].size(); ++p) {
+      const uint32_t pb = cand_start[t - 1];
+      const uint32_t tb = cand_start[t];
+      const size_t prev_cnt = cand_start[t] - pb;
+      const size_t curr_cnt = cand_start[t + 1] - tb;
+      curr_score.assign(curr_cnt, kInf);
+      for (size_t j = 0; j < curr_cnt; ++j) {
+        const EdgeId ej = cand_edge[tb + j];
+        const RoadNetwork::EdgeEndpoints& endj = cand_ends[tb + j];
+        const double e_j = emit[tb + j];
+        double best_s = kInf;
+        int32_t best_p = -1;
+        for (size_t p = 0; p < prev_cnt; ++p) {
+          const double p_s = prev_score[p];
+          // Transitions are non-negative and FP addition rounds
+          // monotonically, so a predecessor whose transition-free cost
+          // already meets the incumbent cannot strictly improve it; the
+          // recurrence only updates on strict improvement, so skipping
+          // preserves the first-argmin tie-break exactly and defers the
+          // connectivity check to predecessors that can still win.
+          if (p_s + e_j >= best_s) continue;
           double trans;
-          if (cand[t][j] == cand[t - 1][p]) {
+          if (ej == cand_edge[pb + p]) {
             trans = 0;
-          } else if (EdgesConnected(net, cand[t][j], cand[t - 1][p])) {
+          } else if (EdgesConnected(endj, cand_ends[pb + p])) {
             trans = options_.adjacency_cost;
           } else {
             trans = options_.jump_cost;
           }
-          double s = score[r - 1][p] + trans + emit[t][j];
-          if (s < score[r][j]) {
-            score[r][j] = s;
-            back[r][j] = static_cast<int>(p);
+          // Summation order matters: (score + trans) + emit, bit-identical
+          // to the pre-CSR recurrence (golden corpus).
+          double s = p_s + trans + e_j;
+          if (s < best_s) {
+            best_s = s;
+            best_p = static_cast<int32_t>(p);
           }
         }
+        curr_score[j] = best_s;
+        back[tb + j - run_base] = best_p;
       }
+      prev_score.swap(curr_score);
     }
     // Backtrack.
-    size_t last = run_end - i - 1;
-    int best = 0;
-    for (size_t j = 1; j < score[last].size(); ++j) {
-      if (score[last][j] < score[last][best]) best = static_cast<int>(j);
+    int32_t best = 0;
+    for (size_t j = 1; j < prev_score.size(); ++j) {
+      if (prev_score[j] < prev_score[best]) best = static_cast<int32_t>(j);
     }
-    for (size_t r = run_end - i; r-- > 0;) {
-      result[i + r] = cand[i + r][best];
-      if (r > 0) best = back[r][best];
+    for (size_t t = run_end; t-- > i;) {
+      result[t] = cand_edge[cand_start[t] + best];
+      if (t > i) best = back[cand_start[t] + best - run_base];
     }
     i = run_end;
   }

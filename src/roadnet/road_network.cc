@@ -2,18 +2,74 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_set>
 
 #include "common/check.h"
 #include "geo/polyline.h"
 
 namespace stmaker {
 
+namespace {
+
+/// Per-thread visited stamps for deduplicating spatial-index probes (an
+/// edge is inserted at many sample points, so one probe returns the same
+/// id repeatedly). A monotonically increasing epoch makes clearing free;
+/// thread_local makes concurrent queries race-free without locks.
+struct DedupStamps {
+  std::vector<uint64_t> stamp;
+  uint64_t epoch = 0;
+
+  /// Starts a new query over ids in [0, size). Returns the query epoch.
+  uint64_t Begin(size_t size) {
+    if (stamp.size() < size) stamp.resize(size, 0);
+    return ++epoch;
+  }
+  /// True the first time `id` is seen this epoch.
+  bool FirstVisit(int64_t id, uint64_t e) {
+    if (stamp[static_cast<size_t>(id)] == e) return false;
+    stamp[static_cast<size_t>(id)] = e;
+    return true;
+  }
+};
+
+DedupStamps& Stamps() {
+  thread_local DedupStamps stamps;
+  return stamps;
+}
+
+/// Scratch id buffer for spatial-index probes, reused across queries.
+std::vector<int64_t>& ProbeBuffer() {
+  thread_local std::vector<int64_t> buffer;
+  return buffer;
+}
+
+}  // namespace
+
+RoadNetwork::RoadNetwork(RoadNetwork&& other) noexcept {
+  *this = std::move(other);
+}
+
+RoadNetwork& RoadNetwork::operator=(RoadNetwork&& other) noexcept {
+  if (this == &other) return *this;
+  nodes_ = std::move(other.nodes_);
+  edges_ = std::move(other.edges_);
+  undirected_degree_ = std::move(other.undirected_degree_);
+  edge_geom_ = std::move(other.edge_geom_);
+  edge_ends_ = std::move(other.edge_ends_);
+  csr_offsets_ = std::move(other.csr_offsets_);
+  csr_entries_ = std::move(other.csr_entries_);
+  pending_ = std::move(other.pending_);
+  csr_dirty_.store(other.csr_dirty_.load(std::memory_order_acquire),
+                   std::memory_order_release);
+  csr_mu_ = std::move(other.csr_mu_);
+  edge_index_ = std::move(other.edge_index_);
+  return *this;
+}
+
 NodeId RoadNetwork::AddNode(const Vec2& pos) {
   NodeId id = static_cast<NodeId>(nodes_.size());
   nodes_.push_back({id, pos, false});
-  adjacency_.emplace_back();
   undirected_degree_.push_back(0);
+  csr_dirty_.store(true, std::memory_order_release);
   return id;
 }
 
@@ -42,14 +98,65 @@ Result<EdgeId> RoadNetwork::AddEdge(NodeId from, NodeId to, RoadGrade grade,
   e.name = std::move(name);
   e.length_m = Distance(nodes_[from].pos, nodes_[to].pos);
   edges_.push_back(std::move(e));
+  edge_geom_.push_back({nodes_[from].pos, nodes_[to].pos});
+  edge_ends_.push_back(
+      {static_cast<int32_t>(from), static_cast<int32_t>(to)});
 
-  adjacency_[from].push_back({id, to, /*forward=*/true});
+  pending_.push_back({from, Adjacency{id, to, /*forward=*/true}});
   if (direction == TrafficDirection::kTwoWay) {
-    adjacency_[to].push_back({id, from, /*forward=*/false});
+    pending_.push_back({to, Adjacency{id, from, /*forward=*/false}});
   }
+  csr_dirty_.store(true, std::memory_order_release);
   undirected_degree_[from]++;
   undirected_degree_[to]++;
   return id;
+}
+
+void RoadNetwork::FinalizeAdjacency() const {
+  std::lock_guard<std::mutex> lock(*csr_mu_);
+  if (!csr_dirty_.load(std::memory_order_relaxed)) return;  // raced; done
+
+  // Merge the already-packed entries with the pending ones via a stable
+  // counting sort keyed by node, preserving AddEdge order per node (the
+  // order the old per-node vectors produced, which tie-breaks in routing
+  // and trip generation depend on).
+  const size_t n = nodes_.size();
+  std::vector<uint32_t> counts(n + 1, 0);
+  std::vector<uint32_t> old_offsets = std::move(csr_offsets_);
+  std::vector<Adjacency> old_entries = std::move(csr_entries_);
+  const size_t old_nodes =
+      old_offsets.empty() ? 0 : old_offsets.size() - 1;
+  for (size_t u = 0; u < old_nodes; ++u) {
+    counts[u] += old_offsets[u + 1] - old_offsets[u];
+  }
+  for (const auto& [u, adj] : pending_) {
+    counts[static_cast<size_t>(u)]++;
+  }
+  std::vector<uint32_t> offsets(n + 1, 0);
+  for (size_t u = 0; u < n; ++u) offsets[u + 1] = offsets[u] + counts[u];
+  std::vector<Adjacency> entries(offsets[n]);
+  std::vector<uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (size_t u = 0; u < old_nodes; ++u) {
+    for (uint32_t i = old_offsets[u]; i < old_offsets[u + 1]; ++i) {
+      entries[cursor[u]++] = old_entries[i];
+    }
+  }
+  for (const auto& [u, adj] : pending_) {
+    entries[cursor[static_cast<size_t>(u)]++] = adj;
+  }
+  csr_offsets_ = std::move(offsets);
+  csr_entries_ = std::move(entries);
+  pending_.clear();
+  pending_.shrink_to_fit();
+  csr_dirty_.store(false, std::memory_order_release);
+}
+
+RoadNetwork::AdjacencySpan RoadNetwork::OutEdges(NodeId id) const {
+  STMAKER_CHECK(id >= 0 && static_cast<size_t>(id) < nodes_.size());
+  if (csr_dirty_.load(std::memory_order_acquire)) FinalizeAdjacency();
+  const uint32_t begin = csr_offsets_[static_cast<size_t>(id)];
+  const uint32_t end = csr_offsets_[static_cast<size_t>(id) + 1];
+  return {csr_entries_.data() + begin, end - begin};
 }
 
 const RoadNode& RoadNetwork::node(NodeId id) const {
@@ -72,9 +179,15 @@ RoadEdge& RoadNetwork::mutable_edge(EdgeId id) {
   return edges_[id];
 }
 
-const std::vector<Adjacency>& RoadNetwork::OutEdges(NodeId id) const {
-  STMAKER_CHECK(id >= 0 && static_cast<size_t>(id) < adjacency_.size());
-  return adjacency_[id];
+const RoadNetwork::EdgeGeometry& RoadNetwork::edge_geometry(EdgeId e) const {
+  STMAKER_CHECK(e >= 0 && static_cast<size_t>(e) < edge_geom_.size());
+  return edge_geom_[static_cast<size_t>(e)];
+}
+
+const RoadNetwork::EdgeEndpoints& RoadNetwork::edge_endpoints(
+    EdgeId e) const {
+  STMAKER_CHECK(e >= 0 && static_cast<size_t>(e) < edge_ends_.size());
+  return edge_ends_[static_cast<size_t>(e)];
 }
 
 size_t RoadNetwork::Degree(NodeId id) const {
@@ -107,21 +220,46 @@ void RoadNetwork::BuildSpatialIndex(double sample_step_m) {
       edge_index_->Insert(e.id, a + (b - a) * t);
     }
   }
+  // Queries usually follow immediately; pack the adjacency block now so
+  // the first routed request doesn't pay the finalize.
+  if (csr_dirty_.load(std::memory_order_acquire)) FinalizeAdjacency();
 }
 
 double RoadNetwork::DistanceToEdge(const Vec2& p, EdgeId e) const {
-  const RoadEdge& edge = this->edge(e);
-  return PointSegmentDistance(p, nodes_[edge.from].pos, nodes_[edge.to].pos);
+  STMAKER_CHECK(e >= 0 && static_cast<size_t>(e) < edge_geom_.size());
+  const EdgeGeometry& g = edge_geom_[static_cast<size_t>(e)];
+  return PointSegmentDistance(p, g.a, g.b);
+}
+
+void RoadNetwork::CollectEdgesWithin(
+    const Vec2& p, double radius,
+    std::vector<std::pair<double, EdgeId>>* out) const {
+  // Sample points are at most (sample step) away from the true geometry,
+  // so widen the index probe a little and verify with exact distances.
+  std::vector<int64_t>& probe = ProbeBuffer();
+  probe.clear();
+  edge_index_->AppendWithinRadius(p, radius * 1.5 + 60.0, &probe);
+  DedupStamps& stamps = Stamps();
+  const uint64_t epoch = stamps.Begin(edges_.size());
+  for (int64_t id : probe) {
+    if (!stamps.FirstVisit(id, epoch)) continue;
+    const EdgeGeometry& g = edge_geom_[static_cast<size_t>(id)];
+    double d = PointSegmentDistance(p, g.a, g.b);
+    if (d <= radius) out->push_back({d, id});
+  }
 }
 
 EdgeId RoadNetwork::NearestEdge(const Vec2& p, double max_radius) const {
   if (edge_index_ == nullptr) return -1;
-  std::vector<int64_t> candidates = edge_index_->WithinRadius(p, max_radius);
+  std::vector<int64_t>& probe = ProbeBuffer();
+  probe.clear();
+  edge_index_->AppendWithinRadius(p, max_radius, &probe);
+  DedupStamps& stamps = Stamps();
+  const uint64_t epoch = stamps.Begin(edges_.size());
   EdgeId best = -1;
   double best_d = max_radius;
-  std::unordered_set<int64_t> seen;
-  for (int64_t id : candidates) {
-    if (!seen.insert(id).second) continue;
+  for (int64_t id : probe) {
+    if (!stamps.FirstVisit(id, epoch)) continue;
     double d = DistanceToEdge(p, id);
     if (d <= best_d) {
       best_d = d;
@@ -135,15 +273,34 @@ std::vector<EdgeId> RoadNetwork::EdgesNear(const Vec2& p,
                                            double radius) const {
   std::vector<EdgeId> out;
   if (edge_index_ == nullptr) return out;
-  std::unordered_set<int64_t> seen;
-  // Sample points are at most (sample step) away from the true geometry, so
-  // widen the index query a little and verify with exact distances.
-  for (int64_t id : edge_index_->WithinRadius(p, radius * 1.5 + 60.0)) {
-    if (!seen.insert(id).second) continue;
-    if (DistanceToEdge(p, id) <= radius) out.push_back(id);
-  }
+  std::vector<std::pair<double, EdgeId>> scored;
+  CollectEdgesWithin(p, radius, &scored);
+  out.reserve(scored.size());
+  for (const auto& [d, id] : scored) out.push_back(id);
   std::sort(out.begin(), out.end());
   return out;
+}
+
+void RoadNetwork::ClosestEdges(
+    const Vec2& p, double radius, size_t max_count,
+    std::vector<std::pair<double, EdgeId>>* out) const {
+  if (edge_index_ == nullptr || max_count == 0) return;
+  const size_t base = out->size();
+  // Expanding search: most fixes sit on or next to a road, so a probe at a
+  // third of the radius usually already yields max_count candidates — and
+  // in dense cores it touches an order of magnitude fewer index cells. The
+  // result is exact: if k candidates exist within r' <= r, the k closest
+  // within r all lie within r' as well, so escalation is only needed when
+  // the small probe comes up short.
+  const double first = radius / 3.0;
+  CollectEdgesWithin(p, first, out);
+  if (out->size() - base < max_count) {
+    out->resize(base);
+    CollectEdgesWithin(p, radius, out);
+  }
+  // Sort by (distance, id): bit-identical to the full-radius scan order.
+  std::sort(out->begin() + base, out->end());
+  if (out->size() - base > max_count) out->resize(base + max_count);
 }
 
 }  // namespace stmaker

@@ -2,11 +2,16 @@
 #define STMAKER_ROADNET_ROAD_NETWORK_H_
 
 /// \file
-/// In-memory road graph: nodes, edges, and adjacency queries.
+/// In-memory road graph: nodes, edges, and adjacency queries over a
+/// cache-friendly CSR (compressed sparse row) layout.
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -61,11 +66,38 @@ struct Adjacency {
 /// are assigned contiguously by AddNode/AddEdge. One-way edges are traversable
 /// only from `from` to `to`; two-way edges both ways. After construction,
 /// BuildSpatialIndex() enables nearest-edge queries for map matching.
+///
+/// Layout (DESIGN.md §13): adjacency lives in one CSR block — an offset
+/// array indexed by node plus a packed entry array — so graph searches
+/// (Dijkstra/A*, the CH build, the matcher's connectivity checks) stream
+/// contiguous memory instead of chasing one heap vector per node. Edge
+/// geometry and endpoints are mirrored into struct-of-arrays
+/// (`edge_geometry`/`edge_endpoints`) so distance scans never touch the
+/// string-bearing RoadEdge records. The CSR block is finalized lazily on
+/// the first query after a mutation; construction (AddNode/AddEdge) is
+/// single-threaded, queries afterwards are freely concurrent.
 class RoadNetwork {
  public:
+  /// Contiguous view over one node's packed traversal options.
+  using AdjacencySpan = std::span<const Adjacency>;
+
+  /// Endpoint positions of one edge, packed for distance scans.
+  struct EdgeGeometry {
+    Vec2 a;  ///< Position of `from`.
+    Vec2 b;  ///< Position of `to`.
+  };
+
+  /// Endpoint node ids of one edge, packed for connectivity checks.
+  /// 32-bit on purpose: node ids are dense, and halving the record doubles
+  /// how many transition checks fit in a cache line.
+  struct EdgeEndpoints {
+    int32_t from = -1;
+    int32_t to = -1;
+  };
+
   RoadNetwork() = default;
-  RoadNetwork(RoadNetwork&&) = default;
-  RoadNetwork& operator=(RoadNetwork&&) = default;
+  RoadNetwork(RoadNetwork&& other) noexcept;
+  RoadNetwork& operator=(RoadNetwork&& other) noexcept;
   RoadNetwork(const RoadNetwork&) = delete;
   RoadNetwork& operator=(const RoadNetwork&) = delete;
 
@@ -90,8 +122,17 @@ class RoadNetwork {
   const std::vector<RoadNode>& nodes() const { return nodes_; }
   const std::vector<RoadEdge>& edges() const { return edges_; }
 
-  /// Traversal options leaving `id` (respects one-way restrictions).
-  const std::vector<Adjacency>& OutEdges(NodeId id) const;
+  /// Traversal options leaving `id` (respects one-way restrictions), as a
+  /// view into the packed CSR entry array. The view is invalidated by the
+  /// next AddEdge.
+  AdjacencySpan OutEdges(NodeId id) const;
+
+  /// Endpoint positions of `e` (same values as node(edge.from/to).pos,
+  /// packed contiguously).
+  const EdgeGeometry& edge_geometry(EdgeId e) const;
+
+  /// Endpoint node ids of `e`, packed contiguously.
+  const EdgeEndpoints& edge_endpoints(EdgeId e) const;
 
   /// Out-degree plus in-degree as seen by the undirected topology.
   size_t Degree(NodeId id) const;
@@ -115,14 +156,52 @@ class RoadNetwork {
   /// Edges whose geometry passes within `radius` of `p`.
   std::vector<EdgeId> EdgesNear(const Vec2& p, double radius) const;
 
+  /// Up to `max_count` closest edges within `radius` of `p`, appended to
+  /// `*out` as (distance, edge) sorted ascending by (distance, id). The
+  /// result is exactly the `max_count` head of the sorted EdgesNear(radius)
+  /// scan, but found with an expanding search that probes a fraction of the
+  /// index in dense areas (where the full-radius scan is the map-match p99).
+  void ClosestEdges(const Vec2& p, double radius, size_t max_count,
+                    std::vector<std::pair<double, EdgeId>>* out) const;
+
   /// Distance from `p` to the segment geometry of `e`.
   double DistanceToEdge(const Vec2& p, EdgeId e) const;
 
  private:
+  /// Rebuilds the CSR adjacency block from `pending_` (entries added since
+  /// the last finalize). Called lazily from OutEdges under `csr_mu_`;
+  /// logically const (the directed adjacency it materializes is fixed by
+  /// the AddEdge history).
+  void FinalizeAdjacency() const;
+
+  /// Deduplicating exact-distance scan over one spatial-index probe.
+  /// Appends verified (distance, edge) pairs with distance <= `radius`.
+  void CollectEdgesWithin(const Vec2& p, double radius,
+                          std::vector<std::pair<double, EdgeId>>* out) const;
+
   std::vector<RoadNode> nodes_;
   std::vector<RoadEdge> edges_;
-  std::vector<std::vector<Adjacency>> adjacency_;
   std::vector<size_t> undirected_degree_;
+
+  // Struct-of-arrays mirrors, appended by AddEdge (positions are fixed once
+  // an edge references them — length_m already bakes them in).
+  std::vector<EdgeGeometry> edge_geom_;
+  std::vector<EdgeEndpoints> edge_ends_;
+
+  // CSR adjacency: entries for node n live at
+  // csr_entries_[csr_offsets_[n] .. csr_offsets_[n+1]), in AddEdge order.
+  // Mutable + mutex: finalized lazily on first query after a mutation.
+  mutable std::vector<uint32_t> csr_offsets_;
+  mutable std::vector<Adjacency> csr_entries_;
+  /// Directed entries recorded since the last finalize, in insertion order.
+  mutable std::vector<std::pair<NodeId, Adjacency>> pending_;
+  /// True when `pending_` holds entries (or nodes were added) not yet
+  /// merged into the CSR block. Acquire/release pairs the lazy finalize
+  /// with concurrent readers.
+  mutable std::atomic<bool> csr_dirty_{false};
+  mutable std::unique_ptr<std::mutex> csr_mu_ =
+      std::make_unique<std::mutex>();
+
   std::unique_ptr<GridIndex> edge_index_;
 };
 

@@ -5,8 +5,8 @@
 #include <cstdint>
 #include <deque>
 #include <mutex>
-#include <unordered_set>
 
+#include "common/arena.h"
 #include "common/check.h"
 #include "common/lru_cache.h"
 #include "common/metrics.h"
@@ -238,19 +238,30 @@ Result<CalibratedTrajectory> Calibrator::CalibrateUncached(
   }
 
   // --- Collect candidate anchors by walking the polyline. -------------------
-  std::unordered_set<LandmarkId> candidates;
+  // Scan steps overlap heavily (adjacent probes share most landmarks), so
+  // dedup via accumulate + sort + unique instead of a per-trajectory hash
+  // set; the WithinRadius results land in one arena-backed buffer reused
+  // across the whole scan. The downstream anchor order is unaffected:
+  // anchors are re-sorted by (arc, dist, id) below regardless of the
+  // candidate iteration order.
+  ArenaScope scope(Arena::ThreadLocal());
+  ArenaVector<LandmarkId> candidates{
+      ArenaAllocator<LandmarkId>(&scope.arena())};
+  std::vector<LandmarkId> probe;
   const double length = out.geometry.Length();
   CancelCheck check(ctx);
   for (double s = 0;; s += options_.scan_step_m) {
     STMAKER_RETURN_IF_ERROR(check.Tick());
     bool last = s >= length;
     Vec2 p = out.geometry.Interpolate(std::min(s, length));
-    for (LandmarkId id :
-         landmarks_->WithinRadius(p, options_.anchor_radius_m)) {
-      candidates.insert(id);
-    }
+    probe.clear();
+    landmarks_->AppendWithinRadius(p, options_.anchor_radius_m, &probe);
+    candidates.insert(candidates.end(), probe.begin(), probe.end());
     if (last) break;
   }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
 
   struct Anchor {
     LandmarkId id;

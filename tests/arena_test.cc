@@ -1,0 +1,149 @@
+#include "common/arena.h"
+
+#include <cstring>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace stmaker {
+namespace {
+
+TEST(ArenaTest, AllocationsAreAlignedAndDisjoint) {
+  Arena arena;
+  void* a = arena.Allocate(13, 1);
+  void* b = arena.Allocate(8, 8);
+  void* c = arena.Allocate(100, 64);
+  EXPECT_NE(a, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(c) % 64, 0u);
+  // Writing each region never tramples the others.
+  std::memset(a, 0xAA, 13);
+  std::memset(b, 0xBB, 8);
+  std::memset(c, 0xCC, 100);
+  EXPECT_EQ(static_cast<unsigned char*>(a)[12], 0xAA);
+  EXPECT_EQ(static_cast<unsigned char*>(b)[7], 0xBB);
+  EXPECT_EQ(static_cast<unsigned char*>(c)[99], 0xCC);
+}
+
+TEST(ArenaTest, ZeroByteAllocationReturnsDistinctPointers) {
+  Arena arena;
+  void* a = arena.Allocate(0, 1);
+  void* b = arena.Allocate(0, 1);
+  EXPECT_NE(a, nullptr);
+  EXPECT_NE(a, b);
+}
+
+TEST(ArenaTest, GrowsBeyondOneBlockAndTracksReservation) {
+  Arena arena(/*block_bytes=*/Arena::kMinBlockBytes);
+  size_t before = arena.bytes_reserved();
+  for (int i = 0; i < 100; ++i) arena.Allocate(256, 8);
+  EXPECT_GT(arena.bytes_reserved(), before);
+  EXPECT_GE(arena.bytes_in_use(), 100u * 256u);
+}
+
+TEST(ArenaTest, OversizedRequestGetsDedicatedBlock) {
+  Arena arena(/*block_bytes=*/Arena::kMinBlockBytes);
+  void* big = arena.Allocate(1 << 20, 8);
+  EXPECT_NE(big, nullptr);
+  std::memset(big, 0, 1 << 20);  // the whole range is writable
+  // A small allocation still works afterwards.
+  EXPECT_NE(arena.Allocate(16, 8), nullptr);
+}
+
+TEST(ArenaTest, ResetKeepsCapacityReleasesUse) {
+  Arena arena;
+  for (int i = 0; i < 50; ++i) arena.Allocate(1000, 8);
+  size_t reserved = arena.bytes_reserved();
+  arena.Reset();
+  EXPECT_EQ(arena.bytes_in_use(), 0u);
+  EXPECT_EQ(arena.bytes_reserved(), reserved);  // blocks retained
+  // Steady state: refilling to the same level reserves nothing new.
+  for (int i = 0; i < 50; ++i) arena.Allocate(1000, 8);
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+}
+
+TEST(ArenaScopeTest, RewindsToEntryState) {
+  Arena arena;
+  arena.Allocate(100, 8);
+  size_t outer = arena.bytes_in_use();
+  {
+    ArenaScope scope(arena);
+    arena.Allocate(5000, 8);
+    EXPECT_GT(arena.bytes_in_use(), outer);
+  }
+  EXPECT_EQ(arena.bytes_in_use(), outer);
+}
+
+TEST(ArenaScopeTest, NestedScopesReleaseLifo) {
+  Arena arena(Arena::kMinBlockBytes);
+  ArenaScope s1(arena);
+  arena.Allocate(600, 8);
+  size_t after_first = arena.bytes_in_use();
+  {
+    ArenaScope s2(arena);
+    // Force several new blocks inside the inner scope.
+    for (int i = 0; i < 20; ++i) arena.Allocate(600, 8);
+  }
+  EXPECT_EQ(arena.bytes_in_use(), after_first);
+  // Memory rewound by the inner scope is reusable without new reservation.
+  size_t reserved = arena.bytes_reserved();
+  for (int i = 0; i < 20; ++i) arena.Allocate(600, 8);
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+}
+
+TEST(ArenaVectorTest, WorksAsScratchContainer) {
+  Arena arena;
+  ArenaScope scope(arena);
+  ArenaVector<int> v{ArenaAllocator<int>(&arena)};
+  for (int i = 0; i < 10000; ++i) v.push_back(i);
+  EXPECT_EQ(std::accumulate(v.begin(), v.end(), 0LL), 49995000LL);
+  EXPECT_GT(arena.bytes_in_use(), 0u);
+}
+
+TEST(ArenaVectorTest, RebindSupportsNestedContainers) {
+  Arena arena;
+  ArenaScope scope(arena);
+  using Inner = ArenaVector<double>;
+  ArenaVector<Inner> outer{ArenaAllocator<Inner>(&arena)};
+  for (int i = 0; i < 8; ++i) {
+    outer.emplace_back(ArenaAllocator<double>(&arena));
+    outer.back().assign(100, static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(outer[7][99], 7.0);
+}
+
+TEST(ArenaThreadLocalTest, EachThreadGetsItsOwnArena) {
+  Arena* main_arena = &Arena::ThreadLocal();
+  Arena* other_arena = nullptr;
+  std::thread t([&] { other_arena = &Arena::ThreadLocal(); });
+  t.join();
+  EXPECT_NE(main_arena, other_arena);
+  // Same thread, same arena.
+  EXPECT_EQ(main_arena, &Arena::ThreadLocal());
+}
+
+TEST(ArenaThreadLocalTest, ConcurrentScopesDoNotInterfere) {
+  // Each thread churns its own thread-local arena; TSan builds verify the
+  // absence of sharing, and the sums verify the data stayed private.
+  std::vector<std::thread> threads;
+  std::vector<long long> sums(4, 0);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t, &sums] {
+      for (int round = 0; round < 50; ++round) {
+        ArenaScope scope(Arena::ThreadLocal());
+        ArenaVector<int> v{ArenaAllocator<int>(&scope.arena())};
+        for (int i = 0; i < 1000; ++i) v.push_back(t + 1);
+        sums[t] += std::accumulate(v.begin(), v.end(), 0LL);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (int t = 0; t < 4; ++t) {
+    EXPECT_EQ(sums[t], 50LL * 1000 * (t + 1));
+  }
+}
+
+}  // namespace
+}  // namespace stmaker

@@ -291,5 +291,88 @@ TEST(GridIndexTest, DuplicatePositionsAllReturned) {
   EXPECT_EQ(got.size(), 2u);
 }
 
+TEST(GridIndexTest, QueryOverEmptyCellsFindsNothing) {
+  // Items in one far corner; probes over the vast empty region between
+  // must walk only vacant cells and return clean empties.
+  GridIndex index(50);
+  index.Insert(1, {100000, 100000});
+  EXPECT_TRUE(index.WithinRadius({0, 0}, 400).empty());
+  EXPECT_TRUE(index.WithinRadius({-50000, 30000}, 400).empty());
+  EXPECT_EQ(index.Nearest({0, 0}, 400), -1);
+}
+
+TEST(GridIndexTest, BoundaryPointsOnCellEdgesAndRadius) {
+  GridIndex index(100);
+  // Points exactly on cell boundaries (multiples of the cell size) land
+  // in a well-defined cell and must still be found from either side.
+  index.Insert(1, {100, 0});
+  index.Insert(2, {200, 0});
+  index.Insert(3, {0, 100});
+  EXPECT_EQ(index.WithinRadius({100, 0}, 0).size(), 1u);  // radius 0: self
+  // Radius exactly equal to the distance is inclusive.
+  std::vector<int64_t> at_exact = index.WithinRadius({0, 0}, 100.0);
+  std::set<int64_t> got(at_exact.begin(), at_exact.end());
+  EXPECT_EQ(got, (std::set<int64_t>{1, 3}));
+  // Just under misses, just over catches 2 as well.
+  EXPECT_TRUE(index.WithinRadius({0, 0}, 99.999).empty());
+  EXPECT_EQ(index.WithinRadius({0, 0}, 200.0).size(), 3u);
+}
+
+TEST(GridIndexTest, NegativeCoordinatesRoundTowardNegativeCells) {
+  // floor() cell mapping: -1 and +1 are different cells; queries spanning
+  // the origin see both sides.
+  GridIndex index(100);
+  index.Insert(1, {-1, -1});
+  index.Insert(2, {1, 1});
+  std::set<int64_t> got;
+  for (int64_t id : index.WithinRadius({0, 0}, 5)) got.insert(id);
+  EXPECT_EQ(got, (std::set<int64_t>{1, 2}));
+}
+
+TEST(GridIndexTest, DegenerateBboxAllPointsIdentical) {
+  // A degenerate "bounding box": every item at one position. Whole-grid
+  // queries and nearest still behave.
+  GridIndex index(25);
+  for (int64_t i = 0; i < 32; ++i) index.Insert(i, {42, -17});
+  EXPECT_EQ(index.WithinRadius({42, -17}, 0).size(), 32u);
+  EXPECT_EQ(index.WithinRadius({0, 0}, 1e4).size(), 32u);
+  EXPECT_GE(index.Nearest({1000, 1000}), 0);
+}
+
+TEST(GridIndexTest, WholeGridRadiusReturnsEverything) {
+  // A radius covering the entire extent returns every item exactly once,
+  // regardless of how many cells the scan spans.
+  GridIndex index(10);
+  Random rng(99);
+  const int kCount = 300;
+  for (int64_t i = 0; i < kCount; ++i) {
+    index.Insert(i, {rng.Uniform(-500, 500), rng.Uniform(-500, 500)});
+  }
+  std::vector<int64_t> all = index.WithinRadius({0, 0}, 2000.0);
+  std::set<int64_t> unique(all.begin(), all.end());
+  EXPECT_EQ(all.size(), static_cast<size_t>(kCount));
+  EXPECT_EQ(unique.size(), static_cast<size_t>(kCount));
+}
+
+TEST(GridIndexTest, AppendWithinRadiusMatchesAndAccumulates) {
+  GridIndex index(100);
+  index.Insert(1, {10, 0});
+  index.Insert(2, {90, 0});
+  index.Insert(3, {500, 0});
+  std::vector<int64_t> buffer = {77};  // pre-existing content is kept
+  index.AppendWithinRadius({0, 0}, 100, &buffer);
+  ASSERT_GE(buffer.size(), 1u);
+  EXPECT_EQ(buffer.front(), 77);
+  std::set<int64_t> appended(buffer.begin() + 1, buffer.end());
+  EXPECT_EQ(appended, (std::set<int64_t>{1, 2}));
+  // Same result set as the allocating overload.
+  std::vector<int64_t> fresh = index.WithinRadius({0, 0}, 100);
+  EXPECT_EQ(std::set<int64_t>(fresh.begin(), fresh.end()), appended);
+  // Negative radius appends nothing.
+  size_t before = buffer.size();
+  index.AppendWithinRadius({0, 0}, -1, &buffer);
+  EXPECT_EQ(buffer.size(), before);
+}
+
 }  // namespace
 }  // namespace stmaker

@@ -14,6 +14,7 @@
 #include "common/random.h"
 #include "core/irregularity.h"
 #include "roadnet/map_matcher.h"
+#include "scenario_dsl.h"
 #include "test_world.h"
 #include "traj/calibration.h"
 #include "traj/stay_point.h"
@@ -229,6 +230,74 @@ TEST_P(CalibrationInvarianceTest, ResamplingPreservesLandmarkSequence) {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, CalibrationInvarianceTest,
                          ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u));
+
+// --------------------------------------------------------------------------
+// Scenario-DSL corpus: randomized spatial-query sweeps over every
+// hand-drawn topology (dead ends, one-way rings, disconnected components,
+// degenerate pairs, dense cores, corridors). Complements the generated
+// TestWorld, which only ever produces well-connected grids.
+// --------------------------------------------------------------------------
+
+class ScenarioPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ScenarioPropertyTest, SpatialQueriesMatchBruteForceUnderRandomProbes) {
+  Random rng(GetParam());
+  for (const auto& named : ::stmaker::testing::ScenarioCorpus()) {
+    SCOPED_TRACE(named.name);
+    ::stmaker::testing::Scenario s = named.Build();
+    const RoadNetwork& net = s.network;
+    double extent = 120.0 * named.grid_m;
+    for (int q = 0; q < 25; ++q) {
+      Vec2 p{rng.Uniform(-extent * 0.1, extent),
+             rng.Uniform(-extent, extent * 0.1)};
+      double radius = rng.Uniform(0, 4.0 * named.grid_m);
+      // Oracle: full scan over every edge.
+      std::vector<std::pair<double, EdgeId>> oracle;
+      for (const RoadEdge& e : net.edges()) {
+        double d = net.DistanceToEdge(p, e.id);
+        if (d <= radius) oracle.emplace_back(d, e.id);
+      }
+      std::sort(oracle.begin(), oracle.end());
+
+      std::vector<EdgeId> expected_ids;
+      for (const auto& [d, id] : oracle) expected_ids.push_back(id);
+      std::sort(expected_ids.begin(), expected_ids.end());
+      EXPECT_EQ(net.EdgesNear(p, radius), expected_ids);
+
+      size_t k = 1 + static_cast<size_t>(rng.Uniform(0, 8));
+      std::vector<std::pair<double, EdgeId>> got;
+      net.ClosestEdges(p, radius, k, &got);
+      std::vector<std::pair<double, EdgeId>> expected(
+          oracle.begin(), oracle.begin() + std::min(oracle.size(), k));
+      EXPECT_EQ(got, expected) << "k=" << k << " r=" << radius;
+    }
+  }
+}
+
+TEST_P(ScenarioPropertyTest, MatchedEdgesAreAlwaysValidCandidates) {
+  Random rng(GetParam() + 100);
+  MapMatchOptions options;
+  for (const auto& named : ::stmaker::testing::ScenarioCorpus()) {
+    SCOPED_TRACE(named.name);
+    ::stmaker::testing::Scenario s = named.Build();
+    MapMatcher matcher(&s.network, options);
+    double noise = rng.Uniform(0, 25.0);
+    std::vector<Vec2> pts = ::stmaker::testing::ScenarioPath(
+        s, named.route, /*step_m=*/20.0, noise, GetParam());
+    std::vector<EdgeId> matched = matcher.Match(pts);
+    ASSERT_EQ(matched.size(), pts.size());
+    for (size_t i = 0; i < pts.size(); ++i) {
+      if (matched[i] < 0) continue;
+      // Whatever the Viterbi chose must be a legal candidate for the fix.
+      EXPECT_LE(s.network.DistanceToEdge(pts[i], matched[i]),
+                options.candidate_radius_m)
+          << "fix " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ScenarioPropertyTest,
+                         ::testing::Values(7u, 17u, 27u, 37u));
 
 // --------------------------------------------------------------------------
 // End-to-end determinism across the whole pipeline.
