@@ -128,4 +128,42 @@ JsonWriter& JsonWriter::Null() {
   return *this;
 }
 
+Result<bool> NdjsonReader::Next(std::string* line) {
+  line->clear();
+  std::streambuf* sb = in_->rdbuf();
+  int ch;
+  while ((ch = sb->sbumpc()) != std::char_traits<char>::eof()) {
+    if (ch == '\n') {
+      ++lines_read_;
+      return true;
+    }
+    if (line->size() >= max_line_bytes_) {
+      // Discard through the next newline so the stream re-syncs; the
+      // buffer never grows past the cap no matter how long the line is.
+      size_t discarded = line->size();
+      line->clear();
+      line->shrink_to_fit();
+      while ((ch = sb->sbumpc()) != std::char_traits<char>::eof()) {
+        ++discarded;
+        if (ch == '\n') break;
+      }
+      ++oversized_lines_;
+      return Status::InvalidArgument(
+          StrFormat("NDJSON line exceeds %zu bytes (%zu read); line dropped",
+                    max_line_bytes_, discarded));
+    }
+    line->push_back(static_cast<char>(ch));
+  }
+  if (!line->empty()) {
+    // EOF in the middle of a line: the producer was cut off. Surfacing a
+    // fragment as a request would half-process a truncated write.
+    size_t partial = line->size();
+    line->clear();
+    return Status::InvalidArgument(StrFormat(
+        "NDJSON stream ends mid-line (%zu bytes without a newline)",
+        partial));
+  }
+  return false;
+}
+
 }  // namespace stmaker

@@ -1,0 +1,197 @@
+#include "net/connection.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/failpoint.h"
+#include "common/strings.h"
+
+namespace stmaker::net {
+
+const char* CloseReasonName(CloseReason reason) {
+  switch (reason) {
+    case CloseReason::kClientEof: return "client_eof";
+    case CloseReason::kIdle: return "idle";
+    case CloseReason::kSlowLoris: return "slow_loris";
+    case CloseReason::kOversizedLine: return "oversized_line";
+    case CloseReason::kWriteOverflow: return "write_overflow";
+    case CloseReason::kError: return "error";
+    case CloseReason::kDrained: return "drained";
+    case CloseReason::kDrainForced: return "drain_forced";
+  }
+  return "unknown";
+}
+
+Connection::Connection(int fd, uint64_t id, const ConnectionLimits& limits,
+                       ConnectionHost* host)
+    : fd_(fd),
+      id_(id),
+      limits_(limits),
+      host_(host),
+      last_activity_(std::chrono::steady_clock::now()) {}
+
+Connection::~Connection() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Connection::OnReadable() {
+  if (closed_ || stop_reading_) return;
+  char chunk[65536];
+  while (true) {
+    STMAKER_FAILPOINT("net/read", {
+      host_->OnInjectedFault("net/read");
+      host_->CloseConnection(this, CloseReason::kError);
+      return;
+    });
+    ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n > 0) {
+      host_->OnBytes(static_cast<size_t>(n), 0);
+      last_activity_ = std::chrono::steady_clock::now();
+      if (!IngestBytes(chunk, static_cast<size_t>(n))) return;
+      if (stop_reading_) return;  // framing error mid-chunk
+      continue;
+    }
+    if (n == 0) {
+      // Peer half-closed: no more requests will arrive, but responses for
+      // already-dispatched ones still flow. The loop closes the socket once
+      // everything outstanding has flushed.
+      peer_eof_ = true;
+      stop_reading_ = true;
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    host_->CloseConnection(this, CloseReason::kError);
+    return;
+  }
+}
+
+bool Connection::IngestBytes(const char* data, size_t size) {
+  // While slicing this chunk, an inline (same-thread) response can settle
+  // the request it answers; ingesting_ keeps the loop's MaybeClose from
+  // treating that momentary "nothing outstanding" state as a reason to
+  // close while later pipelined lines of the chunk are still unparsed.
+  ingesting_ = true;
+  bool keep_going = IngestLines(data, size);
+  ingesting_ = false;
+  return keep_going;
+}
+
+bool Connection::IngestLines(const char* data, size_t size) {
+  size_t start = 0;
+  for (size_t i = 0; i < size; ++i) {
+    if (data[i] != '\n') continue;
+    std::string line = std::move(read_buffer_);
+    read_buffer_.clear();
+    line.append(data + start, i - start);
+    start = i + 1;
+    if (line.size() > limits_.max_line_bytes) {
+      HandleOversizedLine();
+      return !closed_;
+    }
+    if (!line.empty()) {
+      ++pending_requests_;
+      host_->OnLine(this, std::move(line));
+      if (closed_) return false;
+      if (stop_reading_) return true;
+    }
+  }
+  if (start < size) {
+    if (read_buffer_.empty()) {
+      partial_line_since_ = std::chrono::steady_clock::now();
+    }
+    read_buffer_.append(data + start, size - start);
+    if (read_buffer_.size() > limits_.max_line_bytes) {
+      HandleOversizedLine();
+    }
+  }
+  return !closed_;
+}
+
+void Connection::HandleOversizedLine() {
+  read_buffer_.clear();
+  // Framing is unrecoverable — the rest of the oversized line would be
+  // misparsed as new requests. Tell the client why, then close once the
+  // responses already in flight have been answered and flushed.
+  EnqueueResponse(StrFormat(
+      "{\"id\": -1, \"status\": \"invalid_argument\", \"error\": "
+      "\"request line exceeds %zu bytes; closing connection\"}",
+      limits_.max_line_bytes));
+  stop_reading_ = true;
+  close_after_flush_ = true;
+}
+
+void Connection::OnWritable() {
+  if (closed_) return;
+  Flush();
+}
+
+void Connection::EnqueueResponse(const std::string& line) {
+  if (closed_) return;
+  size_t buffered = write_buffer_.size() - write_offset_;
+  if (buffered + line.size() + 1 > limits_.max_write_buffer_bytes) {
+    host_->CloseConnection(this, CloseReason::kWriteOverflow);
+    return;
+  }
+  write_buffer_.append(line);
+  write_buffer_.push_back('\n');
+  last_activity_ = std::chrono::steady_clock::now();
+  Flush();
+}
+
+void Connection::SettleRequest() {
+  if (pending_requests_ > 0) --pending_requests_;
+}
+
+bool Connection::Flush() {
+  while (write_offset_ < write_buffer_.size()) {
+    STMAKER_FAILPOINT("net/write", {
+      host_->OnInjectedFault("net/write");
+      host_->CloseConnection(this, CloseReason::kError);
+      return false;
+    });
+    // MSG_NOSIGNAL: a peer that reset the connection yields EPIPE here
+    // instead of a process-wide SIGPIPE.
+    ssize_t n = ::send(fd_, write_buffer_.data() + write_offset_,
+                       write_buffer_.size() - write_offset_, MSG_NOSIGNAL);
+    if (n > 0) {
+      host_->OnBytes(0, static_cast<size_t>(n));
+      write_offset_ += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    host_->CloseConnection(this, CloseReason::kError);
+    return false;
+  }
+  if (write_offset_ == write_buffer_.size()) {
+    write_buffer_.clear();
+    write_offset_ = 0;
+  } else if (write_offset_ > (64u << 10)) {
+    // Reclaim the sent prefix so a slow reader cannot pin the whole
+    // history of the stream in memory.
+    write_buffer_.erase(0, write_offset_);
+    write_offset_ = 0;
+  }
+  return true;
+}
+
+bool Connection::TimedOut(std::chrono::steady_clock::time_point now,
+                          CloseReason* reason) const {
+  if (closed_) return false;
+  if (!read_buffer_.empty() && now - partial_line_since_ > limits_.loris_timeout) {
+    *reason = CloseReason::kSlowLoris;
+    return true;
+  }
+  if (Settled() && read_buffer_.empty() &&
+      now - last_activity_ > limits_.idle_timeout) {
+    *reason = CloseReason::kIdle;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace stmaker::net

@@ -1,0 +1,180 @@
+#ifndef STMAKER_NET_CONNECTION_H_
+#define STMAKER_NET_CONNECTION_H_
+
+/// \file
+/// \brief One accepted NDJSON-over-TCP client connection.
+///
+/// A Connection owns a non-blocking socket and the per-client state the
+/// event loop needs: a bounded partial-line read buffer, a bounded outgoing
+/// write buffer, the count of requests dispatched but not yet answered, and
+/// the timestamps the idle/slow-loris reapers check. All methods must be
+/// called from the owning event-loop thread; cross-thread response delivery
+/// goes through the loop's post queue (see server.h).
+///
+/// Lifecycle: the loop accepts the socket, registers it edge-triggered, and
+/// calls OnReadable()/OnWritable() as epoll reports events. Complete lines
+/// are handed to the ConnectionHost one at a time; responses come back via
+/// EnqueueResponse(). The host closes the connection by dropping it — the
+/// destructor closes the file descriptor.
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace stmaker::net {
+
+class Connection;
+
+/// Why the server closed a connection; mapped onto `net.closed_*` counters
+/// so operators can tell protocol abuse from client churn.
+enum class CloseReason {
+  kClientEof,      ///< peer finished cleanly (EOF after all responses flushed)
+  kIdle,           ///< no traffic for longer than the idle timeout
+  kSlowLoris,      ///< a partial request line outlived the loris timeout
+  kOversizedLine,  ///< a request line exceeded max_line_bytes
+  kWriteOverflow,  ///< peer stopped reading; write buffer hit its cap
+  kError,          ///< read/write error (ECONNRESET, EPIPE, injected fault)
+  kDrained,        ///< graceful drain: in-flight requests done, buffers flushed
+  kDrainForced,    ///< drain deadline expired with work still outstanding
+};
+
+/// Human-readable name of a CloseReason ("idle", "slow_loris", ...).
+const char* CloseReasonName(CloseReason reason);
+
+/// Per-connection resource limits, shared by every connection of a server.
+struct ConnectionLimits {
+  /// Longest accepted request line (bytes, excluding the newline). A client
+  /// that exceeds it gets one `invalid_argument` error record and the
+  /// connection is closed once prior in-flight requests have answered —
+  /// framing is unrecoverable after a truncated line.
+  size_t max_line_bytes = 1 << 20;
+  /// Cap on buffered unsent response bytes. A peer that stops reading while
+  /// pipelining requests is disconnected when this fills, bounding
+  /// per-connection memory.
+  size_t max_write_buffer_bytes = 4u << 20;
+  /// Reap connections with no traffic and no in-flight work after this long.
+  std::chrono::milliseconds idle_timeout{60'000};
+  /// Reap connections holding a partial request line open this long
+  /// (slow-loris defense; also bounds half-dead peers).
+  std::chrono::milliseconds loris_timeout{10'000};
+};
+
+/// Callbacks a Connection raises into its event loop.
+class ConnectionHost {
+ public:
+  virtual ~ConnectionHost() = default;
+  /// One complete, non-empty request line (newline stripped). The host
+  /// dispatches it and eventually answers via EnqueueResponse/
+  /// SettleRequest on the same connection (or drops it if the connection
+  /// closed first).
+  virtual void OnLine(Connection* connection, std::string line) = 0;
+  /// The connection must be closed (fatal transport or protocol error).
+  /// The host unregisters and destroys it; `connection` stays valid only
+  /// until the host's close bookkeeping runs.
+  virtual void CloseConnection(Connection* connection, CloseReason reason) = 0;
+  /// Transport byte accounting (feeds net.bytes_in / net.bytes_out).
+  virtual void OnBytes(size_t bytes_in, size_t bytes_out) = 0;
+  /// A `net/read` or `net/write` failpoint fired on this connection (feeds
+  /// net.read_faults / net.write_faults; the close itself follows as a
+  /// CloseConnection(kError)).
+  virtual void OnInjectedFault(const char* point) = 0;
+};
+
+/// State machine for one accepted socket. See file comment for threading.
+class Connection {
+ public:
+  /// Takes ownership of `fd` (closed in the destructor). `id` is the
+  /// server-unique identifier responses are routed by.
+  Connection(int fd, uint64_t id, const ConnectionLimits& limits,
+             ConnectionHost* host);
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  int fd() const { return fd_; }
+  uint64_t id() const { return id_; }
+
+  /// Edge-triggered read pump: reads until EAGAIN/EOF, slicing complete
+  /// lines out to the host. May call CloseConnection on errors.
+  void OnReadable();
+
+  /// Edge-triggered write pump: flushes the buffered responses until
+  /// EAGAIN or empty. May call CloseConnection on errors.
+  void OnWritable();
+
+  /// Appends one response line (newline added) and attempts to flush.
+  /// Closes the connection instead if the write buffer would exceed its
+  /// cap. Ignored once the connection is closed.
+  void EnqueueResponse(const std::string& line);
+
+  /// Marks one dispatched request as answered (pairs with OnLine).
+  void SettleRequest();
+
+  /// Stops consuming input (drain mode / after a framing error): bytes the
+  /// peer sends are left in the kernel buffer and never parsed.
+  void StopReading() { stop_reading_ = true; }
+
+  /// Checks the idle and slow-loris clocks. Returns true and sets *reason
+  /// when the connection should be reaped.
+  bool TimedOut(std::chrono::steady_clock::time_point now,
+                CloseReason* reason) const;
+
+  /// True when nothing is outstanding: no dispatched-but-unanswered
+  /// requests and an empty write buffer. Combined by the loop with
+  /// peer_eof()/close_after_flush()/draining to decide when to close.
+  bool Settled() const {
+    return pending_requests_ == 0 && write_buffer_.size() == write_offset_;
+  }
+  bool peer_eof() const { return peer_eof_; }
+  bool close_after_flush() const { return close_after_flush_; }
+  size_t pending_requests() const { return pending_requests_; }
+
+  /// True while a read chunk is being sliced into lines. An inline
+  /// response can make the connection look Settled() between two pipelined
+  /// lines of the same chunk; close decisions must wait the slicing out.
+  bool ingesting() const { return ingesting_; }
+
+  /// Marked by the loop when the connection is condemned; late events and
+  /// responses for it are dropped.
+  bool closed() const { return closed_; }
+  void MarkClosed() { closed_ = true; }
+
+ private:
+  /// Slices `data` into lines, forwarding each to the host. Returns false
+  /// when the connection was closed while handling a line. Sets ingesting_
+  /// for the duration (see ingesting()).
+  bool IngestBytes(const char* data, size_t size);
+  /// The slicing loop behind IngestBytes.
+  bool IngestLines(const char* data, size_t size);
+  /// Handles a request line longer than max_line_bytes: answers with one
+  /// error record and condemns the connection (close after flush).
+  void HandleOversizedLine();
+  /// Writes buffered bytes until EAGAIN; returns false when the connection
+  /// was closed by a write error.
+  bool Flush();
+
+  int fd_;
+  uint64_t id_;
+  ConnectionLimits limits_;
+  ConnectionHost* host_;
+
+  std::string read_buffer_;   ///< current partial line (bounded)
+  std::string write_buffer_;  ///< unsent response bytes (bounded)
+  size_t write_offset_ = 0;   ///< prefix of write_buffer_ already sent
+  size_t pending_requests_ = 0;
+
+  bool peer_eof_ = false;
+  bool stop_reading_ = false;
+  bool close_after_flush_ = false;
+  bool closed_ = false;
+  bool ingesting_ = false;
+
+  std::chrono::steady_clock::time_point last_activity_;
+  std::chrono::steady_clock::time_point partial_line_since_{};
+};
+
+}  // namespace stmaker::net
+
+#endif  // STMAKER_NET_CONNECTION_H_

@@ -1,0 +1,343 @@
+#include "net/loadgen.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace stmaker::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Blocking connect to host:port with a receive timeout (bounds how long a
+/// reader can hang on a dead server). Returns -1 on failure.
+int ConnectTcp(const std::string& host, uint16_t port, int recv_timeout_ms) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+          0) {
+    ::close(fd);
+    return -1;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  timeval tv{};
+  tv.tv_sec = recv_timeout_ms / 1000;
+  tv.tv_usec = (recv_timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  return fd;
+}
+
+/// Writes the whole buffer (blocking socket); false on a dead peer.
+bool SendAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+/// Buffered line reader over a blocking socket.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  /// Next newline-terminated line (stripped). False on EOF, error, or the
+  /// socket receive timeout.
+  bool Next(std::string* line) {
+    while (true) {
+      size_t nl = buffer_.find('\n', scan_from_);
+      if (nl != std::string::npos) {
+        line->assign(buffer_, 0, nl);
+        buffer_.erase(0, nl + 1);
+        scan_from_ = 0;
+        return true;
+      }
+      scan_from_ = buffer_.size();
+      char chunk[16384];
+      ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+      if (n > 0) {
+        buffer_.append(chunk, static_cast<size_t>(n));
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      return false;  // EOF, reset, or SO_RCVTIMEO expired
+    }
+  }
+
+ private:
+  int fd_;
+  std::string buffer_;
+  size_t scan_from_ = 0;
+};
+
+/// Pulls `"key": <integer>` out of a response line; fallback when absent.
+long long ExtractInt(const std::string& line, const char* key,
+                     long long fallback) {
+  std::string needle = std::string("\"") + key + "\": ";
+  size_t pos = line.find(needle);
+  if (pos == std::string::npos) return fallback;
+  return std::atoll(line.c_str() + pos + needle.size());
+}
+
+/// Pulls `"key": "value"` out of a response line.
+std::string ExtractString(const std::string& line, const char* key) {
+  std::string needle = std::string("\"") + key + "\": \"";
+  size_t pos = line.find(needle);
+  if (pos == std::string::npos) return "";
+  size_t start = pos + needle.size();
+  size_t end = line.find('"', start);
+  if (end == std::string::npos) return "";
+  return line.substr(start, end - start);
+}
+
+/// State for one connection's writer/reader pair.
+struct ConnState {
+  int fd = -1;
+  std::mutex mu;
+  std::unordered_map<long long, Clock::time_point> scheduled;  ///< id -> due
+  std::vector<double> latencies_ms;
+  std::map<std::string, size_t> by_status;
+  size_t sent = 0;
+  size_t received = 0;
+  size_t ok = 0;
+};
+
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  double rank = q * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+/// Retries a stats probe until the server answers or the timeout expires.
+bool WaitReady(const LoadgenOptions& options) {
+  Clock::time_point give_up =
+      Clock::now() + std::chrono::milliseconds(options.ready_timeout_ms);
+  while (Clock::now() < give_up) {
+    int fd = ConnectTcp(options.host, options.port, 2'000);
+    if (fd >= 0) {
+      bool up = false;
+      if (SendAll(fd, "{\"id\": 0, \"stats\": 1}\n")) {
+        LineReader reader(fd);
+        std::string line;
+        up = reader.Next(&line) && ExtractString(line, "status") == "ok";
+      }
+      ::close(fd);
+      if (up) return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<LoadgenReport> RunOpenLoopLoad(const LoadgenOptions& options) {
+  if (options.connections < 1) {
+    return Status::InvalidArgument("loadgen needs at least one connection");
+  }
+  if (options.rate_qps <= 0 || options.duration_s <= 0) {
+    return Status::InvalidArgument("loadgen rate and duration must be > 0");
+  }
+  if (options.wait_ready && !WaitReady(options)) {
+    return Status::IoError(StrFormat(
+        "server at %s:%u not ready within %d ms", options.host.c_str(),
+        options.port, options.ready_timeout_ms));
+  }
+
+  const int k = options.connections;
+  std::vector<std::unique_ptr<ConnState>> conns;
+  size_t connect_failures = 0;
+  for (int c = 0; c < k; ++c) {
+    auto conn = std::make_unique<ConnState>();
+    conn->fd =
+        ConnectTcp(options.host, options.port, options.drain_timeout_ms);
+    if (conn->fd < 0) {
+      ++connect_failures;
+      continue;
+    }
+    conns.push_back(std::move(conn));
+  }
+  if (conns.empty()) {
+    return Status::IoError(StrFormat("could not connect to %s:%u",
+                                     options.host.c_str(), options.port));
+  }
+
+  const double rate_per_conn =
+      options.rate_qps / static_cast<double>(conns.size());
+  const Clock::time_point start = Clock::now();
+  const Clock::time_point end_of_load =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(options.duration_s));
+
+  std::vector<std::thread> threads;
+  threads.reserve(conns.size() * 2);
+  for (size_t c = 0; c < conns.size(); ++c) {
+    ConnState* conn = conns[c].get();
+
+    // Reader: consumes response lines until EOF/timeout, pairing each id
+    // with its *scheduled* send time.
+    threads.emplace_back([conn] {
+      LineReader reader(conn->fd);
+      std::string line;
+      while (reader.Next(&line)) {
+        Clock::time_point now = Clock::now();
+        long long id = ExtractInt(line, "id", -1);
+        std::string status = ExtractString(line, "status");
+        std::lock_guard<std::mutex> lock(conn->mu);
+        auto it = conn->scheduled.find(id);
+        if (it == conn->scheduled.end()) continue;  // not one of ours
+        conn->latencies_ms.push_back(
+            std::chrono::duration<double, std::milli>(now - it->second)
+                .count());
+        conn->scheduled.erase(it);
+        ++conn->received;
+        if (status == "ok") ++conn->ok;
+        ++conn->by_status[status.empty() ? "unparsed" : status];
+      }
+    });
+
+    // Writer: a Poisson stream at rate/K. Request ids are globally unique
+    // (connection-striped) so duplicate detection in the drain test is
+    // exact.
+    threads.emplace_back([conn, c, rate_per_conn, start, end_of_load,
+                          &options] {
+      std::mt19937_64 rng(options.seed * 1'000'003 + c);
+      std::exponential_distribution<double> interarrival(rate_per_conn);
+      Clock::time_point due = start;
+      long long seq = 0;
+      while (true) {
+        due += std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(interarrival(rng)));
+        if (due >= end_of_load) break;
+        std::this_thread::sleep_until(due);
+        long long id = static_cast<long long>(c) * 1'000'000'000LL + ++seq;
+        size_t trip = static_cast<size_t>(seq) % options.num_trips;
+        std::string request =
+            options.deadline_ms != 0
+                ? StrFormat("{\"id\": %lld, \"trip\": %zu, \"deadline_ms\": "
+                            "%ld}\n",
+                            id, trip, options.deadline_ms)
+                : StrFormat("{\"id\": %lld, \"trip\": %zu}\n", id, trip);
+        {
+          // Record the scheduled time *before* sending: a response cannot
+          // race its own bookkeeping, and latency is measured from `due`,
+          // not from whenever the send syscall got around to happening.
+          std::lock_guard<std::mutex> lock(conn->mu);
+          conn->scheduled.emplace(id, due);
+          ++conn->sent;
+        }
+        if (!SendAll(conn->fd, request)) {
+          std::lock_guard<std::mutex> lock(conn->mu);
+          conn->scheduled.erase(id);
+          --conn->sent;
+          break;  // peer gone; reader will see EOF
+        }
+      }
+      // Half-close: tells the server this client is done. The server
+      // answers everything still in flight, flushes, and closes — which
+      // is what unblocks the reader thread via EOF.
+      ::shutdown(conn->fd, SHUT_WR);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  LoadgenReport report;
+  report.offered_qps = options.rate_qps;
+  report.connect_failures = connect_failures;
+  std::vector<double> all;
+  for (auto& conn : conns) {
+    report.sent += conn->sent;
+    report.received += conn->received;
+    report.ok += conn->ok;
+    report.unanswered += conn->scheduled.size();
+    for (const auto& [status, count] : conn->by_status) {
+      report.by_status[status] += count;
+    }
+    all.insert(all.end(), conn->latencies_ms.begin(),
+               conn->latencies_ms.end());
+    ::close(conn->fd);
+  }
+  report.duration_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  report.achieved_qps =
+      report.duration_s > 0
+          ? static_cast<double>(report.received) / report.duration_s
+          : 0;
+  std::sort(all.begin(), all.end());
+  if (!all.empty()) {
+    double sum = 0;
+    for (double v : all) sum += v;
+    report.mean_ms = sum / static_cast<double>(all.size());
+    report.p50_ms = Percentile(all, 0.50);
+    report.p90_ms = Percentile(all, 0.90);
+    report.p99_ms = Percentile(all, 0.99);
+    report.p999_ms = Percentile(all, 0.999);
+    report.max_ms = all.back();
+  }
+  return report;
+}
+
+std::string LoadgenReport::ToString() const {
+  std::string out = StrFormat(
+      "offered %.1f qps for %.2f s -> sent %zu, received %zu (ok %zu), "
+      "unanswered %zu, achieved %.1f qps\n",
+      offered_qps, duration_s, sent, received, ok, unanswered, achieved_qps);
+  out += "  status:";
+  for (const auto& [status, count] : by_status) {
+    out += StrFormat(" %s=%zu", status.c_str(), count);
+  }
+  if (by_status.empty()) out += " (none)";
+  out += "\n";
+  out += StrFormat(
+      "  latency ms: mean %.3f p50 %.3f p90 %.3f p99 %.3f p99.9 %.3f "
+      "max %.3f\n",
+      mean_ms, p50_ms, p90_ms, p99_ms, p999_ms, max_ms);
+  return out;
+}
+
+std::string LoadgenReport::ToJson() const {
+  size_t shed = 0;
+  auto it = by_status.find("resource_exhausted");
+  if (it != by_status.end()) shed = it->second;
+  return StrFormat(
+      "{\"offered_qps\": %.3f, \"achieved_qps\": %.3f, \"sent\": %zu, "
+      "\"received\": %zu, \"ok\": %zu, \"shed\": %zu, \"unanswered\": %zu, "
+      "\"mean_ms\": %.3f, \"p50_ms\": %.3f, \"p90_ms\": %.3f, "
+      "\"p99_ms\": %.3f, \"p999_ms\": %.3f, \"max_ms\": %.3f}",
+      offered_qps, achieved_qps, sent, received, ok, shed, unanswered,
+      mean_ms, p50_ms, p90_ms, p99_ms, p999_ms, max_ms);
+}
+
+}  // namespace stmaker::net

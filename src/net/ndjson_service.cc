@@ -1,0 +1,357 @@
+#include "net/ndjson_service.h"
+
+#include <cctype>
+#include <chrono>
+#include <cstdlib>
+#include <utility>
+
+#include "common/strings.h"
+#include "common/trace.h"
+
+namespace stmaker::net {
+
+NdjsonService::NdjsonService(STMaker* maker,
+                             const std::vector<RawTrajectory>* corpus,
+                             const NdjsonServiceOptions& options)
+    : maker_(maker),
+      corpus_(corpus),
+      options_(options),
+      registry_(MetricsRegistry::Global()),
+      c_requests_(registry_.counter("serve.requests")),
+      c_malformed_(registry_.counter("serve.malformed")),
+      c_stats_requests_(registry_.counter("serve.stats_requests")),
+      c_route_requests_(registry_.counter("serve.route_requests")),
+      c_watchdog_cancelled_(registry_.counter("serve.watchdog_cancelled")),
+      pool_(options.threads) {
+  // Watchdog: cancels admitted requests still running past their deadline
+  // and logs the overrun. The library's own deadline checks normally fire
+  // first; the watchdog is the backstop for code between check points.
+  watchdog_ = std::thread([this] { WatchdogMain(); });
+}
+
+NdjsonService::~NdjsonService() {
+  Drain();
+  shutting_down_.store(true, std::memory_order_relaxed);
+  if (watchdog_.joinable()) watchdog_.join();
+}
+
+void NdjsonService::Drain() { pool_.Wait(); }
+
+void NdjsonService::WatchdogMain() {
+  while (!shutting_down_.load(std::memory_order_relaxed)) {
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      auto now = RequestContext::Clock::now();
+      for (auto& [token, req] : inflight_) {
+        if (now >= req.deadline && !req.cancel.cancelled()) {
+          double over_ms =
+              std::chrono::duration<double, std::milli>(now - req.deadline)
+                  .count();
+          std::fprintf(stderr,
+                       "stmaker_cli: watchdog: request %ld is %.1f ms over "
+                       "deadline, cancelling\n",
+                       req.id, over_ms);
+          req.cancel.Cancel();
+          c_watchdog_cancelled_.Increment();
+        }
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+// Mirrors the maker's LRU cache stats into gauges so a `stats` snapshot
+// carries them alongside the registry-native counters.
+void NdjsonService::MirrorCacheGauges() {
+  CacheStats cal = maker_->CalibrationCacheStats();
+  CacheStats route = maker_->RouteCacheStats();
+  registry_.gauge("calibration.cache.evictions")
+      .Set(static_cast<int64_t>(cal.evictions));
+  registry_.gauge("popular_route.cache.evictions")
+      .Set(static_cast<int64_t>(route.evictions));
+}
+
+std::string NdjsonService::JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string NdjsonService::WireStatusName(StatusCode code) {
+  std::string name = StatusCodeName(code);  // "DeadlineExceeded"
+  std::string out;
+  for (size_t i = 0; i < name.size(); ++i) {
+    if (std::isupper(static_cast<unsigned char>(name[i]))) {
+      if (i > 0) out += '_';
+      out += static_cast<char>(
+          std::tolower(static_cast<unsigned char>(name[i])));
+    } else {
+      out += name[i];
+    }
+  }
+  return out;
+}
+
+Result<std::map<std::string, double>> NdjsonService::ParseFlatJsonNumbers(
+    const std::string& line) {
+  std::map<std::string, double> fields;
+  size_t i = 0;
+  auto skip_ws = [&] {
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+  };
+  skip_ws();
+  if (i >= line.size() || line[i] != '{') {
+    return Status::InvalidArgument("request is not a JSON object");
+  }
+  ++i;
+  skip_ws();
+  if (i < line.size() && line[i] == '}') {
+    ++i;
+  } else {
+    while (true) {
+      skip_ws();
+      if (i >= line.size() || line[i] != '"') {
+        return Status::InvalidArgument("expected a quoted field name");
+      }
+      size_t key_end = line.find('"', i + 1);
+      if (key_end == std::string::npos) {
+        return Status::InvalidArgument("unterminated field name");
+      }
+      std::string key = line.substr(i + 1, key_end - i - 1);
+      i = key_end + 1;
+      skip_ws();
+      if (i >= line.size() || line[i] != ':') {
+        return Status::InvalidArgument("expected ':' after field name");
+      }
+      ++i;
+      skip_ws();
+      char* end = nullptr;
+      double value = std::strtod(line.c_str() + i, &end);
+      if (end == line.c_str() + i) {
+        return Status::InvalidArgument("field '" + key +
+                                       "' wants a numeric value");
+      }
+      fields[key] = value;
+      i = static_cast<size_t>(end - line.c_str());
+      skip_ws();
+      if (i < line.size() && line[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (i < line.size() && line[i] == '}') {
+        ++i;
+        break;
+      }
+      return Status::InvalidArgument("expected ',' or '}' in object");
+    }
+  }
+  skip_ws();
+  if (i != line.size()) {
+    return Status::InvalidArgument("trailing characters after object");
+  }
+  return fields;
+}
+
+std::string NdjsonService::ErrorResponse(long id, const Status& status) {
+  return StrFormat("{\"id\": %ld, \"status\": \"%s\", \"error\": \"%s\"}", id,
+                   WireStatusName(status.code()).c_str(),
+                   JsonEscape(status.message()).c_str());
+}
+
+void NdjsonService::HandleStats(long id, const ResponseFn& respond) {
+  // Answered synchronously on the transport thread: a stats probe must
+  // succeed even when the pool is saturated (it doubles as the
+  // readiness/health check in the serve tests).
+  c_stats_requests_.Increment();
+  MirrorCacheGauges();
+  std::string snapshot = registry_.Snapshot().ToJson();
+  respond(StrFormat("{\"id\": %ld, \"status\": \"ok\", \"stats\": %s}", id,
+                    snapshot.c_str()));
+}
+
+void NdjsonService::HandleRoute(long id,
+                                const std::map<std::string, double>& fields,
+                                const ResponseFn& respond) {
+  // Answered synchronously on the transport thread: a point query on the
+  // routing backend is microseconds under the hierarchy, and keeping it
+  // out of the pool means routing probes work even when summarization
+  // has the workers saturated.
+  c_route_requests_.Increment();
+  auto field = [&](const std::string& key, double fallback) {
+    auto it = fields.find(key);
+    return it == fields.end() ? fallback : it->second;
+  };
+  if (fields.count("src") == 0 || fields.count("dst") == 0) {
+    respond(ErrorResponse(
+        id, Status::InvalidArgument(
+                "route request lacks 'src' and/or 'dst' fields")));
+    return;
+  }
+  RequestContext route_ctx;
+  double route_deadline_ms =
+      field("deadline_ms", static_cast<double>(options_.default_deadline_ms));
+  if (route_deadline_ms != 0) {
+    route_ctx.deadline =
+        RequestContext::Clock::now() +
+        std::chrono::milliseconds(static_cast<long long>(route_deadline_ms));
+  }
+  route_ctx.max_node_expansions = static_cast<size_t>(
+      field("max_expansions", static_cast<double>(options_.max_expansions)));
+  Result<Path> path =
+      maker_->RoadRoute(static_cast<NodeId>(field("src", -1)),
+                        static_cast<NodeId>(field("dst", -1)), &route_ctx);
+  if (!path.ok()) {
+    respond(ErrorResponse(id, path.status()));
+    return;
+  }
+  respond(StrFormat(
+      "{\"id\": %ld, \"status\": \"ok\", \"cost\": %.3f, \"hops\": %zu}", id,
+      path->cost, path->edges.size()));
+}
+
+void NdjsonService::HandleSummarize(long id,
+                                    const std::map<std::string, double>& fields,
+                                    ResponseFn respond) {
+  auto field = [&](const std::string& key, double fallback) {
+    auto it = fields.find(key);
+    return it == fields.end() ? fallback : it->second;
+  };
+  double trip_value = field("trip", 0);
+  if (trip_value < 0 || trip_value >= corpus_->size()) {
+    respond(ErrorResponse(
+        id, Status::OutOfRange(StrFormat("trip %.0f out of range (corpus has "
+                                         "%zu)",
+                                         trip_value, corpus_->size()))));
+    return;
+  }
+  size_t trip = static_cast<size_t>(trip_value);
+
+  SummaryOptions options;
+  options.k = static_cast<int>(field("k", 0));
+  options.eta = field("eta", 0.2);
+
+  // The deadline starts at admission, so queueing time counts against
+  // it — a request that waited out its budget in the queue fails fast
+  // instead of running anyway.
+  RequestContext ctx;
+  double deadline_ms =
+      field("deadline_ms", static_cast<double>(options_.default_deadline_ms));
+  if (deadline_ms != 0) {
+    ctx.deadline =
+        RequestContext::Clock::now() +
+        std::chrono::milliseconds(static_cast<long long>(deadline_ms));
+  }
+  ctx.max_node_expansions = static_cast<size_t>(
+      field("max_expansions", static_cast<double>(options_.max_expansions)));
+
+  // A deadline already expired at admission fails right here, before
+  // the request can take a pool slot or race the watchdog — this keeps
+  // non-positive deadline_ms a *deterministic* deadline_exceeded.
+  if (Status at_admission = ctx.Check(); !at_admission.ok()) {
+    respond(ErrorResponse(id, at_admission));
+    return;
+  }
+
+  uint64_t token;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    token = next_token_++;
+    InflightRequest req;
+    req.id = id;
+    req.deadline = ctx.has_deadline()
+                       ? ctx.deadline
+                       : RequestContext::Clock::time_point::max();
+    inflight_.emplace(token, req);
+    ctx.cancel = inflight_[token].cancel.token();
+  }
+  // When a trace log is attached every admitted request carries its own
+  // Trace; the span tree is appended (one NDJSON line, under trace_mu_ so
+  // lines never interleave) after the response is sent. Tracing only
+  // observes — the response bytes are identical either way.
+  std::shared_ptr<Trace> trace;
+  if (trace_log_ != nullptr) trace = std::make_shared<Trace>();
+  ctx.trace = trace.get();
+  // `respond` is captured by copy, not moved: when TrySubmit rejects, the
+  // task (and a moved-into capture with it) is destroyed before the
+  // rejection branch below still needs to answer the client.
+  bool admitted = pool_.TrySubmit(
+      [this, id, trip, options, ctx, token, trace, respond] {
+        Result<Summary> summary =
+            maker_->Summarize((*corpus_)[trip], options, &ctx);
+        if (summary.ok()) {
+          respond(StrFormat("{\"id\": %ld, \"status\": \"ok\", "
+                            "\"partitions\": %zu, \"text\": \"%s\"}",
+                            id, summary->partitions.size(),
+                            JsonEscape(summary->text).c_str()));
+        } else {
+          respond(ErrorResponse(id, summary.status()));
+        }
+        if (trace_log_ != nullptr && trace != nullptr) {
+          std::string json = trace->ToJson();
+          std::lock_guard<std::mutex> lock(trace_mu_);
+          std::fprintf(trace_log_, "{\"id\": %ld, \"trace\": %s}\n", id,
+                       json.c_str());
+          std::fflush(trace_log_);
+        }
+        std::lock_guard<std::mutex> lock(inflight_mu_);
+        inflight_.erase(token);
+      },
+      static_cast<size_t>(options_.max_inflight));
+  if (!admitted) {
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      inflight_.erase(token);
+    }
+    respond(ErrorResponse(
+        id, Status::ResourceExhausted(
+                StrFormat("server at capacity (%ld requests in flight)",
+                          options_.max_inflight))));
+  }
+}
+
+void NdjsonService::HandleLine(const std::string& line, ResponseFn respond) {
+  c_requests_.Increment();
+  Result<std::map<std::string, double>> parsed = ParseFlatJsonNumbers(line);
+  if (!parsed.ok()) {
+    c_malformed_.Increment();
+    respond(ErrorResponse(-1, parsed.status()));
+    return;
+  }
+  const std::map<std::string, double>& fields = *parsed;
+  auto it = fields.find("id");
+  long id = it == fields.end() ? -1 : static_cast<long>(it->second);
+  if (fields.count("stats") != 0) {
+    HandleStats(id, respond);
+    return;
+  }
+  if (fields.count("route") != 0) {
+    HandleRoute(id, fields, respond);
+    return;
+  }
+  if (fields.count("trip") == 0) {
+    respond(ErrorResponse(
+        id, Status::InvalidArgument("request lacks a 'trip' field")));
+    return;
+  }
+  HandleSummarize(id, fields, std::move(respond));
+}
+
+}  // namespace stmaker::net

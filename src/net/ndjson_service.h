@@ -1,0 +1,149 @@
+#ifndef STMAKER_NET_NDJSON_SERVICE_H_
+#define STMAKER_NET_NDJSON_SERVICE_H_
+
+/// \file
+/// \brief Transport-independent NDJSON request processor for serve mode.
+///
+/// NdjsonService is the protocol brain shared by every serve front-end:
+/// the stdin/stdout loop, the epoll TCP server (net/server.h), and the
+/// in-process SLO bench all feed request lines into HandleLine() and get
+/// byte-identical response lines back — the golden-over-TCP test pins
+/// this. One service instance owns the worker pool, the bounded-admission
+/// gate (`max_inflight`), per-request deadlines measured from admission,
+/// and the watchdog thread that cancels requests running past their
+/// deadline (DESIGN.md §10, §14).
+///
+/// Request protocol (one flat JSON object per line, numeric fields only):
+///   {"id": 1, "trip": 3, "k": 2, "eta": 0.3, "deadline_ms": 250,
+///    "max_expansions": 10000}           -> summarize (async, via the pool)
+///   {"id": 5, "route": 1, "src": 12, "dst": 977}  -> road route (sync)
+///   {"id": 7, "stats": 1}                         -> metrics snapshot (sync)
+///
+/// Responses carry the request id and a wire status
+/// ("ok"/"deadline_exceeded"/"resource_exhausted"/...); overload is shed
+/// deterministically at admission with "resource_exhausted".
+
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/context.h"
+#include "common/metrics.h"
+#include "common/parallel.h"
+#include "common/status.h"
+#include "core/stmaker.h"
+
+namespace stmaker::net {
+
+/// Serving knobs, mirroring the `stmaker_cli serve` flags.
+struct NdjsonServiceOptions {
+  /// Worker threads for summarize requests.
+  int threads = 1;
+  /// Default per-request deadline (ms) when the request carries none;
+  /// 0 = none, negative = deterministically already expired.
+  long default_deadline_ms = 0;
+  /// Bounded admission: requests beyond this many in flight are rejected
+  /// with resource_exhausted instead of queueing without bound.
+  long max_inflight = 64;
+  /// Default node-expansion budget for route searches (0 = unlimited).
+  long max_expansions = 0;
+};
+
+/// See the file comment. Thread-safe: HandleLine may be called from many
+/// transport threads at once.
+class NdjsonService {
+ public:
+  /// Delivers one response line (no trailing newline). May be invoked on
+  /// the calling thread (stats/route/errors) or later on a worker thread
+  /// (summaries) — transports must tolerate both.
+  using ResponseFn = std::function<void(std::string line)>;
+
+  /// `maker` must be trained/loaded; `corpus` backs the "trip" field.
+  /// Neither is owned; both must outlive the service.
+  NdjsonService(STMaker* maker, const std::vector<RawTrajectory>* corpus,
+                const NdjsonServiceOptions& options);
+
+  /// Drains and stops the watchdog.
+  ~NdjsonService();
+
+  NdjsonService(const NdjsonService&) = delete;
+  NdjsonService& operator=(const NdjsonService&) = delete;
+
+  /// Processes one request line; `respond` fires exactly once.
+  void HandleLine(const std::string& line, ResponseFn respond);
+
+  /// Blocks until every admitted request has finished and responded.
+  void Drain();
+
+  /// Appends one NDJSON span tree per summarize request to `file` (not
+  /// owned; pass nullptr to disable). Call before serving traffic.
+  void set_trace_log(std::FILE* file) { trace_log_ = file; }
+
+  /// Admission totals from the worker pool (for the shutdown report).
+  size_t pool_admitted() const { return pool_.admitted(); }
+  size_t pool_rejected() const { return pool_.rejected(); }
+
+  // --- wire-format helpers (shared with transports and tests) ---------------
+
+  /// JSON string escaping for response lines (control chars, quote,
+  /// backslash).
+  static std::string JsonEscape(const std::string& text);
+
+  /// Wire name of a status category ("deadline_exceeded", "ok", ...).
+  static std::string WireStatusName(StatusCode code);
+
+  /// Parses one request line: a flat JSON object whose values are all
+  /// numbers. The serve protocol needs nothing richer, and a hand-rolled
+  /// scanner keeps the serving path dependency-free.
+  static Result<std::map<std::string, double>> ParseFlatJsonNumbers(
+      const std::string& line);
+
+  /// Renders the uniform error/status response line.
+  static std::string ErrorResponse(long id, const Status& status);
+
+ private:
+  /// One admitted request being tracked by the watchdog.
+  struct InflightRequest {
+    long id = 0;
+    RequestContext::Clock::time_point deadline;
+    CancelSource cancel;
+  };
+
+  void WatchdogMain();
+  void MirrorCacheGauges();
+  void HandleStats(long id, const ResponseFn& respond);
+  void HandleRoute(long id, const std::map<std::string, double>& fields,
+                   const ResponseFn& respond);
+  void HandleSummarize(long id, const std::map<std::string, double>& fields,
+                       ResponseFn respond);
+
+  STMaker* maker_;
+  const std::vector<RawTrajectory>* corpus_;
+  NdjsonServiceOptions options_;
+  std::FILE* trace_log_ = nullptr;
+  std::mutex trace_mu_;  ///< trace-log lines never interleave
+
+  MetricsRegistry& registry_;
+  Counter& c_requests_;
+  Counter& c_malformed_;
+  Counter& c_stats_requests_;
+  Counter& c_route_requests_;
+  Counter& c_watchdog_cancelled_;
+
+  ThreadPool pool_;
+
+  std::mutex inflight_mu_;
+  std::map<uint64_t, InflightRequest> inflight_;
+  uint64_t next_token_ = 0;
+  std::atomic<bool> shutting_down_{false};
+  std::thread watchdog_;
+};
+
+}  // namespace stmaker::net
+
+#endif  // STMAKER_NET_NDJSON_SERVICE_H_

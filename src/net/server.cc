@@ -1,0 +1,574 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "common/failpoint.h"
+#include "common/metrics.h"
+#include "common/strings.h"
+
+namespace stmaker::net {
+namespace {
+
+// epoll_event.data tags for the two non-connection descriptors each loop
+// watches. Connection events carry the Connection* instead; real heap
+// pointers can never collide with these small integers.
+constexpr uint64_t kListenTag = 1;
+constexpr uint64_t kWakeTag = 2;
+
+/// Registry handles resolved once — the transport hot path must not pay a
+/// registry lookup per read/write.
+struct NetMetrics {
+  Counter& accepted;
+  Counter& accept_rejected;
+  Counter& accept_faults;
+  Counter& read_faults;
+  Counter& write_faults;
+  Counter& bytes_in;
+  Counter& bytes_out;
+  Counter& responses;
+  Counter& responses_dropped;
+  Gauge& connections;
+  Gauge& drain_ms;
+  MetricsRegistry& registry;
+
+  explicit NetMetrics(MetricsRegistry& r)
+      : accepted(r.counter("net.accepted")),
+        accept_rejected(r.counter("net.accept_rejected")),
+        accept_faults(r.counter("net.accept_faults")),
+        read_faults(r.counter("net.read_faults")),
+        write_faults(r.counter("net.write_faults")),
+        bytes_in(r.counter("net.bytes_in")),
+        bytes_out(r.counter("net.bytes_out")),
+        responses(r.counter("net.responses")),
+        responses_dropped(r.counter("net.responses_dropped")),
+        connections(r.gauge("net.connections")),
+        drain_ms(r.gauge("net.drain_ms")),
+        registry(r) {}
+
+  Counter& ClosedCounter(CloseReason reason) {
+    return registry.counter(std::string("net.closed_") +
+                            CloseReasonName(reason));
+  }
+
+  static NetMetrics& Get() {
+    static NetMetrics metrics(MetricsRegistry::Global());
+    return metrics;
+  }
+};
+
+double MsBetween(std::chrono::steady_clock::time_point from,
+                 std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+/// The event loop running on the current thread, if any. Lets a response
+/// callback invoked synchronously from a handler deliver inline — keeping
+/// responses in request order for synchronous handlers — while cross-thread
+/// callers go through the post queue.
+thread_local void* tls_current_loop = nullptr;
+
+}  // namespace
+
+/// One worker: an epoll instance, a dup of the listening socket (so every
+/// loop accepts for itself and owns its own close during drain), an eventfd
+/// for cross-thread wakeups, and the connections it accepted. All
+/// connection state is touched only from this loop's thread; other threads
+/// communicate exclusively through Post().
+class TcpServer::EventLoop : public ConnectionHost {
+ public:
+  /// Shared guard for cross-thread response delivery: the loop pointer is
+  /// nulled (under the mutex) when the loop thread exits, so a response
+  /// arriving after shutdown is dropped instead of dereferencing a dead
+  /// loop.
+  struct Handle {
+    std::mutex mu;
+    EventLoop* loop = nullptr;
+  };
+
+  explicit EventLoop(TcpServer* server) : server_(server) {}
+
+  ~EventLoop() override {
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+  }
+
+  Status Init() {
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd_ < 0) {
+      return Status::IoError(StrFormat("epoll_create1: %s", strerror(errno)));
+    }
+    wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (wake_fd_ < 0) {
+      return Status::IoError(StrFormat("eventfd: %s", strerror(errno)));
+    }
+    listen_fd_ =
+        ::fcntl(server_->listen_fd_.load(std::memory_order_acquire),
+                F_DUPFD_CLOEXEC, 0);
+    if (listen_fd_ < 0) {
+      return Status::IoError(StrFormat("dup(listen): %s", strerror(errno)));
+    }
+    // Level-triggered accept with EPOLLEXCLUSIVE so a burst of connections
+    // wakes one loop, not all of them (fall back to a plain registration on
+    // kernels without it).
+    epoll_event lev{};
+    lev.events = EPOLLIN | EPOLLEXCLUSIVE;
+    lev.data.u64 = kListenTag;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &lev) != 0) {
+      lev.events = EPOLLIN;
+      if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &lev) != 0) {
+        return Status::IoError(
+            StrFormat("epoll_ctl(listen): %s", strerror(errno)));
+      }
+    }
+    epoll_event wev{};
+    wev.events = EPOLLIN;
+    wev.data.u64 = kWakeTag;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &wev) != 0) {
+      return Status::IoError(StrFormat("epoll_ctl(wake): %s", strerror(errno)));
+    }
+    handle_ = std::make_shared<Handle>();
+    handle_->loop = this;
+    return Status::OK();
+  }
+
+  void StartThread() {
+    thread_ = std::thread([this] { ThreadMain(); });
+  }
+
+  void Join() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+  int wake_fd() const { return wake_fd_; }
+  double drain_duration_ms() const { return drain_duration_ms_; }
+
+  /// Enqueues `fn` onto this loop's thread and wakes it. Only safe while
+  /// the loop is alive — cross-thread callers go through the Handle.
+  void Post(std::function<void()> fn) {
+    {
+      std::lock_guard<std::mutex> lock(post_mu_);
+      posted_.push_back(std::move(fn));
+    }
+    uint64_t one = 1;
+    ssize_t ignored = ::write(wake_fd_, &one, sizeof one);
+    (void)ignored;
+  }
+
+  // --- ConnectionHost -------------------------------------------------------
+
+  void OnLine(Connection* connection, std::string line) override {
+    const uint64_t conn_id = connection->id();
+    std::shared_ptr<Handle> handle = handle_;
+    // One-shot: the handler contract is exactly one response per line;
+    // a buggy double-respond must not corrupt the pending-request count.
+    auto responded = std::make_shared<std::atomic<bool>>(false);
+    ResponseFn respond = [handle, conn_id, responded](std::string response) {
+      if (responded->exchange(true)) return;
+      std::lock_guard<std::mutex> lock(handle->mu);
+      EventLoop* loop = handle->loop;
+      if (loop == nullptr) {
+        NetMetrics::Get().responses_dropped.Increment();
+        return;
+      }
+      if (loop == tls_current_loop) {
+        // Synchronous handler on the loop thread: deliver inline so the
+        // response is enqueued before any later line of the same read
+        // batch (e.g. an oversized-line error record) — keeping responses
+        // in request order for synchronous handlers.
+        loop->DeliverResponse(conn_id, std::move(response));
+        return;
+      }
+      loop->Post([loop, conn_id, response = std::move(response)]() mutable {
+        loop->DeliverResponse(conn_id, std::move(response));
+      });
+    };
+    server_->handler_(std::move(line), respond);
+  }
+
+  void CloseConnection(Connection* connection, CloseReason reason) override {
+    if (connection->closed()) return;
+    connection->MarkClosed();
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, connection->fd(), nullptr);
+    NetMetrics& metrics = NetMetrics::Get();
+    metrics.ClosedCounter(reason).Increment();
+    metrics.connections.Add(-1);
+    server_->num_connections_.fetch_sub(1, std::memory_order_relaxed);
+    if (reason == CloseReason::kDrainForced) {
+      server_->forced_closes_.fetch_add(1, std::memory_order_relaxed);
+    }
+    auto it = connections_.find(connection->id());
+    if (it != connections_.end()) {
+      // Deferred destruction: epoll may still hand us events for this
+      // connection later in the current batch; they check closed() against
+      // a still-valid object. The graveyard empties at the end of the
+      // iteration.
+      graveyard_.push_back(std::move(it->second));
+      connections_.erase(it);
+    }
+  }
+
+  void OnBytes(size_t in, size_t out) override {
+    NetMetrics& metrics = NetMetrics::Get();
+    if (in > 0) metrics.bytes_in.Increment(in);
+    if (out > 0) metrics.bytes_out.Increment(out);
+  }
+
+  void OnInjectedFault(const char* point) override {
+    NetMetrics& metrics = NetMetrics::Get();
+    if (std::strcmp(point, "net/read") == 0) {
+      metrics.read_faults.Increment();
+    } else {
+      metrics.write_faults.Increment();
+    }
+  }
+
+ private:
+  void ThreadMain() {
+    tls_current_loop = this;
+    epoll_event events[128];
+    while (true) {
+      BeginDrainIfSignalled();
+      int n = ::epoll_wait(epoll_fd_, events,
+                           static_cast<int>(std::size(events)), /*timeout=*/50);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;  // epoll itself failed; nothing recoverable remains
+      }
+      for (int i = 0; i < n; ++i) {
+        const uint64_t tag = events[i].data.u64;
+        if (tag == kListenTag) {
+          AcceptBatch();
+          continue;
+        }
+        if (tag == kWakeTag) {
+          uint64_t value;
+          while (::read(wake_fd_, &value, sizeof value) > 0) {
+          }
+          continue;
+        }
+        auto* connection = static_cast<Connection*>(events[i].data.ptr);
+        if (connection->closed()) continue;
+        const uint32_t ev = events[i].events;
+        if ((ev & (EPOLLHUP | EPOLLERR)) != 0) {
+          CloseConnection(connection, CloseReason::kError);
+          continue;
+        }
+        if ((ev & (EPOLLIN | EPOLLRDHUP)) != 0) connection->OnReadable();
+        if (!connection->closed() && (ev & EPOLLOUT) != 0) {
+          connection->OnWritable();
+        }
+        if (!connection->closed()) MaybeClose(connection);
+      }
+      RunPosted();
+      BeginDrainIfSignalled();
+      Tick();
+      graveyard_.clear();
+      if (drain_started_ && connections_.empty()) break;
+    }
+    if (drain_started_) {
+      drain_duration_ms_ =
+          MsBetween(drain_start_, std::chrono::steady_clock::now());
+    }
+    {
+      std::lock_guard<std::mutex> lock(handle_->mu);
+      handle_->loop = nullptr;
+    }
+    // Anything posted between the last RunPosted and the handle
+    // invalidation delivers into an empty connection table (counted as
+    // dropped) — run it so the queue does not silently swallow the count.
+    RunPosted();
+    graveyard_.clear();
+  }
+
+  void AcceptBatch() {
+    if (listen_fd_ < 0) return;
+    while (true) {
+      int fd =
+          ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) {
+        if (errno == EINTR || errno == ECONNABORTED) continue;
+        // EAGAIN: drained the backlog. EMFILE/ENFILE: out of descriptors —
+        // back off; the level-triggered registration retries on the next
+        // wakeup instead of spinning.
+        return;
+      }
+      bool injected_fault = false;
+      STMAKER_FAILPOINT("net/accept", { injected_fault = true; });
+      if (injected_fault) {
+        NetMetrics::Get().accept_faults.Increment();
+        ::close(fd);
+        continue;
+      }
+      if (drain_started_ ||
+          server_->draining_.load(std::memory_order_acquire)) {
+        ::close(fd);
+        continue;
+      }
+      size_t count =
+          server_->num_connections_.fetch_add(1, std::memory_order_relaxed);
+      if (count >= server_->options_.max_connections) {
+        server_->num_connections_.fetch_sub(1, std::memory_order_relaxed);
+        NetMetrics::Get().accept_rejected.Increment();
+        // 429-style accept-time shedding: one best-effort error record so
+        // the client knows it was capacity, not a crash, then close.
+        const char kReject[] =
+            "{\"id\": -1, \"status\": \"resource_exhausted\", "
+            "\"error\": \"connection limit reached\"}\n";
+        (void)::send(fd, kReject, sizeof kReject - 1,
+                     MSG_NOSIGNAL | MSG_DONTWAIT);
+        ::close(fd);
+        continue;
+      }
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      const uint64_t id =
+          server_->next_connection_id_.fetch_add(1, std::memory_order_relaxed);
+      auto connection = std::make_unique<Connection>(
+          fd, id, server_->options_.limits, this);
+      epoll_event ev{};
+      ev.events = EPOLLIN | EPOLLOUT | EPOLLET | EPOLLRDHUP;
+      ev.data.ptr = connection.get();
+      if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+        server_->num_connections_.fetch_sub(1, std::memory_order_relaxed);
+        continue;  // destructor closes fd
+      }
+      NetMetrics::Get().accepted.Increment();
+      NetMetrics::Get().connections.Add(1);
+      connections_.emplace(id, std::move(connection));
+    }
+  }
+
+  void DeliverResponse(uint64_t conn_id, std::string line) {
+    auto it = connections_.find(conn_id);
+    if (it == connections_.end() || it->second->closed()) {
+      NetMetrics::Get().responses_dropped.Increment();
+      return;
+    }
+    Connection* connection = it->second.get();
+    connection->SettleRequest();
+    NetMetrics::Get().responses.Increment();
+    connection->EnqueueResponse(line);  // may close on overflow/write error
+    if (!connection->closed()) MaybeClose(connection);
+  }
+
+  /// Closes a connection that has nothing left to do: all dispatched
+  /// requests answered, all bytes flushed, and either the peer is gone, a
+  /// framing error condemned it, or the server is draining.
+  void MaybeClose(Connection* connection) {
+    if (connection->closed() || connection->ingesting() ||
+        !connection->Settled()) {
+      return;
+    }
+    if (connection->close_after_flush()) {
+      CloseConnection(connection, CloseReason::kOversizedLine);
+    } else if (connection->peer_eof()) {
+      CloseConnection(connection, CloseReason::kClientEof);
+    } else if (drain_started_) {
+      CloseConnection(connection, CloseReason::kDrained);
+    }
+  }
+
+  void BeginDrainIfSignalled() {
+    if (drain_started_ ||
+        !server_->draining_.load(std::memory_order_acquire)) {
+      return;
+    }
+    drain_started_ = true;
+    drain_start_ = std::chrono::steady_clock::now();
+    drain_deadline_ =
+        drain_start_ +
+        std::chrono::milliseconds(server_->options_.drain_deadline_ms);
+    // Stop accepting: deregister and close this loop's dup. Once every
+    // loop has done so the listening socket itself dies and new connects
+    // are refused.
+    if (listen_fd_ >= 0) {
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    std::vector<Connection*> all;
+    all.reserve(connections_.size());
+    for (auto& [id, connection] : connections_) all.push_back(connection.get());
+    for (Connection* connection : all) {
+      connection->StopReading();
+      MaybeClose(connection);  // idle keep-alives close right away
+    }
+  }
+
+  /// Periodic bookkeeping (every epoll timeout): idle/slow-loris reaping,
+  /// and the drain deadline.
+  void Tick() {
+    const auto now = std::chrono::steady_clock::now();
+    std::vector<std::pair<Connection*, CloseReason>> victims;
+    for (auto& [id, connection] : connections_) {
+      if (drain_started_) {
+        if (now >= drain_deadline_) {
+          victims.emplace_back(connection.get(), CloseReason::kDrainForced);
+        }
+        continue;
+      }
+      CloseReason reason;
+      if (connection->TimedOut(now, &reason)) {
+        victims.emplace_back(connection.get(), reason);
+      }
+    }
+    for (auto& [connection, reason] : victims) {
+      CloseConnection(connection, reason);
+    }
+  }
+
+  void RunPosted() {
+    std::vector<std::function<void()>> tasks;
+    {
+      std::lock_guard<std::mutex> lock(post_mu_);
+      tasks.swap(posted_);
+    }
+    for (std::function<void()>& task : tasks) task();
+  }
+
+  TcpServer* server_;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  int listen_fd_ = -1;  ///< this loop's dup of the listening socket
+  std::shared_ptr<Handle> handle_;
+  std::thread thread_;
+
+  std::mutex post_mu_;
+  std::vector<std::function<void()>> posted_;
+
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> connections_;
+  std::vector<std::unique_ptr<Connection>> graveyard_;
+
+  bool drain_started_ = false;
+  std::chrono::steady_clock::time_point drain_start_{};
+  std::chrono::steady_clock::time_point drain_deadline_{};
+  double drain_duration_ms_ = 0;
+};
+
+TcpServer::TcpServer(const TcpServerOptions& options, Handler handler)
+    : options_(options), handler_(std::move(handler)) {
+  for (int& fd : wake_fds_) fd = -1;
+}
+
+TcpServer::~TcpServer() {
+  if (started_ && !waited_) {
+    SignalShutdown();
+    (void)Wait();
+  }
+  CloseListenFd();
+}
+
+void TcpServer::CloseListenFd() {
+  int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) ::close(fd);
+}
+
+Status TcpServer::Start() {
+  if (started_) return Status::FailedPrecondition("server already started");
+  if (options_.num_loops < 1 || options_.num_loops > kMaxLoops) {
+    return Status::InvalidArgument(
+        StrFormat("num_loops must be in [1, %d], got %d", kMaxLoops,
+                  options_.num_loops));
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(StrFormat("socket: %s", strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    return Status::InvalidArgument("bad bind address '" +
+                                   options_.bind_address + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    return Status::IoError(StrFormat("bind %s:%u: %s",
+                                     options_.bind_address.c_str(),
+                                     options_.port, strerror(errno)));
+  }
+  if (::listen(listen_fd_, 511) != 0) {
+    return Status::IoError(StrFormat("listen: %s", strerror(errno)));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    return Status::IoError(StrFormat("getsockname: %s", strerror(errno)));
+  }
+  port_ = ntohs(bound.sin_port);
+
+  loops_.reserve(static_cast<size_t>(options_.num_loops));
+  for (int i = 0; i < options_.num_loops; ++i) {
+    auto loop = std::make_unique<EventLoop>(this);
+    STMAKER_RETURN_IF_ERROR(loop->Init());
+    wake_fds_[num_wake_fds_++] = loop->wake_fd();
+    loops_.push_back(std::move(loop));
+  }
+  for (auto& loop : loops_) loop->StartThread();
+  started_ = true;
+  return Status::OK();
+}
+
+void TcpServer::SignalShutdown() {
+  // Async-signal-safe on purpose: one atomic store and a write(2) per
+  // loop. The loops notice the flag on their next wakeup (which the
+  // eventfd write forces immediately).
+  draining_.store(true, std::memory_order_release);
+  // Close the original listening descriptor now (atomic exchange + close,
+  // both signal-safe). The loops' dups keep the file description alive
+  // until each loop drops its own on drain; after the last dup closes, the
+  // kernel resets queued-but-unaccepted connections instead of leaving
+  // clients handshaken but forever unserved.
+  CloseListenFd();
+  const uint64_t one = 1;
+  for (int i = 0; i < num_wake_fds_; ++i) {
+    ssize_t ignored = ::write(wake_fds_[i], &one, sizeof one);
+    (void)ignored;
+  }
+}
+
+Status TcpServer::Wait() {
+  if (!started_) return Status::FailedPrecondition("server not started");
+  if (!waited_) {
+    for (auto& loop : loops_) loop->Join();
+    waited_ = true;
+    CloseListenFd();
+    for (auto& loop : loops_) {
+      drain_ms_ = std::max(drain_ms_, loop->drain_duration_ms());
+    }
+    NetMetrics::Get().drain_ms.Set(static_cast<int64_t>(drain_ms_));
+  }
+  const size_t forced = forced_closes_.load(std::memory_order_relaxed);
+  if (forced > 0) {
+    return Status::DeadlineExceeded(StrFormat(
+        "drain deadline (%d ms) expired with %zu connections force-closed",
+        options_.drain_deadline_ms, forced));
+  }
+  return Status::OK();
+}
+
+size_t TcpServer::forced_closes() const {
+  return forced_closes_.load(std::memory_order_relaxed);
+}
+
+}  // namespace stmaker::net

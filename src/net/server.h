@@ -1,0 +1,150 @@
+#ifndef STMAKER_NET_SERVER_H_
+#define STMAKER_NET_SERVER_H_
+
+/// \file
+/// \brief Non-blocking epoll TCP front-end for the NDJSON serve protocol.
+///
+/// TcpServer listens on one TCP socket and runs N acceptor-less worker
+/// event loops (edge-triggered epoll, one thread each). Every loop holds
+/// its own dup of the listening descriptor and accepts directly — there is
+/// no dedicated acceptor thread to become a bottleneck or a single point of
+/// wakeup. Requests are newline-delimited JSON lines, pipelined freely over
+/// keep-alive connections; the server never interprets them beyond framing
+/// — each complete line is handed to the Handler, and the response line the
+/// handler produces (synchronously or from any other thread) is routed back
+/// to the connection that sent it.
+///
+/// Robustness properties (see DESIGN.md §14):
+///   - per-connection bounded read/write buffers and a line-length cap;
+///   - `max_connections` enforced at accept time (the excess client gets
+///     one `resource_exhausted` record, then close);
+///   - idle and slow-loris timeouts reap dead or malicious peers;
+///   - ECONNRESET/EPIPE/partial writes degrade to a counted close, never a
+///     crash or a stuck loop (MSG_NOSIGNAL everywhere);
+///   - `net/accept`, `net/read`, `net/write` failpoints inject transport
+///     faults for the fault-injection suite;
+///   - SignalShutdown() (async-signal-safe, called from the SIGTERM
+///     handler) starts a graceful drain: stop accepting, stop reading,
+///     finish every dispatched request, flush buffers, then close — with a
+///     hard drain deadline after which stragglers are force-closed.
+///
+/// Metrics (global registry): net.accepted, net.accept_rejected,
+/// net.accept_faults, net.read_faults, net.write_faults, net.connections
+/// (gauge), net.bytes_in, net.bytes_out, net.responses,
+/// net.responses_dropped, net.closed_* (per CloseReason), net.drain_ms
+/// (gauge), net.drain_forced.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "net/connection.h"
+
+namespace stmaker::net {
+
+/// Listening-socket and event-loop configuration.
+struct TcpServerOptions {
+  /// IPv4 address to bind ("127.0.0.1" keeps the server loopback-only).
+  std::string bind_address = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+  /// Number of worker event loops (threads). Each accepts and serves its
+  /// own connections.
+  int num_loops = 1;
+  /// Accept-time connection cap across all loops; connection N+1 is told
+  /// `resource_exhausted` and closed.
+  size_t max_connections = 1024;
+  /// Per-connection limits (line length, write-buffer cap, timeouts).
+  ConnectionLimits limits;
+  /// Graceful-drain budget: after SignalShutdown(), connections that still
+  /// have unanswered requests or unflushed bytes after this long are
+  /// force-closed (counted in net.drain_forced).
+  int drain_deadline_ms = 5'000;
+};
+
+/// A TCP line server: frames NDJSON requests, delegates each line to a
+/// handler, writes handler responses back. See the file comment.
+class TcpServer {
+ public:
+  /// Delivers one response line (no newline) back to the requesting
+  /// connection. Thread-safe, callable exactly once per handled line;
+  /// extra calls and responses for connections that died in the meantime
+  /// are dropped (net.responses_dropped).
+  using ResponseFn = std::function<void(std::string line)>;
+
+  /// Called on an event-loop thread with one complete, non-empty request
+  /// line (newline stripped). Must eventually invoke `respond` — from this
+  /// thread or any other — exactly once; until then the connection counts
+  /// the request as in flight and graceful drain waits for it.
+  using Handler =
+      std::function<void(std::string line, const ResponseFn& respond)>;
+
+  TcpServer(const TcpServerOptions& options, Handler handler);
+
+  /// Joins all loops (drains first if still running).
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds, listens, and starts the worker loops.
+  Status Start();
+
+  /// The bound TCP port (after Start(); useful with options.port == 0).
+  uint16_t port() const { return port_; }
+
+  /// Begins graceful drain. Async-signal-safe (an atomic store plus
+  /// eventfd writes) so a SIGTERM handler can call it directly. Idempotent.
+  void SignalShutdown();
+
+  /// Blocks until every loop has drained and exited, then reports: OK when
+  /// all connections finished cleanly inside the drain deadline,
+  /// kDeadlineExceeded when stragglers were force-closed.
+  Status Wait();
+
+  /// Wall-clock milliseconds the drain took (valid after Wait()).
+  double drain_ms() const { return drain_ms_; }
+  /// Connections force-closed at the drain deadline (valid after Wait()).
+  size_t forced_closes() const;
+
+ private:
+  class EventLoop;
+  friend class EventLoop;
+
+  /// Closes the original listening descriptor exactly once (atomic
+  /// exchange, no locks — callable from the signal path). The per-loop
+  /// dups keep the socket's file description alive until each loop drops
+  /// its own on drain; when the last dup closes, queued-but-unaccepted
+  /// connections are reset by the kernel.
+  void CloseListenFd();
+
+  TcpServerOptions options_;
+  Handler handler_;
+  std::atomic<int> listen_fd_{-1};
+  uint16_t port_ = 0;
+  bool started_ = false;
+  bool waited_ = false;
+
+  std::atomic<bool> draining_{false};
+  std::atomic<size_t> num_connections_{0};
+  std::atomic<uint64_t> next_connection_id_{1};
+  std::atomic<size_t> forced_closes_{0};
+
+  /// Wake eventfds, one per loop, kept in a flat array so the
+  /// async-signal-safe SignalShutdown() can poke every loop without
+  /// touching the heap or locks.
+  static constexpr int kMaxLoops = 64;
+  int wake_fds_[kMaxLoops];
+  int num_wake_fds_ = 0;
+
+  std::vector<std::unique_ptr<EventLoop>> loops_;
+  double drain_ms_ = 0;
+};
+
+}  // namespace stmaker::net
+
+#endif  // STMAKER_NET_SERVER_H_

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "common/csv.h"
 #include "io/json.h"
 #include "io/geojson.h"
@@ -411,6 +413,79 @@ TEST(GeoJsonTest, SummaryExportContainsPartitionsAndLandmarks) {
     if (c == '}') --depth;
   }
   EXPECT_EQ(depth, 0);
+}
+
+// --------------------------------------------------------------------------
+// NdjsonReader (bounded serve-loop line reader)
+// --------------------------------------------------------------------------
+
+TEST(NdjsonReaderTest, ReadsLinesAndStopsAtCleanEof) {
+  std::istringstream in("{\"id\": 1}\n\n{\"id\": 2}\n");
+  NdjsonReader reader(&in);
+  std::string line;
+  Result<bool> got = reader.Next(&line);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(*got);
+  EXPECT_EQ(line, "{\"id\": 1}");
+  got = reader.Next(&line);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(*got);
+  EXPECT_EQ(line, "");  // blank lines are the caller's to skip
+  got = reader.Next(&line);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(*got);
+  EXPECT_EQ(line, "{\"id\": 2}");
+  got = reader.Next(&line);
+  ASSERT_TRUE(got.ok());
+  EXPECT_FALSE(*got);  // clean EOF
+  EXPECT_EQ(reader.lines_read(), 3u);
+  EXPECT_EQ(reader.oversized_lines(), 0u);
+}
+
+TEST(NdjsonReaderTest, MultiMegabyteLineIsRejectedWithBoundedMemory) {
+  // A 3 MiB line against a 1 MiB cap: the reader must reject it with
+  // kInvalidArgument, never buffer more than the cap, and resynchronize so
+  // the next line still parses.
+  constexpr size_t kLineBytes = 3u << 20;
+  std::string input(kLineBytes, 'x');
+  input += "\n{\"id\": 9}\n";
+  std::istringstream in(input);
+  NdjsonReader reader(&in, /*max_line_bytes=*/1u << 20);
+  std::string line;
+  Result<bool> got = reader.Next(&line);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(got.status().message().find("exceeds"), std::string::npos);
+  EXPECT_TRUE(line.empty());               // nothing leaks to the caller
+  EXPECT_LE(line.capacity(), 1u << 20);    // the buffer did not balloon
+  EXPECT_EQ(reader.oversized_lines(), 1u);
+  got = reader.Next(&line);  // stream re-synced past the bad line
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(*got);
+  EXPECT_EQ(line, "{\"id\": 9}");
+}
+
+TEST(NdjsonReaderTest, OversizedLineAtExactBoundaryPasses) {
+  std::string exact(64, 'y');
+  std::istringstream in(exact + "\n");
+  NdjsonReader reader(&in, /*max_line_bytes=*/64);
+  std::string line;
+  Result<bool> got = reader.Next(&line);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(line, exact);
+}
+
+TEST(NdjsonReaderTest, TruncatedFinalLineIsAnError) {
+  std::istringstream in("{\"id\": 1}\n{\"id\": 2");  // no trailing newline
+  NdjsonReader reader(&in);
+  std::string line;
+  Result<bool> got = reader.Next(&line);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(line, "{\"id\": 1}");
+  got = reader.Next(&line);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(got.status().message().find("mid-line"), std::string::npos);
 }
 
 }  // namespace

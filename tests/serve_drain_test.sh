@@ -1,0 +1,142 @@
+#!/usr/bin/env bash
+# SIGTERM-under-load drain test: while several connections are pushing a
+# sustained pipelined summarize stream, the server is told to terminate.
+# The contract: every request the server admitted is answered exactly once
+# (no lost, no duplicated responses), the drain finishes inside its
+# deadline (exit 0), and the shutdown report matches what clients saw.
+# Registered with ctest; $1 is the path to the stmaker_cli binary.
+set -euo pipefail
+
+CLI="$1"
+DIR="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+  [[ -n "$SERVE_PID" ]] && kill -9 "$SERVE_PID" 2>/dev/null
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+echo "== gen + train =="
+"$CLI" gen --dir "$DIR" --seed 5 --blocks 10 --trips 80 --pois 100
+"$CLI" train --dir "$DIR" --model "$DIR/model"
+
+echo "== start TCP server =="
+"$CLI" serve --dir "$DIR" --model "$DIR/model" --threads 2 --port 0 \
+  --drain_deadline_ms 5000 2> "$DIR/serve.stderr" &
+SERVE_PID=$!
+PORT=""
+for _ in $(seq 1 400); do
+  PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+          "$DIR/serve.stderr")"
+  [[ -n "$PORT" ]] && break
+  kill -0 "$SERVE_PID" 2>/dev/null || {
+    echo "server died during startup"; cat "$DIR/serve.stderr"; exit 1; }
+  sleep 0.05
+done
+[[ -n "$PORT" ]] || { echo "no port"; cat "$DIR/serve.stderr"; exit 1; }
+
+echo "== sustained load + SIGTERM =="
+python3 - "$PORT" "$SERVE_PID" > "$DIR/client.out" <<'PYEOF'
+import json, os, signal, socket, sys, threading, time
+
+port, server_pid = int(sys.argv[1]), int(sys.argv[2])
+CONNS, TRIPS = 4, 80
+
+lock = threading.Lock()
+sent_ids = set()
+responses = []          # every response line seen, across all connections
+duplicates = []
+stop_sending = threading.Event()
+
+def reader(sock, conn):
+    buf = b""
+    while True:
+        try:
+            chunk = sock.recv(65536)
+        except OSError:
+            break
+        if not chunk:
+            break
+        buf += chunk
+        while b"\n" in buf:
+            line, buf = buf.split(b"\n", 1)
+            with lock:
+                responses.append(line.decode())
+    stop_sending.set()  # server stopped talking: writers must give up
+
+def writer(sock, conn):
+    seq = 0
+    while not stop_sending.is_set():
+        rid = conn * 1_000_000 + seq
+        req = json.dumps({"id": rid, "trip": seq % TRIPS}) + "\n"
+        try:
+            sock.sendall(req.encode())
+        except OSError:
+            break  # drain stopped reading / connection closed
+        with lock:
+            sent_ids.add(rid)
+        seq += 1
+        time.sleep(0.002)  # ~500 req/s per connection
+
+socks, threads = [], []
+for c in range(CONNS):
+    s = socket.create_connection(("127.0.0.1", port), timeout=30)
+    s.settimeout(30)
+    socks.append(s)
+    t_r = threading.Thread(target=reader, args=(s, c))
+    t_w = threading.Thread(target=writer, args=(s, c))
+    t_r.start(); t_w.start()
+    threads += [t_r, t_w]
+
+time.sleep(0.7)                    # let the stream reach steady state
+os.kill(server_pid, signal.SIGTERM)
+for t in threads:
+    t.join(timeout=30)
+for s in socks:
+    s.close()
+
+seen = set()
+for line in responses:
+    rec = json.loads(line)
+    rid = rec["id"]
+    if rid in seen:
+        duplicates.append(rid)
+    seen.add(rid)
+    if rid not in sent_ids:
+        print(f"FAIL: response for never-sent id {rid}")
+        sys.exit(1)
+if duplicates:
+    print(f"FAIL: duplicated responses for ids {duplicates[:5]}")
+    sys.exit(1)
+if len(responses) < 50:
+    print(f"FAIL: only {len(responses)} responses before drain; load too thin")
+    sys.exit(1)
+print(f"sent={len(sent_ids)} answered={len(responses)} "
+      f"unanswered={len(sent_ids) - len(responses)}")
+PYEOF
+
+echo "== verify server exit and report =="
+rc=0
+wait "$SERVE_PID" || rc=$?
+SERVE_PID=""
+[[ $rc -eq 0 ]] || {
+  echo "server exit $rc (drain deadline blown?)"; cat "$DIR/serve.stderr"
+  exit 1; }
+cat "$DIR/client.out"
+grep -q "drained in" "$DIR/serve.stderr" || {
+  echo "missing drain report"; cat "$DIR/serve.stderr"; exit 1; }
+grep -q "(0 connections force-closed)" "$DIR/serve.stderr" || {
+  echo "clean drain should force-close nothing"; cat "$DIR/serve.stderr"
+  exit 1; }
+
+# Cross-check: the server's own request count must equal the number of
+# responses clients received — an admitted request is never dropped.
+answered="$(sed -n 's/.* answered=\([0-9]*\) .*/\1/p' "$DIR/client.out")"
+served="$(sed -n 's/.*served \([0-9]*\) requests.*/\1/p' "$DIR/serve.stderr")"
+[[ -n "$answered" && -n "$served" ]] || {
+  echo "could not extract counts"; cat "$DIR/serve.stderr"; exit 1; }
+[[ "$answered" -eq "$served" ]] || {
+  echo "server served $served requests but clients got $answered responses"
+  cat "$DIR/serve.stderr"; exit 1; }
+
+echo "PASS"

@@ -1,0 +1,125 @@
+#!/usr/bin/env bash
+# Failpoint exercise for the TCP front-end: injected accept, read, and
+# write faults must cost at most the connection they hit — the server
+# keeps serving, drains cleanly, and never crashes. In builds compiled
+# with -DSTMAKER_FAILPOINTS=ON, run with STMAKER_EXPECT_FAILPOINTS=1 to
+# also assert that the faults actually fired (via the stats snapshot);
+# without it the script doubles as a plain reconnect-storm stress test.
+# Registered with ctest; $1 is the path to the stmaker_cli binary.
+set -euo pipefail
+
+CLI="$1"
+EXPECT_FAULTS="${STMAKER_EXPECT_FAILPOINTS:-0}"
+DIR="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+  [[ -n "$SERVE_PID" ]] && kill -9 "$SERVE_PID" 2>/dev/null
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+echo "== gen + train =="
+"$CLI" gen --dir "$DIR" --seed 5 --blocks 10 --trips 80 --pois 100
+"$CLI" train --dir "$DIR" --model "$DIR/model"
+
+echo "== start TCP server with armed failpoints =="
+# Skip the first few hits so startup traffic gets through, then fault a
+# couple of operations of each kind. Harmless when failpoints are
+# compiled out — the env var is simply never read.
+STMAKER_FAILPOINTS="net/accept=2:2;net/read=4:2;net/write=6:2" \
+  "$CLI" serve --dir "$DIR" --model "$DIR/model" --threads 2 --port 0 \
+  2> "$DIR/serve.stderr" &
+SERVE_PID=$!
+PORT=""
+for _ in $(seq 1 400); do
+  PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+          "$DIR/serve.stderr")"
+  [[ -n "$PORT" ]] && break
+  kill -0 "$SERVE_PID" 2>/dev/null || {
+    echo "server died during startup"; cat "$DIR/serve.stderr"; exit 1; }
+  sleep 0.05
+done
+[[ -n "$PORT" ]] || { echo "no port"; cat "$DIR/serve.stderr"; exit 1; }
+
+echo "== fault-tolerant client storm =="
+python3 - "$PORT" "$EXPECT_FAULTS" <<'PYEOF'
+import json, socket, sys, time
+
+port, expect_faults = int(sys.argv[1]), sys.argv[2] == "1"
+
+def one_round(i):
+    """One connection, a few pipelined requests, read to EOF.
+    Returns the number of responses received; resets/EOFs are
+    tolerated — that is the fault costing us the connection."""
+    try:
+        s = socket.create_connection(("127.0.0.1", port), timeout=5)
+    except OSError:
+        return 0  # accept fault: connection never admitted
+    got = 0
+    try:
+        s.settimeout(5)
+        reqs = "".join(
+            json.dumps({"id": i * 100 + j, "trip": (i + j) % 80}) + "\n"
+            for j in range(4))
+        s.sendall(reqs.encode())
+        s.shutdown(socket.SHUT_WR)
+        buf = b""
+        while True:
+            chunk = s.recv(65536)
+            if not chunk:
+                break
+            buf += chunk
+        got = buf.count(b"\n")
+    except OSError:
+        pass  # read/write fault closed the connection under us
+    finally:
+        s.close()
+    return got
+
+ok_rounds = sum(1 for i in range(24) if one_round(i) == 4)
+print(f"rounds with all 4 answers: {ok_rounds}/24")
+if ok_rounds == 0:
+    print("FAIL: no round ever completed; server unusable")
+    sys.exit(1)
+
+# After the storm the armed fault budgets are exhausted: a fresh
+# connection must work end to end and expose the fault counters.
+s = socket.create_connection(("127.0.0.1", port), timeout=5)
+s.settimeout(5)
+s.sendall(b'{"id": 1, "stats": 1}\n')
+s.shutdown(socket.SHUT_WR)
+buf = b""
+while True:
+    chunk = s.recv(65536)
+    if not chunk:
+        break
+    buf += chunk
+s.close()
+stats = json.loads(buf.decode().strip())
+if stats.get("status") != "ok":
+    print(f"FAIL: stats probe after storm: {stats}")
+    sys.exit(1)
+counters = stats.get("stats", {}).get("counters", {})
+faults = {k: counters.get(k, 0)
+          for k in ("net.accept_faults", "net.read_faults",
+                    "net.write_faults")}
+print(f"fault counters: {faults}")
+if expect_faults:
+    if faults["net.accept_faults"] < 1:
+        print("FAIL: expected injected accept faults, saw none")
+        sys.exit(1)
+    if faults["net.read_faults"] + faults["net.write_faults"] < 1:
+        print("FAIL: expected injected read/write faults, saw none")
+        sys.exit(1)
+PYEOF
+
+echo "== server survives and drains =="
+kill -0 "$SERVE_PID" || { echo "server crashed"; cat "$DIR/serve.stderr"; exit 1; }
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || {
+  echo "exit nonzero after faults"; cat "$DIR/serve.stderr"; exit 1; }
+SERVE_PID=""
+grep -q "drained in" "$DIR/serve.stderr" || {
+  echo "missing drain report"; cat "$DIR/serve.stderr"; exit 1; }
+
+echo "PASS"

@@ -1,0 +1,134 @@
+#!/usr/bin/env bash
+# Golden-corpus-over-TCP parity: the epoll front-end must produce responses
+# byte-identical to the stdin serve loop for the same request stream, at
+# one and at four worker threads. Also checks the TCP-only surface: the
+# "listening on" stderr line, keep-alive pipelining from a second
+# connection, and a clean SIGTERM drain with exit 0.
+# Registered with ctest; $1 is the path to the stmaker_cli binary.
+set -euo pipefail
+
+CLI="$1"
+DIR="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+  [[ -n "$SERVE_PID" ]] && kill -9 "$SERVE_PID" 2>/dev/null
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+echo "== gen + train =="
+"$CLI" gen --dir "$DIR" --seed 5 --blocks 10 --trips 80 --pois 100
+"$CLI" train --dir "$DIR" --model "$DIR/model"
+
+# The parity corpus: summaries (several trips and option shapes), routing,
+# out-of-range and malformed requests. `stats` is deliberately absent —
+# its snapshot includes live transport counters, which legitimately differ
+# between stdin and TCP serving.
+REQUESTS="$DIR/requests.ndjson"
+cat > "$REQUESTS" <<'EOF'
+{"id": 1, "trip": 3}
+{"id": 2, "trip": 7, "k": 2, "eta": 0.3}
+{"id": 3, "trip": 11, "k": 3}
+{"id": 4, "trip": 99999}
+{"id": 5, "route": 1, "src": 0, "dst": 50}
+{"id": 6, "route": 1, "src": 3}
+not json at all
+{"id": 8, "trip": 21, "eta": 0.1}
+{"id": 9, "trip": 2, "deadline_ms": -5}
+{"id": 10, "trip": 40}
+EOF
+
+start_server() {  # start_server <threads> -> sets SERVE_PID and PORT
+  local threads="$1"
+  : > "$DIR/serve.stderr"
+  "$CLI" serve --dir "$DIR" --model "$DIR/model" --threads "$threads" \
+    --port 0 2> "$DIR/serve.stderr" &
+  SERVE_PID=$!
+  PORT=""
+  for _ in $(seq 1 400); do
+    PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+            "$DIR/serve.stderr")"
+    [[ -n "$PORT" ]] && return 0
+    kill -0 "$SERVE_PID" 2>/dev/null || {
+      echo "server died during startup"; cat "$DIR/serve.stderr"; exit 1; }
+    sleep 0.05
+  done
+  echo "server never reported its port"; cat "$DIR/serve.stderr"; exit 1
+}
+
+tcp_client() {  # tcp_client <port> <requests> <out>: send all, read to EOF
+  python3 - "$1" "$2" "$3" <<'PYEOF'
+import socket, sys
+port, req_path, out_path = int(sys.argv[1]), sys.argv[2], sys.argv[3]
+with open(req_path, "rb") as f:
+    payload = f.read()
+s = socket.create_connection(("127.0.0.1", port), timeout=60)
+s.sendall(payload)
+s.shutdown(socket.SHUT_WR)
+data = b""
+while True:
+    chunk = s.recv(65536)
+    if not chunk:
+        break
+    data += chunk
+s.close()
+with open(out_path, "wb") as f:
+    f.write(data)
+PYEOF
+}
+
+for threads in 1 4; do
+  echo "== parity at --threads $threads =="
+  STDIN_OUT="$DIR/stdin.$threads.ndjson"
+  "$CLI" serve --dir "$DIR" --model "$DIR/model" --threads "$threads" \
+    < "$REQUESTS" > "$STDIN_OUT" 2>/dev/null
+
+  start_server "$threads"
+  TCP_OUT="$DIR/tcp.$threads.ndjson"
+  tcp_client "$PORT" "$REQUESTS" "$TCP_OUT"
+  kill -TERM "$SERVE_PID"
+  wait "$SERVE_PID" || { echo "TCP server exited nonzero"; exit 1; }
+  SERVE_PID=""
+
+  [[ "$(wc -l < "$STDIN_OUT")" -eq 10 ]] || {
+    echo "stdin mode: want 10 responses"; cat "$STDIN_OUT"; exit 1; }
+  [[ "$(wc -l < "$TCP_OUT")" -eq 10 ]] || {
+    echo "tcp mode: want 10 responses"; cat "$TCP_OUT"; exit 1; }
+  # Async summaries may interleave differently with the synchronous
+  # responses; the content contract is per-request, so compare sorted.
+  if ! diff <(sort "$STDIN_OUT") <(sort "$TCP_OUT"); then
+    echo "TCP responses diverge from the stdin loop at $threads threads"
+    exit 1
+  fi
+done
+
+echo "== keep-alive pipelining across two sequential clients =="
+start_server 2
+tcp_client "$PORT" "$REQUESTS" "$DIR/first.ndjson"
+tcp_client "$PORT" "$REQUESTS" "$DIR/second.ndjson"
+if ! diff <(sort "$DIR/first.ndjson") <(sort "$DIR/second.ndjson"); then
+  echo "second connection on the same server answered differently"
+  exit 1
+fi
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || { echo "drain exit nonzero"; exit 1; }
+SERVE_PID=""
+grep -q "drained in" "$DIR/serve.stderr" || {
+  echo "missing drain report"; cat "$DIR/serve.stderr"; exit 1; }
+grep -q "served 20 requests" "$DIR/serve.stderr" || {
+  echo "shutdown report miscounted"; cat "$DIR/serve.stderr"; exit 1; }
+
+echo "== TCP flag validation =="
+for flag in --port --listen_threads --max_connections --idle_timeout_ms \
+            --loris_timeout_ms --drain_deadline_ms --max_line_bytes; do
+  rc=0
+  "$CLI" serve --dir "$DIR" --model "$DIR/model" "$flag" garbage \
+    < /dev/null > /dev/null 2>&1 || rc=$?
+  [[ $rc -eq 3 ]] || { echo "$flag garbage: want exit 3, got $rc"; exit 1; }
+done
+rc=0
+"$CLI" serve --dir "$DIR" --model "$DIR/model" --port 70000 \
+  < /dev/null > /dev/null 2>&1 || rc=$?
+[[ $rc -eq 3 ]] || { echo "--port 70000: want exit 3, got $rc"; exit 1; }
+
+echo "PASS"

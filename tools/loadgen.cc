@@ -1,0 +1,165 @@
+// Open-loop NDJSON load-generator CLI for the stmaker serve front-end.
+//
+// Offers a fixed Poisson arrival rate over K pipelined keep-alive TCP
+// connections and reports an HDR-style latency distribution measured from
+// the *scheduled* send time (coordinated-omission resistant; see
+// src/net/loadgen.h). Exit codes follow the stmaker_cli convention: 0 on a
+// completed run, 3 for bad flags, 8 when the server is unreachable.
+//
+// usage:
+//   loadgen --port P [--host H] [--connections K] [--qps R]
+//           [--duration_s S] [--seed N] [--trips T] [--deadline_ms MS]
+//           [--json]
+//
+// With --json the report is one flat JSON object on stdout (consumed by
+// scripts and the CI saturation smoke); otherwise a human-readable
+// percentile table is printed.
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "common/strings.h"
+#include "net/loadgen.h"
+
+namespace stmaker {
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  loadgen --port P [--host H] [--connections K] [--qps R]\n"
+      "          [--duration_s S] [--seed N] [--trips T] [--deadline_ms MS]\n"
+      "          [--drain_timeout_ms MS] [--no-wait] [--json]\n"
+      "(open-loop Poisson load against a `stmaker_cli serve --port` server;\n"
+      " latency is measured from the scheduled send time, so server stalls\n"
+      " surface as queueing delay instead of silently thinning the load)\n");
+  return 2;
+}
+
+/// Strict flag parsing, same contract as stmaker_cli: parse residue,
+/// overflow, and out-of-range values exit 3 instead of being half-read.
+struct Flags {
+  std::map<std::string, std::string> values;
+  bool Has(const std::string& name) const { return values.count(name) != 0; }
+};
+
+Result<long> IntFlag(const Flags& flags, const std::string& name,
+                     long fallback, long min_value, long max_value) {
+  if (!flags.Has(name)) return fallback;
+  const std::string& text = flags.values.at(name);
+  char* end = nullptr;
+  errno = 0;
+  long value = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE) {
+    return Status::InvalidArgument("--" + name + " wants an integer, got '" +
+                                   text + "'");
+  }
+  if (value < min_value || value > max_value) {
+    return Status::InvalidArgument(StrFormat("--%s must be in [%ld, %ld], got %ld",
+                                             name.c_str(), min_value,
+                                             max_value, value));
+  }
+  return value;
+}
+
+Result<double> DoubleFlag(const Flags& flags, const std::string& name,
+                          double fallback, double min_value,
+                          double max_value) {
+  if (!flags.Has(name)) return fallback;
+  const std::string& text = flags.values.at(name);
+  char* end = nullptr;
+  errno = 0;
+  double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE) {
+    return Status::InvalidArgument("--" + name + " wants a number, got '" +
+                                   text + "'");
+  }
+  if (!(value >= min_value && value <= max_value)) {
+    return Status::InvalidArgument(
+        StrFormat("--%s must be in [%g, %g], got %g", name.c_str(), min_value,
+                  max_value, value));
+  }
+  return value;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "loadgen: %s\n", status.ToString().c_str());
+  switch (status.code()) {
+    case StatusCode::kInvalidArgument:
+      return 3;
+    case StatusCode::kIoError:
+      return 8;
+    case StatusCode::kDeadlineExceeded:
+      return 9;
+    default:
+      return 7;
+  }
+}
+
+int Run(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) return Usage();
+    std::string key = arg.substr(2);
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags.values[key] = argv[++i];
+    } else {
+      flags.values[key] = "true";  // bare flag
+    }
+  }
+  if (!flags.Has("port")) return Usage();
+
+  net::LoadgenOptions options;
+  Result<long> port = IntFlag(flags, "port", 0, 1, 65'535);
+  if (!port.ok()) return Fail(port.status());
+  Result<long> connections = IntFlag(flags, "connections", 4, 1, 4'096);
+  if (!connections.ok()) return Fail(connections.status());
+  Result<double> qps = DoubleFlag(flags, "qps", 100.0, 0.1, 10'000'000.0);
+  if (!qps.ok()) return Fail(qps.status());
+  Result<double> duration =
+      DoubleFlag(flags, "duration_s", 2.0, 0.01, 86'400.0);
+  if (!duration.ok()) return Fail(duration.status());
+  Result<long> seed = IntFlag(flags, "seed", 1, 0, 1L << 40);
+  if (!seed.ok()) return Fail(seed.status());
+  Result<long> trips = IntFlag(flags, "trips", 1, 1, 1'000'000'000L);
+  if (!trips.ok()) return Fail(trips.status());
+  Result<long> deadline_ms =
+      IntFlag(flags, "deadline_ms", 0, -86'400'000L, 86'400'000L);
+  if (!deadline_ms.ok()) return Fail(deadline_ms.status());
+  Result<long> drain_timeout_ms =
+      IntFlag(flags, "drain_timeout_ms", 10'000, 1, 86'400'000L);
+  if (!drain_timeout_ms.ok()) return Fail(drain_timeout_ms.status());
+
+  options.host = flags.Has("host") ? flags.values.at("host") : "127.0.0.1";
+  options.port = static_cast<uint16_t>(*port);
+  options.connections = static_cast<int>(*connections);
+  options.rate_qps = *qps;
+  options.duration_s = *duration;
+  options.seed = static_cast<uint64_t>(*seed);
+  options.num_trips = static_cast<size_t>(*trips);
+  options.deadline_ms = *deadline_ms;
+  options.drain_timeout_ms = static_cast<int>(*drain_timeout_ms);
+  options.wait_ready = !flags.Has("no-wait");
+
+  Result<net::LoadgenReport> report = net::RunOpenLoopLoad(options);
+  if (!report.ok()) return Fail(report.status());
+
+  if (flags.Has("json")) {
+    std::printf("%s\n", report->ToJson().c_str());
+  } else {
+    std::printf("%s\n", report->ToString().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace stmaker
+
+int main(int argc, char** argv) { return stmaker::Run(argc, argv); }

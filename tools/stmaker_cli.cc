@@ -33,7 +33,9 @@
 #include <algorithm>
 #include <atomic>
 #include <cctype>
+#include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -50,6 +52,9 @@
 #include "common/parallel.h"
 #include "common/strings.h"
 #include "common/trace.h"
+#include "io/json.h"
+#include "net/ndjson_service.h"
+#include "net/server.h"
 
 #include "core/corpus_stats.h"
 #include "core/group_summarizer.h"
@@ -150,13 +155,23 @@ int Usage() {
                "  stmaker_cli serve --dir D [--model P] [--threads N]\n"
                "              [--deadline_ms MS] [--max_inflight N]\n"
                "              [--max_expansions N] [--trace_log PATH]\n"
-               "              [--router dijkstra|ch]\n"
+               "              [--router dijkstra|ch] [--max_line_bytes B]\n"
+               "              [--port P [--bind ADDR] [--listen_threads N]\n"
+               "               [--max_connections N] [--idle_timeout_ms MS]\n"
+               "               [--loris_timeout_ms MS] "
+               "[--drain_deadline_ms MS]]\n"
                "(--threads: worker threads for training and batch "
                "summarization; 0 = all cores, default 1, max 1024; results "
                "are identical at any thread count)\n"
                "(--router: backend for road-network `route` requests; ch — "
                "the default — builds/loads a contraction hierarchy, dijkstra "
                "disables it; summaries are byte-identical either way)\n"
+               "(--port: serve NDJSON over TCP instead of stdin; 0 picks a "
+               "free port, reported as `listening on ADDR:PORT` on stderr. "
+               "SIGTERM/SIGINT drain gracefully: stop accepting, finish "
+               "in-flight requests, flush, then exit — 0 on a clean drain, "
+               "9 if connections had to be force-closed at "
+               "--drain_deadline_ms)\n"
                "\n"
                "exit codes:\n"
                "  0  success\n"
@@ -203,6 +218,33 @@ Result<int> ThreadsFlag(const Args& args) {
   }
   return static_cast<int>(value == 0 ? ResolveThreadCount(0) : value);
 }
+
+/// Strictly validated integer flag: the whole value must parse (no silently
+/// accepted residue like "100abc"), fit in a long, and land in
+/// [min_value, max_value]. Same contract as --threads: a typo fails loudly
+/// with exit 3 instead of being half-read by atol.
+Result<long> IntFlag(const Args& args, const std::string& name, long fallback,
+                     long min_value, long max_value) {
+  if (!args.Has(name)) return fallback;
+  const std::string& text = args.options.at(name);
+  char* end = nullptr;
+  errno = 0;
+  long value = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE) {
+    return Status::InvalidArgument("--" + name + " wants an integer, got '" +
+                                   text + "'");
+  }
+  if (value < min_value || value > max_value) {
+    return Status::InvalidArgument(
+        StrFormat("--%s must be in [%ld, %ld], got %ld", name.c_str(),
+                  min_value, max_value, value));
+  }
+  return value;
+}
+
+/// A day in milliseconds: the ceiling for every timeout-ish flag. Anything
+/// longer is a typo, not a configuration.
+constexpr long kMaxTimeoutMs = 86'400'000;
 
 /// Validates --router: "ch" (the default) selects the contraction-hierarchy
 /// backend for length-metric road routing, "dijkstra" turns it off. Any
@@ -421,8 +463,11 @@ int RunGroup(const Args& args) {
 
 // --- serve mode -------------------------------------------------------------
 //
-// NDJSON request/response loop over stdin/stdout. One flat JSON object per
-// line; numeric fields only:
+// NDJSON request/response loop, over stdin/stdout by default or over TCP
+// with --port (see src/net/server.h for the epoll front-end and
+// src/net/ndjson_service.h for the shared protocol brain — both transports
+// produce byte-identical responses, pinned by tests/serve_tcp_test.sh).
+// One flat JSON object per line; numeric fields only:
 //
 //   {"id": 1, "trip": 3}
 //   {"id": 2, "trip": 7, "k": 2, "eta": 0.3, "deadline_ms": 250}
@@ -438,139 +483,26 @@ int RunGroup(const Args& args) {
 // Requests beyond --max_inflight are rejected immediately with
 // "resource_exhausted" instead of queueing without bound. A watchdog thread
 // additionally cancels requests still running past their deadline, so even
-// code between check points cannot hold a worker hostage forever.
+// code between check points cannot hold a worker hostage forever. `route`
+// and `stats` requests answer synchronously (see ndjson_service.h).
 //
-// Road routing:
-//   - {"id": 5, "route": 1, "src": 12, "dst": 977} answers synchronously
-//     with the length-metric shortest path between two road-network nodes:
-//     {"id": 5, "status": "ok", "cost": 1834.2, "hops": 41}. The backend is
-//     the contraction hierarchy when one is attached (--router ch, the
-//     default) and plain Dijkstra otherwise; both return identical costs.
-//     "deadline_ms" and "max_expansions" apply exactly as for summarize.
-//
-// Observability:
-//   - {"id": 7, "stats": 1} answers synchronously with a metrics snapshot
-//     ({"id": 7, "status": "ok", "stats": {counters, gauges, histograms}}):
-//     per-stage latency histograms with p50/p95/p99, cache hit/miss
-//     counters, thread-pool admission/queue numbers. Clients poll it as a
-//     readiness probe — the server answers as soon as the loop is up.
-//   - --trace_log PATH appends one NDJSON line per summarize request:
-//     {"id": N, "trace": {"spans": [...]}} — the per-request span tree
-//     (summarize -> sanitize/calibrate/extract/partition/select/generate,
-//     with map-match and route searches nested below). Tracing never
-//     changes responses (golden_test pins byte-identical output).
+// TCP mode (--port; 0 picks an ephemeral port, reported on stderr as
+// "listening on HOST:PORT"): multiple clients, pipelined requests over
+// keep-alive connections, --listen_threads epoll event loops,
+// --max_connections accept-time shedding, idle/slow-loris timeouts, and
+// graceful drain on SIGTERM/SIGINT — stop accepting, finish every admitted
+// request within --drain_deadline_ms, flush, then exit (exit code 9 when
+// stragglers had to be force-closed, 0 on a clean drain).
 
-/// JSON string escaping for the response lines (control chars, quote,
-/// backslash).
-std::string JsonEscape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size() + 2);
-  for (unsigned char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (c < 0x20) {
-          out += StrFormat("\\u%04x", c);
-        } else {
-          out += static_cast<char>(c);
-        }
-    }
-  }
-  return out;
+/// The running TCP server, for the signal handler (atomic pointer loads
+/// are async-signal-safe; SignalShutdown is written to be called from a
+/// handler).
+std::atomic<net::TcpServer*> g_tcp_server{nullptr};
+
+void HandleShutdownSignal(int) {
+  net::TcpServer* server = g_tcp_server.load(std::memory_order_acquire);
+  if (server != nullptr) server->SignalShutdown();
 }
-
-/// Wire name of a status category ("deadline_exceeded", "ok", ...).
-std::string WireStatusName(StatusCode code) {
-  std::string name = StatusCodeName(code);  // "DeadlineExceeded"
-  std::string out;
-  for (size_t i = 0; i < name.size(); ++i) {
-    if (std::isupper(static_cast<unsigned char>(name[i]))) {
-      if (i > 0) out += '_';
-      out += static_cast<char>(
-          std::tolower(static_cast<unsigned char>(name[i])));
-    } else {
-      out += name[i];
-    }
-  }
-  return out;
-}
-
-/// Parses one request line: a flat JSON object whose values are all
-/// numbers. The serve protocol needs nothing richer, and a hand-rolled
-/// scanner keeps the tool dependency-free.
-Result<std::map<std::string, double>> ParseFlatJsonNumbers(
-    const std::string& line) {
-  std::map<std::string, double> fields;
-  size_t i = 0;
-  auto skip_ws = [&] {
-    while (i < line.size() &&
-           std::isspace(static_cast<unsigned char>(line[i]))) {
-      ++i;
-    }
-  };
-  skip_ws();
-  if (i >= line.size() || line[i] != '{') {
-    return Status::InvalidArgument("request is not a JSON object");
-  }
-  ++i;
-  skip_ws();
-  if (i < line.size() && line[i] == '}') {
-    ++i;
-  } else {
-    while (true) {
-      skip_ws();
-      if (i >= line.size() || line[i] != '"') {
-        return Status::InvalidArgument("expected a quoted field name");
-      }
-      size_t key_end = line.find('"', i + 1);
-      if (key_end == std::string::npos) {
-        return Status::InvalidArgument("unterminated field name");
-      }
-      std::string key = line.substr(i + 1, key_end - i - 1);
-      i = key_end + 1;
-      skip_ws();
-      if (i >= line.size() || line[i] != ':') {
-        return Status::InvalidArgument("expected ':' after field name");
-      }
-      ++i;
-      skip_ws();
-      char* end = nullptr;
-      double value = std::strtod(line.c_str() + i, &end);
-      if (end == line.c_str() + i) {
-        return Status::InvalidArgument("field '" + key +
-                                       "' wants a numeric value");
-      }
-      fields[key] = value;
-      i = static_cast<size_t>(end - line.c_str());
-      skip_ws();
-      if (i < line.size() && line[i] == ',') {
-        ++i;
-        continue;
-      }
-      if (i < line.size() && line[i] == '}') {
-        ++i;
-        break;
-      }
-      return Status::InvalidArgument("expected ',' or '}' in object");
-    }
-  }
-  skip_ws();
-  if (i != line.size()) {
-    return Status::InvalidArgument("trailing characters after object");
-  }
-  return fields;
-}
-
-/// One admitted request being tracked by the watchdog.
-struct InflightRequest {
-  long id = 0;
-  RequestContext::Clock::time_point deadline;
-  CancelSource cancel;
-};
 
 int RunServe(const Args& args) {
   if (!args.Has("dir")) return Usage();
@@ -578,12 +510,38 @@ int RunServe(const Args& args) {
   if (!threads.ok()) return Fail(threads.status());
   Result<std::string> router = RouterFlag(args);
   if (!router.ok()) return Fail(router.status());
-  const long default_deadline_ms = args.GetInt("deadline_ms", 0);
-  const long max_inflight = args.GetInt("max_inflight", 64);
-  const long max_expansions = args.GetInt("max_expansions", 0);
-  if (max_inflight < 1) {
-    return Fail(Status::InvalidArgument("--max_inflight must be >= 1"));
-  }
+  // Serving knobs are validated as strictly as --threads: garbage, parse
+  // residue ("250ms"), and overflow all exit 3 instead of being half-read
+  // by atol. A *negative* --deadline_ms stays legal: it means "already
+  // expired" and produces a deterministic deadline_exceeded (tests use it).
+  Result<long> deadline_ms =
+      IntFlag(args, "deadline_ms", 0, -kMaxTimeoutMs, kMaxTimeoutMs);
+  if (!deadline_ms.ok()) return Fail(deadline_ms.status());
+  Result<long> max_inflight = IntFlag(args, "max_inflight", 64, 1, 1'048'576);
+  if (!max_inflight.ok()) return Fail(max_inflight.status());
+  Result<long> max_expansions =
+      IntFlag(args, "max_expansions", 0, 0, 2'000'000'000L);
+  if (!max_expansions.ok()) return Fail(max_expansions.status());
+  // TCP front-end knobs (only meaningful with --port).
+  Result<long> port = IntFlag(args, "port", 0, 0, 65'535);
+  if (!port.ok()) return Fail(port.status());
+  Result<long> listen_threads = IntFlag(args, "listen_threads", 1, 1, 64);
+  if (!listen_threads.ok()) return Fail(listen_threads.status());
+  Result<long> max_connections =
+      IntFlag(args, "max_connections", 1024, 1, 1'000'000);
+  if (!max_connections.ok()) return Fail(max_connections.status());
+  Result<long> idle_timeout_ms =
+      IntFlag(args, "idle_timeout_ms", 60'000, 1, kMaxTimeoutMs);
+  if (!idle_timeout_ms.ok()) return Fail(idle_timeout_ms.status());
+  Result<long> loris_timeout_ms =
+      IntFlag(args, "loris_timeout_ms", 10'000, 1, kMaxTimeoutMs);
+  if (!loris_timeout_ms.ok()) return Fail(loris_timeout_ms.status());
+  Result<long> drain_deadline_ms =
+      IntFlag(args, "drain_deadline_ms", 5'000, 0, kMaxTimeoutMs);
+  if (!drain_deadline_ms.ok()) return Fail(drain_deadline_ms.status());
+  Result<long> max_line_bytes =
+      IntFlag(args, "max_line_bytes", 1L << 20, 64, 1L << 30);
+  if (!max_line_bytes.ok()) return Fail(max_line_bytes.status());
 
   // Per-request span export (NDJSON; one line per summarize request).
   std::FILE* trace_log = nullptr;
@@ -595,14 +553,10 @@ int RunServe(const Args& args) {
     }
   }
 
-  // Serve-loop counters live in the global registry so the `stats`
-  // request and the shutdown report read the same numbers.
+  // Serve-loop counters live in the global registry (shared with
+  // NdjsonService and the TCP server) so the `stats` request and the
+  // shutdown report read the same numbers.
   MetricsRegistry& registry = MetricsRegistry::Global();
-  Counter& c_requests = registry.counter("serve.requests");
-  Counter& c_malformed = registry.counter("serve.malformed");
-  Counter& c_stats_requests = registry.counter("serve.stats_requests");
-  Counter& c_route_requests = registry.counter("serve.route_requests");
-  Counter& c_watchdog_cancelled = registry.counter("serve.watchdog_cancelled");
 
   Result<LoadedWorld> loaded = LoadWorld(args.Get("dir", "."));
   if (!loaded.ok()) return Fail(loaded.status());
@@ -630,226 +584,89 @@ int RunServe(const Args& args) {
                world.trajectories.size(), *threads,
                maker.has_road_hierarchy() ? "ch" : "dijkstra");
 
-  std::mutex out_mu;  // one response line at a time
-  auto respond = [&](long id, const Status& status, const Summary* summary) {
-    std::lock_guard<std::mutex> lock(out_mu);
-    if (status.ok() && summary != nullptr) {
-      std::printf("{\"id\": %ld, \"status\": \"ok\", \"partitions\": %zu, "
-                  "\"text\": \"%s\"}\n",
-                  id, summary->partitions.size(),
-                  JsonEscape(summary->text).c_str());
-    } else {
-      std::printf("{\"id\": %ld, \"status\": \"%s\", \"error\": \"%s\"}\n",
-                  id, WireStatusName(status.code()).c_str(),
-                  JsonEscape(status.message()).c_str());
-    }
-    std::fflush(stdout);
-  };
+  // The protocol brain is shared with the TCP front-end and the SLO
+  // bench — both feed HandleLine and relay the response lines, so serving
+  // over a socket is byte-identical to serving over stdin.
+  net::NdjsonServiceOptions sopts;
+  sopts.threads = *threads;
+  sopts.default_deadline_ms = *deadline_ms;
+  sopts.max_inflight = *max_inflight;
+  sopts.max_expansions = *max_expansions;
+  net::NdjsonService service(&maker, &world.trajectories, sopts);
+  service.set_trace_log(trace_log);
 
-  // Watchdog: cancels admitted requests still running past their deadline
-  // and logs the overrun. The library's own deadline checks normally fire
-  // first; the watchdog is the backstop for code between check points.
-  std::mutex inflight_mu;
-  std::map<uint64_t, InflightRequest> inflight;
-  uint64_t next_token = 0;
-  std::atomic<bool> shutting_down{false};
-  std::atomic<size_t> watchdog_cancelled{0};
-  std::thread watchdog([&] {
-    while (!shutting_down.load(std::memory_order_relaxed)) {
-      {
-        std::lock_guard<std::mutex> lock(inflight_mu);
-        auto now = RequestContext::Clock::now();
-        for (auto& [token, req] : inflight) {
-          if (now >= req.deadline && !req.cancel.cancelled()) {
-            double over_ms =
-                std::chrono::duration<double, std::milli>(now - req.deadline)
-                    .count();
-            std::fprintf(stderr,
-                         "stmaker_cli: watchdog: request %ld is %.1f ms over "
-                         "deadline, cancelling\n",
-                         req.id, over_ms);
-            req.cancel.Cancel();
-            watchdog_cancelled.fetch_add(1, std::memory_order_relaxed);
-            c_watchdog_cancelled.Increment();
-          }
-        }
-      }
-      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  Status drain_status = Status::OK();
+  if (args.Has("port")) {
+    // --- TCP mode: epoll front-end, graceful drain on SIGTERM/SIGINT ---
+    net::TcpServerOptions topts;
+    topts.bind_address = args.Get("bind", "127.0.0.1");
+    topts.port = static_cast<uint16_t>(*port);
+    topts.num_loops = static_cast<int>(*listen_threads);
+    topts.max_connections = static_cast<size_t>(*max_connections);
+    topts.limits.max_line_bytes = static_cast<size_t>(*max_line_bytes);
+    topts.limits.idle_timeout =
+        std::chrono::milliseconds(*idle_timeout_ms);
+    topts.limits.loris_timeout =
+        std::chrono::milliseconds(*loris_timeout_ms);
+    topts.drain_deadline_ms = static_cast<int>(*drain_deadline_ms);
+    net::TcpServer server(
+        topts, [&service](std::string request_line,
+                          const net::TcpServer::ResponseFn& respond) {
+          service.HandleLine(request_line, respond);
+        });
+    if (Status st = server.Start(); !st.ok()) {
+      if (trace_log != nullptr) std::fclose(trace_log);
+      return Fail(st);
     }
-  });
-
-  // Mirrors the maker's LRU cache stats into gauges so a `stats` snapshot
-  // carries them alongside the registry-native counters.
-  auto mirror_cache_gauges = [&] {
-    CacheStats cal = maker.CalibrationCacheStats();
-    CacheStats route = maker.RouteCacheStats();
-    registry.gauge("calibration.cache.evictions").Set(
-        static_cast<int64_t>(cal.evictions));
-    registry.gauge("popular_route.cache.evictions").Set(
-        static_cast<int64_t>(route.evictions));
-  };
-
-  ThreadPool pool(*threads);
-  std::string line;
-  while (std::getline(std::cin, line)) {
-    if (line.empty()) continue;
-    c_requests.Increment();
-    Result<std::map<std::string, double>> parsed = ParseFlatJsonNumbers(line);
-    if (!parsed.ok()) {
-      c_malformed.Increment();
-      respond(-1, parsed.status(), nullptr);
-      continue;
-    }
-    const std::map<std::string, double>& fields = *parsed;
-    auto field = [&](const std::string& key, double fallback) {
-      auto it = fields.find(key);
-      return it == fields.end() ? fallback : it->second;
+    // Tests (and operators using --port 0) parse the bound port from this
+    // line, so it must hit stderr before any request is served.
+    std::fprintf(stderr, "stmaker_cli: listening on %s:%u (%d event loops)\n",
+                 topts.bind_address.c_str(), server.port(), topts.num_loops);
+    std::fflush(stderr);
+    g_tcp_server.store(&server, std::memory_order_release);
+    std::signal(SIGTERM, HandleShutdownSignal);
+    std::signal(SIGINT, HandleShutdownSignal);
+    drain_status = server.Wait();
+    std::signal(SIGTERM, SIG_DFL);
+    std::signal(SIGINT, SIG_DFL);
+    g_tcp_server.store(nullptr, std::memory_order_release);
+    service.Drain();
+    std::fprintf(stderr,
+                 "stmaker_cli: drained in %.0f ms "
+                 "(%zu connections force-closed)\n",
+                 server.drain_ms(), server.forced_closes());
+  } else {
+    // --- stdin/stdout mode: the original NDJSON loop, now behind a
+    // bounded line reader so an unterminated multi-megabyte line cannot
+    // grow memory without limit.
+    std::mutex out_mu;  // one response line at a time
+    auto respond_stdout = [&out_mu](std::string response_line) {
+      std::lock_guard<std::mutex> lock(out_mu);
+      std::printf("%s\n", response_line.c_str());
+      std::fflush(stdout);
     };
-    long id = static_cast<long>(field("id", -1));
-    if (fields.count("stats") != 0) {
-      // Answered synchronously on the accept thread: a stats probe must
-      // succeed even when the pool is saturated (it doubles as the
-      // readiness/health check in the serve tests).
-      c_stats_requests.Increment();
-      mirror_cache_gauges();
-      std::string snapshot = registry.Snapshot().ToJson();
-      std::lock_guard<std::mutex> lock(out_mu);
-      std::printf("{\"id\": %ld, \"status\": \"ok\", \"stats\": %s}\n", id,
-                  snapshot.c_str());
-      std::fflush(stdout);
-      continue;
-    }
-    if (fields.count("route") != 0) {
-      // Answered synchronously on the accept thread: a point query on the
-      // routing backend is microseconds under the hierarchy, and keeping it
-      // out of the pool means routing probes work even when summarization
-      // has the workers saturated.
-      c_route_requests.Increment();
-      if (fields.count("src") == 0 || fields.count("dst") == 0) {
-        respond(id,
-                Status::InvalidArgument(
-                    "route request lacks 'src' and/or 'dst' fields"),
-                nullptr);
+    NdjsonReader reader(&std::cin, static_cast<size_t>(*max_line_bytes));
+    std::string line;
+    for (;;) {
+      Result<bool> got = reader.Next(&line);
+      if (!got.ok()) {
+        // Oversized or truncated line: answer like any other malformed
+        // request and keep serving — the reader already re-synced.
+        registry.counter("serve.requests").Increment();
+        registry.counter("serve.malformed").Increment();
+        respond_stdout(net::NdjsonService::ErrorResponse(-1, got.status()));
+        if (got.status().code() == StatusCode::kInvalidArgument &&
+            !std::cin.good()) {
+          break;  // truncated final line: EOF follows
+        }
         continue;
       }
-      RequestContext route_ctx;
-      double route_deadline_ms = field(
-          "deadline_ms", static_cast<double>(default_deadline_ms));
-      if (route_deadline_ms != 0) {
-        route_ctx.deadline =
-            RequestContext::Clock::now() +
-            std::chrono::milliseconds(
-                static_cast<long long>(route_deadline_ms));
-      }
-      route_ctx.max_node_expansions = static_cast<size_t>(
-          field("max_expansions", static_cast<double>(max_expansions)));
-      Result<Path> path =
-          maker.RoadRoute(static_cast<NodeId>(field("src", -1)),
-                          static_cast<NodeId>(field("dst", -1)), &route_ctx);
-      if (!path.ok()) {
-        respond(id, path.status(), nullptr);
-        continue;
-      }
-      std::lock_guard<std::mutex> lock(out_mu);
-      std::printf("{\"id\": %ld, \"status\": \"ok\", \"cost\": %.3f, "
-                  "\"hops\": %zu}\n",
-                  id, path->cost, path->edges.size());
-      std::fflush(stdout);
-      continue;
+      if (!*got) break;  // clean EOF
+      if (line.empty()) continue;
+      service.HandleLine(line, respond_stdout);
     }
-    if (fields.count("trip") == 0) {
-      respond(id, Status::InvalidArgument("request lacks a 'trip' field"),
-              nullptr);
-      continue;
-    }
-    double trip_value = field("trip", 0);
-    if (trip_value < 0 || trip_value >= world.trajectories.size()) {
-      respond(id,
-              Status::OutOfRange(StrFormat(
-                  "trip %.0f out of range (corpus has %zu)", trip_value,
-                  world.trajectories.size())),
-              nullptr);
-      continue;
-    }
-    size_t trip = static_cast<size_t>(trip_value);
-
-    SummaryOptions options;
-    options.k = static_cast<int>(field("k", 0));
-    options.eta = field("eta", 0.2);
-
-    // The deadline starts at admission, so queueing time counts against
-    // it — a request that waited out its budget in the queue fails fast
-    // instead of running anyway.
-    RequestContext ctx;
-    double deadline_ms = field("deadline_ms",
-                               static_cast<double>(default_deadline_ms));
-    if (deadline_ms != 0) {
-      ctx.deadline = RequestContext::Clock::now() +
-                     std::chrono::milliseconds(
-                         static_cast<long long>(deadline_ms));
-    }
-    ctx.max_node_expansions = static_cast<size_t>(
-        field("max_expansions", static_cast<double>(max_expansions)));
-
-    // A deadline already expired at admission fails right here, before
-    // the request can take a pool slot or race the watchdog — this keeps
-    // non-positive deadline_ms a *deterministic* deadline_exceeded.
-    if (Status at_admission = ctx.Check(); !at_admission.ok()) {
-      respond(id, at_admission, nullptr);
-      continue;
-    }
-
-    uint64_t token;
-    {
-      std::lock_guard<std::mutex> lock(inflight_mu);
-      token = next_token++;
-      InflightRequest req;
-      req.id = id;
-      req.deadline = ctx.has_deadline()
-                         ? ctx.deadline
-                         : RequestContext::Clock::time_point::max();
-      inflight.emplace(token, req);
-      ctx.cancel = inflight[token].cancel.token();
-    }
-    // When --trace_log is active every admitted request carries its own
-    // Trace; the span tree is appended (one NDJSON line, under out_mu so
-    // lines never interleave) after the response is sent. Tracing only
-    // observes — the response bytes are identical either way.
-    std::shared_ptr<Trace> trace;
-    if (trace_log != nullptr) trace = std::make_shared<Trace>();
-    ctx.trace = trace.get();
-    bool admitted = pool.TrySubmit(
-        [&maker, &world, &respond, &inflight, &inflight_mu, &out_mu, trace_log,
-         id, trip, options, ctx, token, trace] {
-          Result<Summary> summary =
-              maker.Summarize(world.trajectories[trip], options, &ctx);
-          respond(id, summary.status(), summary.ok() ? &*summary : nullptr);
-          if (trace_log != nullptr && trace != nullptr) {
-            std::string json = trace->ToJson();
-            std::lock_guard<std::mutex> lock(out_mu);
-            std::fprintf(trace_log, "{\"id\": %ld, \"trace\": %s}\n", id,
-                         json.c_str());
-            std::fflush(trace_log);
-          }
-          std::lock_guard<std::mutex> lock(inflight_mu);
-          inflight.erase(token);
-        },
-        static_cast<size_t>(max_inflight));
-    if (!admitted) {
-      {
-        std::lock_guard<std::mutex> lock(inflight_mu);
-        inflight.erase(token);
-      }
-      respond(id,
-              Status::ResourceExhausted(StrFormat(
-                  "server at capacity (%ld requests in flight)", max_inflight)),
-              nullptr);
-    }
+    service.Drain();
   }
-
-  pool.Wait();
-  shutting_down.store(true, std::memory_order_relaxed);
-  watchdog.join();
 
   if (trace_log != nullptr) std::fclose(trace_log);
 
@@ -859,10 +676,13 @@ int RunServe(const Args& args) {
   // just the final snapshot rendered for humans.
   std::fprintf(stderr, "stmaker_cli: served %zu requests (%zu malformed, "
                "%zu admitted, %zu rejected, %zu watchdog-cancelled)\n",
-               static_cast<size_t>(c_requests.value()),
-               static_cast<size_t>(c_malformed.value()), pool.admitted(),
-               pool.rejected(),
-               static_cast<size_t>(c_watchdog_cancelled.value()));
+               static_cast<size_t>(
+                   registry.counter("serve.requests").value()),
+               static_cast<size_t>(
+                   registry.counter("serve.malformed").value()),
+               service.pool_admitted(), service.pool_rejected(),
+               static_cast<size_t>(
+                   registry.counter("serve.watchdog_cancelled").value()));
   std::fprintf(stderr, "stmaker_cli: calibration cache: %s\n",
                maker.CalibrationCacheStats().ToString().c_str());
   std::fprintf(stderr, "stmaker_cli: popular-route cache: %s\n",
@@ -876,6 +696,9 @@ int RunServe(const Args& args) {
                  name.c_str(), static_cast<unsigned long long>(hist.count),
                  hist.p50(), hist.p95(), hist.p99());
   }
+  // A forced drain (connections still busy at the drain deadline) exits 9
+  // so orchestration can tell a clean stop from a shed one.
+  if (!drain_status.ok()) return Fail(drain_status);
   return 0;
 }
 
