@@ -23,14 +23,18 @@
 // a candidate-pruning regression on, say, dense grids shows up as its own
 // row instead of vanishing into the city-wide aggregate.
 
+#include <stdlib.h>
+
 #include <algorithm>
 #include <cctype>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <cstdio>
 #include <cstring>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <random>
 #include <string>
 #include <thread>
@@ -41,6 +45,10 @@
 #include "common/parallel.h"
 #include "common/trace.h"
 #include "core/feature_extractor.h"
+#include "core/model_manager.h"
+#include "io/poi_io.h"
+#include "io/road_network_io.h"
+#include "io/trajectory_io.h"
 #include "net/loadgen.h"
 #include "net/ndjson_service.h"
 #include "net/server.h"
@@ -636,6 +644,107 @@ int Run(const char* out_path) {
     std::printf("# slo knee: %.1f qps at p99 %.3f ms "
                 "(capacity estimate %.1f qps)\n",
                 knee_qps, knee_p99_ms, capacity_qps);
+  }
+
+  // --- Model lifecycle: reload latency and post-swap first-request cost.
+  // A dedicated small world (the reload path re-reads the whole dataset
+  // from disk, so the bench world's 3000-trip corpus would time dataset
+  // parsing, not the swap) staged the way `stmaker_cli gen`+`train` lay it
+  // out. ModelReload is the wall time of a full Reload() — world read,
+  // manifest-verified model parse, commit; PostSwapFirstRequest is the
+  // latency of the first summarize answered by the freshly swapped
+  // snapshot (its caches are stone cold — that cost is the price of the
+  // zero-downtime design and deserves its own row).
+  {
+    char dir_template[] = "/tmp/stmaker_bench_reload_XXXXXX";
+    char* dir_c = mkdtemp(dir_template);
+    STMAKER_CHECK(dir_c != nullptr);
+    std::string dir(dir_c);
+
+    BenchWorldOptions small;
+    small.blocks = 10;
+    small.poi_sites = 150;
+    small.history_size = 300;
+    small.num_travelers = 30;
+    small.num_days = 7;
+    BenchWorld lifecycle_world = BuildBenchWorld(small);
+    STMAKER_CHECK(
+        WriteRoadNetworkCsv(dir + "/network", lifecycle_world.city.network)
+            .ok());
+    PoiGeneratorOptions poi_options;
+    poi_options.num_sites = small.poi_sites;
+    poi_options.seed = small.seed + 1;
+    std::vector<RawPoi> pois =
+        PoiGenerator(poi_options).Generate(lifecycle_world.city.network);
+    STMAKER_CHECK(WritePoisCsv(dir + "/pois.csv", pois).ok());
+    std::vector<RawTrajectory> small_raws;
+    small_raws.reserve(lifecycle_world.history.size());
+    for (const GeneratedTrip& t : lifecycle_world.history) {
+      small_raws.push_back(t.raw);
+    }
+    STMAKER_CHECK(
+        WriteTrajectoriesCsv(dir + "/trajectories.csv", small_raws).ok());
+    // Train on the world as read back from CSV (exactly what `train`
+    // does): the saved hierarchy must validate against the quantized
+    // coordinates the manager will load, not the in-memory originals.
+    {
+      Result<RoadNetwork> network = ReadRoadNetworkCsv(dir + "/network");
+      STMAKER_CHECK(network.ok());
+      Result<std::vector<RawPoi>> loaded_pois = ReadPoisCsv(dir + "/pois.csv");
+      STMAKER_CHECK(loaded_pois.ok());
+      LandmarkIndex index = LandmarkIndex::Build(*network, *loaded_pois);
+      STMaker trainer(&*network, &index, FeatureRegistry::BuiltIn());
+      STMAKER_CHECK(trainer.Train(small_raws).ok());
+      STMAKER_CHECK(trainer.BuildRoadHierarchy().ok());
+      STMAKER_CHECK(trainer.SaveModel(dir + "/model").ok());
+    }
+
+    ModelManagerOptions mopts;
+    mopts.data_dir = dir;
+    mopts.model_prefix = dir + "/model";
+    ModelManager manager(mopts);
+    STMAKER_CHECK(manager.Initialize().ok());
+    net::NdjsonServiceOptions sopts;
+    sopts.threads = 2;
+    net::NdjsonService service(&manager, sopts);
+
+    const int kReloadReps = 10;
+    std::vector<double> reload_ms, first_request_ms;
+    double reload_total = 0, first_total = 0;
+    for (int rep = 0; rep < kReloadReps; ++rep) {
+      double t0 = NowMs();
+      STMAKER_CHECK(manager.Reload().ok());
+      double dt = NowMs() - t0;
+      reload_ms.push_back(dt);
+      reload_total += dt;
+
+      std::mutex mu;
+      std::condition_variable cv;
+      bool answered = false;
+      std::string request =
+          "{\"id\": 1, \"trip\": " +
+          std::to_string(rep % lifecycle_world.history.size()) + "}";
+      t0 = NowMs();
+      service.HandleLine(request, [&](const std::string& line) {
+        STMAKER_CHECK(line.find("\"status\": \"ok\"") != std::string::npos);
+        std::lock_guard<std::mutex> lock(mu);
+        answered = true;
+        cv.notify_all();
+      });
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return answered; });
+      }
+      dt = NowMs() - t0;
+      first_request_ms.push_back(dt);
+      first_total += dt;
+    }
+    service.Drain();
+    manager.WaitIdle();
+    results.push_back(Summarize("ModelReload", 1, reload_ms, kReloadReps,
+                                reload_total));
+    results.push_back(Summarize("PostSwapFirstRequest", 1, first_request_ms,
+                                kReloadReps, first_total));
   }
 
   // --- Emit JSON. -----------------------------------------------------------

@@ -10,6 +10,15 @@
 
 namespace stmaker::net {
 
+namespace {
+
+/// Anchored at static-init time, so `process.uptime_ms` measures from
+/// (effectively) process start rather than first stats probe.
+const std::chrono::steady_clock::time_point g_process_start =
+    std::chrono::steady_clock::now();
+
+}  // namespace
+
 NdjsonService::NdjsonService(STMaker* maker,
                              const std::vector<RawTrajectory>* corpus,
                              const NdjsonServiceOptions& options)
@@ -21,12 +30,39 @@ NdjsonService::NdjsonService(STMaker* maker,
       c_malformed_(registry_.counter("serve.malformed")),
       c_stats_requests_(registry_.counter("serve.stats_requests")),
       c_route_requests_(registry_.counter("serve.route_requests")),
+      c_reload_requests_(registry_.counter("serve.reload_requests")),
       c_watchdog_cancelled_(registry_.counter("serve.watchdog_cancelled")),
       pool_(options.threads) {
   // Watchdog: cancels admitted requests still running past their deadline
   // and logs the overrun. The library's own deadline checks normally fire
   // first; the watchdog is the backstop for code between check points.
   watchdog_ = std::thread([this] { WatchdogMain(); });
+}
+
+NdjsonService::NdjsonService(ModelManager* manager,
+                             const NdjsonServiceOptions& options)
+    : manager_(manager),
+      maker_(nullptr),
+      corpus_(nullptr),
+      options_(options),
+      registry_(MetricsRegistry::Global()),
+      c_requests_(registry_.counter("serve.requests")),
+      c_malformed_(registry_.counter("serve.malformed")),
+      c_stats_requests_(registry_.counter("serve.stats_requests")),
+      c_route_requests_(registry_.counter("serve.route_requests")),
+      c_reload_requests_(registry_.counter("serve.reload_requests")),
+      c_watchdog_cancelled_(registry_.counter("serve.watchdog_cancelled")),
+      pool_(options.threads) {
+  watchdog_ = std::thread([this] { WatchdogMain(); });
+}
+
+NdjsonService::PinnedModel NdjsonService::Pin() const {
+  if (manager_ == nullptr) {
+    return PinnedModel{maker_, corpus_, 0, nullptr};
+  }
+  std::shared_ptr<const ModelSnapshot> snapshot = manager_->Current();
+  return PinnedModel{snapshot->maker.get(), &snapshot->trajectories,
+                     snapshot->version, std::move(snapshot)};
 }
 
 NdjsonService::~NdjsonService() {
@@ -62,9 +98,9 @@ void NdjsonService::WatchdogMain() {
 
 // Mirrors the maker's LRU cache stats into gauges so a `stats` snapshot
 // carries them alongside the registry-native counters.
-void NdjsonService::MirrorCacheGauges() {
-  CacheStats cal = maker_->CalibrationCacheStats();
-  CacheStats route = maker_->RouteCacheStats();
+void NdjsonService::MirrorCacheGauges(STMaker* maker) {
+  CacheStats cal = maker->CalibrationCacheStats();
+  CacheStats route = maker->RouteCacheStats();
   registry_.gauge("calibration.cache.evictions")
       .Set(static_cast<int64_t>(cal.evictions));
   registry_.gauge("popular_route.cache.evictions")
@@ -107,9 +143,9 @@ std::string NdjsonService::WireStatusName(StatusCode code) {
   return out;
 }
 
-Result<std::map<std::string, double>> NdjsonService::ParseFlatJsonNumbers(
+Result<NdjsonService::FlatJson> NdjsonService::ParseFlatJson(
     const std::string& line) {
-  std::map<std::string, double> fields;
+  FlatJson fields;
   size_t i = 0;
   auto skip_ws = [&] {
     while (i < line.size() &&
@@ -143,14 +179,48 @@ Result<std::map<std::string, double>> NdjsonService::ParseFlatJsonNumbers(
       }
       ++i;
       skip_ws();
-      char* end = nullptr;
-      double value = std::strtod(line.c_str() + i, &end);
-      if (end == line.c_str() + i) {
-        return Status::InvalidArgument("field '" + key +
-                                       "' wants a numeric value");
+      if (i < line.size() && line[i] == '"') {
+        ++i;
+        std::string value;
+        while (i < line.size() && line[i] != '"') {
+          if (line[i] == '\\') {
+            if (i + 1 >= line.size()) {
+              return Status::InvalidArgument("unterminated escape in field '" +
+                                             key + "'");
+            }
+            switch (line[i + 1]) {
+              case '"': value += '"'; break;
+              case '\\': value += '\\'; break;
+              case '/': value += '/'; break;
+              case 'n': value += '\n'; break;
+              case 'r': value += '\r'; break;
+              case 't': value += '\t'; break;
+              default:
+                return Status::InvalidArgument(
+                    "unsupported escape in field '" + key + "'");
+            }
+            i += 2;
+          } else {
+            value += line[i];
+            ++i;
+          }
+        }
+        if (i >= line.size()) {
+          return Status::InvalidArgument("unterminated string value in field '" +
+                                         key + "'");
+        }
+        ++i;
+        fields.strings[key] = std::move(value);
+      } else {
+        char* end = nullptr;
+        double value = std::strtod(line.c_str() + i, &end);
+        if (end == line.c_str() + i) {
+          return Status::InvalidArgument("field '" + key +
+                                         "' wants a number or string value");
+        }
+        fields.numbers[key] = value;
+        i = static_cast<size_t>(end - line.c_str());
       }
-      fields[key] = value;
-      i = static_cast<size_t>(end - line.c_str());
       skip_ws();
       if (i < line.size() && line[i] == ',') {
         ++i;
@@ -170,24 +240,80 @@ Result<std::map<std::string, double>> NdjsonService::ParseFlatJsonNumbers(
   return fields;
 }
 
+Result<std::map<std::string, double>> NdjsonService::ParseFlatJsonNumbers(
+    const std::string& line) {
+  Result<FlatJson> parsed = ParseFlatJson(line);
+  if (!parsed.ok()) return parsed.status();
+  if (!parsed->strings.empty()) {
+    return Status::InvalidArgument("field '" + parsed->strings.begin()->first +
+                                   "' wants a numeric value");
+  }
+  return std::move(parsed->numbers);
+}
+
 std::string NdjsonService::ErrorResponse(long id, const Status& status) {
   return StrFormat("{\"id\": %ld, \"status\": \"%s\", \"error\": \"%s\"}", id,
                    WireStatusName(status.code()).c_str(),
                    JsonEscape(status.message()).c_str());
 }
 
-void NdjsonService::HandleStats(long id, const ResponseFn& respond) {
+void NdjsonService::HandleStats(long id, const PinnedModel& model,
+                                const ResponseFn& respond) {
   // Answered synchronously on the transport thread: a stats probe must
   // succeed even when the pool is saturated (it doubles as the
   // readiness/health check in the serve tests).
   c_stats_requests_.Increment();
-  MirrorCacheGauges();
+  MirrorCacheGauges(model.maker);
+  registry_.gauge("process.uptime_ms")
+      .Set(static_cast<int64_t>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - g_process_start)
+              .count()));
   std::string snapshot = registry_.Snapshot().ToJson();
-  respond(StrFormat("{\"id\": %ld, \"status\": \"ok\", \"stats\": %s}", id,
-                    snapshot.c_str()));
+  if (model.snapshot != nullptr) {
+    respond(StrFormat("{\"id\": %ld, \"status\": \"ok\", \"stats\": %s, "
+                      "\"model_version\": %llu}",
+                      id, snapshot.c_str(),
+                      static_cast<unsigned long long>(model.version)));
+  } else {
+    respond(StrFormat("{\"id\": %ld, \"status\": \"ok\", \"stats\": %s}", id,
+                      snapshot.c_str()));
+  }
 }
 
-void NdjsonService::HandleRoute(long id,
+void NdjsonService::HandleReload(long id, const FlatJson& fields,
+                                 ResponseFn respond) {
+  c_reload_requests_.Increment();
+  if (manager_ == nullptr) {
+    respond(ErrorResponse(
+        id, Status::FailedPrecondition(
+                "reload unavailable: this server runs a fixed model")));
+    return;
+  }
+  std::string prefix;
+  auto it = fields.strings.find("model_dir");
+  if (it != fields.strings.end()) prefix = it->second;
+  // The response fires from the reloader thread once this reload actually
+  // ran (FIFO, never interleaved with another) — so "ok" means the swap
+  // happened and `model_version` is the version now serving. The callback
+  // must stay valid past this service's lifetime (the manager cancels
+  // leftovers on shutdown), so it captures only the id and the
+  // transport's ResponseFn — never `this`.
+  manager_->RequestReload(
+      std::move(prefix),
+      [id, respond = std::move(respond)](const Status& status,
+                                         uint64_t version) {
+        if (status.ok()) {
+          respond(StrFormat("{\"id\": %ld, \"status\": \"ok\", \"reloaded\": "
+                            "1, \"model_version\": %llu}",
+                            id, static_cast<unsigned long long>(version)));
+        } else {
+          respond(ErrorResponse(id, status));
+        }
+      });
+}
+
+void NdjsonService::HandleRoute(long id, const PinnedModel& model,
                                 const std::map<std::string, double>& fields,
                                 const ResponseFn& respond) {
   // Answered synchronously on the transport thread: a point query on the
@@ -216,18 +342,25 @@ void NdjsonService::HandleRoute(long id,
   route_ctx.max_node_expansions = static_cast<size_t>(
       field("max_expansions", static_cast<double>(options_.max_expansions)));
   Result<Path> path =
-      maker_->RoadRoute(static_cast<NodeId>(field("src", -1)),
-                        static_cast<NodeId>(field("dst", -1)), &route_ctx);
+      model.maker->RoadRoute(static_cast<NodeId>(field("src", -1)),
+                             static_cast<NodeId>(field("dst", -1)), &route_ctx);
   if (!path.ok()) {
     respond(ErrorResponse(id, path.status()));
     return;
   }
-  respond(StrFormat(
-      "{\"id\": %ld, \"status\": \"ok\", \"cost\": %.3f, \"hops\": %zu}", id,
-      path->cost, path->edges.size()));
+  if (model.snapshot != nullptr) {
+    respond(StrFormat("{\"id\": %ld, \"status\": \"ok\", \"cost\": %.3f, "
+                      "\"hops\": %zu, \"model_version\": %llu}",
+                      id, path->cost, path->edges.size(),
+                      static_cast<unsigned long long>(model.version)));
+  } else {
+    respond(StrFormat(
+        "{\"id\": %ld, \"status\": \"ok\", \"cost\": %.3f, \"hops\": %zu}", id,
+        path->cost, path->edges.size()));
+  }
 }
 
-void NdjsonService::HandleSummarize(long id,
+void NdjsonService::HandleSummarize(long id, PinnedModel model,
                                     const std::map<std::string, double>& fields,
                                     ResponseFn respond) {
   auto field = [&](const std::string& key, double fallback) {
@@ -235,11 +368,11 @@ void NdjsonService::HandleSummarize(long id,
     return it == fields.end() ? fallback : it->second;
   };
   double trip_value = field("trip", 0);
-  if (trip_value < 0 || trip_value >= corpus_->size()) {
+  if (trip_value < 0 || trip_value >= model.corpus->size()) {
     respond(ErrorResponse(
         id, Status::OutOfRange(StrFormat("trip %.0f out of range (corpus has "
                                          "%zu)",
-                                         trip_value, corpus_->size()))));
+                                         trip_value, model.corpus->size()))));
     return;
   }
   size_t trip = static_cast<size_t>(trip_value);
@@ -292,15 +425,26 @@ void NdjsonService::HandleSummarize(long id,
   // `respond` is captured by copy, not moved: when TrySubmit rejects, the
   // task (and a moved-into capture with it) is destroyed before the
   // rejection branch below still needs to answer the client.
+  // `model` rides into the task by value: the pinned snapshot stays alive
+  // until this request responds, no matter how many swaps land meanwhile.
   bool admitted = pool_.TrySubmit(
-      [this, id, trip, options, ctx, token, trace, respond] {
+      [this, id, trip, options, ctx, token, trace, respond, model] {
         Result<Summary> summary =
-            maker_->Summarize((*corpus_)[trip], options, &ctx);
+            model.maker->Summarize((*model.corpus)[trip], options, &ctx);
         if (summary.ok()) {
-          respond(StrFormat("{\"id\": %ld, \"status\": \"ok\", "
-                            "\"partitions\": %zu, \"text\": \"%s\"}",
-                            id, summary->partitions.size(),
-                            JsonEscape(summary->text).c_str()));
+          if (model.snapshot != nullptr) {
+            respond(StrFormat("{\"id\": %ld, \"status\": \"ok\", "
+                              "\"partitions\": %zu, \"text\": \"%s\", "
+                              "\"model_version\": %llu}",
+                              id, summary->partitions.size(),
+                              JsonEscape(summary->text).c_str(),
+                              static_cast<unsigned long long>(model.version)));
+          } else {
+            respond(StrFormat("{\"id\": %ld, \"status\": \"ok\", "
+                              "\"partitions\": %zu, \"text\": \"%s\"}",
+                              id, summary->partitions.size(),
+                              JsonEscape(summary->text).c_str()));
+          }
         } else {
           respond(ErrorResponse(id, summary.status()));
         }
@@ -329,29 +473,37 @@ void NdjsonService::HandleSummarize(long id,
 
 void NdjsonService::HandleLine(const std::string& line, ResponseFn respond) {
   c_requests_.Increment();
-  Result<std::map<std::string, double>> parsed = ParseFlatJsonNumbers(line);
+  Result<FlatJson> parsed = ParseFlatJson(line);
   if (!parsed.ok()) {
     c_malformed_.Increment();
     respond(ErrorResponse(-1, parsed.status()));
     return;
   }
-  const std::map<std::string, double>& fields = *parsed;
-  auto it = fields.find("id");
-  long id = it == fields.end() ? -1 : static_cast<long>(it->second);
-  if (fields.count("stats") != 0) {
-    HandleStats(id, respond);
+  const FlatJson& fields = *parsed;
+  const std::map<std::string, double>& numbers = fields.numbers;
+  auto it = numbers.find("id");
+  long id = it == numbers.end() ? -1 : static_cast<long>(it->second);
+  if (numbers.count("reload") != 0) {
+    HandleReload(id, fields, std::move(respond));
     return;
   }
-  if (fields.count("route") != 0) {
-    HandleRoute(id, fields, respond);
+  // Every non-admin request pins its model exactly once, here, and keeps
+  // that snapshot for its whole lifetime.
+  PinnedModel model = Pin();
+  if (numbers.count("stats") != 0) {
+    HandleStats(id, model, respond);
     return;
   }
-  if (fields.count("trip") == 0) {
+  if (numbers.count("route") != 0) {
+    HandleRoute(id, model, numbers, respond);
+    return;
+  }
+  if (numbers.count("trip") == 0) {
     respond(ErrorResponse(
         id, Status::InvalidArgument("request lacks a 'trip' field")));
     return;
   }
-  HandleSummarize(id, fields, std::move(respond));
+  HandleSummarize(id, std::move(model), numbers, std::move(respond));
 }
 
 }  // namespace stmaker::net

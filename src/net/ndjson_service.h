@@ -13,15 +13,26 @@
 /// and the watchdog thread that cancels requests running past their
 /// deadline (DESIGN.md §10, §14).
 ///
-/// Request protocol (one flat JSON object per line, numeric fields only):
+/// Request protocol (one flat JSON object per line; values are numbers,
+/// plus string values for admin verbs):
 ///   {"id": 1, "trip": 3, "k": 2, "eta": 0.3, "deadline_ms": 250,
 ///    "max_expansions": 10000}           -> summarize (async, via the pool)
 ///   {"id": 5, "route": 1, "src": 12, "dst": 977}  -> road route (sync)
 ///   {"id": 7, "stats": 1}                         -> metrics snapshot (sync)
+///   {"id": 9, "reload": 1, "model_dir": "path/prefix"}  -> model reload
+///       (async; the response fires when the reload actually ran)
 ///
 /// Responses carry the request id and a wire status
 /// ("ok"/"deadline_exceeded"/"resource_exhausted"/...); overload is shed
 /// deterministically at admission with "resource_exhausted".
+///
+/// Model lifecycle: constructed over a ModelManager, the service pins the
+/// current ModelSnapshot once per request at admission (Pin()) and carries
+/// that shared_ptr through the request's whole lifetime — a concurrent
+/// snapshot swap can never leave a request reading a half-loaded or
+/// mixed-version model, and every "ok" response echoes the
+/// `model_version` it was served from. The legacy fixed-model constructor
+/// (bench, unit tests) skips pinning and omits `model_version`.
 
 #include <cstdio>
 #include <functional>
@@ -36,6 +47,7 @@
 #include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/status.h"
+#include "core/model_manager.h"
 #include "core/stmaker.h"
 
 namespace stmaker::net {
@@ -64,9 +76,19 @@ class NdjsonService {
   using ResponseFn = std::function<void(std::string line)>;
 
   /// `maker` must be trained/loaded; `corpus` backs the "trip" field.
-  /// Neither is owned; both must outlive the service.
+  /// Neither is owned; both must outlive the service. This fixed-model
+  /// form serves one immutable model: `reload` requests are rejected with
+  /// failed_precondition and responses carry no `model_version`.
   NdjsonService(STMaker* maker, const std::vector<RawTrajectory>* corpus,
                 const NdjsonServiceOptions& options);
+
+  /// Snapshot-serving form: every request pins `manager->Current()` at
+  /// admission and the `reload` admin verb is live. `manager` must be
+  /// Initialize()d already and must outlive the service's in-flight
+  /// requests; reload callbacks the manager may still fire after this
+  /// service is gone touch only the transport's ResponseFn (safe — see
+  /// HandleReload).
+  NdjsonService(ModelManager* manager, const NdjsonServiceOptions& options);
 
   /// Drains and stops the watchdog.
   ~NdjsonService();
@@ -97,9 +119,21 @@ class NdjsonService {
   /// Wire name of a status category ("deadline_exceeded", "ok", ...).
   static std::string WireStatusName(StatusCode code);
 
-  /// Parses one request line: a flat JSON object whose values are all
-  /// numbers. The serve protocol needs nothing richer, and a hand-rolled
-  /// scanner keeps the serving path dependency-free.
+  /// One parsed request line, split by value type. The serve protocol is
+  /// flat: numbers for the query fields, strings only for admin verbs
+  /// (`model_dir`).
+  struct FlatJson {
+    std::map<std::string, double> numbers;
+    std::map<std::string, std::string> strings;
+  };
+
+  /// Parses one request line: a flat JSON object whose values are numbers
+  /// or strings (with the usual backslash escapes). A hand-rolled scanner
+  /// keeps the serving path dependency-free.
+  static Result<FlatJson> ParseFlatJson(const std::string& line);
+
+  /// ParseFlatJson restricted to all-numeric values; any string field is
+  /// an InvalidArgument. Kept for the protocol's query-path callers.
   static Result<std::map<std::string, double>> ParseFlatJsonNumbers(
       const std::string& line);
 
@@ -114,14 +148,32 @@ class NdjsonService {
     CancelSource cancel;
   };
 
-  void WatchdogMain();
-  void MirrorCacheGauges();
-  void HandleStats(long id, const ResponseFn& respond);
-  void HandleRoute(long id, const std::map<std::string, double>& fields,
-                   const ResponseFn& respond);
-  void HandleSummarize(long id, const std::map<std::string, double>& fields,
-                       ResponseFn respond);
+  /// The model one request is served from, resolved once at admission.
+  /// `snapshot` (null in fixed-model mode) keeps the whole bundle alive
+  /// for the request's lifetime — the pin that makes the swap safe.
+  struct PinnedModel {
+    STMaker* maker = nullptr;
+    const std::vector<RawTrajectory>* corpus = nullptr;
+    uint64_t version = 0;
+    std::shared_ptr<const ModelSnapshot> snapshot;
+  };
 
+  /// Resolves the serving model for one request (see PinnedModel).
+  PinnedModel Pin() const;
+
+  void WatchdogMain();
+  void MirrorCacheGauges(STMaker* maker);
+  void HandleStats(long id, const PinnedModel& model,
+                   const ResponseFn& respond);
+  void HandleRoute(long id, const PinnedModel& model,
+                   const std::map<std::string, double>& fields,
+                   const ResponseFn& respond);
+  void HandleSummarize(long id, PinnedModel model,
+                       const std::map<std::string, double>& fields,
+                       ResponseFn respond);
+  void HandleReload(long id, const FlatJson& fields, ResponseFn respond);
+
+  ModelManager* manager_ = nullptr;  ///< null in fixed-model mode
   STMaker* maker_;
   const std::vector<RawTrajectory>* corpus_;
   NdjsonServiceOptions options_;
@@ -133,6 +185,7 @@ class NdjsonService {
   Counter& c_malformed_;
   Counter& c_stats_requests_;
   Counter& c_route_requests_;
+  Counter& c_reload_requests_;
   Counter& c_watchdog_cancelled_;
 
   ThreadPool pool_;

@@ -1,7 +1,17 @@
 #include <gtest/gtest.h>
+#include <sys/stat.h>
+
+#include <mutex>
+#include <utility>
+#include <vector>
 
 #include "common/fileutil.h"
+#include "core/model_manager.h"
 #include "core/stmaker.h"
+#include "io/poi_io.h"
+#include "io/road_network_io.h"
+#include "io/trajectory_io.h"
+#include "landmark/poi_generator.h"
 #include "roadnet/shortest_path.h"
 #include "test_world.h"
 
@@ -247,6 +257,132 @@ TEST_F(ModelIoTest, FeatureMapSerializationHooks) {
   EXPECT_DOUBLE_EQ((*avg)[0], 15.0);
   EXPECT_DOUBLE_EQ((*avg)[1], 2.0);
   EXPECT_DOUBLE_EQ(rebuilt.GlobalAverage(0), map.GlobalAverage(0));
+}
+
+/// Builds (once) a ModelManager data_dir — the same network/POIs/corpus
+/// layout `stmaker_cli gen` produces — plus models trained the way
+/// `stmaker_cli train` does: on the world read *back from CSV*, so the
+/// saved hierarchy agrees with the network the manager will load (the CSV
+/// round trip quantizes coordinates; a hierarchy built on the in-memory
+/// originals fails weight validation against the reloaded network).
+/// Contains: <dir>/model and <dir>/second (good, with hierarchy) and
+/// <dir>/noch (valid manifest, _ch.csv truncated in half).
+const std::string& GetManagerWorldDir() {
+  static const std::string& dir = *[] {
+    const TestWorld& world = GetTestWorld();
+    auto* d = new std::string(::testing::TempDir() + "/manager_world");
+    ::mkdir(d->c_str(), 0755);  // EEXIST from a previous run is fine
+    STMAKER_CHECK(WriteRoadNetworkCsv(*d + "/network", world.city.network).ok());
+    PoiGeneratorOptions poi_options;
+    poi_options.num_sites = 250;
+    std::vector<RawPoi> pois =
+        PoiGenerator(poi_options).Generate(world.city.network);
+    STMAKER_CHECK(WritePoisCsv(*d + "/pois.csv", pois).ok());
+    std::vector<RawTrajectory> raws;
+    raws.reserve(world.history.size());
+    for (const auto& trip : world.history) raws.push_back(trip.raw);
+    STMAKER_CHECK(WriteTrajectoriesCsv(*d + "/trajectories.csv", raws).ok());
+
+    Result<RoadNetwork> network = ReadRoadNetworkCsv(*d + "/network");
+    STMAKER_CHECK(network.ok());
+    Result<std::vector<RawPoi>> loaded_pois = ReadPoisCsv(*d + "/pois.csv");
+    STMAKER_CHECK(loaded_pois.ok());
+    auto* loaded_network = new RoadNetwork(std::move(*network));
+    auto* index = new LandmarkIndex(
+        LandmarkIndex::Build(*loaded_network, *loaded_pois));
+    STMaker maker(loaded_network, index, FeatureRegistry::BuiltIn());
+    STMAKER_CHECK(maker.Train(raws).ok());
+    STMAKER_CHECK(maker.BuildRoadHierarchy().ok());
+    STMAKER_CHECK(maker.SaveModel(*d + "/model").ok());
+    STMAKER_CHECK(maker.SaveModel(*d + "/second").ok());
+    STMAKER_CHECK(maker.SaveModel(*d + "/noch").ok());
+    Result<std::string> ch = ReadFileToString(*d + "/noch_ch.csv");
+    STMAKER_CHECK(ch.ok());
+    STMAKER_CHECK(
+        WriteFileToPath(*d + "/noch_ch.csv", ch->substr(0, ch->size() / 2))
+            .ok());
+    return d;
+  }();
+  return dir;
+}
+
+TEST_F(ModelIoTest, ManagerReloadRollsBackWhenCandidateLosesHierarchy) {
+  // A reload candidate with a valid manifest but a truncated _ch.csv loads
+  // fine as a *model* (the hierarchy is advisory) — but the manager's
+  // hierarchy-regression policy must refuse to swap it in: the serving
+  // snapshot still routes via CH, and silently downgrading to Dijkstra is
+  // exactly the kind of half-upgrade the snapshot design exists to prevent.
+  const std::string& dir = GetManagerWorldDir();
+
+  ModelManagerOptions opts;
+  opts.data_dir = dir;
+  opts.model_prefix = dir + "/model";
+  ModelManager manager(opts);
+  ASSERT_TRUE(manager.Initialize().ok());
+  // The metrics registry is process-global, so read deltas, not absolutes.
+  const uint64_t base_ok = manager.reloads_ok();
+  const uint64_t base_failures = manager.reload_failures();
+  std::shared_ptr<const ModelSnapshot> before = manager.Current();
+  ASSERT_NE(before, nullptr);
+  EXPECT_TRUE(before->maker->has_road_hierarchy());
+
+  Status reload = manager.Reload(dir + "/noch");
+  EXPECT_EQ(reload.code(), StatusCode::kFailedPrecondition)
+      << reload.ToString();
+  EXPECT_EQ(manager.reload_failures(), base_failures + 1);
+  EXPECT_EQ(manager.reloads_ok(), base_ok);
+
+  // Rollback means the *same* snapshot object keeps serving — not a
+  // re-load of the old prefix — so pinned requests and Current() agree.
+  std::shared_ptr<const ModelSnapshot> after = manager.Current();
+  EXPECT_EQ(after.get(), before.get());
+  EXPECT_TRUE(after->maker->has_road_hierarchy());
+
+  // The failed attempt consumed a version number but never published it;
+  // the next good reload publishes a strictly newer version.
+  ASSERT_TRUE(manager.Reload(dir + "/model").ok());
+  EXPECT_EQ(manager.Current()->version, before->version + 2);
+  EXPECT_EQ(manager.reloads_ok(), base_ok + 1);
+}
+
+TEST_F(ModelIoTest, ManagerBackToBackReloadsAreSerializedFifo) {
+  // Two RequestReload calls racing each other must never interleave: the
+  // single reloader thread drains the queue FIFO, callbacks fire in
+  // submission order with strictly increasing published versions, and the
+  // final serving state is the *last* request's model.
+  const std::string& dir = GetManagerWorldDir();
+
+  ModelManagerOptions opts;
+  opts.data_dir = dir;
+  opts.model_prefix = dir + "/model";
+  ModelManager manager(opts);
+  ASSERT_TRUE(manager.Initialize().ok());
+  const uint64_t v0 = manager.Current()->version;
+
+  std::mutex mu;
+  std::vector<std::pair<int, uint64_t>> done;  // (submission tag, version)
+  manager.RequestReload(dir + "/second", [&](const Status& s, uint64_t v) {
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    std::lock_guard<std::mutex> lock(mu);
+    done.emplace_back(1, v);
+  });
+  manager.RequestReload(dir + "/model", [&](const Status& s, uint64_t v) {
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    std::lock_guard<std::mutex> lock(mu);
+    done.emplace_back(2, v);
+  });
+  manager.WaitIdle();
+
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0].first, 1);
+  EXPECT_EQ(done[1].first, 2);
+  EXPECT_EQ(done[0].second, v0 + 1);
+  EXPECT_EQ(done[1].second, v0 + 2);
+  std::shared_ptr<const ModelSnapshot> final_snapshot = manager.Current();
+  EXPECT_EQ(final_snapshot->version, v0 + 2);
+  EXPECT_EQ(final_snapshot->model_prefix, dir + "/model");
+  EXPECT_TRUE(final_snapshot->maker->has_road_hierarchy());
 }
 
 }  // namespace

@@ -508,6 +508,42 @@ TEST(NdjsonServiceTest, ParseFlatJsonNumbersAcceptsTheProtocolShape) {
   EXPECT_FALSE(NdjsonService::ParseFlatJsonNumbers("{\"id\": }").ok());
 }
 
+TEST(NdjsonServiceTest, ParseFlatJsonCarriesStringFields) {
+  // The reload verb is the first consumer of string values ("model_dir");
+  // numbers and strings land in separate maps so numeric callers keep
+  // their exact old behavior.
+  auto parsed = NdjsonService::ParseFlatJson(
+      "{\"id\": 3, \"reload\": 1, \"model_dir\": \"/data/model_v2\"}");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_DOUBLE_EQ(parsed->numbers["id"], 3);
+  EXPECT_DOUBLE_EQ(parsed->numbers["reload"], 1);
+  EXPECT_EQ(parsed->strings["model_dir"], "/data/model_v2");
+  EXPECT_EQ(parsed->strings.count("id"), 0u);
+  EXPECT_EQ(parsed->numbers.count("model_dir"), 0u);
+}
+
+TEST(NdjsonServiceTest, ParseFlatJsonStringEscapes) {
+  auto parsed = NdjsonService::ParseFlatJson(
+      "{\"path\": \"a\\\\b \\\"q\\\" \\n\\t\\r \\/\"}");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->strings["path"], "a\\b \"q\" \n\t\r /");
+  // Unsupported escape, unterminated string, and a bare string where a
+  // value belongs are all typed parse errors, not silent truncation.
+  EXPECT_FALSE(NdjsonService::ParseFlatJson("{\"p\": \"bad \\u0041\"}").ok());
+  EXPECT_FALSE(NdjsonService::ParseFlatJson("{\"p\": \"no close").ok());
+  EXPECT_FALSE(NdjsonService::ParseFlatJson("{\"p\": }").ok());
+}
+
+TEST(NdjsonServiceTest, ParseFlatJsonNumbersRejectsStringValues) {
+  // The numbers-only entry point predates string support and must stay
+  // strict: a request that smuggles a string into a numeric field is an
+  // invalid_argument, not a zero.
+  auto parsed = NdjsonService::ParseFlatJsonNumbers(
+      "{\"id\": 1, \"model_dir\": \"/data/m\"}");
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST(NdjsonServiceTest, ErrorResponseCarriesWireStatusAndEscapedMessage) {
   std::string line = NdjsonService::ErrorResponse(
       42, Status::InvalidArgument("bad \"quoted\" thing"));

@@ -8,32 +8,13 @@
 set -euo pipefail
 
 CLI="$1"
-DIR="$(mktemp -d)"
-SERVE_PID=""
-cleanup() {
-  [[ -n "$SERVE_PID" ]] && kill -9 "$SERVE_PID" 2>/dev/null
-  rm -rf "$DIR"
-}
-trap cleanup EXIT
+source "$(dirname "$0")/serve_lib.sh"
 
 echo "== gen + train =="
-"$CLI" gen --dir "$DIR" --seed 5 --blocks 10 --trips 80 --pois 100
-"$CLI" train --dir "$DIR" --model "$DIR/model"
+serve_world
 
 echo "== start TCP server =="
-"$CLI" serve --dir "$DIR" --model "$DIR/model" --threads 2 --port 0 \
-  --drain_deadline_ms 5000 2> "$DIR/serve.stderr" &
-SERVE_PID=$!
-PORT=""
-for _ in $(seq 1 400); do
-  PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
-          "$DIR/serve.stderr")"
-  [[ -n "$PORT" ]] && break
-  kill -0 "$SERVE_PID" 2>/dev/null || {
-    echo "server died during startup"; cat "$DIR/serve.stderr"; exit 1; }
-  sleep 0.05
-done
-[[ -n "$PORT" ]] || { echo "no port"; cat "$DIR/serve.stderr"; exit 1; }
+serve_start "$DIR/serve.stderr" --threads 2 --drain_deadline_ms 5000
 
 echo "== sustained load + SIGTERM =="
 python3 - "$PORT" "$SERVE_PID" > "$DIR/client.out" <<'PYEOF'

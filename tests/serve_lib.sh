@@ -1,0 +1,76 @@
+# Shared helpers for the `stmaker_cli serve` shell tests. Source this
+# after setting CLI to the stmaker_cli path:
+#
+#   CLI="$1"
+#   source "$(dirname "$0")/serve_lib.sh"
+#
+# Provides a fresh scratch $DIR (removed on exit), and:
+#
+#   serve_world            gen + train the standard 80-trip test world
+#   serve_start ERR [ARGS] start `serve --port 0 ARGS` with stderr to ERR;
+#                          sets SERVE_PID and PORT (parsed from the
+#                          startup line — never a hardcoded port, so
+#                          parallel ctest runs cannot collide)
+#   serve_stop             SIGTERM + wait; fails the test on nonzero exit
+#   tcp_client P REQ OUT   one connection to port P: send file REQ
+#                          pipelined, half-close, read replies to EOF
+#
+# Environment intended for a server (e.g. STMAKER_FAILPOINTS) can be set
+# per call: `STMAKER_FAILPOINTS=... serve_start ...` works as usual.
+
+DIR="$(mktemp -d)"
+SERVE_PID=""
+serve_lib_cleanup() {
+  [[ -n "$SERVE_PID" ]] && kill -9 "$SERVE_PID" 2>/dev/null
+  rm -rf "$DIR"
+}
+trap serve_lib_cleanup EXIT
+
+serve_world() {
+  "$CLI" gen --dir "$DIR" --seed 5 --blocks 10 --trips 80 --pois 100
+  "$CLI" train --dir "$DIR" --model "$DIR/model"
+}
+
+serve_start() {  # serve_start <stderr-file> [serve-args...]
+  local err="$1"
+  shift
+  : > "$err"
+  "$CLI" serve --dir "$DIR" --model "$DIR/model" --port 0 "$@" 2> "$err" &
+  SERVE_PID=$!
+  PORT=""
+  for _ in $(seq 1 400); do
+    PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$err")"
+    [[ -n "$PORT" ]] && return 0
+    kill -0 "$SERVE_PID" 2>/dev/null || {
+      echo "server died during startup"; cat "$err"; exit 1; }
+    sleep 0.05
+  done
+  echo "server never reported its port"; cat "$err"; exit 1
+}
+
+serve_stop() {
+  kill -TERM "$SERVE_PID"
+  wait "$SERVE_PID" || { echo "server exited nonzero on drain"; exit 1; }
+  SERVE_PID=""
+}
+
+tcp_client() {  # tcp_client <port> <requests-file> <out-file>
+  python3 - "$1" "$2" "$3" <<'PYEOF'
+import socket, sys
+port, req_path, out_path = int(sys.argv[1]), sys.argv[2], sys.argv[3]
+with open(req_path, "rb") as f:
+    payload = f.read()
+s = socket.create_connection(("127.0.0.1", port), timeout=60)
+s.sendall(payload)
+s.shutdown(socket.SHUT_WR)
+data = b""
+while True:
+    chunk = s.recv(65536)
+    if not chunk:
+        break
+    data += chunk
+s.close()
+with open(out_path, "wb") as f:
+    f.write(data)
+PYEOF
+}

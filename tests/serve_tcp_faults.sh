@@ -10,36 +10,17 @@ set -euo pipefail
 
 CLI="$1"
 EXPECT_FAULTS="${STMAKER_EXPECT_FAILPOINTS:-0}"
-DIR="$(mktemp -d)"
-SERVE_PID=""
-cleanup() {
-  [[ -n "$SERVE_PID" ]] && kill -9 "$SERVE_PID" 2>/dev/null
-  rm -rf "$DIR"
-}
-trap cleanup EXIT
+source "$(dirname "$0")/serve_lib.sh"
 
 echo "== gen + train =="
-"$CLI" gen --dir "$DIR" --seed 5 --blocks 10 --trips 80 --pois 100
-"$CLI" train --dir "$DIR" --model "$DIR/model"
+serve_world
 
 echo "== start TCP server with armed failpoints =="
 # Skip the first few hits so startup traffic gets through, then fault a
 # couple of operations of each kind. Harmless when failpoints are
 # compiled out — the env var is simply never read.
 STMAKER_FAILPOINTS="net/accept=2:2;net/read=4:2;net/write=6:2" \
-  "$CLI" serve --dir "$DIR" --model "$DIR/model" --threads 2 --port 0 \
-  2> "$DIR/serve.stderr" &
-SERVE_PID=$!
-PORT=""
-for _ in $(seq 1 400); do
-  PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
-          "$DIR/serve.stderr")"
-  [[ -n "$PORT" ]] && break
-  kill -0 "$SERVE_PID" 2>/dev/null || {
-    echo "server died during startup"; cat "$DIR/serve.stderr"; exit 1; }
-  sleep 0.05
-done
-[[ -n "$PORT" ]] || { echo "no port"; cat "$DIR/serve.stderr"; exit 1; }
+  serve_start "$DIR/serve.stderr" --threads 2
 
 echo "== fault-tolerant client storm =="
 python3 - "$PORT" "$EXPECT_FAULTS" <<'PYEOF'
@@ -115,10 +96,7 @@ PYEOF
 
 echo "== server survives and drains =="
 kill -0 "$SERVE_PID" || { echo "server crashed"; cat "$DIR/serve.stderr"; exit 1; }
-kill -TERM "$SERVE_PID"
-wait "$SERVE_PID" || {
-  echo "exit nonzero after faults"; cat "$DIR/serve.stderr"; exit 1; }
-SERVE_PID=""
+serve_stop
 grep -q "drained in" "$DIR/serve.stderr" || {
   echo "missing drain report"; cat "$DIR/serve.stderr"; exit 1; }
 

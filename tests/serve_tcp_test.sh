@@ -8,17 +8,10 @@
 set -euo pipefail
 
 CLI="$1"
-DIR="$(mktemp -d)"
-SERVE_PID=""
-cleanup() {
-  [[ -n "$SERVE_PID" ]] && kill -9 "$SERVE_PID" 2>/dev/null
-  rm -rf "$DIR"
-}
-trap cleanup EXIT
+source "$(dirname "$0")/serve_lib.sh"
 
 echo "== gen + train =="
-"$CLI" gen --dir "$DIR" --seed 5 --blocks 10 --trips 80 --pois 100
-"$CLI" train --dir "$DIR" --model "$DIR/model"
+serve_world
 
 # The parity corpus: summaries (several trips and option shapes), routing,
 # out-of-range and malformed requests. `stats` is deliberately absent —
@@ -38,57 +31,16 @@ not json at all
 {"id": 10, "trip": 40}
 EOF
 
-start_server() {  # start_server <threads> -> sets SERVE_PID and PORT
-  local threads="$1"
-  : > "$DIR/serve.stderr"
-  "$CLI" serve --dir "$DIR" --model "$DIR/model" --threads "$threads" \
-    --port 0 2> "$DIR/serve.stderr" &
-  SERVE_PID=$!
-  PORT=""
-  for _ in $(seq 1 400); do
-    PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
-            "$DIR/serve.stderr")"
-    [[ -n "$PORT" ]] && return 0
-    kill -0 "$SERVE_PID" 2>/dev/null || {
-      echo "server died during startup"; cat "$DIR/serve.stderr"; exit 1; }
-    sleep 0.05
-  done
-  echo "server never reported its port"; cat "$DIR/serve.stderr"; exit 1
-}
-
-tcp_client() {  # tcp_client <port> <requests> <out>: send all, read to EOF
-  python3 - "$1" "$2" "$3" <<'PYEOF'
-import socket, sys
-port, req_path, out_path = int(sys.argv[1]), sys.argv[2], sys.argv[3]
-with open(req_path, "rb") as f:
-    payload = f.read()
-s = socket.create_connection(("127.0.0.1", port), timeout=60)
-s.sendall(payload)
-s.shutdown(socket.SHUT_WR)
-data = b""
-while True:
-    chunk = s.recv(65536)
-    if not chunk:
-        break
-    data += chunk
-s.close()
-with open(out_path, "wb") as f:
-    f.write(data)
-PYEOF
-}
-
 for threads in 1 4; do
   echo "== parity at --threads $threads =="
   STDIN_OUT="$DIR/stdin.$threads.ndjson"
   "$CLI" serve --dir "$DIR" --model "$DIR/model" --threads "$threads" \
     < "$REQUESTS" > "$STDIN_OUT" 2>/dev/null
 
-  start_server "$threads"
+  serve_start "$DIR/serve.stderr" --threads "$threads"
   TCP_OUT="$DIR/tcp.$threads.ndjson"
   tcp_client "$PORT" "$REQUESTS" "$TCP_OUT"
-  kill -TERM "$SERVE_PID"
-  wait "$SERVE_PID" || { echo "TCP server exited nonzero"; exit 1; }
-  SERVE_PID=""
+  serve_stop
 
   [[ "$(wc -l < "$STDIN_OUT")" -eq 10 ]] || {
     echo "stdin mode: want 10 responses"; cat "$STDIN_OUT"; exit 1; }
@@ -103,16 +55,14 @@ for threads in 1 4; do
 done
 
 echo "== keep-alive pipelining across two sequential clients =="
-start_server 2
+serve_start "$DIR/serve.stderr" --threads 2
 tcp_client "$PORT" "$REQUESTS" "$DIR/first.ndjson"
 tcp_client "$PORT" "$REQUESTS" "$DIR/second.ndjson"
 if ! diff <(sort "$DIR/first.ndjson") <(sort "$DIR/second.ndjson"); then
   echo "second connection on the same server answered differently"
   exit 1
 fi
-kill -TERM "$SERVE_PID"
-wait "$SERVE_PID" || { echo "drain exit nonzero"; exit 1; }
-SERVE_PID=""
+serve_stop
 grep -q "drained in" "$DIR/serve.stderr" || {
   echo "missing drain report"; cat "$DIR/serve.stderr"; exit 1; }
 grep -q "served 20 requests" "$DIR/serve.stderr" || {

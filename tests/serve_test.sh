@@ -124,10 +124,19 @@ for metric in '"serve.requests": 3' '"serve.stats_requests": 2' \
     'stmaker.stage.calibrate_ms' 'stmaker.stage.extract_ms' \
     'stmaker.stage.partition_ms' 'stmaker.stage.select_ms' \
     'stmaker.stage.generate_ms' 'roadnet.map_match_ms' \
-    'threadpool.admitted'; do
+    'threadpool.admitted' \
+    '"model.version": 1' '"model.loaded_unix_ms": ' \
+    '"model.reloads_ok": 0' '"model.reload_failures": 0' \
+    '"process.uptime_ms": '; do
   echo "$STATS2" | grep -q "$metric" || {
     echo "stats snapshot lacks $metric"; echo "$STATS2"; exit 1; }
 done
+
+echo "== every ok response echoes the model version it was served from =="
+echo "$STATS2" | grep -q '"model_version": 1}$' || {
+  echo "stats response lacks a top-level model_version"; exit 1; }
+grep '"id": 71' "$OUT4" | grep -q '"model_version": 1}$' || {
+  echo "summarize response lacks model_version"; exit 1; }
 
 echo "== route requests: ch backend, flags, and dijkstra parity =="
 REQ6="$DIR/requests6.ndjson"
@@ -141,7 +150,7 @@ OUT6="$DIR/responses6.ndjson"
 ERR6="$DIR/serve6.stderr"
 "$CLI" serve --dir "$DIR" --model "$DIR/model" < "$REQ6" > "$OUT6" 2> "$ERR6"
 cat "$OUT6"
-grep -q "(router: ch)" "$ERR6" || { echo "serve did not pick ch"; exit 1; }
+grep -q "(router: ch," "$ERR6" || { echo "serve did not pick ch"; exit 1; }
 grep -q '"id": 80, "status": "ok", "cost": ' "$OUT6" || {
   echo "route request failed"; exit 1; }
 grep -q '"id": 81, "status": "deadline_exceeded"' "$OUT6" || {
@@ -157,7 +166,7 @@ ERR7="$DIR/serve7.stderr"
 printf '{"id": 80, "route": 1, "src": 0, "dst": 40}\n' | \
   "$CLI" serve --dir "$DIR" --model "$DIR/model" --router dijkstra \
   > "$OUT7" 2> "$ERR7"
-grep -q "(router: dijkstra)" "$ERR7" || {
+grep -q "(router: dijkstra," "$ERR7" || {
   echo "--router dijkstra not honored"; exit 1; }
 diff <(grep '"id": 80' "$OUT6") "$OUT7" || {
   echo "ch and dijkstra disagree on a route"; exit 1; }

@@ -58,6 +58,7 @@
 
 #include "core/corpus_stats.h"
 #include "core/group_summarizer.h"
+#include "core/model_manager.h"
 #include "core/stmaker.h"
 #include "io/poi_io.h"
 #include "io/road_network_io.h"
@@ -493,6 +494,13 @@ int RunGroup(const Args& args) {
 // graceful drain on SIGTERM/SIGINT — stop accepting, finish every admitted
 // request within --drain_deadline_ms, flush, then exit (exit code 9 when
 // stragglers had to be force-closed, 0 on a clean drain).
+//
+// Model lifecycle (both transports): the model is held by a ModelManager
+// as an immutable versioned snapshot; SIGHUP or a
+// {"reload": 1, "model_dir": "prefix"} request swaps in a freshly loaded
+// one with zero downtime (in-flight requests finish on the snapshot they
+// started with), and a failed load rolls back to the serving snapshot —
+// see core/model_manager.h and DESIGN.md §15.
 
 /// The running TCP server, for the signal handler (atomic pointer loads
 /// are async-signal-safe; SignalShutdown is written to be called from a
@@ -502,6 +510,15 @@ std::atomic<net::TcpServer*> g_tcp_server{nullptr};
 void HandleShutdownSignal(int) {
   net::TcpServer* server = g_tcp_server.load(std::memory_order_acquire);
   if (server != nullptr) server->SignalShutdown();
+}
+
+/// The serving model manager, for the SIGHUP handler (NotifySighup is one
+/// atomic store — async-signal-safe by design).
+std::atomic<ModelManager*> g_model_manager{nullptr};
+
+void HandleReloadSignal(int) {
+  ModelManager* manager = g_model_manager.load(std::memory_order_acquire);
+  if (manager != nullptr) manager->NotifySighup();
 }
 
 int RunServe(const Args& args) {
@@ -558,31 +575,30 @@ int RunServe(const Args& args) {
   // shutdown report read the same numbers.
   MetricsRegistry& registry = MetricsRegistry::Global();
 
-  Result<LoadedWorld> loaded = LoadWorld(args.Get("dir", "."));
-  if (!loaded.ok()) return Fail(loaded.status());
-  LoadedWorld& world = *loaded;
-  STMaker maker(&world.network, world.landmarks.get(),
-                FeatureRegistry::BuiltIn(), MakerOptions(*threads));
-  if (args.Has("model")) {
-    Status st = maker.LoadModel(args.Get("model", "model"));
-    if (!st.ok()) return Fail(st);
-  } else {
-    Status st = maker.Train(world.trajectories);
-    if (!st.ok()) return Fail(st);
+  // Snapshot-serving setup: the manager owns the world + model as one
+  // immutable versioned bundle; SIGHUP or the reload verb swaps it with
+  // zero downtime and rollback on failure (DESIGN.md §15).
+  ModelManagerOptions mopts;
+  mopts.data_dir = args.Get("dir", ".");
+  if (args.Has("model")) mopts.model_prefix = args.Get("model", "model");
+  mopts.maker = MakerOptions(*threads);
+  mopts.use_hierarchy = (*router == "ch");
+  ModelManager manager(mopts);
+  if (Status st = manager.Initialize(); !st.ok()) {
+    if (trace_log != nullptr) std::fclose(trace_log);
+    return Fail(st);
   }
-  if (*router == "dijkstra") {
-    maker.DropRoadHierarchy();  // also discards one loaded from the model
-  } else if (!maker.has_road_hierarchy()) {
-    // Trained in-process, or the model shipped without a usable hierarchy
-    // (older model, or its _ch.csv failed verification and LoadModel fell
-    // back): contract now so `route` requests still get the fast backend.
-    if (Status st = maker.BuildRoadHierarchy(); !st.ok()) return Fail(st);
+  {
+    std::shared_ptr<const ModelSnapshot> snapshot = manager.Current();
+    std::fprintf(stderr,
+                 "stmaker_cli: serving %zu trajectories on %d threads "
+                 "(router: %s, model v%llu)\n",
+                 snapshot->trajectories.size(), *threads,
+                 snapshot->maker->has_road_hierarchy() ? "ch" : "dijkstra",
+                 static_cast<unsigned long long>(snapshot->version));
   }
-  std::fprintf(stderr,
-               "stmaker_cli: serving %zu trajectories on %d threads "
-               "(router: %s)\n",
-               world.trajectories.size(), *threads,
-               maker.has_road_hierarchy() ? "ch" : "dijkstra");
+  g_model_manager.store(&manager, std::memory_order_release);
+  std::signal(SIGHUP, HandleReloadSignal);
 
   // The protocol brain is shared with the TCP front-end and the SLO
   // bench — both feed HandleLine and relay the response lines, so serving
@@ -592,7 +608,7 @@ int RunServe(const Args& args) {
   sopts.default_deadline_ms = *deadline_ms;
   sopts.max_inflight = *max_inflight;
   sopts.max_expansions = *max_expansions;
-  net::NdjsonService service(&maker, &world.trajectories, sopts);
+  net::NdjsonService service(&manager, sopts);
   service.set_trace_log(trace_log);
 
   Status drain_status = Status::OK();
@@ -630,6 +646,10 @@ int RunServe(const Args& args) {
     std::signal(SIGTERM, SIG_DFL);
     std::signal(SIGINT, SIG_DFL);
     g_tcp_server.store(nullptr, std::memory_order_release);
+    // Reload responses outlive the event loops' request tracking (they
+    // fire from the reloader thread); settle them before draining so the
+    // shutdown report sees final totals.
+    manager.WaitIdle();
     service.Drain();
     std::fprintf(stderr,
                  "stmaker_cli: drained in %.0f ms "
@@ -665,8 +685,14 @@ int RunServe(const Args& args) {
       if (line.empty()) continue;
       service.HandleLine(line, respond_stdout);
     }
+    // Pending reload responses write through respond_stdout; settle them
+    // while the output lock is still in scope.
+    manager.WaitIdle();
     service.Drain();
   }
+
+  std::signal(SIGHUP, SIG_DFL);
+  g_model_manager.store(nullptr, std::memory_order_release);
 
   if (trace_log != nullptr) std::fclose(trace_log);
 
@@ -683,10 +709,17 @@ int RunServe(const Args& args) {
                service.pool_admitted(), service.pool_rejected(),
                static_cast<size_t>(
                    registry.counter("serve.watchdog_cancelled").value()));
+  std::shared_ptr<const ModelSnapshot> final_model = manager.Current();
+  std::fprintf(stderr,
+               "stmaker_cli: model v%llu (%llu reloads ok, %llu rolled "
+               "back)\n",
+               static_cast<unsigned long long>(final_model->version),
+               static_cast<unsigned long long>(manager.reloads_ok()),
+               static_cast<unsigned long long>(manager.reload_failures()));
   std::fprintf(stderr, "stmaker_cli: calibration cache: %s\n",
-               maker.CalibrationCacheStats().ToString().c_str());
+               final_model->maker->CalibrationCacheStats().ToString().c_str());
   std::fprintf(stderr, "stmaker_cli: popular-route cache: %s\n",
-               maker.RouteCacheStats().ToString().c_str());
+               final_model->maker->RouteCacheStats().ToString().c_str());
   MetricsSnapshot final_snapshot = MetricsRegistry::Global().Snapshot();
   for (const auto& [name, hist] : final_snapshot.histograms) {
     if (hist.count == 0) continue;
