@@ -35,7 +35,9 @@
 #include <limits>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <random>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -46,6 +48,8 @@
 #include "common/trace.h"
 #include "core/feature_extractor.h"
 #include "core/model_manager.h"
+#include "geo/bounding_box.h"
+#include "index/trajectory_index.h"
 #include "io/poi_io.h"
 #include "io/road_network_io.h"
 #include "io/trajectory_io.h"
@@ -747,6 +751,157 @@ int Run(const char* out_path) {
                                 kReloadReps, first_total));
   }
 
+  // --- Trajectory-index retrieval: similarity top-K and region/time-window
+  // queries (DESIGN.md §16) — the serving paths behind the `similar` and
+  // `query` verbs. The indexed rows come first; the speedup record then
+  // drops the index and replays a query subset through the full-corpus
+  // scan fallback, insisting on identical answers before trusting the
+  // timing — the same certified-equal-output discipline as the CH rows.
+  // This section runs last (just before emit) because the scan replay
+  // leaves the shared maker without its index.
+  double index_similar_speedup = 0;
+  double index_region_speedup = 0;
+  size_t index_postings = 0;
+  {
+    STMAKER_CHECK(world.maker->has_trajectory_index());
+    index_postings = world.maker->trip_index()->num_postings();
+    std::span<const RawTrajectory> corpus(raws);
+
+    // The corpus extent (spatial and temporal) sizes the region probes:
+    // random sub-boxes at ~8% of the city per side, a 6-hour time window
+    // on every other probe.
+    BoundingBox extent;
+    double time_min = std::numeric_limits<double>::infinity();
+    double time_max = -time_min;
+    for (const RawTrajectory& raw : raws) {
+      for (const RawSample& s : raw.samples) {
+        extent.Extend(s.pos);
+        time_min = std::min(time_min, s.time);
+        time_max = std::max(time_max, s.time);
+      }
+    }
+    std::mt19937_64 rng(20150401);
+    auto uniform = [&rng](double lo, double hi) {
+      return std::uniform_real_distribution<double>(lo, hi)(rng);
+    };
+    const size_t kRegionQueries = 64;
+    std::vector<BoundingBox> boxes(kRegionQueries);
+    std::vector<std::optional<std::pair<double, double>>> windows(
+        kRegionQueries);
+    for (size_t i = 0; i < kRegionQueries; ++i) {
+      const double w = extent.Width() * 0.08;
+      const double h = extent.Height() * 0.08;
+      const double x0 = uniform(extent.min.x, extent.max.x - w);
+      const double y0 = uniform(extent.min.y, extent.max.y - h);
+      boxes[i].Extend({x0, y0});
+      boxes[i].Extend({x0 + w, y0 + h});
+      if (i % 2 == 0) {
+        const double kSixHours = 6 * 3600.0;
+        double t0 = uniform(time_min, std::max(time_min, time_max - kSixHours));
+        windows[i] = {t0, t0 + kSixHours};
+      }
+    }
+
+    // Similarity queries cycle the corpus at a coprime stride so the row
+    // averages across neighbourhood sizes instead of one city district.
+    const size_t kSimilarQueries = 400;
+    const size_t kSimilarK = 5;
+    std::vector<size_t> query_trips;
+    query_trips.reserve(kSimilarQueries);
+    for (size_t i = 0; i < kSimilarQueries; ++i) {
+      query_trips.push_back((i * 97) % corpus.size());
+    }
+
+    std::vector<std::vector<TrajectoryIndex::Match>> indexed_similar;
+    indexed_similar.reserve(kSimilarQueries);
+    std::vector<double> sim_lat;
+    sim_lat.reserve(kSimilarQueries);
+    double t0 = NowMs();
+    for (size_t trip : query_trips) {
+      double c0 = NowMs();
+      auto matches = world.maker->SimilarTrips(corpus, trip, kSimilarK);
+      sim_lat.push_back(NowMs() - c0);
+      STMAKER_CHECK(matches.ok());
+      indexed_similar.push_back(std::move(matches).value());
+    }
+    double indexed_similar_ms = NowMs() - t0;
+    results.push_back(Summarize("SimilarTopK", 1, sim_lat, kSimilarQueries,
+                                indexed_similar_ms));
+
+    std::vector<std::vector<uint32_t>> indexed_region;
+    indexed_region.reserve(kRegionQueries);
+    std::vector<double> reg_lat;
+    reg_lat.reserve(kRegionQueries);
+    t0 = NowMs();
+    for (size_t i = 0; i < kRegionQueries; ++i) {
+      double c0 = NowMs();
+      auto trips = world.maker->QueryRegion(corpus, boxes[i], windows[i]);
+      reg_lat.push_back(NowMs() - c0);
+      STMAKER_CHECK(trips.ok());
+      indexed_region.push_back(std::move(trips).value());
+    }
+    double indexed_region_ms = NowMs() - t0;
+    results.push_back(
+        Summarize("RegionQuery", 1, reg_lat, kRegionQueries,
+                  indexed_region_ms));
+
+    // Scan replay. The similarity scan re-describes the whole corpus per
+    // query (sanitize → calibrate → extract × corpus size), so only a
+    // subset is replayed — enough to time, far too slow for all 400. The
+    // speedup compares per-query averages: the indexed side over its full
+    // query set, the scan side over the replayed subset.
+    const size_t kScanSimilar = 4;
+    const size_t kScanRegion = 8;
+    world.maker->DropTrajectoryIndex();
+    t0 = NowMs();
+    for (size_t i = 0; i < kScanSimilar; ++i) {
+      auto matches =
+          world.maker->SimilarTrips(corpus, query_trips[i], kSimilarK);
+      STMAKER_CHECK(matches.ok());
+      bool same = matches->size() == indexed_similar[i].size();
+      for (size_t j = 0; same && j < matches->size(); ++j) {
+        same = (*matches)[j].trip == indexed_similar[i][j].trip &&
+               (*matches)[j].score == indexed_similar[i][j].score;
+      }
+      if (!same) {
+        std::fprintf(stderr,
+                     "FATAL: scan SimilarTrips(%zu) diverged from the "
+                     "indexed path\n",
+                     query_trips[i]);
+        return 1;
+      }
+    }
+    double scan_similar_ms = NowMs() - t0;
+    t0 = NowMs();
+    for (size_t i = 0; i < kScanRegion; ++i) {
+      auto trips = world.maker->QueryRegion(corpus, boxes[i], windows[i]);
+      STMAKER_CHECK(trips.ok());
+      if (*trips != indexed_region[i]) {
+        std::fprintf(stderr,
+                     "FATAL: scan QueryRegion(%zu) diverged from the "
+                     "indexed path\n",
+                     i);
+        return 1;
+      }
+    }
+    double scan_region_ms = NowMs() - t0;
+    const double indexed_similar_per_query =
+        indexed_similar_ms / kSimilarQueries;
+    const double indexed_region_per_query = indexed_region_ms / kRegionQueries;
+    index_similar_speedup =
+        indexed_similar_per_query > 0
+            ? (scan_similar_ms / kScanSimilar) / indexed_similar_per_query
+            : 0;
+    index_region_speedup =
+        indexed_region_per_query > 0
+            ? (scan_region_ms / kScanRegion) / indexed_region_per_query
+            : 0;
+    std::printf("# indexed retrieval identical to full scan: yes "
+                "(similar speedup %.0fx, region speedup %.1fx, "
+                "%zu postings)\n",
+                index_similar_speedup, index_region_speedup, index_postings);
+  }
+
   // --- Emit JSON. -----------------------------------------------------------
   std::FILE* out = std::fopen(out_path, "w");
   if (out == nullptr) {
@@ -778,6 +933,12 @@ int Run(const char* out_path) {
                "\"build_ms\": %.1f, \"speedup_vs_dijkstra\": %.2f, "
                "\"batch_speedup_vs_point\": %.2f},\n",
                routing_nodes, ch_build_ms, ch_speedup, ch_batch_speedup);
+  std::fprintf(out,
+               "  {\"name\": \"index_retrieval\", \"corpus_trips\": %zu, "
+               "\"postings\": %zu, \"similar_speedup_vs_scan\": %.1f, "
+               "\"region_speedup_vs_scan\": %.1f},\n",
+               raws.size(), index_postings, index_similar_speedup,
+               index_region_speedup);
   // SLO rows are load-dependent (offered rate scales with the build's own
   // capacity estimate), so bench_report.py excludes them from --compare.
   for (const SloPoint& p : slo_points) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 #include <map>
 #include <optional>
@@ -124,8 +125,9 @@ namespace {
 
 /// Private accumulators of one ingestion worker. Shard s sees only the
 /// trajectories of index block s; the blocks are merged left to right.
+/// Trip descriptors are not sharded: workers fill disjoint slots of one
+/// pre-sized vector, so descriptor i is trip i at every thread count.
 struct IngestShard {
-  PopularRouteMiner miner;
   std::unique_ptr<HistoricalFeatureMap> features;
   VisitCorpus visits;
   IngestReport report;
@@ -140,6 +142,12 @@ Result<IngestReport> STMaker::IngestCorpus(
   for (IngestShard& shard : shards) {
     shard.features = std::make_unique<HistoricalFeatureMap>(registry_.size());
   }
+  // One descriptor slot per offered trajectory — quarantined trips keep an
+  // empty slot so descriptor index always equals corpus position. The trip
+  // ids continue from any previously indexed corpus (TrainIncremental).
+  const uint32_t trip_base = static_cast<uint32_t>(
+      trip_index_ != nullptr ? trip_index_->descriptors().size() : 0);
+  std::vector<TripDescriptor> descriptors(history.size());
 
   // The shard body is exactly the serial per-trajectory ingest, writing to
   // the shard's private accumulators. The calibrator and extractor are
@@ -172,6 +180,12 @@ Result<IngestReport> STMaker::IngestCorpus(
                     report.dropped_points += sanitize_report.dropped_points;
                   }
                   const RawTrajectory& raw = *sanitized;
+                  // The spatial half of the trip's index descriptor exists
+                  // as soon as sanitization passed — region retrieval
+                  // covers trips the scoring pipeline later rejects.
+                  descriptors[i] = TrajectoryIndex::DescribeSpatial(
+                      trip_base + static_cast<uint32_t>(i), raw,
+                      options_.index);
                   Result<CalibratedTrajectory> calibrated =
                       calibrator_.Calibrate(raw);
                   if (!calibrated.ok()) {
@@ -188,7 +202,12 @@ Result<IngestReport> STMaker::IngestCorpus(
                   }
 
                   const SymbolicTrajectory& symbolic = calibrated->symbolic;
-                  shard.miner.AddTrajectory(symbolic);
+                  // Complete the descriptor: landmark labels, the symbolic
+                  // sequence (popular-route mining replays transitions from
+                  // it after the merge), and the Eq. 3 fingerprint.
+                  TrajectoryIndex::FinishDescriptor(
+                      symbolic, NormalizeSegmentFeatures(*features),
+                      registry_.size(), &descriptors[i]);
                   std::vector<LandmarkId> visited;
                   visited.reserve(symbolic.samples.size());
                   for (size_t s = 0; s < symbolic.samples.size(); ++s) {
@@ -228,10 +247,22 @@ Result<IngestReport> STMaker::IngestCorpus(
   // Merge in block order: shard 0 holds the leftmost trajectories, so this
   // replays the corpus left to right exactly as the serial loop would.
   for (const IngestShard& shard : shards) {
-    miner_.Merge(shard.miner);
     feature_map_->Merge(*shard.features);
     visit_corpus_.Merge(shard.visits);
   }
+  // Popular-route mining consumes the index descriptors instead of
+  // rescanning the corpus: replaying each trip's symbolic sequence in
+  // corpus order performs exactly the AddTrajectory() calls of a serial
+  // ingest (consecutive pairs, self-transitions skipped, +1 per pair), so
+  // the transition graph — and its serialization — is unchanged and
+  // thread-count independent.
+  for (const TripDescriptor& d : descriptors) {
+    for (size_t s = 0; s + 1 < d.sequence.size(); ++s) {
+      if (d.sequence[s] == d.sequence[s + 1]) continue;
+      miner_.AddTransitionCount(d.sequence[s], d.sequence[s + 1], 1.0);
+    }
+  }
+  RebuildTrajectoryIndex(std::move(descriptors));
   num_trained_ += report.ingested;
   // One registry update per corpus from the merged report (not per shard),
   // so the counters are deterministic at every thread count.
@@ -249,6 +280,40 @@ Result<IngestReport> STMaker::IngestCorpus(
   return report;
 }
 
+void STMaker::RebuildTrajectoryIndex(std::vector<TripDescriptor> fresh) {
+  // After a failed build the previous descriptors are gone, so an
+  // incremental batch cannot be numbered against the existing corpus —
+  // stay on the scan path until the next full Train().
+  if (index_build_failed_) return;
+  std::vector<TripDescriptor> all;
+  if (trip_index_ != nullptr) {
+    all = trip_index_->TakeDescriptors();
+    trip_index_.reset();
+  }
+  all.insert(all.end(), std::make_move_iterator(fresh.begin()),
+             std::make_move_iterator(fresh.end()));
+  for (size_t i = 0; i < all.size(); ++i) {
+    all[i].trip = static_cast<uint32_t>(i);
+  }
+  Result<TrajectoryIndex> built =
+      TrajectoryIndex::Build(options_.index, std::move(all));
+  if (!built.ok()) {
+    // Advisory, like the routing hierarchy: the model is intact, only the
+    // accelerator is lost — queries degrade to the (identical-result)
+    // corpus scan.
+    static Counter& build_failures =
+        MetricsRegistry::Global().counter("index.build_failures");
+    build_failures.Increment();
+    std::fprintf(stderr,
+                 "warning: trajectory index unusable, similarity/region "
+                 "queries fall back to corpus scan: %s\n",
+                 built.status().ToString().c_str());
+    index_build_failed_ = true;
+    return;
+  }
+  trip_index_ = std::make_unique<TrajectoryIndex>(std::move(built).value());
+}
+
 void STMaker::RecomputeSignificance() {
   visit_corpus_.BuildModel(landmarks_->size())
       .Apply(landmarks_, options_.significance_iterations);
@@ -261,6 +326,8 @@ Result<IngestReport> STMaker::TrainWithReport(
   visit_corpus_ = VisitCorpus();
   num_trained_ = 0;
   analyzer_.reset();
+  trip_index_.reset();
+  index_build_failed_ = false;
 
   Result<IngestReport> report = IngestCorpus(history, options_.num_threads);
   if (!report.ok()) {

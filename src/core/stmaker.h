@@ -8,8 +8,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/context.h"
@@ -22,6 +24,8 @@
 #include "core/partitioner.h"
 #include "core/popular_route.h"
 #include "core/summary.h"
+#include "geo/bounding_box.h"
+#include "index/trajectory_index.h"
 #include "landmark/landmark_index.h"
 #include "landmark/significance.h"
 #include "roadnet/contraction_hierarchy.h"
@@ -73,6 +77,11 @@ struct STMakerOptions {
   /// errors (kIoError) are retried with jittered exponential backoff.
   /// Deterministic parse errors and checksum mismatches are not retried.
   RetryOptions io_retry;
+  /// Geometry of the spatio-temporal trajectory index built during
+  /// Train() (grid cell edge, coarse time bucket). Persisted with the
+  /// index so a restored model queries under the geometry it was built
+  /// with.
+  TrajectoryIndexOptions index;
 };
 
 /// \brief Admission and limit knobs for SummarizeBatch.
@@ -279,6 +288,50 @@ class STMaker {
       std::span<const NodeId> sources, std::span<const NodeId> targets,
       const RequestContext* ctx = nullptr) const;
 
+  /// Reduces one raw trajectory to its index descriptor (sanitize →
+  /// calibrate → extract → fingerprint), exactly as Train() describes the
+  /// corpus trips — the scan fallback and external-query building block.
+  /// The returned descriptor carries TripDescriptor::kNoTrip as its id;
+  /// callers targeting a corpus trip overwrite it.
+  Result<TripDescriptor> DescribeTrip(const RawTrajectory& raw,
+                                      const RequestContext* ctx = nullptr)
+      const;
+
+  /// Top-k historical trips similar to corpus trip `trip`: among the
+  /// corpus trips sharing at least one grid cell or landmark label with it
+  /// (its spatio-temporal neighbourhood), ranked by the Eq. 3 weighted
+  /// cosine of the feature fingerprints under the current registry
+  /// weights, ties broken by ascending trip id. Served from the trajectory
+  /// index when one is installed, otherwise by a full corpus scan through
+  /// the same pipeline — the results are identical either way (the oracle
+  /// suite pins this). `corpus` must be the corpus the model was trained
+  /// on, in training order.
+  Result<std::vector<TrajectoryIndex::Match>> SimilarTrips(
+      std::span<const RawTrajectory> corpus, size_t trip, size_t k,
+      const RequestContext* ctx = nullptr) const;
+
+  /// Region/time-window retrieval: the ascending ids of every corpus trip
+  /// with at least one sanitized fix inside `box` (and, when `window` is
+  /// set, timestamped within [window->first, window->second]). Index
+  /// candidates are refined against the actual samples, so indexed and
+  /// scan answers are identical.
+  Result<std::vector<uint32_t>> QueryRegion(
+      std::span<const RawTrajectory> corpus, const BoundingBox& box,
+      const std::optional<std::pair<double, double>>& window,
+      const RequestContext* ctx = nullptr) const;
+
+  /// The trajectory index, or null when none is installed (untrained,
+  /// index build failed, or the persisted index was unusable on load).
+  const TrajectoryIndex* trip_index() const { return trip_index_.get(); }
+
+  /// True when similarity/region queries are index-accelerated.
+  bool has_trajectory_index() const { return trip_index_ != nullptr; }
+
+  /// Discards the index; similarity/region queries fall back to the full
+  /// corpus scan and SaveModel stops persisting an "_index.csv". The
+  /// scan-vs-index differential tests and the speedup benchmark use this.
+  void DropTrajectoryIndex() { trip_index_.reset(); }
+
   /// Hit/miss/eviction counters of the serving-path caches (serve mode
   /// prints these on shutdown).
   CacheStats CalibrationCacheStats() const { return calibrator_.Stats(); }
@@ -319,6 +372,21 @@ class STMaker {
   /// scores into the landmark index.
   void RecomputeSignificance();
 
+  /// Rebuilds the trajectory index over the previous descriptors (if any)
+  /// plus `fresh` — called at the end of every successful ingest. A build
+  /// failure (the "index/build" failpoint) downgrades to the scan path
+  /// with a warning and the `index.build_failures` counter; it never fails
+  /// training.
+  void RebuildTrajectoryIndex(std::vector<TripDescriptor> fresh);
+
+  /// Exact region-membership test shared by the indexed refine and the
+  /// scan fallback: true when the sanitized form of `raw` has a fix inside
+  /// `box` (and the window, when given). Trips that fail sanitization are
+  /// not part of the retrieval domain.
+  bool TripInRegion(const RawTrajectory& raw, const BoundingBox& box,
+                    const std::optional<std::pair<double, double>>& window)
+      const;
+
   const RoadNetwork* network_;
   LandmarkIndex* landmarks_;
   FeatureRegistry registry_;
@@ -334,6 +402,14 @@ class STMaker {
   /// ingestion.
   VisitCorpus visit_corpus_;
   size_t num_trained_ = 0;
+  /// The spatio-temporal trajectory index over the ingested corpus (null =
+  /// scan fallback). Built by Train/TrainIncremental, restored by
+  /// LoadModel, dropped with the rest of the model on retrain.
+  std::unique_ptr<TrajectoryIndex> trip_index_;
+  /// Set when an "index/build" injection (or any build error) discarded
+  /// the descriptors: incremental ingests then stay on the scan path
+  /// instead of indexing a partial corpus.
+  bool index_build_failed_ = false;
   /// Length-metric road routing facade. The hierarchy (when present) is
   /// attached to the router, which transparently falls back to Dijkstra
   /// for custom cost functions.

@@ -58,6 +58,12 @@ constexpr const char* kModelSuffixes[] = {
 /// Dijkstra with a warning instead of failing the model load — the model
 /// itself is intact, only the accelerator is lost).
 constexpr const char* kHierarchySuffix = "_ch.csv";
+/// The spatio-temporal trajectory index: optional (only written when one
+/// was built) and advisory like the hierarchy — a corrupt or truncated
+/// file downgrades similarity/region queries to the (identical-result)
+/// full corpus scan with a warning and the `index.load_failures` counter,
+/// never a failed model load.
+constexpr const char* kIndexSuffix = "_index.csv";
 constexpr const char* kManifestSuffix = "_MANIFEST.csv";
 
 struct ModelPart {
@@ -134,6 +140,12 @@ Status STMaker::SaveModel(const std::string& prefix) const {
     }
     parts.push_back({kModelSuffixes[4], csv.TakeString()});
   }
+  if (trip_index_ != nullptr) {
+    // Options + descriptors only; the posting lists are derived state and
+    // are rebuilt on load, which keeps the file small and its bytes
+    // independent of container iteration order.
+    parts.push_back({kIndexSuffix, trip_index_->SaveToString()});
+  }
   if (road_hierarchy_ != nullptr) {
     // The hierarchy serializes itself (with its own trailing CRC record);
     // the manifest adds the same bytes+CRC32 commit check as the other
@@ -203,6 +215,8 @@ Status STMaker::LoadModel(const std::string& prefix) {
   miner_ = PopularRouteMiner();
   visit_corpus_ = VisitCorpus();
   num_trained_ = 0;
+  trip_index_.reset();
+  index_build_failed_ = false;
   DropRoadHierarchy();
 
   // --- Manifest verification (pre-manifest models load unverified). ---------
@@ -210,8 +224,11 @@ Status STMaker::LoadModel(const std::string& prefix) {
   bool manifest_lists_visits = false;
   // The "_ch.csv" hierarchy is advisory: a damaged one must never block the
   // model (the summaries don't depend on it), so its manifest failures
-  // downgrade to a warning and routing falls back to Dijkstra.
+  // downgrade to a warning and routing falls back to Dijkstra. The
+  // "_index.csv" trajectory index follows the same policy: damage costs
+  // the accelerator, never the model.
   bool hierarchy_damaged = false;
+  bool index_damaged = false;
   if (FileExists(manifest_path)) {
     STMAKER_ASSIGN_OR_RETURN(
         std::string manifest_text,
@@ -258,6 +275,14 @@ Status STMaker::LoadModel(const std::string& prefix) {
                        "Dijkstra: %s\n",
                        verified.ToString().c_str());
           hierarchy_damaged = true;
+          continue;
+        }
+        if (row[0] == kIndexSuffix) {
+          std::fprintf(stderr,
+                       "warning: trajectory index unusable, similarity/"
+                       "region queries fall back to corpus scan: %s\n",
+                       verified.ToString().c_str());
+          index_damaged = true;
           continue;
         }
         return verified;
@@ -389,6 +414,36 @@ Status STMaker::LoadModel(const std::string& prefix) {
     }
   }
 
+  // Trajectory index (optional, advisory — see kIndexSuffix). Any failure
+  // here warns and serves the scan path; it never fails the load.
+  std::unique_ptr<TrajectoryIndex> trip_index;
+  {
+    static Counter& load_failures =
+        MetricsRegistry::Global().counter("index.load_failures");
+    const std::string path = prefix + kIndexSuffix;
+    if (index_damaged) {
+      load_failures.Increment();
+    } else if (FileExists(path)) {
+      Status loaded = [&]() -> Status {
+        STMAKER_ASSIGN_OR_RETURN(
+            std::string content,
+            ReadFileToStringWithRetry(path, options_.io_retry));
+        STMAKER_ASSIGN_OR_RETURN(
+            TrajectoryIndex index,
+            TrajectoryIndex::LoadFromString(content, registry_.size(), path));
+        trip_index = std::make_unique<TrajectoryIndex>(std::move(index));
+        return Status::OK();
+      }();
+      if (!loaded.ok()) {
+        std::fprintf(stderr,
+                     "warning: trajectory index unusable, similarity/region "
+                     "queries fall back to corpus scan: %s\n",
+                     loaded.ToString().c_str());
+        load_failures.Increment();
+      }
+    }
+  }
+
   // Routing hierarchy (optional, advisory — see kHierarchySuffix). Any
   // failure here warns and serves Dijkstra; it never fails the load.
   std::unique_ptr<ContractionHierarchy> hierarchy;
@@ -421,6 +476,7 @@ Status STMaker::LoadModel(const std::string& prefix) {
 
   // --- Commit. ---------------------------------------------------------------
   num_trained_ = loaded_num_trained;
+  trip_index_ = std::move(trip_index);
   if (hierarchy != nullptr) {
     road_hierarchy_ = std::move(hierarchy);
     road_router_.AttachHierarchy(road_hierarchy_.get());

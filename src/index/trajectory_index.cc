@@ -1,0 +1,422 @@
+#include "index/trajectory_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/check.h"
+#include "common/csv.h"
+#include "common/failpoint.h"
+#include "common/strings.h"
+#include "core/similarity.h"
+
+namespace stmaker {
+
+namespace {
+
+/// Full-precision double formatting: %.17g round-trips IEEE doubles
+/// exactly, so a restored fingerprint scores bit-identically to a freshly
+/// computed one (the oracle suite compares the two paths byte for byte).
+std::string FmtDouble(double v) { return StrFormat("%.17g", v); }
+
+Result<double> ParseDouble(const std::string& field, const std::string& path) {
+  char* end = nullptr;
+  double v = std::strtod(field.c_str(), &end);
+  if (end == field.c_str() || *end != '\0') {
+    return Status::InvalidArgument(path + ": not a number: '" + field + "'");
+  }
+  return v;
+}
+
+Result<int64_t> ParseInt(const std::string& field, const std::string& path) {
+  char* end = nullptr;
+  long long v = std::strtoll(field.c_str(), &end, 10);
+  if (end == field.c_str() || *end != '\0') {
+    return Status::InvalidArgument(path + ": not an integer: '" + field + "'");
+  }
+  return static_cast<int64_t>(v);
+}
+
+Result<uint64_t> ParseUint(const std::string& field, const std::string& path) {
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(field.c_str(), &end, 10);
+  if (end == field.c_str() || *end != '\0' || field.empty() ||
+      field[0] == '-') {
+    return Status::InvalidArgument(path + ": not an unsigned integer: '" +
+                                   field + "'");
+  }
+  return static_cast<uint64_t>(v);
+}
+
+int64_t FloorDiv(double value, double width) {
+  return static_cast<int64_t>(std::floor(value / width));
+}
+
+}  // namespace
+
+uint64_t TrajectoryIndex::CellKey(const Vec2& p, double cell_m) {
+  const int64_t cx = FloorDiv(p.x, cell_m);
+  const int64_t cy = FloorDiv(p.y, cell_m);
+  return (static_cast<uint64_t>(static_cast<uint32_t>(cx)) << 32) |
+         static_cast<uint64_t>(static_cast<uint32_t>(cy));
+}
+
+int64_t TrajectoryIndex::BucketOf(double time, double bucket_s) {
+  return FloorDiv(time, bucket_s);
+}
+
+TripDescriptor TrajectoryIndex::DescribeSpatial(
+    uint32_t trip, const RawTrajectory& sanitized,
+    const TrajectoryIndexOptions& options) {
+  TripDescriptor d;
+  d.trip = trip;
+  if (sanitized.samples.empty()) return d;
+  d.spatial = true;
+  d.t_begin = sanitized.samples.front().time;
+  d.t_end = sanitized.samples.back().time;
+  d.cell_buckets.reserve(sanitized.samples.size());
+  for (const RawSample& s : sanitized.samples) {
+    d.bbox.Extend(s.pos);
+    d.cell_buckets.emplace_back(CellKey(s.pos, options.cell_m),
+                                BucketOf(s.time, options.bucket_s));
+  }
+  std::sort(d.cell_buckets.begin(), d.cell_buckets.end());
+  d.cell_buckets.erase(
+      std::unique(d.cell_buckets.begin(), d.cell_buckets.end()),
+      d.cell_buckets.end());
+  return d;
+}
+
+void TrajectoryIndex::FinishDescriptor(
+    const SymbolicTrajectory& symbolic,
+    const std::vector<std::vector<double>>& normalized, size_t num_features,
+    TripDescriptor* descriptor) {
+  descriptor->sequence.clear();
+  descriptor->sequence.reserve(symbolic.samples.size());
+  for (const SymbolicSample& s : symbolic.samples) {
+    descriptor->sequence.push_back(s.landmark);
+  }
+  descriptor->labels = descriptor->sequence;
+  std::sort(descriptor->labels.begin(), descriptor->labels.end());
+  descriptor->labels.erase(
+      std::unique(descriptor->labels.begin(), descriptor->labels.end()),
+      descriptor->labels.end());
+  descriptor->fingerprint.assign(num_features, 0.0);
+  if (!normalized.empty()) {
+    for (const std::vector<double>& v : normalized) {
+      STMAKER_CHECK(v.size() == num_features);
+      for (size_t f = 0; f < num_features; ++f) {
+        descriptor->fingerprint[f] += v[f];
+      }
+    }
+    for (size_t f = 0; f < num_features; ++f) {
+      descriptor->fingerprint[f] /= static_cast<double>(normalized.size());
+    }
+  }
+  descriptor->scored = true;
+}
+
+Result<TrajectoryIndex> TrajectoryIndex::Build(
+    const TrajectoryIndexOptions& options,
+    std::vector<TripDescriptor> descriptors) {
+  if (options.cell_m <= 0 || options.bucket_s <= 0) {
+    return Status::InvalidArgument(
+        "trajectory index needs positive cell_m and bucket_s");
+  }
+  STMAKER_FAILPOINT("index/build", return Status::Internal(
+                                       "index build failed (injected)"));
+  TrajectoryIndex index;
+  index.options_ = options;
+  index.descriptors_ = std::move(descriptors);
+  // One pass in ascending trip order: every posting list comes out sorted
+  // by trip id with no per-list sort, and the build is deterministic at
+  // every thread count (descriptors were filled into disjoint slots).
+  for (size_t i = 0; i < index.descriptors_.size(); ++i) {
+    TripDescriptor& d = index.descriptors_[i];
+    STMAKER_CHECK(d.trip == static_cast<uint32_t>(i));
+    if (!d.spatial) continue;
+    const uint32_t trip = d.trip;
+    uint64_t last_cell = 0;
+    bool have_last = false;
+    for (const auto& [cell, bucket] : d.cell_buckets) {
+      index.cell_bucket_postings_[{cell, bucket}].push_back(trip);
+      ++index.num_postings_;
+      // cell_buckets is sorted by (cell, bucket), so distinct cells arrive
+      // as runs — the previous-cell check dedups the (cell, *, *) family.
+      if (!have_last || cell != last_cell) {
+        index.cell_postings_[cell].push_back(trip);
+        ++index.num_postings_;
+        last_cell = cell;
+        have_last = true;
+      }
+    }
+    if (!d.scored) continue;
+    for (LandmarkId label : d.labels) {
+      index.label_postings_[label].push_back(trip);
+      ++index.num_postings_;
+    }
+  }
+  return index;
+}
+
+std::vector<uint32_t> TrajectoryIndex::SimilarCandidates(
+    const TripDescriptor& query) const {
+  std::vector<char> marked(descriptors_.size(), 0);
+  auto mark = [&](const std::vector<uint32_t>& postings) {
+    for (uint32_t trip : postings) marked[trip] = 1;
+  };
+  uint64_t last_cell = 0;
+  bool have_last = false;
+  for (const auto& [cell, bucket] : query.cell_buckets) {
+    (void)bucket;
+    if (have_last && cell == last_cell) continue;
+    last_cell = cell;
+    have_last = true;
+    auto it = cell_postings_.find(cell);
+    if (it != cell_postings_.end()) mark(it->second);
+  }
+  for (LandmarkId label : query.labels) {
+    auto it = label_postings_.find(label);
+    if (it != label_postings_.end()) mark(it->second);
+  }
+  std::vector<uint32_t> out;
+  for (size_t t = 0; t < marked.size(); ++t) {
+    if (!marked[t]) continue;
+    if (static_cast<uint32_t>(t) == query.trip) continue;
+    // Cell postings also hold spatial-but-unscored trips, which have no
+    // fingerprint to rank; the similarity domain is the scored corpus.
+    if (!descriptors_[t].scored) continue;
+    out.push_back(static_cast<uint32_t>(t));
+  }
+  return out;
+}
+
+Result<std::vector<TrajectoryIndex::Match>> TrajectoryIndex::SimilarTopK(
+    const TripDescriptor& query, size_t k, const std::vector<double>& weights,
+    const RequestContext* ctx) const {
+  STMAKER_RETURN_IF_ERROR(CheckContext(ctx));
+  std::vector<Match> scored;
+  CancelCheck check(ctx);
+  for (uint32_t trip : SimilarCandidates(query)) {
+    STMAKER_RETURN_IF_ERROR(check.Tick());
+    scored.push_back(Match{
+        trip, SegmentSimilarity(query.fingerprint,
+                                descriptors_[trip].fingerprint, weights)});
+  }
+  std::sort(scored.begin(), scored.end(), [](const Match& a, const Match& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.trip < b.trip;
+  });
+  if (scored.size() > k) scored.resize(k);
+  return scored;
+}
+
+std::vector<uint32_t> TrajectoryIndex::RegionCandidates(const BoundingBox& box,
+                                                        bool has_window,
+                                                        double t0,
+                                                        double t1) const {
+  std::vector<uint32_t> out;
+  if (box.IsEmpty() || (has_window && t1 < t0)) return out;
+  const int64_t cx0 = FloorDiv(box.min.x, options_.cell_m);
+  const int64_t cx1 = FloorDiv(box.max.x, options_.cell_m);
+  const int64_t cy0 = FloorDiv(box.min.y, options_.cell_m);
+  const int64_t cy1 = FloorDiv(box.max.y, options_.cell_m);
+  int64_t b0 = 0;
+  int64_t b1 = -1;
+  if (has_window) {
+    b0 = BucketOf(t0, options_.bucket_s);
+    b1 = BucketOf(t1, options_.bucket_s);
+  }
+  // Strategy choice is data-dependent only (never thread-dependent): probe
+  // the enumerated key range when it is small, otherwise walk the stored
+  // postings and filter. Either way the candidate set is a superset of the
+  // true results — the caller's exact refine makes the answer identical.
+  const uint64_t cells_in_range =
+      static_cast<uint64_t>(cx1 - cx0 + 1) * static_cast<uint64_t>(cy1 - cy0 + 1);
+  const uint64_t buckets_in_range =
+      has_window ? static_cast<uint64_t>(b1 - b0 + 1) : 1;
+  constexpr uint64_t kMaxProbes = 1u << 16;
+  std::vector<char> marked(descriptors_.size(), 0);
+  auto mark = [&](const std::vector<uint32_t>& postings) {
+    for (uint32_t trip : postings) marked[trip] = 1;
+  };
+  auto cell_in_range = [&](uint64_t cell) {
+    const int64_t cx = static_cast<int32_t>(cell >> 32);
+    const int64_t cy = static_cast<int32_t>(cell & 0xffffffffu);
+    return cx >= cx0 && cx <= cx1 && cy >= cy0 && cy <= cy1;
+  };
+  if (has_window && cells_in_range * buckets_in_range <= kMaxProbes) {
+    for (int64_t cx = cx0; cx <= cx1; ++cx) {
+      for (int64_t cy = cy0; cy <= cy1; ++cy) {
+        const uint64_t cell =
+            (static_cast<uint64_t>(static_cast<uint32_t>(cx)) << 32) |
+            static_cast<uint64_t>(static_cast<uint32_t>(cy));
+        for (int64_t b = b0; b <= b1; ++b) {
+          auto it = cell_bucket_postings_.find({cell, b});
+          if (it != cell_bucket_postings_.end()) mark(it->second);
+        }
+      }
+    }
+  } else if (has_window) {
+    for (const auto& [key, postings] : cell_bucket_postings_) {
+      if (key.second < b0 || key.second > b1) continue;
+      if (!cell_in_range(key.first)) continue;
+      mark(postings);
+    }
+  } else if (cells_in_range <= kMaxProbes) {
+    for (int64_t cx = cx0; cx <= cx1; ++cx) {
+      for (int64_t cy = cy0; cy <= cy1; ++cy) {
+        const uint64_t cell =
+            (static_cast<uint64_t>(static_cast<uint32_t>(cx)) << 32) |
+            static_cast<uint64_t>(static_cast<uint32_t>(cy));
+        auto it = cell_postings_.find(cell);
+        if (it != cell_postings_.end()) mark(it->second);
+      }
+    }
+  } else {
+    for (const auto& [cell, postings] : cell_postings_) {
+      if (cell_in_range(cell)) mark(postings);
+    }
+  }
+  for (size_t t = 0; t < marked.size(); ++t) {
+    if (marked[t]) out.push_back(static_cast<uint32_t>(t));
+  }
+  return out;
+}
+
+std::string TrajectoryIndex::SaveToString() const {
+  CsvBuilder csv;
+  csv.Row({"record", "id", "a", "b", "c", "d"});
+  csv.Row({"options", "0", FmtDouble(options_.cell_m),
+           FmtDouble(options_.bucket_s), "", ""});
+  for (const TripDescriptor& d : descriptors_) {
+    const std::string id = std::to_string(d.trip);
+    const int flags = (d.spatial ? 1 : 0) | (d.scored ? 2 : 0);
+    csv.Row({"trip", id, std::to_string(flags), FmtDouble(d.t_begin),
+             FmtDouble(d.t_end), ""});
+    if (!d.spatial) continue;
+    csv.Row({"bbox", id, FmtDouble(d.bbox.min.x), FmtDouble(d.bbox.min.y),
+             FmtDouble(d.bbox.max.x), FmtDouble(d.bbox.max.y)});
+    std::vector<std::string> cells;
+    cells.reserve(d.cell_buckets.size());
+    for (const auto& [cell, bucket] : d.cell_buckets) {
+      cells.push_back(StrFormat("%llu:%lld",
+                                static_cast<unsigned long long>(cell),
+                                static_cast<long long>(bucket)));
+    }
+    csv.Row({"cells", id, Join(cells, ";"), "", "", ""});
+    if (!d.scored) continue;
+    std::vector<std::string> labels;
+    labels.reserve(d.labels.size());
+    for (LandmarkId label : d.labels) {
+      labels.push_back(std::to_string(label));
+    }
+    csv.Row({"labels", id, Join(labels, ";"), "", "", ""});
+    std::vector<std::string> fp;
+    fp.reserve(d.fingerprint.size());
+    for (double v : d.fingerprint) fp.push_back(FmtDouble(v));
+    csv.Row({"fp", id, Join(fp, ";"), "", "", ""});
+  }
+  return csv.str();
+}
+
+Result<TrajectoryIndex> TrajectoryIndex::LoadFromString(
+    const std::string& content, size_t num_features, const std::string& path) {
+  STMAKER_ASSIGN_OR_RETURN(
+      auto rows,
+      ParseCsvTable(content, {"record", "id", "a", "b", "c", "d"}, path));
+  TrajectoryIndexOptions options;
+  bool have_options = false;
+  std::vector<TripDescriptor> descriptors;
+  for (const std::vector<std::string>& row : rows) {
+    const std::string& record = row[0];
+    if (record == "options") {
+      STMAKER_ASSIGN_OR_RETURN(options.cell_m, ParseDouble(row[2], path));
+      STMAKER_ASSIGN_OR_RETURN(options.bucket_s, ParseDouble(row[3], path));
+      if (options.cell_m <= 0 || options.bucket_s <= 0) {
+        return Status::InvalidArgument(path + ": non-positive index geometry");
+      }
+      have_options = true;
+      continue;
+    }
+    STMAKER_ASSIGN_OR_RETURN(int64_t id, ParseInt(row[1], path));
+    if (record == "trip") {
+      if (id != static_cast<int64_t>(descriptors.size())) {
+        return Status::InvalidArgument(
+            path + ": trip records out of order at id " + row[1]);
+      }
+      TripDescriptor d;
+      d.trip = static_cast<uint32_t>(id);
+      STMAKER_ASSIGN_OR_RETURN(int64_t flags, ParseInt(row[2], path));
+      d.spatial = (flags & 1) != 0;
+      d.scored = (flags & 2) != 0;
+      STMAKER_ASSIGN_OR_RETURN(d.t_begin, ParseDouble(row[3], path));
+      STMAKER_ASSIGN_OR_RETURN(d.t_end, ParseDouble(row[4], path));
+      descriptors.push_back(std::move(d));
+      continue;
+    }
+    if (descriptors.empty() ||
+        id != static_cast<int64_t>(descriptors.size()) - 1) {
+      return Status::InvalidArgument(path + ": '" + record +
+                                     "' record without its trip record");
+    }
+    TripDescriptor& d = descriptors.back();
+    if (record == "bbox") {
+      STMAKER_ASSIGN_OR_RETURN(d.bbox.min.x, ParseDouble(row[2], path));
+      STMAKER_ASSIGN_OR_RETURN(d.bbox.min.y, ParseDouble(row[3], path));
+      STMAKER_ASSIGN_OR_RETURN(d.bbox.max.x, ParseDouble(row[4], path));
+      STMAKER_ASSIGN_OR_RETURN(d.bbox.max.y, ParseDouble(row[5], path));
+    } else if (record == "cells") {
+      for (const std::string& pair : Split(row[2], ';')) {
+        if (pair.empty()) continue;
+        const size_t colon = pair.find(':');
+        if (colon == std::string::npos) {
+          return Status::InvalidArgument(path + ": bad cell entry '" + pair +
+                                         "'");
+        }
+        STMAKER_ASSIGN_OR_RETURN(uint64_t cell,
+                                 ParseUint(pair.substr(0, colon), path));
+        STMAKER_ASSIGN_OR_RETURN(int64_t bucket,
+                                 ParseInt(pair.substr(colon + 1), path));
+        d.cell_buckets.emplace_back(cell, bucket);
+      }
+      if (!std::is_sorted(d.cell_buckets.begin(), d.cell_buckets.end())) {
+        return Status::InvalidArgument(path + ": unsorted cell postings");
+      }
+    } else if (record == "labels") {
+      for (const std::string& label : Split(row[2], ';')) {
+        if (label.empty()) continue;
+        STMAKER_ASSIGN_OR_RETURN(int64_t value, ParseInt(label, path));
+        d.labels.push_back(value);
+      }
+    } else if (record == "fp") {
+      for (const std::string& value : Split(row[2], ';')) {
+        if (value.empty()) continue;
+        STMAKER_ASSIGN_OR_RETURN(double v, ParseDouble(value, path));
+        d.fingerprint.push_back(v);
+      }
+      if (d.fingerprint.size() != num_features) {
+        return Status::FailedPrecondition(StrFormat(
+            "%s: trip %lld fingerprint has %zu dimensions, registry has %zu",
+            path.c_str(), static_cast<long long>(id), d.fingerprint.size(),
+            num_features));
+      }
+    } else {
+      return Status::InvalidArgument(path + ": unknown record '" + record +
+                                     "'");
+    }
+  }
+  if (!have_options) {
+    return Status::InvalidArgument(path + ": missing options record");
+  }
+  for (const TripDescriptor& d : descriptors) {
+    if (d.scored && d.fingerprint.size() != num_features) {
+      return Status::InvalidArgument(
+          path + ": scored trip " + std::to_string(d.trip) +
+          " is missing its fingerprint record");
+    }
+  }
+  return Build(options, std::move(descriptors));
+}
+
+}  // namespace stmaker

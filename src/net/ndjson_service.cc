@@ -17,6 +17,24 @@ namespace {
 const std::chrono::steady_clock::time_point g_process_start =
     std::chrono::steady_clock::now();
 
+/// Parses exactly `count` comma-separated doubles ("a,b,c") into `out`.
+/// Rejects trailing characters, so a malformed bbox/window string fails
+/// loudly instead of truncating.
+bool ParseDoubleList(const std::string& text, size_t count, double* out) {
+  const char* p = text.c_str();
+  for (size_t i = 0; i < count; ++i) {
+    char* end = nullptr;
+    out[i] = std::strtod(p, &end);
+    if (end == p) return false;
+    p = end;
+    if (i + 1 < count) {
+      if (*p != ',') return false;
+      ++p;
+    }
+  }
+  return *p == '\0';
+}
+
 }  // namespace
 
 NdjsonService::NdjsonService(STMaker* maker,
@@ -31,6 +49,8 @@ NdjsonService::NdjsonService(STMaker* maker,
       c_stats_requests_(registry_.counter("serve.stats_requests")),
       c_route_requests_(registry_.counter("serve.route_requests")),
       c_reload_requests_(registry_.counter("serve.reload_requests")),
+      c_similar_requests_(registry_.counter("serve.similar_requests")),
+      c_query_requests_(registry_.counter("serve.query_requests")),
       c_watchdog_cancelled_(registry_.counter("serve.watchdog_cancelled")),
       pool_(options.threads) {
   // Watchdog: cancels admitted requests still running past their deadline
@@ -51,6 +71,8 @@ NdjsonService::NdjsonService(ModelManager* manager,
       c_stats_requests_(registry_.counter("serve.stats_requests")),
       c_route_requests_(registry_.counter("serve.route_requests")),
       c_reload_requests_(registry_.counter("serve.reload_requests")),
+      c_similar_requests_(registry_.counter("serve.similar_requests")),
+      c_query_requests_(registry_.counter("serve.query_requests")),
       c_watchdog_cancelled_(registry_.counter("serve.watchdog_cancelled")),
       pool_(options.threads) {
   watchdog_ = std::thread([this] { WatchdogMain(); });
@@ -471,6 +493,173 @@ void NdjsonService::HandleSummarize(long id, PinnedModel model,
   }
 }
 
+void NdjsonService::SubmitPooled(
+    long id, const std::map<std::string, double>& fields,
+    const ResponseFn& respond,
+    std::function<void(const RequestContext&)> body) {
+  auto field = [&](const std::string& key, double fallback) {
+    auto it = fields.find(key);
+    return it == fields.end() ? fallback : it->second;
+  };
+  // Same admission contract as HandleSummarize: the deadline starts here,
+  // queueing counts against it, and an already-expired deadline fails
+  // deterministically before taking a pool slot.
+  RequestContext ctx;
+  double deadline_ms =
+      field("deadline_ms", static_cast<double>(options_.default_deadline_ms));
+  if (deadline_ms != 0) {
+    ctx.deadline =
+        RequestContext::Clock::now() +
+        std::chrono::milliseconds(static_cast<long long>(deadline_ms));
+  }
+  if (Status at_admission = ctx.Check(); !at_admission.ok()) {
+    respond(ErrorResponse(id, at_admission));
+    return;
+  }
+  uint64_t token;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    token = next_token_++;
+    InflightRequest req;
+    req.id = id;
+    req.deadline = ctx.has_deadline()
+                       ? ctx.deadline
+                       : RequestContext::Clock::time_point::max();
+    inflight_.emplace(token, req);
+    ctx.cancel = inflight_[token].cancel.token();
+  }
+  // `body` owns its own respond copy; this function only answers the
+  // admission failures itself.
+  bool admitted = pool_.TrySubmit(
+      [this, ctx, token, body = std::move(body)] {
+        body(ctx);
+        std::lock_guard<std::mutex> lock(inflight_mu_);
+        inflight_.erase(token);
+      },
+      static_cast<size_t>(options_.max_inflight));
+  if (!admitted) {
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      inflight_.erase(token);
+    }
+    respond(ErrorResponse(
+        id, Status::ResourceExhausted(
+                StrFormat("server at capacity (%ld requests in flight)",
+                          options_.max_inflight))));
+  }
+}
+
+void NdjsonService::HandleSimilar(long id, PinnedModel model,
+                                  const std::map<std::string, double>& fields,
+                                  ResponseFn respond) {
+  c_similar_requests_.Increment();
+  auto field = [&](const std::string& key, double fallback) {
+    auto it = fields.find(key);
+    return it == fields.end() ? fallback : it->second;
+  };
+  if (fields.count("trip") == 0) {
+    respond(ErrorResponse(
+        id, Status::InvalidArgument("similar request lacks a 'trip' field")));
+    return;
+  }
+  double trip_value = field("trip", 0);
+  if (trip_value < 0 || trip_value >= model.corpus->size()) {
+    respond(ErrorResponse(
+        id, Status::OutOfRange(StrFormat("trip %.0f out of range (corpus has "
+                                         "%zu)",
+                                         trip_value, model.corpus->size()))));
+    return;
+  }
+  size_t trip = static_cast<size_t>(trip_value);
+  size_t k = static_cast<size_t>(field("k", 5));
+  SubmitPooled(
+      id, fields, respond,
+      [id, trip, k, respond, model](const RequestContext& ctx) {
+        Result<std::vector<TrajectoryIndex::Match>> matches =
+            model.maker->SimilarTrips(*model.corpus, trip, k, &ctx);
+        if (!matches.ok()) {
+          respond(ErrorResponse(id, matches.status()));
+          return;
+        }
+        std::string items;
+        for (const TrajectoryIndex::Match& m : *matches) {
+          if (!items.empty()) items += ", ";
+          items += StrFormat("{\"trip\": %u, \"score\": %.6f}", m.trip,
+                             m.score);
+        }
+        if (model.snapshot != nullptr) {
+          respond(StrFormat("{\"id\": %ld, \"status\": \"ok\", \"trip\": %zu, "
+                            "\"results\": [%s], \"model_version\": %llu}",
+                            id, trip, items.c_str(),
+                            static_cast<unsigned long long>(model.version)));
+        } else {
+          respond(StrFormat("{\"id\": %ld, \"status\": \"ok\", \"trip\": %zu, "
+                            "\"results\": [%s]}",
+                            id, trip, items.c_str()));
+        }
+      });
+}
+
+void NdjsonService::HandleQuery(long id, PinnedModel model,
+                                const FlatJson& fields, ResponseFn respond) {
+  c_query_requests_.Increment();
+  auto bbox_it = fields.strings.find("bbox");
+  if (bbox_it == fields.strings.end()) {
+    respond(ErrorResponse(
+        id, Status::InvalidArgument(
+                "query request lacks a 'bbox' field (\"x0,y0,x1,y1\")")));
+    return;
+  }
+  double corner[4];
+  if (!ParseDoubleList(bbox_it->second, 4, corner)) {
+    respond(ErrorResponse(
+        id, Status::InvalidArgument("bbox wants \"x0,y0,x1,y1\", got \"" +
+                                    bbox_it->second + "\"")));
+    return;
+  }
+  // Extend() normalizes, so the two corners may come in any order.
+  BoundingBox box;
+  box.Extend(Vec2{corner[0], corner[1]});
+  box.Extend(Vec2{corner[2], corner[3]});
+  std::optional<std::pair<double, double>> window;
+  auto window_it = fields.strings.find("window");
+  if (window_it != fields.strings.end()) {
+    double t[2];
+    if (!ParseDoubleList(window_it->second, 2, t)) {
+      respond(ErrorResponse(
+          id, Status::InvalidArgument("window wants \"t0,t1\", got \"" +
+                                      window_it->second + "\"")));
+      return;
+    }
+    window = std::make_pair(t[0], t[1]);
+  }
+  SubmitPooled(
+      id, fields.numbers, respond,
+      [id, box, window, respond, model](const RequestContext& ctx) {
+        Result<std::vector<uint32_t>> trips =
+            model.maker->QueryRegion(*model.corpus, box, window, &ctx);
+        if (!trips.ok()) {
+          respond(ErrorResponse(id, trips.status()));
+          return;
+        }
+        std::string items;
+        for (uint32_t t : *trips) {
+          if (!items.empty()) items += ", ";
+          items += StrFormat("%u", t);
+        }
+        if (model.snapshot != nullptr) {
+          respond(StrFormat("{\"id\": %ld, \"status\": \"ok\", \"count\": "
+                            "%zu, \"trips\": [%s], \"model_version\": %llu}",
+                            id, trips->size(), items.c_str(),
+                            static_cast<unsigned long long>(model.version)));
+        } else {
+          respond(StrFormat("{\"id\": %ld, \"status\": \"ok\", \"count\": "
+                            "%zu, \"trips\": [%s]}",
+                            id, trips->size(), items.c_str()));
+        }
+      });
+}
+
 void NdjsonService::HandleLine(const std::string& line, ResponseFn respond) {
   c_requests_.Increment();
   Result<FlatJson> parsed = ParseFlatJson(line);
@@ -496,6 +685,16 @@ void NdjsonService::HandleLine(const std::string& line, ResponseFn respond) {
   }
   if (numbers.count("route") != 0) {
     HandleRoute(id, model, numbers, respond);
+    return;
+  }
+  // The retrieval verbs also carry a 'trip' field, so they dispatch
+  // before the bare-'trip' summarize fallthrough.
+  if (numbers.count("similar") != 0) {
+    HandleSimilar(id, std::move(model), numbers, std::move(respond));
+    return;
+  }
+  if (numbers.count("query") != 0) {
+    HandleQuery(id, std::move(model), fields, std::move(respond));
     return;
   }
   if (numbers.count("trip") == 0) {

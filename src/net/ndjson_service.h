@@ -21,6 +21,13 @@
 ///   {"id": 7, "stats": 1}                         -> metrics snapshot (sync)
 ///   {"id": 9, "reload": 1, "model_dir": "path/prefix"}  -> model reload
 ///       (async; the response fires when the reload actually ran)
+///   {"id": 11, "similar": 1, "trip": 3, "k": 5, "deadline_ms": 250}
+///       -> top-k similar historical trips (async, via the pool): index
+///          candidate generation + exact Eq. 3 cosine re-rank, ties by
+///          ascending trip id (DESIGN.md §16)
+///   {"id": 13, "query": 1, "bbox": "x0,y0,x1,y1", "window": "t0,t1"}
+///       -> region/time-window retrieval (async): ascending ids of trips
+///          with a fix inside the box during the (optional) window
 ///
 /// Responses carry the request id and a wire status
 /// ("ok"/"deadline_exceeded"/"resource_exhausted"/...); overload is shed
@@ -171,7 +178,21 @@ class NdjsonService {
   void HandleSummarize(long id, PinnedModel model,
                        const std::map<std::string, double>& fields,
                        ResponseFn respond);
+  void HandleSimilar(long id, PinnedModel model,
+                     const std::map<std::string, double>& fields,
+                     ResponseFn respond);
+  void HandleQuery(long id, PinnedModel model, const FlatJson& fields,
+                   ResponseFn respond);
   void HandleReload(long id, const FlatJson& fields, ResponseFn respond);
+
+  /// Shared admission for the async (pool-served) verbs: builds the
+  /// request context from the wire fields, registers the request with the
+  /// watchdog, and submits `body` under the `max_inflight` gate, answering
+  /// deadline_exceeded/resource_exhausted itself. `body` runs on a worker
+  /// with the admitted context and must send exactly one response.
+  void SubmitPooled(long id, const std::map<std::string, double>& fields,
+                    const ResponseFn& respond,
+                    std::function<void(const RequestContext&)> body);
 
   ModelManager* manager_ = nullptr;  ///< null in fixed-model mode
   STMaker* maker_;
@@ -186,6 +207,8 @@ class NdjsonService {
   Counter& c_stats_requests_;
   Counter& c_route_requests_;
   Counter& c_reload_requests_;
+  Counter& c_similar_requests_;
+  Counter& c_query_requests_;
   Counter& c_watchdog_cancelled_;
 
   ThreadPool pool_;

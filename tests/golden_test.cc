@@ -16,8 +16,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <condition_variable>
 #include <cstdlib>
 #include <limits>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -25,6 +27,7 @@
 #include "common/trace.h"
 #include "core/stmaker.h"
 #include "io/summary_json.h"
+#include "net/ndjson_service.h"
 #include "test_world.h"
 
 #ifndef STMAKER_GOLDEN_DIR
@@ -269,6 +272,76 @@ TEST(GoldenTest, GoldensIdenticalUnderContractionHierarchy) {
   }
 }
 
+// --------------------------------------------------------------------------
+// Serve-protocol goldens for the retrieval verbs: the exact NDJSON
+// response lines for `similar` and `query`, including the degraded and
+// failure shapes (no-baseline tiny corpus, empty result set, deterministic
+// deadline_exceeded). Pinning the wire bytes here keeps the verb renderers
+// honest the same way the summary goldens pin the pipeline.
+// --------------------------------------------------------------------------
+
+/// Feeds one request line to a fresh fixed-model service and blocks for
+/// the single response line (retrieval verbs answer from the pool).
+std::string ServeLine(net::NdjsonService& service, const std::string& line) {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::string out;
+  bool done = false;
+  service.HandleLine(line, [&](std::string response) {
+    // Notify while holding the lock: the waiter owns cv on its stack and
+    // may destroy it the moment the predicate turns true, so the signal
+    // must complete before the mutex is released.
+    std::lock_guard<std::mutex> lock(mu);
+    out = std::move(response);
+    done = true;
+    cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return done; });
+  return out + "\n";
+}
+
+TEST(GoldenTest, RetrievalVerbResponses) {
+  const TestWorld& world = GetTestWorld();
+  std::vector<RawTrajectory> corpus;
+  corpus.reserve(world.history.size());
+  for (const GeneratedTrip& t : world.history) corpus.push_back(t.raw);
+  net::NdjsonService service(world.maker.get(), &corpus,
+                             net::NdjsonServiceOptions());
+
+  CheckGolden("serve_similar_top3",
+              ServeLine(service,
+                        R"({"id": 1, "similar": 1, "trip": 0, "k": 3})"));
+  CheckGolden("serve_query_bbox",
+              ServeLine(service,
+                        R"({"id": 2, "query": 1, "bbox": "0,-4000,4000,0"})"));
+  CheckGolden(
+      "serve_query_window",
+      ServeLine(service, R"({"id": 3, "query": 1, "bbox": "0,-4000,4000,0", )"
+                         R"("window": "28800,43200"})"));
+  // A box far outside the map: a well-formed ok response with zero trips.
+  CheckGolden(
+      "serve_query_empty",
+      ServeLine(service,
+                R"({"id": 4, "query": 1, "bbox": "1e7,1e7,1.1e7,1.1e7"})"));
+  // Negative deadline_ms is the deterministic deadline_exceeded shape —
+  // rejected at admission, before any retrieval work runs.
+  CheckGolden("serve_similar_deadline",
+              ServeLine(service, R"({"id": 5, "similar": 1, "trip": 0, )"
+                                 R"("deadline_ms": -1})"));
+  CheckGolden(
+      "serve_query_deadline",
+      ServeLine(service, R"({"id": 6, "query": 1, "bbox": "0,0,100,100", )"
+                         R"("deadline_ms": -1})"));
+  // Malformed shapes fail with invalid_argument, never a crash.
+  CheckGolden("serve_query_bad_bbox",
+              ServeLine(service,
+                        R"({"id": 7, "query": 1, "bbox": "1,2,three,4"})"));
+  CheckGolden("serve_similar_no_trip",
+              ServeLine(service, R"({"id": 8, "similar": 1})"));
+  service.Drain();
+}
+
 TEST(GoldenTest, TracingOnMatchesEveryGolden) {
   // The observability contract: attaching a Trace must not change a byte.
   // Every default-maker case is re-run with tracing enabled and compared
@@ -289,6 +362,29 @@ TEST(GoldenTest, TracingOnMatchesEveryGolden) {
     }
     EXPECT_TRUE(saw_summarize);
   }
+}
+
+TEST(GoldenTest, RetrievalVerbsOnSparseNoBaselineCorpus) {
+  // The no-baseline maker (4-trip corpus): `similar` still answers with a
+  // well-formed, deterministic response over the tiny corpus, and
+  // out-of-range trips fail cleanly. Trains on the shared landmark index,
+  // so — like NoBaselineMaker above — it must run after every test that
+  // reads the full-corpus significance scores.
+  const TestWorld& world = GetTestWorld();
+  STMaker sparse(&world.city.network, world.landmarks.get(),
+                 FeatureRegistry::BuiltIn());
+  std::vector<RawTrajectory> corpus;
+  for (size_t i = 200; i < 204; ++i) corpus.push_back(CorpusRaw(i));
+  Status trained = sparse.Train(corpus);
+  ASSERT_TRUE(trained.ok()) << trained.ToString();
+  net::NdjsonService service(&sparse, &corpus, net::NdjsonServiceOptions());
+  CheckGolden("serve_similar_sparse",
+              ServeLine(service,
+                        R"({"id": 1, "similar": 1, "trip": 0, "k": 5})"));
+  CheckGolden("serve_similar_sparse_oob",
+              ServeLine(service,
+                        R"({"id": 2, "similar": 1, "trip": 50, "k": 5})"));
+  service.Drain();
 }
 
 }  // namespace

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Zero-downtime model lifecycle over the wire (DESIGN.md §15):
-#   - a reload under live summarize traffic loses not a single request,
-#     and responses span both model versions (each echoes the snapshot it
-#     was pinned to);
+#   - a reload under live mixed traffic (summarize + the index-backed
+#     `similar`/`query` retrieval verbs) loses not a single request, and
+#     responses span both model versions (each echoes the snapshot it was
+#     pinned to) — the trajectory-index swap rides the same snapshot pin;
 #   - a reload from a corrupt model directory is a typed error that rolls
 #     back — the old snapshot keeps serving and model.reload_failures
 #     increments;
@@ -72,7 +73,16 @@ for i in range(300):
     if i == 150:  # mid-stream: swap the model under the traffic
         s.sendall((json.dumps({"id": reload_id, "reload": 1}) + "\n").encode())
         sent.append(reload_id)
-    s.sendall((json.dumps({"id": i, "trip": i % 80}) + "\n").encode())
+    # Mixed verbs: the trajectory index (similar/query) swaps with the
+    # snapshot, under load, exactly like the summarize path.
+    if i % 3 == 1:
+        req = {"id": i, "similar": 1, "trip": i % 80, "k": 3}
+    elif i % 3 == 2:
+        req = {"id": i, "query": 1, "bbox": "0,-3000,3000,0",
+               "window": "0,86400"}
+    else:
+        req = {"id": i, "trip": i % 80}
+    s.sendall((json.dumps(req) + "\n").encode())
     sent.append(i)
     time.sleep(0.001)
 s.shutdown(socket.SHUT_WR)

@@ -40,12 +40,26 @@ serve_start() {  # serve_start <stderr-file> [serve-args...]
   PORT=""
   for _ in $(seq 1 400); do
     PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$err")"
-    [[ -n "$PORT" ]] && return 0
+    [[ -n "$PORT" ]] && break
     kill -0 "$SERVE_PID" 2>/dev/null || {
       echo "server died during startup"; cat "$err"; exit 1; }
     sleep 0.05
   done
-  echo "server never reported its port"; cat "$err"; exit 1
+  [[ -n "$PORT" ]] || { echo "server never reported its port"; cat "$err"; exit 1; }
+  # Readiness = a stats probe actually answers, not just a printed port
+  # line: the accept loop and the pinned snapshot must both be live before
+  # a test starts timing or hammering the server.
+  printf '{"id": 0, "stats": 1}\n' > "$DIR/.ready.req"
+  for _ in $(seq 1 400); do
+    if tcp_client "$PORT" "$DIR/.ready.req" "$DIR/.ready.out" 2>/dev/null \
+        && grep -q '"status": "ok"' "$DIR/.ready.out"; then
+      return 0
+    fi
+    kill -0 "$SERVE_PID" 2>/dev/null || {
+      echo "server died before answering a stats probe"; cat "$err"; exit 1; }
+    sleep 0.05
+  done
+  echo "server never answered a stats probe"; cat "$err"; exit 1
 }
 
 serve_stop() {

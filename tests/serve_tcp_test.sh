@@ -65,7 +65,8 @@ fi
 serve_stop
 grep -q "drained in" "$DIR/serve.stderr" || {
   echo "missing drain report"; cat "$DIR/serve.stderr"; exit 1; }
-grep -q "served 20 requests" "$DIR/serve.stderr" || {
+# 20 from the two pipelined clients + 1 serve_start readiness probe.
+grep -q "served 21 requests" "$DIR/serve.stderr" || {
   echo "shutdown report miscounted"; cat "$DIR/serve.stderr"; exit 1; }
 
 echo "== TCP flag validation =="

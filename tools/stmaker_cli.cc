@@ -173,6 +173,12 @@ int Usage() {
                "in-flight requests, flush, then exit — 0 on a clean drain, "
                "9 if connections had to be force-closed at "
                "--drain_deadline_ms)\n"
+               "(serve verbs, one JSON object per line: summarize "
+               "{\"trip\":T,...}, route {\"route\":1,\"src\":A,\"dst\":B}, "
+               "stats {\"stats\":1}, reload {\"reload\":1,...}, similarity "
+               "{\"similar\":1,\"trip\":T,\"k\":K}, region "
+               "{\"query\":1,\"bbox\":\"x0,y0,x1,y1\",\"window\":\"t0,t1\"} "
+               "— see README)\n"
                "\n"
                "exit codes:\n"
                "  0  success\n"
