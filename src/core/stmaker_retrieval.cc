@@ -79,13 +79,17 @@ Result<std::vector<TrajectoryIndex::Match>> STMaker::SimilarTrips(
   STMAKER_RETURN_IF_ERROR(CheckContext(ctx));
   const std::vector<double> weights = registry_.Weights();
 
-  if (trip_index_ != nullptr) {
+  // An index whose descriptor count disagrees with the serving corpus was
+  // built over different trajectories (a stale <model>_index.csv beside a
+  // new corpus); its trip ids would name the wrong trips. Treat it as
+  // absent — the scan keeps the identical-results contract.
+  if (trip_index_ != nullptr &&
+      trip_index_->descriptors().size() == corpus.size()) {
     const std::vector<TripDescriptor>& descriptors =
         trip_index_->descriptors();
-    if (trip >= descriptors.size() || !descriptors[trip].scored) {
+    if (!descriptors[trip].scored) {
       return Status::FailedPrecondition(StrFormat(
-          "trip %zu has no index fingerprint (quarantined during training, "
-          "or the serving corpus does not match the model)",
+          "trip %zu has no index fingerprint (quarantined during training)",
           trip));
     }
     return trip_index_->SimilarTopK(descriptors[trip], k, weights, ctx);
@@ -158,13 +162,20 @@ Result<std::vector<uint32_t>> STMaker::QueryRegion(
   // The refine is linear in a trip's samples, so the context is consulted
   // every few trips rather than every 256.
   CancelCheck check(ctx, /*stride=*/16);
-  if (trip_index_ != nullptr) {
-    const std::vector<uint32_t> candidates = trip_index_->RegionCandidates(
-        box, window.has_value(), window.has_value() ? window->first : 0,
-        window.has_value() ? window->second : 0);
+  // Same stale-index guard as SimilarTrips: a descriptor count that
+  // disagrees with the serving corpus means the index describes other
+  // trips, and trusting it would silently drop or invent results. The
+  // scan path preserves the identical-results contract instead.
+  if (trip_index_ != nullptr &&
+      trip_index_->descriptors().size() == corpus.size()) {
+    STMAKER_ASSIGN_OR_RETURN(
+        const std::vector<uint32_t> candidates,
+        trip_index_->RegionCandidates(
+            box, window.has_value(), window.has_value() ? window->first : 0,
+            window.has_value() ? window->second : 0, ctx));
     for (uint32_t t : candidates) {
       STMAKER_RETURN_IF_ERROR(check.Tick());
-      if (t < corpus.size() && TripInRegion(corpus[t], box, window)) {
+      if (TripInRegion(corpus[t], box, window)) {
         out.push_back(t);
       }
     }

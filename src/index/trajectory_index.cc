@@ -48,8 +48,20 @@ Result<uint64_t> ParseUint(const std::string& field, const std::string& path) {
   return static_cast<uint64_t>(v);
 }
 
+/// Floor of value/width as a grid index. Coordinates reach this off the
+/// wire (bbox corners, window endpoints), so the double→int64 cast
+/// saturates instead of hitting UB on huge quotients; NaN maps to cell 0.
+/// Request handlers reject non-finite fields before indexing — the
+/// saturation here is defense in depth, and keeps finite-but-astronomical
+/// values ("1e300") well-defined: they land in the extreme cells, which
+/// contain no postings.
 int64_t FloorDiv(double value, double width) {
-  return static_cast<int64_t>(std::floor(value / width));
+  const double q = std::floor(value / width);
+  constexpr double kTwo63 = 9223372036854775808.0;  // 2^63, exact in double
+  if (std::isnan(q)) return 0;
+  if (q >= kTwo63) return std::numeric_limits<int64_t>::max();
+  if (q < -kTwo63) return std::numeric_limits<int64_t>::min();
+  return static_cast<int64_t>(q);
 }
 
 }  // namespace
@@ -211,10 +223,9 @@ Result<std::vector<TrajectoryIndex::Match>> TrajectoryIndex::SimilarTopK(
   return scored;
 }
 
-std::vector<uint32_t> TrajectoryIndex::RegionCandidates(const BoundingBox& box,
-                                                        bool has_window,
-                                                        double t0,
-                                                        double t1) const {
+Result<std::vector<uint32_t>> TrajectoryIndex::RegionCandidates(
+    const BoundingBox& box, bool has_window, double t0, double t1,
+    const RequestContext* ctx) const {
   std::vector<uint32_t> out;
   if (box.IsEmpty() || (has_window && t1 < t0)) return out;
   const int64_t cx0 = FloorDiv(box.min.x, options_.cell_m);
@@ -231,11 +242,24 @@ std::vector<uint32_t> TrajectoryIndex::RegionCandidates(const BoundingBox& box,
   // the enumerated key range when it is small, otherwise walk the stored
   // postings and filter. Either way the candidate set is a superset of the
   // true results — the caller's exact refine makes the answer identical.
-  const uint64_t cells_in_range =
-      static_cast<uint64_t>(cx1 - cx0 + 1) * static_cast<uint64_t>(cy1 - cy0 + 1);
-  const uint64_t buckets_in_range =
-      has_window ? static_cast<uint64_t>(b1 - b0 + 1) : 1;
+  //
+  // The ranges come off the wire, so the probe-count estimate must not
+  // trust arithmetic on them: spans are computed in uint64 (a saturated
+  // FloorDiv can make cx1 - cx0 overflow int64), and each axis is screened
+  // alone before the product — three factors each < 2^16 multiply to
+  // < 2^48, so the product itself cannot wrap to a small value and smuggle
+  // a ~2^64-iteration enumeration past the guard.
   constexpr uint64_t kMaxProbes = 1u << 16;
+  const uint64_t span_x =
+      static_cast<uint64_t>(cx1) - static_cast<uint64_t>(cx0);
+  const uint64_t span_y =
+      static_cast<uint64_t>(cy1) - static_cast<uint64_t>(cy0);
+  const uint64_t span_b =
+      has_window ? static_cast<uint64_t>(b1) - static_cast<uint64_t>(b0) : 0;
+  const bool enumerable =
+      span_x < kMaxProbes && span_y < kMaxProbes && span_b < kMaxProbes &&
+      (span_x + 1) * (span_y + 1) * (span_b + 1) <= kMaxProbes;
+  CancelCheck check(ctx);
   std::vector<char> marked(descriptors_.size(), 0);
   auto mark = [&](const std::vector<uint32_t>& postings) {
     for (uint32_t trip : postings) marked[trip] = 1;
@@ -245,27 +269,36 @@ std::vector<uint32_t> TrajectoryIndex::RegionCandidates(const BoundingBox& box,
     const int64_t cy = static_cast<int32_t>(cell & 0xffffffffu);
     return cx >= cx0 && cx <= cx1 && cy >= cy0 && cy <= cy1;
   };
-  if (has_window && cells_in_range * buckets_in_range <= kMaxProbes) {
-    for (int64_t cx = cx0; cx <= cx1; ++cx) {
-      for (int64_t cy = cy0; cy <= cy1; ++cy) {
+  // The enumerable loops count offsets, not cell indices: cx1/b1 may sit
+  // at the saturation limit, where `++cx` past them would overflow.
+  if (has_window && enumerable) {
+    for (uint64_t ix = 0; ix <= span_x; ++ix) {
+      const int64_t cx = cx0 + static_cast<int64_t>(ix);
+      for (uint64_t iy = 0; iy <= span_y; ++iy) {
+        const int64_t cy = cy0 + static_cast<int64_t>(iy);
         const uint64_t cell =
             (static_cast<uint64_t>(static_cast<uint32_t>(cx)) << 32) |
             static_cast<uint64_t>(static_cast<uint32_t>(cy));
-        for (int64_t b = b0; b <= b1; ++b) {
-          auto it = cell_bucket_postings_.find({cell, b});
+        for (uint64_t ib = 0; ib <= span_b; ++ib) {
+          STMAKER_RETURN_IF_ERROR(check.Tick());
+          auto it = cell_bucket_postings_.find({cell, b0 + static_cast<int64_t>(ib)});
           if (it != cell_bucket_postings_.end()) mark(it->second);
         }
       }
     }
   } else if (has_window) {
     for (const auto& [key, postings] : cell_bucket_postings_) {
+      STMAKER_RETURN_IF_ERROR(check.Tick());
       if (key.second < b0 || key.second > b1) continue;
       if (!cell_in_range(key.first)) continue;
       mark(postings);
     }
-  } else if (cells_in_range <= kMaxProbes) {
-    for (int64_t cx = cx0; cx <= cx1; ++cx) {
-      for (int64_t cy = cy0; cy <= cy1; ++cy) {
+  } else if (enumerable) {
+    for (uint64_t ix = 0; ix <= span_x; ++ix) {
+      const int64_t cx = cx0 + static_cast<int64_t>(ix);
+      for (uint64_t iy = 0; iy <= span_y; ++iy) {
+        STMAKER_RETURN_IF_ERROR(check.Tick());
+        const int64_t cy = cy0 + static_cast<int64_t>(iy);
         const uint64_t cell =
             (static_cast<uint64_t>(static_cast<uint32_t>(cx)) << 32) |
             static_cast<uint64_t>(static_cast<uint32_t>(cy));
@@ -275,6 +308,7 @@ std::vector<uint32_t> TrajectoryIndex::RegionCandidates(const BoundingBox& box,
     }
   } else {
     for (const auto& [cell, postings] : cell_postings_) {
+      STMAKER_RETURN_IF_ERROR(check.Tick());
       if (cell_in_range(cell)) mark(postings);
     }
   }

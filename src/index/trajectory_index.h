@@ -153,10 +153,13 @@ class TrajectoryIndex {
   /// ids of spatial trips with a posting in a grid cell overlapping `box`
   /// (and, with a window, in a bucket overlapping [t0, t1]). A superset of
   /// the true result set — every trip with a fix inside the box posted the
-  /// fix's own cell — which the caller refines against raw samples.
-  std::vector<uint32_t> RegionCandidates(const BoundingBox& box,
-                                         bool has_window, double t0,
-                                         double t1) const;
+  /// fix's own cell — which the caller refines against raw samples. `ctx`
+  /// bounds the enumeration (kDeadlineExceeded/kCancelled): box and window
+  /// arrive off the wire, so the probe loops must stay cancellable.
+  Result<std::vector<uint32_t>> RegionCandidates(const BoundingBox& box,
+                                                 bool has_window, double t0,
+                                                 double t1,
+                                                 const RequestContext* ctx) const;
 
   /// Serializes the options and descriptors (postings are derived state and
   /// are rebuilt on load).

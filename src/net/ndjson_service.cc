@@ -2,7 +2,9 @@
 
 #include <cctype>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <utility>
 
 #include "common/strings.h"
@@ -26,6 +28,10 @@ bool ParseDoubleList(const std::string& text, size_t count, double* out) {
     char* end = nullptr;
     out[i] = std::strtod(p, &end);
     if (end == p) return false;
+    // strtod accepts "nan"/"inf"/overflowing exponents; a bbox corner or
+    // window endpoint must be a real coordinate, and downstream grid math
+    // assumes finiteness.
+    if (!std::isfinite(out[i])) return false;
     p = end;
     if (i + 1 < count) {
       if (*p != ',') return false;
@@ -34,6 +40,23 @@ bool ParseDoubleList(const std::string& text, size_t count, double* out) {
   }
   return *p == '\0';
 }
+
+/// Saturating double→long long for client-supplied numeric fields: the
+/// raw cast is UB outside the target range, and strtod happily produces
+/// 1e300 from the wire. Non-finite values are rejected at parse time
+/// (ParseFlatJson); the NaN branch is defense in depth.
+long long ClampLL(double v, long long lo, long long hi) {
+  if (std::isnan(v)) return 0;
+  if (v <= static_cast<double>(lo)) return lo;
+  if (v >= static_cast<double>(hi)) return hi;
+  return static_cast<long long>(v);
+}
+
+/// Deadlines are clamped well inside the chrono range so converting to the
+/// steady-clock duration (nanoseconds on this platform) and adding to
+/// now() cannot overflow. ±11.5 days is far beyond any sane request
+/// deadline.
+constexpr long long kMaxDeadlineMs = 1'000'000'000;
 
 }  // namespace
 
@@ -240,6 +263,15 @@ Result<NdjsonService::FlatJson> NdjsonService::ParseFlatJson(
           return Status::InvalidArgument("field '" + key +
                                          "' wants a number or string value");
         }
+        // strtod is laxer than JSON: it accepts "nan", "inf", and turns
+        // overflowing exponents into infinities. Handlers cast these
+        // fields to integers (trip, k, deadline_ms, ...), where a
+        // non-finite double is UB and NaN slips past range checks — so
+        // they are rejected here, at the protocol boundary.
+        if (!std::isfinite(value)) {
+          return Status::InvalidArgument("field '" + key +
+                                         "' is not a finite number");
+        }
         fields.numbers[key] = value;
         i = static_cast<size_t>(end - line.c_str());
       }
@@ -359,13 +391,20 @@ void NdjsonService::HandleRoute(long id, const PinnedModel& model,
   if (route_deadline_ms != 0) {
     route_ctx.deadline =
         RequestContext::Clock::now() +
-        std::chrono::milliseconds(static_cast<long long>(route_deadline_ms));
+        std::chrono::milliseconds(
+            ClampLL(route_deadline_ms, -kMaxDeadlineMs, kMaxDeadlineMs));
   }
-  route_ctx.max_node_expansions = static_cast<size_t>(
-      field("max_expansions", static_cast<double>(options_.max_expansions)));
-  Result<Path> path =
-      model.maker->RoadRoute(static_cast<NodeId>(field("src", -1)),
-                             static_cast<NodeId>(field("dst", -1)), &route_ctx);
+  route_ctx.max_node_expansions = static_cast<size_t>(ClampLL(
+      field("max_expansions", static_cast<double>(options_.max_expansions)), 0,
+      std::numeric_limits<long long>::max()));
+  Result<Path> path = model.maker->RoadRoute(
+      static_cast<NodeId>(ClampLL(field("src", -1),
+                                  std::numeric_limits<long long>::min(),
+                                  std::numeric_limits<long long>::max())),
+      static_cast<NodeId>(ClampLL(field("dst", -1),
+                                  std::numeric_limits<long long>::min(),
+                                  std::numeric_limits<long long>::max())),
+      &route_ctx);
   if (!path.ok()) {
     respond(ErrorResponse(id, path.status()));
     return;
@@ -400,7 +439,9 @@ void NdjsonService::HandleSummarize(long id, PinnedModel model,
   size_t trip = static_cast<size_t>(trip_value);
 
   SummaryOptions options;
-  options.k = static_cast<int>(field("k", 0));
+  options.k = static_cast<int>(ClampLL(field("k", 0),
+                                       std::numeric_limits<int>::min(),
+                                       std::numeric_limits<int>::max()));
   options.eta = field("eta", 0.2);
 
   // The deadline starts at admission, so queueing time counts against
@@ -410,12 +451,14 @@ void NdjsonService::HandleSummarize(long id, PinnedModel model,
   double deadline_ms =
       field("deadline_ms", static_cast<double>(options_.default_deadline_ms));
   if (deadline_ms != 0) {
-    ctx.deadline =
-        RequestContext::Clock::now() +
-        std::chrono::milliseconds(static_cast<long long>(deadline_ms));
+    ctx.deadline = RequestContext::Clock::now() +
+                   std::chrono::milliseconds(ClampLL(deadline_ms,
+                                                     -kMaxDeadlineMs,
+                                                     kMaxDeadlineMs));
   }
-  ctx.max_node_expansions = static_cast<size_t>(
-      field("max_expansions", static_cast<double>(options_.max_expansions)));
+  ctx.max_node_expansions = static_cast<size_t>(ClampLL(
+      field("max_expansions", static_cast<double>(options_.max_expansions)), 0,
+      std::numeric_limits<long long>::max()));
 
   // A deadline already expired at admission fails right here, before
   // the request can take a pool slot or race the watchdog — this keeps
@@ -508,9 +551,10 @@ void NdjsonService::SubmitPooled(
   double deadline_ms =
       field("deadline_ms", static_cast<double>(options_.default_deadline_ms));
   if (deadline_ms != 0) {
-    ctx.deadline =
-        RequestContext::Clock::now() +
-        std::chrono::milliseconds(static_cast<long long>(deadline_ms));
+    ctx.deadline = RequestContext::Clock::now() +
+                   std::chrono::milliseconds(ClampLL(deadline_ms,
+                                                     -kMaxDeadlineMs,
+                                                     kMaxDeadlineMs));
   }
   if (Status at_admission = ctx.Check(); !at_admission.ok()) {
     respond(ErrorResponse(id, at_admission));
@@ -571,7 +615,8 @@ void NdjsonService::HandleSimilar(long id, PinnedModel model,
     return;
   }
   size_t trip = static_cast<size_t>(trip_value);
-  size_t k = static_cast<size_t>(field("k", 5));
+  size_t k = static_cast<size_t>(
+      ClampLL(field("k", 5), 0, std::numeric_limits<long long>::max()));
   SubmitPooled(
       id, fields, respond,
       [id, trip, k, respond, model](const RequestContext& ctx) {
@@ -671,7 +716,11 @@ void NdjsonService::HandleLine(const std::string& line, ResponseFn respond) {
   const FlatJson& fields = *parsed;
   const std::map<std::string, double>& numbers = fields.numbers;
   auto it = numbers.find("id");
-  long id = it == numbers.end() ? -1 : static_cast<long>(it->second);
+  long id = it == numbers.end()
+                ? -1
+                : static_cast<long>(ClampLL(it->second,
+                                            std::numeric_limits<long>::min(),
+                                            std::numeric_limits<long>::max()));
   if (numbers.count("reload") != 0) {
     HandleReload(id, fields, std::move(respond));
     return;

@@ -339,6 +339,20 @@ TEST(GoldenTest, RetrievalVerbResponses) {
                         R"({"id": 7, "query": 1, "bbox": "1,2,three,4"})"));
   CheckGolden("serve_similar_no_trip",
               ServeLine(service, R"({"id": 8, "similar": 1})"));
+  // strtod-only shapes JSON forbids: non-finite numeric fields fail the
+  // whole line at the protocol boundary (before the id is read, hence -1),
+  // and non-finite bbox corners fail the bbox parse.
+  CheckGolden("serve_similar_nan_trip",
+              ServeLine(service, R"({"id": 9, "similar": 1, "trip": nan})"));
+  CheckGolden("serve_query_inf_bbox",
+              ServeLine(service,
+                        R"({"id": 10, "query": 1, "bbox": "-inf,0,inf,0"})"));
+  // A planet-spanning finite box is an ordinary (if broad) query: the
+  // saturating grid math and per-axis probe guard route it through the
+  // postings walk, and it answers promptly with every indexed trip.
+  CheckGolden("serve_query_planet",
+              ServeLine(service, R"({"id": 11, "query": 1, )"
+                                 R"("bbox": "-1e300,-1e300,1e300,1e300"})"));
   service.Drain();
 }
 

@@ -87,6 +87,28 @@ TEST(CellKeyTest, BucketOfIsFloorDivision) {
   EXPECT_EQ(TrajectoryIndex::BucketOf(-3600.1, 3600.0), -2);
 }
 
+TEST(CellKeyTest, NonFiniteAndAstronomicalInputsSaturateInsteadOfUB) {
+  // Coordinates come off the wire: the grid math must stay defined for
+  // anything strtod can produce, not just sane meters. Saturation pins
+  // huge values to the extreme buckets (which hold no postings) and NaN
+  // to bucket 0.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(TrajectoryIndex::BucketOf(1e300, 3600.0),
+            std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(TrajectoryIndex::BucketOf(kInf, 3600.0),
+            std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(TrajectoryIndex::BucketOf(-1e300, 3600.0),
+            std::numeric_limits<int64_t>::min());
+  EXPECT_EQ(TrajectoryIndex::BucketOf(-kInf, 3600.0),
+            std::numeric_limits<int64_t>::min());
+  EXPECT_EQ(TrajectoryIndex::BucketOf(kNaN, 3600.0), 0);
+  // CellKey on the same inputs must simply not trap (the packed key is a
+  // saturated pair, checked for self-consistency only).
+  EXPECT_EQ(TrajectoryIndex::CellKey(Vec2{kInf, -kInf}, 250.0),
+            TrajectoryIndex::CellKey(Vec2{1e300, -1e300}, 250.0));
+}
+
 // --------------------------------------------------------------------------
 // Oracles: independent brute-force reference implementations.
 // --------------------------------------------------------------------------
@@ -389,6 +411,112 @@ TEST(IndexWorldTest, RegionQueriesMatchScanAndOracle) {
     }
     CheckRegionAgreement(*world.maker, raws, box, window);
   }
+}
+
+TEST(IndexWorldTest, PlanetSpanningRangesTakeThePostingsWalkNotTheProbeLoop) {
+  // Regression: the probe-count guard used to multiply two client-sized
+  // uint64 ranges, and a box spanning ~2^32 cells per axis made the
+  // product wrap modulo 2^64 to a small value — sending one request into
+  // a ~2^64-iteration enumeration (a remote DoS). The guard now screens
+  // each axis alone, so these queries answer promptly and agree with the
+  // oracle.
+  const TestWorld& world = GetTestWorld();
+  std::vector<RawTrajectory> raws = WorldRaws(world);
+  ASSERT_TRUE(world.maker->has_trajectory_index());
+
+  BoundingBox planet;
+  planet.Extend(Vec2{-5e11, -5e11});
+  planet.Extend(Vec2{5e11, 5e11});
+  CheckRegionAgreement(*world.maker, raws, planet, std::nullopt);
+  // With a window whose bucket range alone is ~2^32: the old guard's
+  // cell_range × bucket_range product wrapped here too.
+  CheckRegionAgreement(*world.maker, raws, planet,
+                       std::make_pair(-1e13, 1e13));
+  // Saturated corners (1e300 → the extreme grid cells) stay defined and
+  // still refine to the exact containment answer.
+  BoundingBox saturated;
+  saturated.Extend(Vec2{-1e300, -1e300});
+  saturated.Extend(Vec2{1e300, 1e300});
+  CheckRegionAgreement(*world.maker, raws, saturated, std::nullopt);
+}
+
+TEST(IndexWorldTest, RegionCandidateLoopsObserveCancellation) {
+  // The candidate loops run unbounded client-chosen ranges, so they must
+  // consult the request context: a pre-cancelled context surfaces
+  // kCancelled from inside the enumeration instead of running it out.
+  const TestWorld& world = GetTestWorld();
+  ASSERT_TRUE(world.maker->has_trajectory_index());
+  const TrajectoryIndex& index = *world.maker->trip_index();
+
+  CancelSource source;
+  source.Cancel();
+  RequestContext cancelled;
+  cancelled.cancel = source.token();
+
+  // An enumerable strip of ~30k probes: far past the CancelCheck stride,
+  // so the cancellation must fire mid-loop.
+  BoundingBox strip;
+  strip.Extend(Vec2{0, 0});
+  strip.Extend(Vec2{250.0 * 30000, 10});
+  auto probed = index.RegionCandidates(strip, false, 0, 0, &cancelled);
+  ASSERT_FALSE(probed.ok());
+  EXPECT_EQ(probed.status().code(), StatusCode::kCancelled);
+
+  // The windowed probe loop ticks too: one cell × ~20k buckets is still
+  // enumerable, and far past the stride.
+  BoundingBox cell;
+  cell.Extend(Vec2{0, 0});
+  cell.Extend(Vec2{100, 100});
+  auto windowed = index.RegionCandidates(cell, true, 0, 3600.0 * 20000,
+                                         &cancelled);
+  ASSERT_FALSE(windowed.ok());
+  EXPECT_EQ(windowed.status().code(), StatusCode::kCancelled);
+
+  // A null context still means "never cancel".
+  auto free_run = index.RegionCandidates(strip, false, 0, 0, nullptr);
+  EXPECT_TRUE(free_run.ok());
+}
+
+TEST(IndexWorldTest, CorpusSizeMismatchFallsBackToScanForBothVerbs) {
+  // A stale index (descriptor count != serving corpus size) describes
+  // different trips; trusting it silently drops or invents results. Both
+  // verbs must degrade to the scan path, keeping results identical to an
+  // index-free maker.
+  std::vector<NamedScenario> scenarios = ScenarioCorpus();
+  const NamedScenario& named = scenarios.front();
+  Scenario s = named.Build();
+  RawTrajectory base = ScenarioTrip(s, named.route, /*start_time=*/1000.0);
+  std::vector<RawTrajectory> corpus(5, base);
+
+  STMaker maker(&s.network, s.landmarks.get(), FeatureRegistry::BuiltIn());
+  ASSERT_TRUE(maker.Train(corpus).ok());
+  ASSERT_TRUE(maker.has_trajectory_index());
+  ASSERT_EQ(maker.trip_index()->descriptors().size(), corpus.size());
+
+  // Serve a *larger* corpus than the index was built for: trip 5 exists
+  // only in the corpus, never in the postings.
+  std::vector<RawTrajectory> extended = corpus;
+  extended.push_back(base);
+
+  BoundingBox box;
+  for (const RawSample& sample : base.samples) box.Extend(sample.pos);
+  auto stale_region = maker.QueryRegion(extended, box, std::nullopt);
+  ASSERT_TRUE(stale_region.ok()) << stale_region.status().ToString();
+  EXPECT_EQ(*stale_region, OracleRegion(extended, box, std::nullopt))
+      << "stale index must not hide corpus trips from region queries";
+
+  auto stale_similar = maker.SimilarTrips(extended, 0, extended.size());
+  ASSERT_TRUE(stale_similar.ok()) << stale_similar.status().ToString();
+
+  // The same queries with the index dropped are the ground truth.
+  maker.DropTrajectoryIndex();
+  auto scan_region = maker.QueryRegion(extended, box, std::nullopt);
+  ASSERT_TRUE(scan_region.ok());
+  EXPECT_EQ(*stale_region, *scan_region);
+  auto scan_similar = maker.SimilarTrips(extended, 0, extended.size());
+  ASSERT_TRUE(scan_similar.ok());
+  EXPECT_EQ(MatchesToString(*stale_similar), MatchesToString(*scan_similar))
+      << "size-mismatched index must not change similarity results";
 }
 
 TEST(IndexWorldTest, IndexIsByteIdenticalAcrossThreadCounts) {

@@ -534,6 +534,21 @@ TEST(NdjsonServiceTest, ParseFlatJsonStringEscapes) {
   EXPECT_FALSE(NdjsonService::ParseFlatJson("{\"p\": }").ok());
 }
 
+TEST(NdjsonServiceTest, ParseFlatJsonRejectsNonFiniteNumbers) {
+  // strtod is laxer than JSON: "nan", "inf", and overflowing exponents all
+  // parse. Handlers cast numeric fields to integers, where a non-finite
+  // double is UB and NaN slips past every range check (both `< 0` and
+  // `>= size` are false) — so the parser must refuse them at the boundary.
+  EXPECT_FALSE(NdjsonService::ParseFlatJson("{\"trip\": nan}").ok());
+  EXPECT_FALSE(NdjsonService::ParseFlatJson("{\"trip\": inf}").ok());
+  EXPECT_FALSE(NdjsonService::ParseFlatJson("{\"deadline_ms\": -inf}").ok());
+  EXPECT_FALSE(NdjsonService::ParseFlatJson("{\"k\": 1e999}").ok());
+  auto parsed = NdjsonService::ParseFlatJson("{\"trip\": nan}");
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  // Large-but-finite values still parse; the handlers clamp them.
+  EXPECT_TRUE(NdjsonService::ParseFlatJson("{\"k\": 1e300}").ok());
+}
+
 TEST(NdjsonServiceTest, ParseFlatJsonNumbersRejectsStringValues) {
   // The numbers-only entry point predates string support and must stay
   // strict: a request that smuggles a string into a numeric field is an
