@@ -14,11 +14,13 @@
 // Run:  ./build/bench/throughput [out.json]
 // Emits one JSON record per (benchmark, threads) pair:
 //   {"name", "threads", "items_per_sec", "p50_ms", "p99_ms"}
-// plus three special records: "ch_routing" (map size, build cost, measured
-// CH-over-Dijkstra speedup), "machine" (hardware concurrency plus CPU
-// model and ISA flags, so scaling and SIMD-sensitive numbers can be read
-// against the silicon that produced them), and the registry histograms
-// accumulated over the run. The matcher is additionally benchmarked
+// plus special records: "ch_routing" (map size, build cost, measured
+// CH-over-Dijkstra speedup), "index_retrieval" (indexed-vs-scan speedups),
+// "model_coldstart" (CSV-vs-container load latency and RSS growth),
+// "slo"/"slo_knee" (closed-loop load points, excluded from --compare),
+// "machine" (hardware concurrency plus CPU model and ISA flags, so
+// scaling and SIMD-sensitive numbers can be read against the silicon that
+// produced them), and the registry histograms accumulated over the run. The matcher is additionally benchmarked
 // per-topology over the shared scenario corpus (tests/scenario_dsl.h), so
 // a candidate-pruning regression on, say, dense grids shows up as its own
 // row instead of vanishing into the city-wide aggregate.
@@ -50,6 +52,7 @@
 #include "core/model_manager.h"
 #include "geo/bounding_box.h"
 #include "index/trajectory_index.h"
+#include "io/container.h"
 #include "io/poi_io.h"
 #include "io/road_network_io.h"
 #include "io/trajectory_io.h"
@@ -78,6 +81,25 @@ double NowMs() {
   return std::chrono::duration<double, std::milli>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+/// Resident set size (VmRSS) in kB from /proc/self/status; 0 if unreadable.
+/// Coarse (the allocator rarely returns freed pages to the kernel), which
+/// is exactly why the cold-start loops sample the delta on the first rep
+/// only — later reps reuse arena pages and would report near-zero growth.
+long CurrentRssKb() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  long kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      kb = std::strtol(line + 6, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
 }
 
 /// Nearest-rank percentile over per-item (or per-rep) latencies.
@@ -658,7 +680,12 @@ int Run(const char* out_path) {
   // manifest-verified model parse, commit; PostSwapFirstRequest is the
   // latency of the first summarize answered by the freshly swapped
   // snapshot (its caches are stone cold — that cost is the price of the
-  // zero-downtime design and deserves its own row).
+  // zero-downtime design and deserves its own row). The same staged world
+  // also carries the cold-start comparison (CSV prefix vs binary
+  // container) and the container-reload row; the aggregate numbers are
+  // hoisted here for the "model_coldstart" record in the emit section.
+  double coldstart_csv_p50_ms = 0, coldstart_container_p50_ms = 0;
+  long coldstart_csv_rss_kb = 0, coldstart_container_rss_kb = 0;
   {
     char dir_template[] = "/tmp/stmaker_bench_reload_XXXXXX";
     char* dir_c = mkdtemp(dir_template);
@@ -701,7 +728,65 @@ int Run(const char* out_path) {
       STMAKER_CHECK(trainer.Train(small_raws).ok());
       STMAKER_CHECK(trainer.BuildRoadHierarchy().ok());
       STMAKER_CHECK(trainer.SaveModel(dir + "/model").ok());
+      STMAKER_CHECK(trainer.SaveModelContainer(dir + "/model.stm").ok());
     }
+
+    // Cold start, CSV prefix vs binary container (docs/FORMAT.md): time
+    // from nothing-in-memory to a maker ready to answer, measured with
+    // direct loads rather than the ModelManager so the shared
+    // trajectories.csv parse (identical on both paths) does not mask the
+    // difference. The container path is mmap + header/CRC walk — no
+    // per-row text parse — so its row should sit well under the CSV one.
+    // RSS is sampled on the first rep only (see CurrentRssKb).
+    const std::string container_path = dir + "/model.stm";
+    const int kColdReps = 5;
+    std::vector<double> cold_csv_ms, cold_container_ms;
+    double cold_csv_total = 0, cold_container_total = 0;
+    for (int rep = 0; rep < kColdReps; ++rep) {
+      long rss_before = CurrentRssKb();
+      double t0 = NowMs();
+      Result<RoadNetwork> network = ReadRoadNetworkCsv(dir + "/network");
+      STMAKER_CHECK(network.ok());
+      Result<std::vector<RawPoi>> cold_pois = ReadPoisCsv(dir + "/pois.csv");
+      STMAKER_CHECK(cold_pois.ok());
+      LandmarkIndex index = LandmarkIndex::Build(*network, *cold_pois);
+      STMaker maker(&*network, &index, FeatureRegistry::BuiltIn());
+      STMAKER_CHECK(maker.LoadModel(dir + "/model").ok());
+      double dt = NowMs() - t0;
+      cold_csv_ms.push_back(dt);
+      cold_csv_total += dt;
+      // Sampled while the loaded model is still alive.
+      if (rep == 0) coldstart_csv_rss_kb = CurrentRssKb() - rss_before;
+    }
+    for (int rep = 0; rep < kColdReps; ++rep) {
+      long rss_before = CurrentRssKb();
+      double t0 = NowMs();
+      Result<std::shared_ptr<MappedContainer>> container =
+          MappedContainer::Open(container_path);
+      STMAKER_CHECK(container.ok());
+      Result<RoadNetwork> network = LoadNetworkFromContainer(**container);
+      STMAKER_CHECK(network.ok());
+      Result<LandmarkIndex> index =
+          LoadLandmarksFromContainer(**container, *network);
+      STMAKER_CHECK(index.ok());
+      STMaker maker(&*network, &*index, FeatureRegistry::BuiltIn());
+      STMAKER_CHECK(maker.LoadModelContainer(**container).ok());
+      double dt = NowMs() - t0;
+      cold_container_ms.push_back(dt);
+      cold_container_total += dt;
+      if (rep == 0) coldstart_container_rss_kb = CurrentRssKb() - rss_before;
+    }
+    results.push_back(Summarize("ModelColdStart_csv", 1, cold_csv_ms,
+                                kColdReps, cold_csv_total));
+    results.push_back(Summarize("ModelColdStart_container", 1,
+                                cold_container_ms, kColdReps,
+                                cold_container_total));
+    coldstart_csv_p50_ms = Percentile(cold_csv_ms, 50);
+    coldstart_container_p50_ms = Percentile(cold_container_ms, 50);
+    std::printf("# cold start: csv p50 %.2f ms (+%ld kB RSS), container "
+                "p50 %.2f ms (+%ld kB RSS)\n",
+                coldstart_csv_p50_ms, coldstart_csv_rss_kb,
+                coldstart_container_p50_ms, coldstart_container_rss_kb);
 
     ModelManagerOptions mopts;
     mopts.data_dir = dir;
@@ -749,6 +834,30 @@ int Run(const char* out_path) {
                                 reload_total));
     results.push_back(Summarize("PostSwapFirstRequest", 1, first_request_ms,
                                 kReloadReps, first_total));
+
+    // Same swap discipline, container-backed snapshot: each Reload() maps
+    // the file fresh, revalidates, and pins the new mapping in the
+    // published snapshot (DESIGN.md §15 semantics are format-agnostic).
+    // The delta against the ModelReload row above is the reload-time win
+    // of skipping the CSV world + model parse.
+    {
+      ModelManagerOptions copts = mopts;
+      copts.model_prefix = container_path;
+      ModelManager cmanager(copts);
+      STMAKER_CHECK(cmanager.Initialize().ok());
+      std::vector<double> creload_ms;
+      double creload_total = 0;
+      for (int rep = 0; rep < kReloadReps; ++rep) {
+        double t0 = NowMs();
+        STMAKER_CHECK(cmanager.Reload().ok());
+        double dt = NowMs() - t0;
+        creload_ms.push_back(dt);
+        creload_total += dt;
+      }
+      cmanager.WaitIdle();
+      results.push_back(Summarize("ModelReload_container", 1, creload_ms,
+                                  kReloadReps, creload_total));
+    }
   }
 
   // --- Trajectory-index retrieval: similarity top-K and region/time-window
@@ -939,6 +1048,16 @@ int Run(const char* out_path) {
                "\"region_speedup_vs_scan\": %.1f},\n",
                raws.size(), index_postings, index_similar_speedup,
                index_region_speedup);
+  // Cold-start comparison between the CSV model prefix and the binary
+  // container (docs/FORMAT.md): p50 wall time to a ready maker plus the
+  // first-rep RSS growth of each load path. The per-rep latencies also
+  // flow through the regular ModelColdStart_{csv,container} rows above.
+  std::fprintf(out,
+               "  {\"name\": \"model_coldstart\", \"csv_p50_ms\": %.4f, "
+               "\"container_p50_ms\": %.4f, \"csv_rss_delta_kb\": %ld, "
+               "\"container_rss_delta_kb\": %ld},\n",
+               coldstart_csv_p50_ms, coldstart_container_p50_ms,
+               coldstart_csv_rss_kb, coldstart_container_rss_kb);
   // SLO rows are load-dependent (offered rate scales with the build's own
   // capacity estimate), so bench_report.py excludes them from --compare.
   for (const SloPoint& p : slo_points) {

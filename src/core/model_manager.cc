@@ -95,16 +95,35 @@ Result<std::shared_ptr<const ModelSnapshot>> ModelManager::LoadSnapshot(
   snapshot->data_dir = options_.data_dir;
   snapshot->model_prefix = model_prefix;
 
-  // World: road network, landmarks, serving corpus. Loaded fresh per
-  // snapshot — sharing a mutable landmark index across model versions is
-  // exactly the torn state this class exists to prevent (LoadModel writes
-  // significances into the index it is given).
-  STMAKER_ASSIGN_OR_RETURN(
-      snapshot->network, ReadRoadNetworkCsv(options_.data_dir + "/network"));
-  STMAKER_ASSIGN_OR_RETURN(std::vector<RawPoi> pois,
-                           ReadPoisCsv(options_.data_dir + "/pois.csv"));
-  snapshot->landmarks = std::make_unique<LandmarkIndex>(
-      LandmarkIndex::Build(snapshot->network, pois));
+  const bool from_container =
+      !model_prefix.empty() && IsContainerFile(model_prefix);
+  if (from_container) {
+    // Binary container: one mmap carries the world and the model. The
+    // snapshot pins the mapping (see ModelSnapshot::container) and the
+    // network's hot arrays alias it zero-copy; everything else is
+    // validated and materialized before publish, so corruption rolls back
+    // exactly like a bad CSV.
+    STMAKER_ASSIGN_OR_RETURN(snapshot->container,
+                             MappedContainer::Open(model_prefix));
+    STMAKER_ASSIGN_OR_RETURN(snapshot->network,
+                             LoadNetworkFromContainer(*snapshot->container));
+    STMAKER_ASSIGN_OR_RETURN(
+        LandmarkIndex landmarks,
+        LoadLandmarksFromContainer(*snapshot->container, snapshot->network));
+    snapshot->landmarks =
+        std::make_unique<LandmarkIndex>(std::move(landmarks));
+  } else {
+    // World: road network, landmarks, serving corpus. Loaded fresh per
+    // snapshot — sharing a mutable landmark index across model versions is
+    // exactly the torn state this class exists to prevent (LoadModel writes
+    // significances into the index it is given).
+    STMAKER_ASSIGN_OR_RETURN(
+        snapshot->network, ReadRoadNetworkCsv(options_.data_dir + "/network"));
+    STMAKER_ASSIGN_OR_RETURN(std::vector<RawPoi> pois,
+                             ReadPoisCsv(options_.data_dir + "/pois.csv"));
+    snapshot->landmarks = std::make_unique<LandmarkIndex>(
+        LandmarkIndex::Build(snapshot->network, pois));
+  }
   STMAKER_ASSIGN_OR_RETURN(
       snapshot->trajectories,
       ReadTrajectoriesCsv(options_.data_dir + "/trajectories.csv"));
@@ -112,7 +131,12 @@ Result<std::shared_ptr<const ModelSnapshot>> ModelManager::LoadSnapshot(
   snapshot->maker = std::make_unique<STMaker>(
       &snapshot->network, snapshot->landmarks.get(),
       FeatureRegistry::BuiltIn(), options_.maker);
-  if (!model_prefix.empty()) {
+  if (from_container) {
+    // Same parse-then-commit discipline as LoadModel, against the mapped
+    // sections instead of CSV rows.
+    STMAKER_RETURN_IF_ERROR(
+        snapshot->maker->LoadModelContainer(*snapshot->container));
+  } else if (!model_prefix.empty()) {
     // Parse-then-commit with CRC32-manifest verification; any error —
     // including failpoint-injected I/O faults mid-load — surfaces here
     // with the candidate snapshot still unpublished.
@@ -130,8 +154,8 @@ Result<std::shared_ptr<const ModelSnapshot>> ModelManager::LoadSnapshot(
       // and re-contracting would blow the bounded-I/O reload budget.
       return Status::FailedPrecondition(
           "reload rejected: model '" + model_prefix +
-          "' has no usable routing hierarchy (truncated or missing _ch.csv);"
-          " keeping the current snapshot");
+          "' has no usable routing hierarchy (truncated or missing _ch.csv /"
+          " damaged container section); keeping the current snapshot");
     }
   } else if (!options_.use_hierarchy) {
     snapshot->maker->DropRoadHierarchy();

@@ -50,6 +50,7 @@
 #include "common/metrics.h"
 #include "common/status.h"
 #include "core/stmaker.h"
+#include "io/container.h"
 #include "landmark/landmark_index.h"
 #include "roadnet/road_network.h"
 #include "traj/trajectory.h"
@@ -71,6 +72,14 @@ struct ModelSnapshot {
   /// Wall time the load took (world read + model parse + commit).
   double load_ms = 0;
 
+  /// The mapped model container when the snapshot was loaded from one
+  /// (null for CSV/trained snapshots). The network's hot arrays alias this
+  /// mapping zero-copy, so it is declared *before* `network`: members
+  /// destroy in reverse declaration order, guaranteeing the network (and
+  /// every request pinning this snapshot) dies before the mapping is
+  /// unmapped. Swap/rollback semantics are unchanged — the mapping is just
+  /// one more resource the snapshot pin keeps alive.
+  std::shared_ptr<MappedContainer> container;
   RoadNetwork network;
   std::unique_ptr<LandmarkIndex> landmarks;
   /// The serving corpus backing the protocol's "trip" field.

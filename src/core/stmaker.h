@@ -36,6 +36,8 @@
 
 namespace stmaker {
 
+class MappedContainer;  // io/container.h
+
 /// Per-summary knobs (Sec. VII-B: feature weights 1, irregular threshold
 /// η = 0.2).
 struct SummaryOptions {
@@ -242,6 +244,33 @@ class STMaker {
   /// existed.
   Status LoadModel(const std::string& prefix);
 
+  /// Persists the trained model *and its serving world* — road-network
+  /// CSR + geometry, CH hierarchy, landmarks with significances,
+  /// popular-route transitions, the historical feature map, the visit
+  /// corpus, trajectory-index descriptors, and calibration stats — as one
+  /// binary container file (docs/FORMAT.md) that the server mmaps and
+  /// serves zero-copy. The CSV SaveModel files remain the import/export
+  /// form; the container is the deploy form (`stmaker_cli pack`).
+  /// Requires Train() first.
+  ///
+  /// \param path Destination file, written atomically.
+  /// \return OK, or the I/O error.
+  Status SaveModelContainer(const std::string& path) const;
+
+  /// Restores the trained knowledge from an opened model container. The
+  /// maker must have been constructed over the world restored from the
+  /// *same* container (LoadNetworkFromContainer /
+  /// LoadLandmarksFromContainer). Mirrors LoadModel exactly: feature-set
+  /// mismatch or damage to a required section fails (leaving the maker
+  /// untrained); a damaged hierarchy or trajectory-index section only
+  /// degrades — warning + metric, Dijkstra/scan fallback. All model state
+  /// this method restores is copied out of the mapping; only the road
+  /// network itself stays zero-copy.
+  ///
+  /// \param container An open container (see MappedContainer::Open).
+  /// \return OK, or the validation error.
+  Status LoadModelContainer(const MappedContainer& container);
+
   /// Calibration entry point, exposed for tests and tooling.
   Result<CalibratedTrajectory> Calibrate(
       const RawTrajectory& raw, const RequestContext* ctx = nullptr) const;
@@ -416,6 +445,30 @@ class STMaker {
   std::unique_ptr<ContractionHierarchy> road_hierarchy_;
   ShortestPathRouter road_router_;
 };
+
+/// Rebuilds the road network from a model container's world sections.
+/// The CSR adjacency, edge geometry, and edge endpoints alias the mapping
+/// zero-copy (RoadNetwork::AdoptMapped), so `container` must outlive the
+/// returned network — ModelSnapshot pins it. Section CRCs are verified
+/// here (world damage is always fatal: there is no model without a
+/// network).
+///
+/// \param container An open container.
+/// \return The network, or kInvalidArgument/kFailedPrecondition naming
+///   the damage.
+Result<RoadNetwork> LoadNetworkFromContainer(const MappedContainer& container);
+
+/// Rebuilds the landmark dataset — including the persisted significance
+/// scores — from a model container. Landmark records are materialized
+/// (names are strings), nothing aliases the mapping.
+///
+/// \param container An open container.
+/// \param network The LoadNetworkFromContainer result of the same
+///   container (pins the node-id domain).
+/// \return The dataset, or kInvalidArgument/kFailedPrecondition naming
+///   the damage.
+Result<LandmarkIndex> LoadLandmarksFromContainer(
+    const MappedContainer& container, const RoadNetwork& network);
 
 }  // namespace stmaker
 

@@ -97,7 +97,7 @@ Status STMaker::SaveModel(const std::string& prefix) const {
     csv.Row({"from", "to", "count"});
     for (const PopularRouteMiner::Transition& t : miner_.Transitions()) {
       csv.Row({std::to_string(t.from), std::to_string(t.to),
-               StrFormat("%.6f", t.count)});
+               StrFormat("%.17g", t.count)});
     }
     parts.push_back({kModelSuffixes[1], csv.TakeString()});
   }
@@ -111,8 +111,8 @@ Status STMaker::SaveModel(const std::string& prefix) const {
     for (const HistoricalFeatureMap::EdgeRecord& e : feature_map_->Edges()) {
       std::vector<std::string> row = {std::to_string(e.from),
                                       std::to_string(e.to),
-                                      StrFormat("%.6f", e.count)};
-      for (double s : e.sums) row.push_back(StrFormat("%.9g", s));
+                                      StrFormat("%.17g", e.count)};
+      for (double s : e.sums) row.push_back(StrFormat("%.17g", s));
       csv.Row(row);
     }
     parts.push_back({kModelSuffixes[2], csv.TakeString()});
@@ -122,7 +122,7 @@ Status STMaker::SaveModel(const std::string& prefix) const {
     csv.Row({"landmark", "significance"});
     for (const Landmark& lm : landmarks_->landmarks()) {
       if (lm.significance == 0) continue;  // sparse
-      csv.Row({std::to_string(lm.id), StrFormat("%.9g", lm.significance)});
+      csv.Row({std::to_string(lm.id), StrFormat("%.17g", lm.significance)});
     }
     parts.push_back({kModelSuffixes[3], csv.TakeString()});
   }
@@ -135,7 +135,7 @@ Status STMaker::SaveModel(const std::string& prefix) const {
     for (const VisitCorpus::Record& record : visit_corpus_.records()) {
       for (const auto& [landmark, count] : record.visits) {
         csv.Row({std::to_string(record.key), std::to_string(landmark),
-                 StrFormat("%.6f", count)});
+                 StrFormat("%.17g", count)});
       }
     }
     parts.push_back({kModelSuffixes[4], csv.TakeString()});

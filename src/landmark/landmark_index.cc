@@ -87,7 +87,48 @@ LandmarkIndex LandmarkIndex::Build(const RoadNetwork& network,
   }
 
   // --- Spatial index. ---------------------------------------------------------
+  out.index_cell_m_ = options.index_cell_m;
   out.index_ = std::make_unique<GridIndex>(options.index_cell_m);
+  for (const Landmark& lm : out.landmarks_) {
+    out.index_->Insert(lm.id, lm.pos);
+  }
+  return out;
+}
+
+Result<LandmarkIndex> LandmarkIndex::FromParts(
+    std::vector<Landmark> landmarks, std::vector<NodeId> network_node,
+    size_t num_network_nodes, double index_cell_m) {
+  auto fail = [](const std::string& what) {
+    return Status::InvalidArgument("container landmarks: " + what);
+  };
+  if (network_node.size() != landmarks.size()) {
+    return fail("network-node array size mismatch");
+  }
+  if (!(index_cell_m > 0)) return fail("non-positive index cell size");
+  LandmarkIndex out;
+  out.node_to_landmark_.assign(num_network_nodes, -1);
+  for (size_t i = 0; i < landmarks.size(); ++i) {
+    const Landmark& lm = landmarks[i];
+    const NodeId node = network_node[i];
+    if (lm.id != static_cast<LandmarkId>(i)) {
+      return fail("landmark ids must be dense");
+    }
+    if (lm.kind == LandmarkKind::kTurningPoint) {
+      if (node < 0 || static_cast<size_t>(node) >= num_network_nodes) {
+        return fail("turning-point landmark node out of range");
+      }
+      if (out.node_to_landmark_[node] != -1) {
+        return fail("two landmarks claim one network node");
+      }
+      out.node_to_landmark_[node] = lm.id;
+    } else if (node != -1) {
+      return fail("POI landmark carries a network node");
+    }
+  }
+  out.landmarks_ = std::move(landmarks);
+  out.network_node_ = std::move(network_node);
+  out.index_cell_m_ = index_cell_m;
+  out.index_ = std::make_unique<GridIndex>(index_cell_m);
   for (const Landmark& lm : out.landmarks_) {
     out.index_->Insert(lm.id, lm.pos);
   }

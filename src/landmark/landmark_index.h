@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/status.h"
 #include "geo/grid_index.h"
 #include "landmark/dbscan.h"
 #include "landmark/landmark.h"
@@ -35,6 +36,25 @@ class LandmarkIndex {
                              const std::vector<RawPoi>& pois,
                              const LandmarkIndexOptions& options =
                                  LandmarkIndexOptions());
+
+  /// \brief Restores a dataset from already-built landmark records (the
+  /// model-container load path): no DBSCAN, no junction naming — the
+  /// stored landmarks (including significance) are adopted as-is and the
+  /// derived lookup structures (node→landmark map, grid index) are
+  /// rebuilt.
+  ///
+  /// \param landmarks The landmark table, ids dense (landmark i has id i).
+  /// \param network_node Parallel array: the network node of each
+  /// turning-point landmark, -1 for POI landmarks.
+  /// \param num_network_nodes Node-id domain, for the node→landmark map.
+  /// \param index_cell_m Grid-index pitch (LandmarkIndexOptions::
+  /// index_cell_m of the original build).
+  /// \return The restored dataset, or kInvalidArgument naming the
+  /// inconsistency.
+  static Result<LandmarkIndex> FromParts(std::vector<Landmark> landmarks,
+                                         std::vector<NodeId> network_node,
+                                         size_t num_network_nodes,
+                                         double index_cell_m);
 
   LandmarkIndex(LandmarkIndex&&) = default;
   LandmarkIndex& operator=(LandmarkIndex&&) = default;
@@ -67,6 +87,10 @@ class LandmarkIndex {
   /// The turning-point landmark on network node `node`, or -1.
   LandmarkId LandmarkOfNode(NodeId node) const;
 
+  /// Grid-index pitch this dataset was built with; persisted by the model
+  /// container so FromParts can rebuild the identical index.
+  double index_cell_m() const { return index_cell_m_; }
+
  private:
   LandmarkIndex() = default;
 
@@ -74,6 +98,7 @@ class LandmarkIndex {
   std::vector<NodeId> network_node_;   // parallel to landmarks_.
   std::vector<LandmarkId> node_to_landmark_;  // indexed by NodeId.
   std::unique_ptr<GridIndex> index_;
+  double index_cell_m_ = 250.0;
 };
 
 }  // namespace stmaker

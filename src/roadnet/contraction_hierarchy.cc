@@ -733,27 +733,21 @@ Result<ContractionHierarchy> ContractionHierarchy::LoadFromString(
     return Corrupt(context, "record count mismatch");
   }
 
-  ContractionHierarchy ch;
-  ch.rank_.assign(static_cast<size_t>(nodes), 0);
-  ch.num_edges_ = static_cast<size_t>(edges);
-  std::vector<bool> rank_seen(static_cast<size_t>(nodes), false);
+  std::vector<uint32_t> rank(static_cast<size_t>(nodes), 0);
   size_t row_i = 1;
   for (int64_t k = 0; k < nodes; ++k, ++row_i) {
     const auto& r = rows[row_i];
-    int64_t node = 0, rank = 0;
-    if (r[0] != "rank" || !ParseI64(r[1], &node) || !ParseI64(r[2], &rank) ||
-        node != k || rank < 0 || rank >= nodes) {
+    int64_t node = 0, rank_v = 0;
+    if (r[0] != "rank" || !ParseI64(r[1], &node) ||
+        !ParseI64(r[2], &rank_v) || node != k || rank_v < 0 ||
+        rank_v >= nodes) {
       return Corrupt(context, "bad rank record at row " + std::to_string(k));
     }
-    if (rank_seen[static_cast<size_t>(rank)]) {
-      return Corrupt(context, "duplicate rank " + std::to_string(rank));
-    }
-    rank_seen[static_cast<size_t>(rank)] = true;
-    ch.rank_[static_cast<size_t>(node)] = static_cast<uint32_t>(rank);
+    rank[static_cast<size_t>(node)] = static_cast<uint32_t>(rank_v);
   }
 
-  ch.arcs_.reserve(static_cast<size_t>(arc_count));
-  size_t shortcuts = 0;
+  std::vector<Arc> arcs;
+  arcs.reserve(static_cast<size_t>(arc_count));
   for (int64_t k = 0; k < arc_count; ++k, ++row_i) {
     const auto& r = rows[row_i];
     Arc a;
@@ -764,61 +758,119 @@ Result<ContractionHierarchy> ContractionHierarchy::LoadFromString(
         !ParseI64(r[5], &left) || !ParseI64(r[6], &right)) {
       return Corrupt(context, "bad arc record at row " + std::to_string(k));
     }
-    if (from < 0 || from >= nodes || to < 0 || to >= nodes || from == to ||
-        !std::isfinite(weight) || weight < 0) {
-      return Corrupt(context,
-                     "arc " + std::to_string(k) + " endpoints/weight invalid");
+    constexpr int64_t kI32Max = std::numeric_limits<int32_t>::max();
+    if (left < -1 || left > kI32Max || right < -1 || right > kI32Max) {
+      return Corrupt(context, "shortcut " + std::to_string(k) + " malformed");
     }
     a.from = from;
     a.to = to;
     a.weight = weight;
-    if (edge >= 0) {
+    a.edge = edge;
+    a.left = static_cast<int32_t>(left);
+    a.right = static_cast<int32_t>(right);
+    arcs.push_back(a);
+  }
+  // Semantic validation (shared with the binary-container load path).
+  return FromParts(std::move(rank), std::move(arcs),
+                   static_cast<size_t>(shortcut_count), network, context);
+}
+
+Result<ContractionHierarchy> ContractionHierarchy::FromRaw(
+    std::span<const uint32_t> rank, std::span<const Arc> arcs,
+    size_t declared_num_edges, size_t declared_shortcuts,
+    const RoadNetwork& network, const std::string& context) {
+  if (rank.size() != network.NumNodes() ||
+      declared_num_edges != network.NumEdges()) {
+    return Corrupt(context,
+                   "hierarchy was built for a different network (" +
+                       std::to_string(rank.size()) + " nodes/" +
+                       std::to_string(declared_num_edges) + " edges vs " +
+                       std::to_string(network.NumNodes()) + "/" +
+                       std::to_string(network.NumEdges()) + ")");
+  }
+  return FromParts(std::vector<uint32_t>(rank.begin(), rank.end()),
+                   std::vector<Arc>(arcs.begin(), arcs.end()),
+                   declared_shortcuts, network, context);
+}
+
+Result<ContractionHierarchy> ContractionHierarchy::FromParts(
+    std::vector<uint32_t> rank, std::vector<Arc> arcs,
+    size_t declared_shortcuts, const RoadNetwork& network,
+    const std::string& context) {
+  const int64_t nodes = static_cast<int64_t>(network.NumNodes());
+  const int64_t edges = static_cast<int64_t>(network.NumEdges());
+  if (rank.size() != static_cast<size_t>(nodes)) {
+    return Corrupt(context, "rank table size mismatch");
+  }
+  std::vector<bool> rank_seen(static_cast<size_t>(nodes), false);
+  for (int64_t v = 0; v < nodes; ++v) {
+    const uint32_t rk = rank[static_cast<size_t>(v)];
+    if (rk >= static_cast<uint64_t>(nodes)) {
+      return Corrupt(context, "bad rank record at row " + std::to_string(v));
+    }
+    if (rank_seen[rk]) {
+      return Corrupt(context, "duplicate rank " + std::to_string(rk));
+    }
+    rank_seen[rk] = true;
+  }
+
+  size_t shortcuts = 0;
+  for (size_t k = 0; k < arcs.size(); ++k) {
+    const Arc& a = arcs[k];
+    if (a.from < 0 || a.from >= nodes || a.to < 0 || a.to >= nodes ||
+        a.from == a.to || !std::isfinite(a.weight) || a.weight < 0) {
+      return Corrupt(context,
+                     "arc " + std::to_string(k) + " endpoints/weight invalid");
+    }
+    if (a.edge >= 0) {
       // Original arc: must correspond to a real, traversable edge.
-      if (left != -1 || right != -1 || edge >= static_cast<int64_t>(edges)) {
+      if (a.left != -1 || a.right != -1 || a.edge >= edges) {
         return Corrupt(context, "arc " + std::to_string(k) + " malformed");
       }
-      const RoadEdge& e = network.edge(edge);
-      bool forward = e.from == from && e.to == to;
-      bool backward = e.from == to && e.to == from &&
+      const RoadEdge& e = network.edge(a.edge);
+      bool forward = e.from == a.from && e.to == a.to;
+      bool backward = e.from == a.to && e.to == a.from &&
                       e.direction == TrafficDirection::kTwoWay;
       if (!forward && !backward) {
         return Corrupt(context, "arc " + std::to_string(k) +
                                     " does not match its road edge");
       }
-      if (std::abs(weight - e.length_m) >
+      if (std::abs(a.weight - e.length_m) >
           1e-9 * std::max(1.0, e.length_m)) {
         return Corrupt(context, "arc " + std::to_string(k) +
                                     " weight disagrees with edge length");
       }
-      a.edge = edge;
     } else {
       // Shortcut: constituents must be earlier arcs forming a chain of
       // matching endpoints and weights.
-      if (edge != -1 || left < 0 || left >= k || right < 0 || right >= k) {
+      if (a.edge != -1 || a.left < 0 ||
+          static_cast<size_t>(a.left) >= k || a.right < 0 ||
+          static_cast<size_t>(a.right) >= k) {
         return Corrupt(context,
                        "shortcut " + std::to_string(k) + " malformed");
       }
-      const Arc& l = ch.arcs_[static_cast<size_t>(left)];
-      const Arc& rr = ch.arcs_[static_cast<size_t>(right)];
-      if (l.from != from || l.to != rr.from || rr.to != to) {
+      const Arc& l = arcs[static_cast<size_t>(a.left)];
+      const Arc& rr = arcs[static_cast<size_t>(a.right)];
+      if (l.from != a.from || l.to != rr.from || rr.to != a.to) {
         return Corrupt(context, "shortcut " + std::to_string(k) +
                                     " constituents do not chain");
       }
-      if (std::abs(weight - (l.weight + rr.weight)) >
-          1e-6 * std::max(1.0, weight)) {
+      if (std::abs(a.weight - (l.weight + rr.weight)) >
+          1e-6 * std::max(1.0, a.weight)) {
         return Corrupt(context, "shortcut " + std::to_string(k) +
                                     " weight disagrees with constituents");
       }
-      a.edge = -1;
-      a.left = static_cast<int32_t>(left);
-      a.right = static_cast<int32_t>(right);
       ++shortcuts;
     }
-    ch.arcs_.push_back(a);
   }
-  if (shortcuts != static_cast<size_t>(shortcut_count)) {
+  if (shortcuts != declared_shortcuts) {
     return Corrupt(context, "shortcut count mismatch");
   }
+
+  ContractionHierarchy ch;
+  ch.rank_ = std::move(rank);
+  ch.arcs_ = std::move(arcs);
+  ch.num_edges_ = static_cast<size_t>(edges);
   ch.num_shortcuts_ = shortcuts;
   ch.BuildSearchGraphs();
   return ch;

@@ -134,6 +134,12 @@ class ContractionHierarchy {
   uint32_t Rank(NodeId node) const {
     return rank_[static_cast<size_t>(node)];
   }
+  /// The full rank table (entry i = Rank(i)); the serialization surface
+  /// FromRaw() restores from.
+  std::span<const uint32_t> ranks() const { return rank_; }
+  /// The raw search-graph arcs (originals then shortcuts, in build order);
+  /// the serialization surface FromRaw() restores from.
+  std::span<const Arc> arcs() const { return arcs_; }
 
   /// Serializes the hierarchy as a CSV table with a trailing CRC32 record,
   /// suitable for WriteFileAtomic and model manifests.
@@ -166,6 +172,26 @@ class ContractionHierarchy {
   static Result<ContractionHierarchy> LoadFromFile(
       const std::string& path, const RoadNetwork& network);
 
+  /// Restores a hierarchy from raw rank/arc arrays (the binary model
+  /// container path). Runs exactly the semantic validation LoadFromString
+  /// runs after parsing — rank permutation, arcs matched against the
+  /// network's edges, shortcut chains and counts — so a corrupt or stale
+  /// container section is rejected identically to a corrupt CSV.
+  ///
+  /// \param rank Contraction rank per node (NumNodes() entries).
+  /// \param arcs The search-graph arcs, originals and shortcuts.
+  /// \param declared_num_edges Network edge count recorded at save time.
+  /// \param declared_shortcuts Shortcut count recorded at save time.
+  /// \param network The network the hierarchy must describe; must outlive
+  ///   the result.
+  /// \param context Label used in error messages (e.g. the container
+  ///   path).
+  /// \return The hierarchy, or FailedPrecondition naming what is corrupt.
+  static Result<ContractionHierarchy> FromRaw(
+      std::span<const uint32_t> rank, std::span<const Arc> arcs,
+      size_t declared_num_edges, size_t declared_shortcuts,
+      const RoadNetwork& network, const std::string& context);
+
  private:
   /// One adjacency entry of the upward search graphs.
   struct UpArc {
@@ -176,6 +202,15 @@ class ContractionHierarchy {
 
   /// Builds up_/rev_up_ from arcs_ + rank_ (called by Build and Load).
   void BuildSearchGraphs();
+
+  /// Shared tail of LoadFromString and FromRaw: validates the rank
+  /// permutation and every arc against `network`, then assembles the
+  /// hierarchy and builds the search graphs.
+  static Result<ContractionHierarchy> FromParts(std::vector<uint32_t> rank,
+                                                std::vector<Arc> arcs,
+                                                size_t declared_shortcuts,
+                                                const RoadNetwork& network,
+                                                const std::string& context);
 
   /// Bidirectional upward search; on success fills *meet with the apex
   /// node and *dist with the distance, leaving the per-thread workspace

@@ -57,6 +57,13 @@ RoadNetwork& RoadNetwork::operator=(RoadNetwork&& other) noexcept {
   edge_ends_ = std::move(other.edge_ends_);
   csr_offsets_ = std::move(other.csr_offsets_);
   csr_entries_ = std::move(other.csr_entries_);
+  // The views point either at the vectors' heap buffers (which the moves
+  // above preserve) or at an external mapping; both stay valid.
+  edge_geom_view_ = other.edge_geom_view_;
+  edge_ends_view_ = other.edge_ends_view_;
+  csr_offsets_view_ = other.csr_offsets_view_;
+  csr_entries_view_ = other.csr_entries_view_;
+  adopted_ = other.adopted_;
   pending_ = std::move(other.pending_);
   csr_dirty_.store(other.csr_dirty_.load(std::memory_order_acquire),
                    std::memory_order_release);
@@ -66,6 +73,7 @@ RoadNetwork& RoadNetwork::operator=(RoadNetwork&& other) noexcept {
 }
 
 NodeId RoadNetwork::AddNode(const Vec2& pos) {
+  STMAKER_CHECK(!adopted_);
   NodeId id = static_cast<NodeId>(nodes_.size());
   nodes_.push_back({id, pos, false});
   undirected_degree_.push_back(0);
@@ -77,6 +85,7 @@ Result<EdgeId> RoadNetwork::AddEdge(NodeId from, NodeId to, RoadGrade grade,
                                     double width_m,
                                     TrafficDirection direction,
                                     std::string name) {
+  STMAKER_CHECK(!adopted_);
   if (from < 0 || static_cast<size_t>(from) >= nodes_.size() || to < 0 ||
       static_cast<size_t>(to) >= nodes_.size()) {
     return Status::InvalidArgument("AddEdge: node id out of range");
@@ -101,6 +110,8 @@ Result<EdgeId> RoadNetwork::AddEdge(NodeId from, NodeId to, RoadGrade grade,
   edge_geom_.push_back({nodes_[from].pos, nodes_[to].pos});
   edge_ends_.push_back(
       {static_cast<int32_t>(from), static_cast<int32_t>(to)});
+  edge_geom_view_ = edge_geom_;
+  edge_ends_view_ = edge_ends_;
 
   pending_.push_back({from, Adjacency{id, to, /*forward=*/true}});
   if (direction == TrafficDirection::kTwoWay) {
@@ -113,6 +124,7 @@ Result<EdgeId> RoadNetwork::AddEdge(NodeId from, NodeId to, RoadGrade grade,
 }
 
 void RoadNetwork::FinalizeAdjacency() const {
+  STMAKER_CHECK(!adopted_);  // an adopted CSR is final by construction
   std::lock_guard<std::mutex> lock(*csr_mu_);
   if (!csr_dirty_.load(std::memory_order_relaxed)) return;  // raced; done
 
@@ -146,6 +158,8 @@ void RoadNetwork::FinalizeAdjacency() const {
   }
   csr_offsets_ = std::move(offsets);
   csr_entries_ = std::move(entries);
+  csr_offsets_view_ = csr_offsets_;
+  csr_entries_view_ = csr_entries_;
   pending_.clear();
   pending_.shrink_to_fit();
   csr_dirty_.store(false, std::memory_order_release);
@@ -154,9 +168,19 @@ void RoadNetwork::FinalizeAdjacency() const {
 RoadNetwork::AdjacencySpan RoadNetwork::OutEdges(NodeId id) const {
   STMAKER_CHECK(id >= 0 && static_cast<size_t>(id) < nodes_.size());
   if (csr_dirty_.load(std::memory_order_acquire)) FinalizeAdjacency();
-  const uint32_t begin = csr_offsets_[static_cast<size_t>(id)];
-  const uint32_t end = csr_offsets_[static_cast<size_t>(id) + 1];
-  return {csr_entries_.data() + begin, end - begin};
+  const uint32_t begin = csr_offsets_view_[static_cast<size_t>(id)];
+  const uint32_t end = csr_offsets_view_[static_cast<size_t>(id) + 1];
+  return csr_entries_view_.subspan(begin, end - begin);
+}
+
+std::span<const uint32_t> RoadNetwork::csr_offsets() const {
+  if (csr_dirty_.load(std::memory_order_acquire)) FinalizeAdjacency();
+  return csr_offsets_view_;
+}
+
+std::span<const Adjacency> RoadNetwork::csr_entries() const {
+  if (csr_dirty_.load(std::memory_order_acquire)) FinalizeAdjacency();
+  return csr_entries_view_;
 }
 
 const RoadNode& RoadNetwork::node(NodeId id) const {
@@ -180,14 +204,14 @@ RoadEdge& RoadNetwork::mutable_edge(EdgeId id) {
 }
 
 const RoadNetwork::EdgeGeometry& RoadNetwork::edge_geometry(EdgeId e) const {
-  STMAKER_CHECK(e >= 0 && static_cast<size_t>(e) < edge_geom_.size());
-  return edge_geom_[static_cast<size_t>(e)];
+  STMAKER_CHECK(e >= 0 && static_cast<size_t>(e) < edge_geom_view_.size());
+  return edge_geom_view_[static_cast<size_t>(e)];
 }
 
 const RoadNetwork::EdgeEndpoints& RoadNetwork::edge_endpoints(
     EdgeId e) const {
-  STMAKER_CHECK(e >= 0 && static_cast<size_t>(e) < edge_ends_.size());
-  return edge_ends_[static_cast<size_t>(e)];
+  STMAKER_CHECK(e >= 0 && static_cast<size_t>(e) < edge_ends_view_.size());
+  return edge_ends_view_[static_cast<size_t>(e)];
 }
 
 size_t RoadNetwork::Degree(NodeId id) const {
@@ -226,8 +250,8 @@ void RoadNetwork::BuildSpatialIndex(double sample_step_m) {
 }
 
 double RoadNetwork::DistanceToEdge(const Vec2& p, EdgeId e) const {
-  STMAKER_CHECK(e >= 0 && static_cast<size_t>(e) < edge_geom_.size());
-  const EdgeGeometry& g = edge_geom_[static_cast<size_t>(e)];
+  STMAKER_CHECK(e >= 0 && static_cast<size_t>(e) < edge_geom_view_.size());
+  const EdgeGeometry& g = edge_geom_view_[static_cast<size_t>(e)];
   return PointSegmentDistance(p, g.a, g.b);
 }
 
@@ -243,7 +267,7 @@ void RoadNetwork::CollectEdgesWithin(
   const uint64_t epoch = stamps.Begin(edges_.size());
   for (int64_t id : probe) {
     if (!stamps.FirstVisit(id, epoch)) continue;
-    const EdgeGeometry& g = edge_geom_[static_cast<size_t>(id)];
+    const EdgeGeometry& g = edge_geom_view_[static_cast<size_t>(id)];
     double d = PointSegmentDistance(p, g.a, g.b);
     if (d <= radius) out->push_back({d, id});
   }
@@ -279,6 +303,104 @@ std::vector<EdgeId> RoadNetwork::EdgesNear(const Vec2& p,
   for (const auto& [d, id] : scored) out.push_back(id);
   std::sort(out.begin(), out.end());
   return out;
+}
+
+Result<RoadNetwork> RoadNetwork::AdoptMapped(
+    std::vector<RoadNode> nodes, std::vector<RoadEdge> edges,
+    std::span<const uint32_t> csr_offsets,
+    std::span<const Adjacency> csr_entries,
+    std::span<const EdgeGeometry> edge_geom,
+    std::span<const EdgeEndpoints> edge_ends) {
+  const size_t n = nodes.size();
+  const size_t m = edges.size();
+  auto fail = [](const std::string& what) {
+    return Status::InvalidArgument("container road network: " + what);
+  };
+  for (size_t i = 0; i < n; ++i) {
+    if (nodes[i].id != static_cast<NodeId>(i)) {
+      return fail("node ids must be dense");
+    }
+  }
+  if (edge_geom.size() != m || edge_ends.size() != m) {
+    return fail("edge geometry/endpoint array size mismatch");
+  }
+  size_t expected_entries = 0;
+  for (size_t i = 0; i < m; ++i) {
+    RoadEdge& e = edges[i];
+    if (e.id != static_cast<EdgeId>(i)) return fail("edge ids must be dense");
+    if (e.from < 0 || static_cast<size_t>(e.from) >= n || e.to < 0 ||
+        static_cast<size_t>(e.to) >= n || e.from == e.to) {
+      return fail("edge endpoints out of range");
+    }
+    if (e.width_m <= 0) return fail("non-positive edge width");
+    // Derived exactly as AddEdge derives it, so both load paths agree
+    // bit-for-bit.
+    e.length_m = Distance(nodes[e.from].pos, nodes[e.to].pos);
+    const EdgeGeometry& g = edge_geom[i];
+    if (g.a.x != nodes[e.from].pos.x || g.a.y != nodes[e.from].pos.y ||
+        g.b.x != nodes[e.to].pos.x || g.b.y != nodes[e.to].pos.y) {
+      return fail("edge geometry disagrees with node positions");
+    }
+    if (edge_ends[i].from != static_cast<int32_t>(e.from) ||
+        edge_ends[i].to != static_cast<int32_t>(e.to)) {
+      return fail("edge endpoint array disagrees with edge list");
+    }
+    expected_entries +=
+        e.direction == TrafficDirection::kTwoWay ? 2 : 1;
+  }
+  if (csr_offsets.size() != n + 1 || (n > 0 && csr_offsets[0] != 0) ||
+      (csr_offsets.empty() ? csr_entries.size() != 0
+                           : csr_offsets[n] != csr_entries.size()) ||
+      csr_entries.size() != expected_entries) {
+    return fail("CSR offsets disagree with the edge list");
+  }
+  // Every directed traversal option must appear exactly once, attached to
+  // the right node: a corrupt adjacency block is rejected, never adopted.
+  std::vector<uint8_t> fwd_seen(m, 0);
+  std::vector<uint8_t> bwd_seen(m, 0);
+  for (size_t u = 0; u < n; ++u) {
+    if (csr_offsets[u] > csr_offsets[u + 1]) {
+      return fail("CSR offsets are not monotonic");
+    }
+    for (uint32_t i = csr_offsets[u]; i < csr_offsets[u + 1]; ++i) {
+      const Adjacency& adj = csr_entries[i];
+      if (adj.edge < 0 || static_cast<size_t>(adj.edge) >= m ||
+          adj.neighbor < 0 || static_cast<size_t>(adj.neighbor) >= n) {
+        return fail("CSR entry out of range");
+      }
+      const RoadEdge& e = edges[static_cast<size_t>(adj.edge)];
+      if (adj.forward) {
+        if (e.from != static_cast<NodeId>(u) || e.to != adj.neighbor ||
+            fwd_seen[static_cast<size_t>(adj.edge)]++ != 0) {
+          return fail("CSR forward entry disagrees with its edge");
+        }
+      } else {
+        if (e.direction != TrafficDirection::kTwoWay ||
+            e.to != static_cast<NodeId>(u) || e.from != adj.neighbor ||
+            bwd_seen[static_cast<size_t>(adj.edge)]++ != 0) {
+          return fail("CSR backward entry disagrees with its edge");
+        }
+      }
+    }
+  }
+
+  RoadNetwork net;
+  net.nodes_ = std::move(nodes);
+  net.edges_ = std::move(edges);
+  net.undirected_degree_.assign(n, 0);
+  for (const RoadEdge& e : net.edges_) {
+    net.undirected_degree_[e.from]++;
+    net.undirected_degree_[e.to]++;
+  }
+  net.edge_geom_view_ = edge_geom;
+  net.edge_ends_view_ = edge_ends;
+  net.csr_offsets_view_ = csr_offsets;
+  net.csr_entries_view_ = csr_entries;
+  net.adopted_ = true;
+  net.csr_dirty_.store(false, std::memory_order_release);
+  net.AnnotateTurningPoints();
+  net.BuildSpatialIndex();
+  return net;
 }
 
 void RoadNetwork::ClosestEdges(

@@ -96,6 +96,35 @@ class RoadNetwork {
   };
 
   RoadNetwork() = default;
+
+  /// \brief Builds a network whose four hot arrays — CSR offsets/entries,
+  /// edge geometry, edge endpoints — ALIAS caller-owned memory (a mapped
+  /// model container) instead of being copied to the heap. `nodes`/`edges`
+  /// stay materialized (they carry strings); derived state (lengths,
+  /// degrees, turning points, the spatial index) is recomputed exactly as
+  /// the CSV load path does, and the aliased arrays are cross-validated
+  /// against the edge list so a corrupt container cannot produce an
+  /// inconsistent graph.
+  ///
+  /// The caller must keep the aliased memory alive for the network's whole
+  /// lifetime (ModelSnapshot pins the mapping for exactly this reason).
+  /// An adopted network is immutable: AddNode/AddEdge CHECK-fail.
+  ///
+  /// \param nodes Materialized nodes, ids dense (node i has id i).
+  /// \param edges Materialized edges, ids dense; `length_m` is recomputed.
+  /// \param csr_offsets Aliased CSR row starts (nodes + 1 entries).
+  /// \param csr_entries Aliased packed adjacency entries.
+  /// \param edge_geom Aliased per-edge endpoint positions.
+  /// \param edge_ends Aliased per-edge 32-bit endpoint ids.
+  /// \return The adopted network, or kInvalidArgument naming the
+  /// inconsistency.
+  static Result<RoadNetwork> AdoptMapped(
+      std::vector<RoadNode> nodes, std::vector<RoadEdge> edges,
+      std::span<const uint32_t> csr_offsets,
+      std::span<const Adjacency> csr_entries,
+      std::span<const EdgeGeometry> edge_geom,
+      std::span<const EdgeEndpoints> edge_ends);
+
   RoadNetwork(RoadNetwork&& other) noexcept;
   RoadNetwork& operator=(RoadNetwork&& other) noexcept;
   RoadNetwork(const RoadNetwork&) = delete;
@@ -167,6 +196,31 @@ class RoadNetwork {
   /// Distance from `p` to the segment geometry of `e`.
   double DistanceToEdge(const Vec2& p, EdgeId e) const;
 
+  /// The packed CSR row-start array (finalizes first). One entry per node
+  /// plus a terminator; invalidated by the next AddEdge.
+  /// \return View of NumNodes() + 1 offsets.
+  std::span<const uint32_t> csr_offsets() const;
+
+  /// The packed CSR adjacency entries (finalizes first); invalidated by
+  /// the next AddEdge.
+  /// \return View of all directed traversal options, grouped by node.
+  std::span<const Adjacency> csr_entries() const;
+
+  /// Per-edge endpoint positions, indexed by edge id.
+  /// \return View of NumEdges() geometry records.
+  std::span<const EdgeGeometry> edge_geometries() const {
+    return edge_geom_view_;
+  }
+
+  /// Per-edge packed endpoint ids, indexed by edge id.
+  /// \return View of NumEdges() endpoint records.
+  std::span<const EdgeEndpoints> edge_endpoints_all() const {
+    return edge_ends_view_;
+  }
+
+  /// True when the hot arrays alias external memory (AdoptMapped).
+  bool adopted() const { return adopted_; }
+
  private:
   /// Rebuilds the CSR adjacency block from `pending_` (entries added since
   /// the last finalize). Called lazily from OutEdges under `csr_mu_`;
@@ -187,6 +241,18 @@ class RoadNetwork {
   // an edge references them — length_m already bakes them in).
   std::vector<EdgeGeometry> edge_geom_;
   std::vector<EdgeEndpoints> edge_ends_;
+
+  // Every reader goes through these views. For a built network they alias
+  // the vectors above (refreshed after each mutation); for an adopted one
+  // they alias the mapped container and the vectors stay empty. Vector
+  // moves keep heap buffers, so the views survive RoadNetwork moves.
+  std::span<const EdgeGeometry> edge_geom_view_;
+  std::span<const EdgeEndpoints> edge_ends_view_;
+  mutable std::span<const uint32_t> csr_offsets_view_;
+  mutable std::span<const Adjacency> csr_entries_view_;
+  /// True when the views alias external (mapped) memory; mutation is
+  /// forbidden and the CSR is final.
+  bool adopted_ = false;
 
   // CSR adjacency: entries for node n live at
   // csr_entries_[csr_offsets_[n] .. csr_offsets_[n+1]), in AddEdge order.

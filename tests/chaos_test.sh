@@ -6,7 +6,10 @@
 # load, and checks the lifecycle invariants: no crash, exactly one reply
 # per accepted request, model_version never torn, rollback on injected
 # corruption, SIGTERM drain exit 0. A failing seed prints the exact repro
-# command plus the kept server stderr path.
+# command plus the kept server stderr path. The sweep runs twice: once
+# over the CSV model prefix, once over the packed binary container (with
+# a truncated container as the bad-reload target), so the mmap-backed
+# snapshot path faces the same storms as the heap-backed one.
 # Registered with ctest; $1 = chaos binary, $2 = stmaker_cli binary.
 set -euo pipefail
 
@@ -37,6 +40,27 @@ for seed in $SEEDS; do
   fi
 done
 
+echo "== pack the model into a binary container + stage a corrupt one =="
+"$CLI" pack --dir "$DIR" --model "$DIR/model" --out "$DIR/model.stm"
+# Truncation is guaranteed corruption: the header's file_bytes no longer
+# matches, so MappedContainer::Open rejects the candidate outright.
+head -c 3000 "$DIR/model.stm" > "$DIR/badmodel.stm"
+
+CSEEDS="${STMAKER_CHAOS_CONTAINER_SEEDS:-21 22 23}"
+for seed in $CSEEDS; do
+  echo "== chaos (container model) seed $seed =="
+  # Same invariants over container-backed snapshots (docs/FORMAT.md): a
+  # reload rejected on the truncated container must leave the old snapshot
+  # serving off its still-mapped file, and a schedule that arms the
+  # container/map failpoint must degrade to the heap-read fallback —
+  # never a torn snapshot, never a crash.
+  if ! "$CHAOS" --cli "$CLI" --dir "$DIR" --model "$DIR/model.stm" \
+       --bad_model "$DIR/badmodel.stm" --seed "$seed" --duration_s 2 \
+       --qps 40; then
+    FAILED+=("container:$seed")
+  fi
+done
+
 if [[ ${#FAILED[@]} -gt 0 ]]; then
   echo "FAIL: chaos seeds ${FAILED[*]} failed."
   echo "Repro a single seed outside ctest with:"
@@ -46,7 +70,8 @@ if [[ ${#FAILED[@]} -gt 0 ]]; then
   done
   echo "(regenerate <datadir> with: $CLI gen --dir <datadir> --seed 5" \
        "--blocks 10 --trips 80 --pois 100 && $CLI train --dir <datadir>" \
-       "--model <datadir>/model)"
+       "--model <datadir>/model; container: seeds prefixed 'container:'" \
+       "ran against <datadir>/model.stm from $CLI pack)"
   exit 1
 fi
 

@@ -166,6 +166,10 @@ Schedule MakeSchedule(uint64_t seed, bool with_failpoints) {
         {"io/open-read", 60, false},  // corrupt a reload mid-load
         {"io/read", 60, false},
         {"route/stall", 10, false},
+        // mmap refusal on a container (re)load: must degrade to the heap
+        // fallback (container.map_fallbacks), never to a torn snapshot.
+        // A no-op schedule entry when --model is a CSV prefix.
+        {"container/map", 0, false},
         {"net/read", 0, true},
         {"net/write", 0, true},
     };

@@ -16,6 +16,15 @@
 //   # Summarize using a persisted model (no re-training):
 //   stmaker_cli summarize --dir /tmp/city --trip 3 --model /tmp/city/model
 //
+//   # Pack a trained CSV model into the single-file binary container the
+//   # server mmaps (docs/FORMAT.md); serve/reload accept it via --model:
+//   stmaker_cli pack --dir /tmp/city --model /tmp/city/model
+//                    --out /tmp/city/model.stm
+//
+//   # Export a container back to the CSV model schema (byte-exact
+//   # round-trip: pack(unpack(c)) == c):
+//   stmaker_cli unpack --model /tmp/city/model.stm --out /tmp/city/model2
+//
 //   # Corpus-level feature-frequency statistics:
 //   stmaker_cli stats --dir /tmp/city [--trips 200]
 //
@@ -60,6 +69,7 @@
 #include "core/group_summarizer.h"
 #include "core/model_manager.h"
 #include "core/stmaker.h"
+#include "io/container.h"
 #include "io/poi_io.h"
 #include "io/road_network_io.h"
 #include "geo/projection.h"
@@ -151,6 +161,8 @@ int Usage() {
                "              [--router dijkstra|ch]\n"
                "  stmaker_cli summarize --dir D --trip I [--k K] "
                "[--eta E] [--json|--geojson] [--model P] [--threads N]\n"
+               "  stmaker_cli pack --dir D --model P --out C\n"
+               "  stmaker_cli unpack --model C --out P\n"
                "  stmaker_cli stats --dir D [--trips T] [--threads N]\n"
                "  stmaker_cli group --dir D [--from-hour H] [--to-hour H]\n"
                "  stmaker_cli serve --dir D [--model P] [--threads N]\n"
@@ -167,6 +179,10 @@ int Usage() {
                "(--router: backend for road-network `route` requests; ch — "
                "the default — builds/loads a contraction hierarchy, dijkstra "
                "disables it; summaries are byte-identical either way)\n"
+               "(pack/unpack: convert between the CSV model schema (prefix "
+               "P, the train/import format) and the single-file binary "
+               "container (path C, the deploy format the server mmaps — see "
+               "docs/FORMAT.md); serve/reload --model accepts either)\n"
                "(--port: serve NDJSON over TCP instead of stdin; 0 picks a "
                "free port, reported as `listening on ADDR:PORT` on stderr. "
                "SIGTERM/SIGINT drain gracefully: stop accepting, finish "
@@ -359,10 +375,70 @@ int RunTrain(const Args& args) {
   return 0;
 }
 
+// pack: CSV model prefix -> single-file binary container (the deploy
+// artifact the server mmaps; see docs/FORMAT.md). The world CSVs are
+// needed because the container carries the road network and landmark
+// geometry alongside the mined model — one file ships everything.
+int RunPack(const Args& args) {
+  if (!args.Has("dir") || !args.Has("model") || !args.Has("out")) {
+    return Usage();
+  }
+  const std::string dir = args.Get("dir", ".");
+  Result<RoadNetwork> network = ReadRoadNetworkCsv(dir + "/network");
+  if (!network.ok()) return Fail(network.status());
+  Result<std::vector<RawPoi>> pois = ReadPoisCsv(dir + "/pois.csv");
+  if (!pois.ok()) return Fail(pois.status());
+  LandmarkIndex landmarks = LandmarkIndex::Build(*network, *pois);
+  STMaker maker(&*network, &landmarks, FeatureRegistry::BuiltIn());
+  Status st = maker.LoadModel(args.Get("model", "model"));
+  if (!st.ok()) return Fail(st);
+  const std::string out = args.Get("out", "model.stm");
+  st = maker.SaveModelContainer(out);
+  if (!st.ok()) return Fail(st);
+  std::printf("packed %s_* (%zu nodes, %zu edges, %zu landmarks%s%s) into "
+              "%s\n",
+              args.Get("model", "model").c_str(), network->NumNodes(),
+              network->NumEdges(), landmarks.size(),
+              maker.has_road_hierarchy() ? ", routing hierarchy" : "",
+              maker.has_trajectory_index() ? ", trajectory index" : "",
+              out.c_str());
+  return 0;
+}
+
+// unpack: container -> CSV model prefix. Self-contained (the container
+// carries the world), so no --dir. pack(unpack(c)) reproduces c
+// byte-for-byte — pinned by tests/container_test.cc.
+int RunUnpack(const Args& args) {
+  if (!args.Has("model") || !args.Has("out")) return Usage();
+  Result<std::shared_ptr<MappedContainer>> container =
+      MappedContainer::Open(args.Get("model", "model.stm"));
+  if (!container.ok()) return Fail(container.status());
+  Result<RoadNetwork> network = LoadNetworkFromContainer(**container);
+  if (!network.ok()) return Fail(network.status());
+  Result<LandmarkIndex> landmarks =
+      LoadLandmarksFromContainer(**container, *network);
+  if (!landmarks.ok()) return Fail(landmarks.status());
+  STMaker maker(&*network, &*landmarks, FeatureRegistry::BuiltIn());
+  Status st = maker.LoadModelContainer(**container);
+  if (!st.ok()) return Fail(st);
+  const std::string out = args.Get("out", "model");
+  st = maker.SaveModel(out);
+  if (!st.ok()) return Fail(st);
+  std::printf("unpacked %s (%zu trajectories mined%s%s) into %s_*\n",
+              args.Get("model", "model.stm").c_str(), maker.num_trained(),
+              maker.has_road_hierarchy() ? ", routing hierarchy" : "",
+              maker.has_trajectory_index() ? ", trajectory index" : "",
+              out.c_str());
+  return 0;
+}
+
 int RunSummarize(const Args& args) {
   if (!args.Has("dir") || !args.Has("trip")) return Usage();
   Result<int> threads = ThreadsFlag(args);
   if (!threads.ok()) return Fail(threads.status());
+  // Declared before the world so it is destroyed after it: with a binary
+  // container model the network's hot arrays alias this mapping.
+  std::shared_ptr<MappedContainer> container;
   Result<LoadedWorld> loaded = LoadWorld(args.Get("dir", "."));
   if (!loaded.ok()) return Fail(loaded.status());
   LoadedWorld& world = *loaded;
@@ -374,9 +450,31 @@ int RunSummarize(const Args& args) {
         std::to_string(world.trajectories.size()) + ")"));
   }
 
+  const bool from_container =
+      args.Has("model") && IsContainerFile(args.Get("model", "model"));
+  if (from_container) {
+    // A container carries its own world (network + landmarks with mined
+    // significances); the --dir CSVs only supply the trajectory corpus.
+    Result<std::shared_ptr<MappedContainer>> opened =
+        MappedContainer::Open(args.Get("model", "model"));
+    if (!opened.ok()) return Fail(opened.status());
+    container = std::move(*opened);
+    Result<RoadNetwork> network = LoadNetworkFromContainer(*container);
+    if (!network.ok()) return Fail(network.status());
+    world.network = std::move(*network);
+    Result<LandmarkIndex> landmarks =
+        LoadLandmarksFromContainer(*container, world.network);
+    if (!landmarks.ok()) return Fail(landmarks.status());
+    world.landmarks =
+        std::make_unique<LandmarkIndex>(std::move(*landmarks));
+  }
+
   STMaker maker(&world.network, world.landmarks.get(),
                 FeatureRegistry::BuiltIn(), MakerOptions(*threads));
-  if (args.Has("model")) {
+  if (from_container) {
+    Status st = maker.LoadModelContainer(*container);
+    if (!st.ok()) return Fail(st);
+  } else if (args.Has("model")) {
     Status st = maker.LoadModel(args.Get("model", "model"));
     if (!st.ok()) return Fail(st);
   } else {
@@ -747,6 +845,8 @@ int main(int argc, char** argv) {
   Args args = ParseArgs(argc, argv);
   if (args.command == "gen") return RunGen(args);
   if (args.command == "train") return RunTrain(args);
+  if (args.command == "pack") return RunPack(args);
+  if (args.command == "unpack") return RunUnpack(args);
   if (args.command == "summarize") return RunSummarize(args);
   if (args.command == "stats") return RunStats(args);
   if (args.command == "group") return RunGroup(args);
